@@ -1,0 +1,45 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index), then runs the
+   bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, bench scale
+     dune exec bench/main.exe -- table3 fig4  # selected experiments
+     dune exec bench/main.exe -- --small      # quick run on the test scale
+     dune exec bench/main.exe -- micro        # micro-benchmarks only *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let small = List.mem "--small" args in
+  let no_seq = List.mem "--no-seq" args in
+  let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let want name = wanted = [] || List.mem name wanted in
+  let table_names = List.map fst Tables.all in
+  let needs_compile = List.exists want table_names in
+  if needs_compile then begin
+    let scale = if small then Workload.Suite.test_scale else Workload.Suite.bench_scale in
+    let suite = Workload.Suite.generate scale in
+    let stats = Workload.Suite.stats suite in
+    Printf.eprintf "# suite: %d benchmarks, %d kernels, %d regions (max size %d)\n%!"
+      stats.Workload.Suite.num_benchmarks stats.Workload.Suite.num_kernels
+      stats.Workload.Suite.num_regions stats.Workload.Suite.max_region_size;
+    let config =
+      let c = Pipeline.Compile.make_config ~gpu:Gpusim.Config.bench () in
+      if no_seq then { c with Pipeline.Compile.run_sequential = false } else c
+    in
+    let t0 = Unix.gettimeofday () in
+    let done_kernels = ref 0 in
+    let report =
+      Pipeline.Compile.run_suite
+        ~progress:(fun k ->
+          incr done_kernels;
+          Printf.eprintf "# [%d/%d] %s (%.0fs)\n%!" !done_kernels
+            stats.Workload.Suite.num_kernels k
+            (Unix.gettimeofday () -. t0))
+        config suite
+    in
+    Printf.eprintf "# compiled in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+    let ctx = { Tables.report; filters = Pipeline.Filters.default; config } in
+    List.iter (fun (name, print) -> if want name then print ctx) Tables.all
+  end;
+  if want "micro" then Micro.run ()

@@ -1,0 +1,89 @@
+(* Bechamel micro-benchmarks of the core operations: the data the cost
+   models abstract over. One Test.make per primitive. *)
+
+open Bechamel
+open Toolkit
+
+let region = lazy (Workload.Shapes.transform (Support.Rng.create 9) ~unroll:16 ~chain:4)
+let graph = lazy (Ddg.Graph.build (Lazy.force region))
+
+let test_ddg_build =
+  Test.make ~name:"ddg_build"
+    (Staged.stage (fun () -> ignore (Ddg.Graph.build (Lazy.force region))))
+
+let test_closure =
+  Test.make ~name:"transitive_closure"
+    (Staged.stage (fun () -> ignore (Ddg.Closure.compute (Lazy.force graph))))
+
+let test_critpath =
+  Test.make ~name:"critical_path"
+    (Staged.stage (fun () -> ignore (Ddg.Critpath.compute (Lazy.force graph))))
+
+let test_rp_tracking =
+  Test.make ~name:"rp_tracking"
+    (Staged.stage (fun () ->
+         let g = Lazy.force graph in
+         let t = Sched.Rp_tracker.create g in
+         Array.iter (Sched.Rp_tracker.schedule t) (Ddg.Topo.order g)))
+
+let test_list_schedule =
+  Test.make ~name:"list_schedule_cp"
+    (Staged.stage (fun () ->
+         ignore (Sched.List_scheduler.run (Lazy.force graph) Sched.Heuristic.Critical_path)))
+
+let test_one_ant =
+  Test.make ~name:"one_ant_pass2"
+    (Staged.stage
+       (let g = Lazy.force graph in
+        let params = Aco.Params.default in
+        let ant = Aco.Ant.create g params in
+        let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+        let rng = Support.Rng.create 4 in
+        fun () ->
+          Aco.Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:Sched.Heuristic.Critical_path
+            ~allow_optional_stalls:true
+            (Aco.Ant.Ilp_pass { target_vgpr = 256; target_sgpr = 800 });
+          Aco.Ant.run_to_completion ant ~pheromone))
+
+let test_wavefront_iteration =
+  Test.make ~name:"wavefront_iteration"
+    (Staged.stage
+       (let g = Lazy.force graph in
+        let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 1 } in
+        let w =
+          Gpusim.Wavefront.create config g Aco.Params.default
+            ~heuristic:Sched.Heuristic.Critical_path ~allow_optional_stalls:true
+        in
+        let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+        let rng = Support.Rng.create 4 in
+        fun () ->
+          ignore
+            (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone)))
+
+let tests =
+  Test.make_grouped ~name:"core"
+    [
+      test_ddg_build;
+      test_closure;
+      test_critpath;
+      test_rp_tracking;
+      test_list_schedule;
+      test_one_ant;
+      test_wavefront_iteration;
+    ]
+
+let run () =
+  print_endline "Micro-benchmarks (bechamel, monotonic clock):";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      Printf.printf "  %-28s %12.0f ns/run\n" name ns)
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+  print_newline ()

@@ -1,0 +1,243 @@
+(* Printers that regenerate each table and figure of the paper's
+   evaluation section from a compiled suite. *)
+
+module T = Support.Tablefmt
+
+type ctx = {
+  report : Pipeline.Compile.suite_report;
+  filters : Pipeline.Filters.config;
+  config : Pipeline.Compile.config;
+}
+
+let category_label = Aco.Params.size_category_label
+
+let table1 ctx =
+  let t = Pipeline.Report.table1 ctx.filters ctx.report in
+  print_string
+    (T.render ~title:"TABLE 1 — BENCHMARK STATISTICS"
+       ~header:[ "Stat"; "Value" ]
+       [
+         [ "Number of benchmarks"; T.int t.Pipeline.Report.num_benchmarks ];
+         [ "Number of kernels"; T.int t.Pipeline.Report.num_kernels ];
+         [ "Number of scheduling regions"; T.int t.Pipeline.Report.num_regions ];
+         [ "Regions processed by ACO in pass 1"; T.int t.Pipeline.Report.pass1_regions ];
+         [ "Regions processed by ACO in pass 2"; T.int t.Pipeline.Report.pass2_regions ];
+         [ "Avg. processed region size in pass 1"; T.f2 t.Pipeline.Report.avg_pass1_size ];
+         [ "Avg. processed region size in pass 2"; T.f2 t.Pipeline.Report.avg_pass2_size ];
+         [ "Max. processed region size in pass 1"; T.int t.Pipeline.Report.max_pass1_size ];
+         [ "Max. processed region size in pass 2"; T.int t.Pipeline.Report.max_pass2_size ];
+       ]);
+  print_newline ()
+
+let table2 ctx =
+  let t = Pipeline.Report.table2 ctx.filters ctx.report in
+  print_string
+    (T.render ~title:"TABLE 2 — IMPROVEMENT OF ACO RELATIVE TO AMD SCHEDULER"
+       ~header:[ "Stat"; "Value" ]
+       [
+         [ "Regions processed by ACO in pass 1"; T.int t.Pipeline.Report.t2_pass1_regions ];
+         [ "Regions processed by ACO in pass 2"; T.int t.Pipeline.Report.t2_pass2_regions ];
+         [ "Overall occupancy increase"; T.pctf t.Pipeline.Report.overall_occupancy_increase_pct ];
+         [ "Max. occupancy increase in any kernel"; T.pctf t.Pipeline.Report.max_occupancy_increase_pct ];
+         [ "Overall schedule length reduction"; T.pctf t.Pipeline.Report.overall_length_reduction_pct ];
+         [ "Max. schedule length reduction"; T.pctf t.Pipeline.Report.max_length_reduction_pct ];
+       ]);
+  print_newline ()
+
+let table3 ~pass ~title ctx =
+  let rows = Pipeline.Report.table3 ~pass ctx.filters ctx.report in
+  let col f = List.map f rows in
+  print_string
+    (T.render ~title
+       ~header:("Inst. count range" :: List.map (fun (r : Pipeline.Report.speedup_row) -> category_label r.Pipeline.Report.category) rows)
+       [
+         "Regions processed by ACO" :: col (fun r -> T.int r.Pipeline.Report.processed);
+         "Comparable regions" :: col (fun r -> T.int r.Pipeline.Report.comparable);
+         "Geometric mean speedup" :: col (fun r -> T.f2 r.Pipeline.Report.geomean);
+         "Max. speedup" :: col (fun r -> T.f2 r.Pipeline.Report.max_speedup);
+         "Min. speedup" :: col (fun r -> T.f2 r.Pipeline.Report.min_speedup);
+       ]);
+  print_newline ()
+
+let table3a = table3 ~pass:`One ~title:"TABLE 3.a — PARALLEL SPEEDUP IN THE FIRST PASS"
+let table3b = table3 ~pass:`Two ~title:"TABLE 3.b — PARALLEL SPEEDUP IN THE SECOND PASS"
+
+let speedup_figure ~pass ~title ctx =
+  let data = Pipeline.Report.speedups ~pass ctx.filters ctx.report in
+  let edges = [| 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |] in
+  let label i =
+    if i = Array.length edges - 2 then Printf.sprintf ">=%.1fx" edges.(i)
+    else Printf.sprintf "%.1f-%.1fx" edges.(i) edges.(i + 1)
+  in
+  List.iter
+    (fun cat ->
+      let xs = List.filter_map (fun (c, s) -> if c = cat then Some s else None) data in
+      if xs <> [] then begin
+        let h = Support.Stats.histogram ~edges xs in
+        print_string
+          (Support.Stats.render_histogram
+             ~title:(Printf.sprintf "%s — regions of size %s (%d regions)" title (category_label cat) (List.length xs))
+             ~label h)
+      end)
+    [ 0; 1; 2 ];
+  print_newline ()
+
+let fig2 = speedup_figure ~pass:`One ~title:"Fig. 2 — speedup distribution, pass 1"
+let fig3 = speedup_figure ~pass:`Two ~title:"Fig. 3 — speedup distribution, pass 2"
+
+let ablation_table ~title ~baseline ctx =
+  let rows =
+    Pipeline.Ablation.compare_opts ctx.config ctx.report ~baseline
+      ~optimized:Gpusim.Config.opts_paper
+  in
+  let col f = List.map f rows in
+  print_string
+    (T.render ~title
+       ~header:("Inst. count range" :: List.map (fun (r : Pipeline.Ablation.time_row) -> category_label r.Pipeline.Ablation.category) rows)
+       [
+         "Pass 1 overall improvement" :: col (fun r -> T.pctf r.Pipeline.Ablation.pass1_overall_pct);
+         "Pass 1 max. improvement" :: col (fun r -> T.pctf r.Pipeline.Ablation.pass1_max_pct);
+         "Pass 2 overall improvement" :: col (fun r -> T.pctf r.Pipeline.Ablation.pass2_overall_pct);
+         "Pass 2 max. improvement" :: col (fun r -> T.pctf r.Pipeline.Ablation.pass2_max_pct);
+       ]);
+  print_newline ()
+
+let table4a =
+  ablation_table ~title:"TABLE 4.a — IMPROVEMENTS IN ACO TIME FROM MEMORY OPTIMIZATIONS"
+    ~baseline:Gpusim.Config.opts_no_memory
+
+let table4b =
+  ablation_table ~title:"TABLE 4.b — IMPROVEMENTS IN ACO TIME FROM DIVERGENCE OPTIMIZATIONS"
+    ~baseline:Gpusim.Config.opts_no_divergence
+
+let table5 ctx =
+  let t =
+    Pipeline.Timing.compile_totals ~threshold:ctx.filters.Pipeline.Filters.cycle_threshold
+      ctx.report
+  in
+  let sec ns = Printf.sprintf "%.0f" (ns /. 1e9) in
+  let with_pct ns =
+    Printf.sprintf "%s (%.1f%%)" (sec ns) (Pipeline.Timing.pct_increase t.Pipeline.Timing.base_ns ns)
+  in
+  print_string
+    (T.render ~title:"TABLE 5 — TOTAL COMPILE TIMES (simulated seconds)"
+       ~header:[ "Scheduler"; "Total Compile Time" ]
+       [
+         [ "Base AMD"; sec t.Pipeline.Timing.base_ns ];
+         [ "Sequential ACO"; with_pct t.Pipeline.Timing.seq_ns ];
+         [ "Parallel ACO"; with_pct t.Pipeline.Timing.par_ns ];
+       ]);
+  print_newline ()
+
+let table6 ctx =
+  let rows =
+    Pipeline.Ablation.stall_fraction_sweep ctx.config ctx.report
+      ~fractions:[ 0.25; 0.5; 0.75 ] ~min_region_size:100
+  in
+  let col f = List.map f rows in
+  print_string
+    (T.render ~title:"TABLE 6 — EXPERIMENTATION WITH OPTIONAL STALLS (regions >= 100)"
+       ~header:
+         ("% Blocks inserting optional stalls"
+         :: List.map (fun (r : Pipeline.Ablation.stall_row) ->
+                Printf.sprintf "%.0f%%" (r.Pipeline.Ablation.fraction *. 100.0))
+              rows)
+       [
+         "% Increase in ACO Time" :: col (fun r -> T.pctf r.Pipeline.Ablation.aco_time_increase_pct);
+         "% Improvement in schedule length"
+         :: col (fun r -> T.pctf r.Pipeline.Ablation.length_improvement_pct);
+         "Max. % improvement in schedule length"
+         :: col (fun r -> T.pctf r.Pipeline.Ablation.max_length_improvement_pct);
+       ]);
+  print_newline ()
+
+let fig4 ctx =
+  let f = Pipeline.Report.fig4 ctx.filters ctx.report in
+  print_endline "Fig. 4 — execution-time speedup of benchmarks (significant only)";
+  if f.Pipeline.Report.rows = [] then print_endline "  (no significant differences)"
+  else begin
+    let width = 40 in
+    let maxpct =
+      List.fold_left (fun acc (_, p) -> Float.max acc (Float.abs p)) 1.0 f.Pipeline.Report.rows
+    in
+    List.iter
+      (fun (name, pct) ->
+        let bar = int_of_float (Float.abs pct /. maxpct *. float_of_int width) in
+        Printf.printf "  %-36s %+7.1f%% %s\n" name pct (String.make bar '#'))
+      f.Pipeline.Report.rows
+  end;
+  Printf.printf "  geometric-mean improvement: %.1f%%\n" f.Pipeline.Report.geomean_improvement_pct;
+  Printf.printf "  benchmarks improved >=5%%: %d, >=10%%: %d\n" f.Pipeline.Report.improved_ge_5pct
+    f.Pipeline.Report.improved_ge_10pct;
+  Printf.printf "  max regression: %.1f%%\n\n" f.Pipeline.Report.max_regression_pct
+
+let table7 ctx =
+  let rows = Pipeline.Report.table7 ~thresholds:[ 3; 5; 10; 15; 21; 25 ] ctx.report in
+  let col f = List.map f rows in
+  print_string
+    (T.render ~title:"TABLE 7 — EXPERIMENTATION WITH CYCLE-BASED FILTER"
+       ~header:
+         ("Cycles" :: List.map (fun (r : Pipeline.Report.table7_row) -> string_of_int r.Pipeline.Report.threshold) rows)
+       [
+         "Imps. >= 3%" :: col (fun r -> T.int r.Pipeline.Report.imps_ge_3);
+         "Imps. >= 5%" :: col (fun r -> T.int r.Pipeline.Report.imps_ge_5);
+         "Imps. >= 10%" :: col (fun r -> T.int r.Pipeline.Report.imps_ge_10);
+         "Regs. >= 3%" :: col (fun r -> T.int r.Pipeline.Report.regs_ge_3);
+         "Regs. >= 5%" :: col (fun r -> T.int r.Pipeline.Report.regs_ge_5);
+         "Regs. >= 10%" :: col (fun r -> T.int r.Pipeline.Report.regs_ge_10);
+         "Max. Reg." :: col (fun r -> T.pctf r.Pipeline.Report.max_regression);
+       ]);
+  print_newline ()
+
+let ready_limit ctx =
+  let rows = Pipeline.Ablation.ready_limit_experiment ctx.config ctx.report in
+  print_string
+    (T.render
+       ~title:
+         "EXTRA — READY-LIST LIMITING (Section V-B negative result; vs limiting off)"
+       ~header:[ "Limiting mode"; "ACO time change"; "Schedule length change" ]
+       (List.map
+          (fun (r : Pipeline.Ablation.ready_limit_row) ->
+            [
+              r.Pipeline.Ablation.limiting;
+              T.pctf r.Pipeline.Ablation.time_change_pct;
+              T.pctf r.Pipeline.Ablation.quality_change_pct;
+            ])
+          rows));
+  print_newline ()
+
+let objective ctx =
+  let rows = Pipeline.Ablation.objective_comparison ctx.config ctx.report in
+  print_string
+    (T.render
+       ~title:
+         "EXTRA — TWO-PASS vs WEIGHTED-SUM OBJECTIVE (Section II-A design choice; ACO-eligible regions)"
+       ~header:
+         [ "Objective"; "Regions at better occupancy"; "Total occupancy"; "Total length" ]
+       (List.map
+          (fun (r : Pipeline.Ablation.objective_row) ->
+            [
+              r.Pipeline.Ablation.objective;
+              T.int r.Pipeline.Ablation.kernels_at_better_occupancy;
+              T.int r.Pipeline.Ablation.total_occupancy;
+              T.int r.Pipeline.Ablation.total_length;
+            ])
+          rows));
+  print_newline ()
+
+let all =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", (fun ctx -> table3a ctx; table3b ctx));
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("table4a", table4a);
+    ("table4b", table4b);
+    ("table5", table5);
+    ("table6", table6);
+    ("fig4", fig4);
+    ("table7", table7);
+    ("ready-limit", ready_limit);
+    ("objective", objective);
+  ]

@@ -1,0 +1,124 @@
+(* gpuaco: command-line front end for the GPU-ACO instruction scheduler.
+
+   Subcommands:
+     schedule  generate a kernel shape and schedule it with a chosen scheduler
+     dot       print the DDG of a shape in Graphviz format
+     stats     generate the benchmark suite and print its statistics *)
+
+open Cmdliner
+
+let occ = Machine.Occupancy.default
+
+(* --- shared shape argument --------------------------------------------- *)
+
+let shape_names =
+  [
+    "reduction"; "scan"; "transform"; "stencil"; "matmul"; "histogram"; "sort";
+    "gather"; "wide-accum"; "scalar";
+  ]
+
+let build_shape name ~size ~seed =
+  let rng = Support.Rng.create seed in
+  let s = max 2 size in
+  match name with
+  | "reduction" -> Workload.Shapes.reduction rng ~items:s
+  | "scan" -> Workload.Shapes.scan rng ~items:s
+  | "transform" -> Workload.Shapes.transform rng ~unroll:(max 2 (s / 5)) ~chain:4
+  | "stencil" -> Workload.Shapes.stencil rng ~outputs:(max 2 (s / 9)) ~radius:4
+  | "matmul" -> Workload.Shapes.matmul_tile rng ~m:(max 2 (s / 8)) ~k:4
+  | "histogram" -> Workload.Shapes.histogram rng ~items:(max 2 (s / 5))
+  | "sort" -> Workload.Shapes.sort_pass rng ~items:(max 2 (s / 8))
+  | "gather" -> Workload.Shapes.gather_compute rng ~lanes:(max 2 (s / 4)) ~chain:2
+  | "wide-accum" -> Workload.Shapes.wide_accum rng ~accumulators:(max 2 (s / 3)) ~rounds:s
+  | "scalar" -> Workload.Shapes.scalar_setup rng ~count:s
+  | other -> invalid_arg ("unknown shape: " ^ other)
+
+let shape_arg =
+  let doc =
+    "Kernel shape to generate: " ^ String.concat ", " shape_names ^ "."
+  in
+  Arg.(value & opt string "transform" & info [ "shape" ] ~docv:"SHAPE" ~doc)
+
+let size_arg =
+  let doc = "Approximate region size parameter." in
+  Arg.(value & opt int 60 & info [ "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all components are deterministic in it)." in
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- schedule ----------------------------------------------------------- *)
+
+let scheduler_arg =
+  let doc = "Scheduler: amd, cp, luc, aco (sequential two-pass), par-aco (on the simulated GPU)." in
+  Arg.(value & opt string "aco" & info [ "scheduler" ] ~docv:"S" ~doc)
+
+let verbose_arg =
+  let doc = "Print the full schedule, not just its cost." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let run_schedule shape size seed scheduler verbose =
+  let region = build_shape shape ~size ~seed in
+  let graph = Ddg.Graph.build region in
+  Printf.printf "region %s: %d instructions, length LB %d\n" shape (Ir.Region.size region)
+    (Ddg.Lower_bounds.schedule_length graph);
+  let finish name (schedule : Sched.Schedule.t) =
+    let cost = Sched.Cost.of_schedule occ schedule in
+    Printf.printf "%s: %s\n" name (Sched.Cost.to_string cost);
+    if verbose then print_string (Sched.Schedule.to_string schedule)
+  in
+  match scheduler with
+  | "amd" -> finish "amd" (Sched.Amd_scheduler.run occ graph)
+  | "cp" -> finish "cp" (Sched.List_scheduler.run graph Sched.Heuristic.Critical_path)
+  | "luc" -> finish "luc" (Sched.List_scheduler.run graph Sched.Heuristic.Last_use_count)
+  | "aco" ->
+      let r = Aco.Seq_aco.run ~seed occ graph in
+      Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Aco.Seq_aco.heuristic_cost);
+      Printf.printf "pass 1: %d iterations, pass 2: %d iterations\n"
+        r.Aco.Seq_aco.pass1.Aco.Seq_aco.iterations r.Aco.Seq_aco.pass2.Aco.Seq_aco.iterations;
+      finish "aco" r.Aco.Seq_aco.schedule
+  | "par-aco" ->
+      let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 4 } in
+      let params =
+        { Aco.Params.default with Aco.Params.ants_per_iteration = Gpusim.Config.threads config }
+      in
+      let r = Gpusim.Par_aco.run ~params ~seed config occ graph in
+      Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Gpusim.Par_aco.heuristic_cost);
+      Printf.printf "simulated GPU time: %.3f ms\n" (Gpusim.Par_aco.total_time_ns r /. 1e6);
+      finish "par-aco" r.Gpusim.Par_aco.schedule
+  | other ->
+      Printf.eprintf "unknown scheduler %s\n" other;
+      exit 1
+
+let schedule_cmd =
+  let info = Cmd.info "schedule" ~doc:"Generate a kernel shape and schedule it." in
+  Cmd.v info Term.(const run_schedule $ shape_arg $ size_arg $ seed_arg $ scheduler_arg $ verbose_arg)
+
+(* --- dot ----------------------------------------------------------------- *)
+
+let run_dot shape size seed =
+  let region = build_shape shape ~size ~seed in
+  print_string (Ddg.Graph.to_dot (Ddg.Graph.build region))
+
+let dot_cmd =
+  let info = Cmd.info "dot" ~doc:"Print a shape's data dependence graph in Graphviz format." in
+  Cmd.v info Term.(const run_dot $ shape_arg $ size_arg $ seed_arg)
+
+(* --- stats --------------------------------------------------------------- *)
+
+let run_stats seed =
+  let scale = { Workload.Suite.bench_scale with Workload.Suite.seed } in
+  let suite = Workload.Suite.generate scale in
+  let stats = Workload.Suite.stats suite in
+  Printf.printf "benchmarks: %d\nkernels: %d\nregions: %d\nmax region size: %d\navg region size: %.1f\n"
+    stats.Workload.Suite.num_benchmarks stats.Workload.Suite.num_kernels
+    stats.Workload.Suite.num_regions stats.Workload.Suite.max_region_size
+    stats.Workload.Suite.avg_region_size
+
+let stats_cmd =
+  let info = Cmd.info "stats" ~doc:"Generate the rocPRIM-like suite and print its statistics." in
+  Cmd.v info Term.(const run_stats $ seed_arg)
+
+let () =
+  let info = Cmd.info "gpuaco" ~doc:"ACO instruction scheduling for the GPU on the (simulated) GPU." in
+  exit (Cmd.eval (Cmd.group info [ schedule_cmd; dot_cmd; stats_cmd ]))

@@ -1,0 +1,84 @@
+(** A single ant constructing one candidate schedule, exposed as an
+    explicit step machine.
+
+    The step interface exists because the parallel driver executes the 64
+    ants of a wavefront in lockstep, one construction step per simulated
+    GPU step (Section IV-B); the sequential driver simply steps each ant
+    to completion in turn. Each step reports what kind of operation the
+    ant performed and how much work it scanned, which is exactly what the
+    divergence and memory models of the GPU simulator charge for.
+
+    All per-ant state (ready list arrays, RP tracker, slot buffer) is
+    allocated once at [create] and reused across iterations, mirroring
+    the paper's no-dynamic-allocation-on-the-GPU rule (Section V-A). *)
+
+type mode = Rp_pass | Ilp_pass of { target_vgpr : int; target_sgpr : int }
+
+type status = Active | Finished | Dead
+
+type op =
+  | Selected of { instr : int; explored : bool }
+  | Mandatory_stall
+  | Optional_stall
+  | Died  (** could not proceed without breaching the pass-2 RP target *)
+
+type event = {
+  op : op;
+  ready_scanned : int;  (** ready-list entries examined at this step *)
+  succs_updated : int;  (** successor-list length traversed *)
+}
+
+type t
+
+val create : Ddg.Graph.t -> Params.t -> t
+
+val start :
+  t ->
+  rng:Support.Rng.t ->
+  heuristic:Sched.Heuristic.kind ->
+  allow_optional_stalls:bool ->
+  mode ->
+  unit
+(** Reset all reusable state and begin constructing a new schedule. *)
+
+val status : t -> status
+
+val step : ?force_explore:bool -> ?ready_limit:int -> t -> pheromone:Pheromone.t -> event
+(** Perform one construction step. [force_explore] overrides the ant's
+    own exploration coin flip — the wavefront-level
+    exploration/exploitation unification of Section V-B. [ready_limit]
+    caps how many ready-list entries the ant scans this step — the
+    ready-list-size unification the paper experimented with (and found
+    unhelpful overall, Section V-B); correctness is unaffected because
+    deferred candidates remain in the list for later steps. Raises
+    [Invalid_argument] when the ant is not [Active]. *)
+
+val ready_count : t -> int
+(** Current ready-list size (0 when the ant is not [Active]); the
+    wavefront driver uses it to compute a common [ready_limit]. *)
+
+val kill : t -> unit
+(** Early wavefront termination (Section V-B): mark the ant [Dead]. *)
+
+val run_to_completion : ?force_explore:bool -> t -> pheromone:Pheromone.t -> unit
+(** Step until no longer active (sequential driver). *)
+
+val order : t -> int array
+(** Issue order of the constructed schedule (valid once [Finished]). *)
+
+val schedule : t -> Sched.Schedule.t option
+(** The validated schedule, or [None] unless [Finished]. Pass-1
+    schedules validate without latencies, pass-2 schedules with. *)
+
+val rp_peaks : t -> int * int
+(** (VGPR, SGPR) peak pressures of the construction so far. *)
+
+val length : t -> int
+(** Cycles used so far (slots emitted). *)
+
+val optional_stalls : t -> int
+
+val work : t -> int
+(** Abstract work units accumulated since [start] (ready-list scans +
+    successor updates + per-step constant) — the currency of the CPU and
+    GPU time models. *)

@@ -1,0 +1,34 @@
+type t = { n : int; cells : float array }
+
+let create ~n ~initial =
+  if n <= 0 then invalid_arg "Pheromone.create";
+  { n; cells = Array.make ((n + 1) * n) initial }
+
+let size t = t.n
+
+let index t src dst =
+  if dst < 0 || dst >= t.n || src < -1 || src >= t.n then invalid_arg "Pheromone: out of range";
+  ((src + 1) * t.n) + dst
+
+let get t ~src ~dst = t.cells.(index t src dst)
+
+let decay t retention =
+  for i = 0 to Array.length t.cells - 1 do
+    t.cells.(i) <- t.cells.(i) *. retention
+  done
+
+let deposit t ~src ~dst amount =
+  let i = index t src dst in
+  t.cells.(i) <- t.cells.(i) +. amount
+
+let deposit_path t order amount =
+  let prev = ref (-1) in
+  Array.iter
+    (fun i ->
+      deposit t ~src:!prev ~dst:i amount;
+      prev := i)
+    order
+
+let reset t ~initial = Array.fill t.cells 0 (Array.length t.cells) initial
+
+let total t = Array.fold_left ( +. ) 0.0 t.cells

@@ -1,0 +1,32 @@
+(** The pheromone table.
+
+    An [(n+1) x n] matrix: entry [(i, j)] is the pheromone on the link
+    "schedule [j] right after [i]"; the extra row is the virtual start
+    node for the first selection. At the end of each iteration the whole
+    table decays and the links of the iteration winner receive a deposit
+    (Section IV-A). *)
+
+type t
+
+val create : n:int -> initial:float -> t
+
+val size : t -> int
+(** Number of instructions [n]. *)
+
+val get : t -> src:int -> dst:int -> float
+(** [src = -1] addresses the virtual start row. *)
+
+val decay : t -> float -> unit
+(** Multiply every entry by the retention factor. *)
+
+val deposit : t -> src:int -> dst:int -> float -> unit
+(** Add to one entry ([src = -1] allowed). *)
+
+val deposit_path : t -> int array -> float -> unit
+(** Deposit along consecutive links of an instruction order, including
+    the virtual start link. *)
+
+val reset : t -> initial:float -> unit
+
+val total : t -> float
+(** Sum of all entries (diagnostics / tests). *)

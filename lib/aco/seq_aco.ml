@@ -1,0 +1,149 @@
+type pass_stats = {
+  invoked : bool;
+  iterations : int;
+  ants_simulated : int;
+  work : int;
+  improved : bool;
+  hit_lower_bound : bool;
+}
+
+let no_pass =
+  {
+    invoked = false;
+    iterations = 0;
+    ants_simulated = 0;
+    work = 0;
+    improved = false;
+    hit_lower_bound = false;
+  }
+
+type result = {
+  schedule : Sched.Schedule.t;
+  cost : Sched.Cost.t;
+  heuristic_schedule : Sched.Schedule.t;
+  heuristic_cost : Sched.Cost.t;
+  rp_target : Sched.Cost.rp;
+  pass2_initial : Sched.Schedule.t;
+  pass1 : pass_stats;
+  pass2 : pass_stats;
+}
+
+(* One ACO pass: iterate ants until the lower bound is reached or
+   [termination] improvement-free iterations pass. Generic in the cost
+   (RP scalar in pass 1, length in pass 2) and in the artifact kept for
+   the best solution (order in pass 1, schedule in pass 2). *)
+let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
+    ~(artifact_of_ant : Ant.t -> a) ~initial_cost ~(initial_order : int array)
+    ~(initial_artifact : a) ~lb_cost ~termination =
+  let open Params in
+  Pheromone.reset pheromone ~initial:params.initial_pheromone;
+  (* The initial (heuristic) schedule is the global best at the start:
+     bias the table toward it. *)
+  Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+  let best_cost = ref initial_cost in
+  let best = ref initial_artifact in
+  let improved = ref false in
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  let work = ref 0 in
+  let ants_total = ref 0 in
+  let n = Pheromone.size pheromone in
+  while !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations do
+    incr iterations;
+    let iter_best_cost = ref max_int in
+    let iter_best = ref None in
+    Array.iter
+      (fun ant ->
+        Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:params.heuristic
+          ~allow_optional_stalls:true mode;
+        Ant.run_to_completion ant ~pheromone;
+        ants_total := !ants_total + 1;
+        work := !work + Ant.work ant;
+        if Ant.status ant = Ant.Finished then begin
+          let c = cost_of_ant ant in
+          if c < !iter_best_cost then begin
+            iter_best_cost := c;
+            iter_best := Some (Ant.order ant, artifact_of_ant ant)
+          end
+        end)
+      ants;
+    (* Table upkeep: full decay plus the winner deposit. *)
+    work := !work + (((n + 1) * n) / 8) + n;
+    Pheromone.decay pheromone params.decay;
+    match !iter_best with
+    | Some (order, art) ->
+        Pheromone.deposit_path pheromone order
+          (params.deposit /. float_of_int (1 + !iter_best_cost));
+        if !iter_best_cost < !best_cost then begin
+          best_cost := !iter_best_cost;
+          best := art;
+          improved := true;
+          no_improve := 0
+        end
+        else incr no_improve
+    | None -> incr no_improve
+  done;
+  ( !best,
+    !best_cost,
+    {
+      invoked = true;
+      iterations = !iterations;
+      ants_simulated = !ants_total;
+      work = !work;
+      improved = !improved;
+      hit_lower_bound = !best_cost <= lb_cost;
+    } )
+
+let run_from_setup ?(params = Params.default) ?(seed = 1) (setup : Setup.t) =
+  let graph = setup.graph in
+  let occ = setup.occ in
+  let n = graph.Ddg.Graph.n in
+  let rng = Support.Rng.create seed in
+  let ants = Array.init params.Params.ants_per_iteration (fun _ -> Ant.create graph params) in
+  let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
+  let termination = Params.termination_condition n in
+  let rp_scalar_of_ant ant =
+    let v, s = Ant.rp_peaks ant in
+    Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
+  in
+  (* Pass 1: minimize RP, latencies ignored. *)
+  let best_order, _, pass1 =
+    if setup.pass1_needed then
+      run_pass ~params ~rng ~ants ~pheromone ~mode:Ant.Rp_pass ~cost_of_ant:rp_scalar_of_ant
+        ~artifact_of_ant:Ant.order
+        ~initial_cost:(Sched.Cost.rp_scalar setup.pass1_initial_rp)
+        ~initial_order:setup.pass1_initial_order ~initial_artifact:setup.pass1_initial_order
+        ~lb_cost:(Sched.Cost.rp_scalar setup.rp_lb) ~termination
+    else (setup.pass1_initial_order, Sched.Cost.rp_scalar setup.pass1_initial_rp, no_pass)
+  in
+  let rp_target = Setup.rp_of_order occ graph best_order in
+  let target_vgpr, target_sgpr = Setup.targets_of_rp rp_target in
+  (* Pass 2: minimize length under the pass-1 RP target. *)
+  let initial_schedule = Setup.pass2_initial setup ~best_pass1_order:best_order in
+  let initial_length = Sched.Schedule.length initial_schedule in
+  let schedule, _, pass2 =
+    if initial_length - setup.length_lb >= max 1 params.Params.pass2_cycle_threshold then
+      run_pass ~params ~rng ~ants ~pheromone
+        ~mode:(Ant.Ilp_pass { target_vgpr; target_sgpr })
+        ~cost_of_ant:Ant.length
+        ~artifact_of_ant:(fun ant ->
+          match Ant.schedule ant with
+          | Some s -> s
+          | None -> invalid_arg "Seq_aco: finished ant produced invalid schedule")
+        ~initial_cost:initial_length
+        ~initial_order:(Sched.Schedule.order initial_schedule)
+        ~initial_artifact:initial_schedule ~lb_cost:setup.length_lb ~termination
+    else (initial_schedule, initial_length, no_pass)
+  in
+  {
+    schedule;
+    cost = Sched.Cost.of_schedule occ schedule;
+    heuristic_schedule = setup.amd_schedule;
+    heuristic_cost = setup.amd_cost;
+    rp_target;
+    pass2_initial = initial_schedule;
+    pass1;
+    pass2;
+  }
+
+let run ?params ?seed occ graph = run_from_setup ?params ?seed (Setup.prepare occ graph)

@@ -1,0 +1,43 @@
+(** The sequential two-pass ACO scheduler of Shobaki et al. (reference
+    [11] of the paper) — the CPU baseline that the GPU parallelization is
+    measured against in Tables 3.a/3.b and 5.
+
+    Pass 1 searches for a minimum-RP order while ignoring latencies;
+    pass 2 treats the best pass-1 RP as a constraint and searches for the
+    shortest latency-feasible schedule (Section IV-A). Each pass stops
+    when its lower bound is reached or after
+    [Params.termination_condition] improvement-free iterations. *)
+
+type pass_stats = {
+  invoked : bool;  (** false when the initial schedule was already at the bound *)
+  iterations : int;
+  ants_simulated : int;
+  work : int;  (** abstract work units (see {!Ant.work}) plus table upkeep *)
+  improved : bool;  (** beat the pass's initial schedule *)
+  hit_lower_bound : bool;
+}
+
+val no_pass : pass_stats
+(** Stats of a pass that never ran. *)
+
+type result = {
+  schedule : Sched.Schedule.t;  (** final latency-valid schedule *)
+  cost : Sched.Cost.t;
+  heuristic_schedule : Sched.Schedule.t;  (** the AMD baseline schedule *)
+  heuristic_cost : Sched.Cost.t;
+  rp_target : Sched.Cost.rp;  (** pass-1 outcome, pass-2 constraint *)
+  pass2_initial : Sched.Schedule.t;
+      (** pass 2's input schedule: the latency-padded pass-1 winner. Kept
+          so the pipeline can synthesize what the compiler would emit if
+          the cycle-threshold filter skipped pass 2. *)
+  pass1 : pass_stats;
+  pass2 : pass_stats;
+}
+
+val run : ?params:Params.t -> ?seed:int -> Machine.Occupancy.t -> Ddg.Graph.t -> result
+(** Schedule a region. Deterministic for a fixed seed. *)
+
+val run_from_setup : ?params:Params.t -> ?seed:int -> Setup.t -> result
+(** Same, reusing an already-prepared {!Setup.t} (the pipeline prepares
+    one setup and feeds it to both the sequential and parallel
+    drivers so they race from identical starting points). *)

@@ -1,0 +1,35 @@
+(** Shared preparation for the two-pass search, used by both the
+    sequential driver ({!Seq_aco}) and the GPU-parallel driver
+    ([Gpusim.Par_aco]).
+
+    Mirrors the compile flow of Section VI-A: the region is first
+    scheduled by the AMD heuristic; lower bounds decide whether each ACO
+    pass is worth invoking; pass 2 receives the best pass-1 RP as its
+    target and the latency-padded pass-1 winner as its initial
+    schedule. *)
+
+type t = {
+  graph : Ddg.Graph.t;
+  occ : Machine.Occupancy.t;
+  amd_schedule : Sched.Schedule.t;
+  amd_cost : Sched.Cost.t;
+  pass1_initial_order : int array;
+      (** better (by RP) of the AMD order and the Last-Use-Count order *)
+  pass1_initial_rp : Sched.Cost.rp;
+  rp_lb : Sched.Cost.rp;  (** lower bound on any schedule's RP cost *)
+  length_lb : int;  (** lower bound on any schedule's length *)
+  pass1_needed : bool;  (** initial RP is above the bound *)
+}
+
+val prepare : Machine.Occupancy.t -> Ddg.Graph.t -> t
+
+val rp_of_order : Machine.Occupancy.t -> Ddg.Graph.t -> int array -> Sched.Cost.rp
+(** RP cost of an instruction order (stalls never change liveness, so an
+    order determines the RP cost of every schedule with that order). *)
+
+val targets_of_rp : Sched.Cost.rp -> int * int
+(** Per-class APRP ceilings [(vgpr, sgpr)] that pass-2 ants must not
+    exceed. *)
+
+val pass2_initial : t -> best_pass1_order:int array -> Sched.Schedule.t
+(** Latency-pad the pass-1 winner — the input schedule of pass 2. *)

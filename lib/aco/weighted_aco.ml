@@ -1,0 +1,80 @@
+type result = {
+  schedule : Sched.Schedule.t;
+  cost : Sched.Cost.t;
+  heuristic_cost : Sched.Cost.t;
+  iterations : int;
+  work : int;
+}
+
+let scalar occ ~rp_weight ~length ~peaks:(v, s) =
+  length + (rp_weight * Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s))
+
+let run ?(params = Params.default) ?(seed = 1) ?(rp_weight = 1) occ graph =
+  let n = graph.Ddg.Graph.n in
+  let rng = Support.Rng.create seed in
+  let ants = Array.init params.Params.ants_per_iteration (fun _ -> Ant.create graph params) in
+  let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
+  let termination = Params.termination_condition n in
+  (* Unconstrained ants: a target at the register-file size never
+     breaches, so no ant dies and no optional stall is inserted. *)
+  let mode = Ant.Ilp_pass { target_vgpr = 100000; target_sgpr = 100000 } in
+  let amd = Sched.Amd_scheduler.run occ graph in
+  let amd_cost = Sched.Cost.of_schedule occ amd in
+  let cost_of schedule_len peaks = scalar occ ~rp_weight ~length:schedule_len ~peaks in
+  let lb =
+    scalar occ ~rp_weight ~length:(Ddg.Lower_bounds.schedule_length graph)
+      ~peaks:
+        ( Ddg.Lower_bounds.register_pressure graph Ir.Reg.Vgpr,
+          Ddg.Lower_bounds.register_pressure graph Ir.Reg.Sgpr )
+  in
+  let best = ref amd in
+  let best_cost =
+    ref
+      (cost_of (Sched.Schedule.length amd)
+         (let p = Sched.Rp_tracker.naive_peaks graph (Sched.Schedule.order amd) in
+          (p Ir.Reg.Vgpr, p Ir.Reg.Sgpr)))
+  in
+  Pheromone.deposit_path pheromone (Sched.Schedule.order amd)
+    (params.Params.deposit /. float_of_int (1 + !best_cost));
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  let work = ref 0 in
+  while !best_cost > lb && !no_improve < termination && !iterations < params.Params.max_iterations do
+    incr iterations;
+    let iter_best_cost = ref max_int in
+    let iter_best = ref None in
+    Array.iter
+      (fun ant ->
+        Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:params.Params.heuristic
+          ~allow_optional_stalls:false mode;
+        Ant.run_to_completion ant ~pheromone;
+        work := !work + Ant.work ant;
+        if Ant.status ant = Ant.Finished then begin
+          let c = cost_of (Ant.length ant) (Ant.rp_peaks ant) in
+          if c < !iter_best_cost then begin
+            iter_best_cost := c;
+            iter_best := Some ant
+          end
+        end)
+      ants;
+    work := !work + (((n + 1) * n) / 8) + n;
+    Pheromone.decay pheromone params.Params.decay;
+    match !iter_best with
+    | Some ant ->
+        Pheromone.deposit_path pheromone (Ant.order ant)
+          (params.Params.deposit /. float_of_int (1 + !iter_best_cost));
+        if !iter_best_cost < !best_cost then begin
+          best_cost := !iter_best_cost;
+          (match Ant.schedule ant with Some s -> best := s | None -> ());
+          no_improve := 0
+        end
+        else incr no_improve
+    | None -> incr no_improve
+  done;
+  {
+    schedule = !best;
+    cost = Sched.Cost.of_schedule occ !best;
+    heuristic_cost = amd_cost;
+    iterations = !iterations;
+    work = !work;
+  }

@@ -1,0 +1,29 @@
+(** The alternative cost formulation the paper decided against.
+
+    Section II-A: prior work solved RP-aware scheduling either by
+    minimizing a weighted sum of schedule length and RP cost (references
+    [8], [9]) or with the two-pass approach; the two-pass approach "was
+    found to work better on the GPU" and is what the paper (and
+    {!Seq_aco}) uses. This module implements the weighted-sum
+    single-pass search so the design choice can be measured rather than
+    taken on faith — the bench harness compares the two on the suite's
+    ACO-eligible regions. *)
+
+type result = {
+  schedule : Sched.Schedule.t;  (** latency-valid *)
+  cost : Sched.Cost.t;
+  heuristic_cost : Sched.Cost.t;  (** the AMD baseline *)
+  iterations : int;
+  work : int;
+}
+
+val run :
+  ?params:Params.t ->
+  ?seed:int ->
+  ?rp_weight:int ->
+  Machine.Occupancy.t ->
+  Ddg.Graph.t ->
+  result
+(** Minimize [length + rp_weight * rp_scalar] with unconstrained
+    latency-aware ants in a single pass. [rp_weight] defaults to 1 (the
+    RP scalar already dominates through its occupancy term). *)

@@ -1,0 +1,45 @@
+type t = { n : int; desc : Support.Bitset.t array; anc : Support.Bitset.t array }
+
+let compute (g : Graph.t) =
+  let n = g.n in
+  let desc = Array.init n (fun _ -> Support.Bitset.create n) in
+  let anc = Array.init n (fun _ -> Support.Bitset.create n) in
+  (* Children-first accumulation: desc(i) = U_{(i,j)} ({j} U desc(j)). *)
+  let rev = Topo.reverse_order g in
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun (j, _) ->
+          Support.Bitset.add desc.(i) j;
+          Support.Bitset.union_into ~into:desc.(i) desc.(j))
+        g.succs.(i))
+    rev;
+  let fwd = Topo.order g in
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun (j, _) ->
+          Support.Bitset.add anc.(i) j;
+          Support.Bitset.union_into ~into:anc.(i) anc.(j))
+        g.preds.(i))
+    fwd;
+  { n; desc; anc }
+
+let reaches t i j = Support.Bitset.mem t.desc.(i) j
+
+let independent t i j = i <> j && (not (reaches t i j)) && not (reaches t j i)
+
+let independent_count t i =
+  t.n - 1 - Support.Bitset.cardinal t.desc.(i) - Support.Bitset.cardinal t.anc.(i)
+
+let max_independent t =
+  let m = ref 0 in
+  for i = 0 to t.n - 1 do
+    m := max !m (independent_count t i)
+  done;
+  !m
+
+let ready_list_upper_bound t = max_independent t + 1
+
+let descendants t i = t.desc.(i)
+let ancestors t i = t.anc.(i)

@@ -1,0 +1,23 @@
+(** Latency-weighted critical paths through the DDG.
+
+    The backward critical path ("distance to the farthest leaf") is the
+    classic Critical-Path guiding heuristic (Section IV-A); forward plus
+    backward distances give the schedule-length lower bound used for the
+    termination test and the paper's filters. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val forward : t -> int -> int
+(** [forward c i]: longest latency-weighted path from any root to [i]
+    (0 at roots). Equals the earliest cycle at which [i] can issue. *)
+
+val backward : t -> int -> int
+(** Longest latency-weighted path from [i] to any leaf (0 at leaves). *)
+
+val through : t -> int -> int
+(** [forward + backward]: length of the longest path through [i]. *)
+
+val critical_path_length : t -> int
+(** Max over nodes of [through]. *)

@@ -1,0 +1,145 @@
+type dep_kind = Flow | Anti | Output | Mem | Ctrl
+
+type edge = { src : int; dst : int; latency : int; kind : dep_kind }
+
+type t = {
+  region : Ir.Region.t;
+  n : int;
+  succs : (int * int) array array;
+  preds : (int * int) array array;
+  edges : edge array;
+}
+
+(* Memory classification: scalar (constant) loads are exempt from
+   ordering — they read read-only memory. An LDS instruction with defs is
+   a read, without defs a write. *)
+let mem_access (i : Ir.Instr.t) =
+  match i.kind with
+  | Ir.Opcode.Vmem_load -> `Read
+  | Ir.Opcode.Vmem_store -> `Write
+  | Ir.Opcode.Lds -> if i.defs = [] then `Write else `Read
+  | Ir.Opcode.Smem_load | Ir.Opcode.Valu | Ir.Opcode.Valu_trans | Ir.Opcode.Salu
+  | Ir.Opcode.Branch | Ir.Opcode.Export ->
+      `None
+
+let build region =
+  let instrs = (region : Ir.Region.t).instrs in
+  let n = Array.length instrs in
+  (* (src, dst) -> (latency, kind); keep max latency on merge. *)
+  let table : (int * int, int * dep_kind) Hashtbl.t = Hashtbl.create (4 * n) in
+  let add_edge src dst latency kind =
+    if src <> dst then
+      match Hashtbl.find_opt table (src, dst) with
+      | Some (l, k) -> if latency > l then Hashtbl.replace table (src, dst) (latency, k)
+      | None -> Hashtbl.add table (src, dst) (latency, kind)
+  in
+  let last_def : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let users : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  let last_store = ref (-1) in
+  let loads_since_store = ref [] in
+  Array.iteri
+    (fun i (ins : Ir.Instr.t) ->
+      List.iter
+        (fun u ->
+          (match Hashtbl.find_opt last_def u with
+          | Some d -> add_edge d i (instrs.(d)).latency Flow
+          | None -> ());
+          let us = Option.value (Hashtbl.find_opt users u) ~default:[] in
+          Hashtbl.replace users u (i :: us))
+        ins.uses;
+      List.iter
+        (fun d ->
+          (match Hashtbl.find_opt last_def d with
+          | Some j -> add_edge j i 1 Output
+          | None -> ());
+          (match Hashtbl.find_opt users d with
+          | Some us -> List.iter (fun k -> add_edge k i 0 Anti) us
+          | None -> ());
+          Hashtbl.replace last_def d i;
+          Hashtbl.replace users d [])
+        ins.defs;
+      (match mem_access ins with
+      | `Write ->
+          if !last_store >= 0 then add_edge !last_store i 1 Mem;
+          List.iter (fun l -> add_edge l i 0 Mem) !loads_since_store;
+          last_store := i;
+          loads_since_store := []
+      | `Read ->
+          if !last_store >= 0 then add_edge !last_store i 1 Mem;
+          loads_since_store := i :: !loads_since_store
+      | `None -> ());
+      if Ir.Opcode.equal ins.kind Ir.Opcode.Branch then
+        for j = 0 to i - 1 do
+          add_edge j i 1 Ctrl
+        done)
+    instrs;
+  let edges =
+    Hashtbl.fold
+      (fun (src, dst) (latency, kind) acc -> { src; dst; latency; kind } :: acc)
+      table []
+    |> List.sort (fun a b ->
+           let c = Int.compare a.src b.src in
+           if c <> 0 then c else Int.compare a.dst b.dst)
+    |> Array.of_list
+  in
+  let succ_lists = Array.make n [] and pred_lists = Array.make n [] in
+  Array.iter
+    (fun e ->
+      succ_lists.(e.src) <- (e.dst, e.latency) :: succ_lists.(e.src);
+      pred_lists.(e.dst) <- (e.src, e.latency) :: pred_lists.(e.dst))
+    edges;
+  let to_sorted_array l =
+    let a = Array.of_list l in
+    Array.sort (fun (x, _) (y, _) -> Int.compare x y) a;
+    a
+  in
+  {
+    region;
+    n;
+    succs = Array.map to_sorted_array succ_lists;
+    preds = Array.map to_sorted_array pred_lists;
+    edges;
+  }
+
+let size t = t.n
+let num_preds t i = Array.length t.preds.(i)
+let num_succs t i = Array.length t.succs.(i)
+
+let roots t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if num_preds t i = 0 then acc := i :: !acc
+  done;
+  !acc
+
+let leaves t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if num_succs t i = 0 then acc := i :: !acc
+  done;
+  !acc
+
+let latency_between t i j =
+  let rec find k =
+    if k >= Array.length t.succs.(i) then None
+    else
+      let dst, lat = t.succs.(i).(k) in
+      if dst = j then Some lat else find (k + 1)
+  in
+  find 0
+
+let instr t i = (t.region : Ir.Region.t).instrs.(i)
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph ddg {\n";
+  for i = 0 to t.n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" i (Ir.Instr.to_string (instr t i)))
+  done;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" e.src e.dst e.latency))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

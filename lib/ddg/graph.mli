@@ -1,0 +1,49 @@
+(** Data dependence graphs (DDGs).
+
+    A node is an instruction of the region, an edge a dependence, and an
+    edge label a latency (Figure 1.a of the paper). Edges are derived
+    from the original program order:
+
+    - flow (def -> use) edges carry the producer's result latency;
+    - anti (use -> redef) edges carry latency 0;
+    - output (def -> redef) edges carry latency 1;
+    - conservative memory-ordering edges keep stores ordered with stores
+      and with surrounding loads of the same memory kind;
+    - the region terminator (branch), when present, depends on every
+      other instruction.
+
+    Parallel edges are merged keeping the maximum latency, so the graph
+    is a DAG with at most one edge per ordered pair. *)
+
+type dep_kind = Flow | Anti | Output | Mem | Ctrl
+
+type edge = { src : int; dst : int; latency : int; kind : dep_kind }
+
+type t = private {
+  region : Ir.Region.t;
+  n : int;
+  succs : (int * int) array array;
+      (** [succs.(i)] lists [(j, latency)] for each edge [i -> j]. *)
+  preds : (int * int) array array;
+  edges : edge array;
+}
+
+val build : Ir.Region.t -> t
+(** Construct the DDG of a region. *)
+
+val size : t -> int
+val num_preds : t -> int -> int
+val num_succs : t -> int -> int
+
+val roots : t -> int list
+(** Nodes with no predecessors, ascending. *)
+
+val leaves : t -> int list
+
+val latency_between : t -> int -> int -> int option
+(** [latency_between g i j] is the label of edge [i -> j] if present. *)
+
+val instr : t -> int -> Ir.Instr.t
+
+val to_dot : t -> string
+(** Graphviz rendering (for debugging / the examples). *)

@@ -1,0 +1,17 @@
+let schedule_length g =
+  let cp = Critpath.compute g in
+  max (Critpath.critical_path_length cp + 1) (Graph.size g)
+
+let count_cls cls regs =
+  List.length (List.filter (fun (r : Ir.Reg.t) -> Ir.Reg.cls_equal r.cls cls) regs)
+
+let register_pressure (g : Graph.t) cls =
+  let region = g.region in
+  let live_in = count_cls cls (Ir.Region.live_in region) in
+  let live_out = count_cls cls (region : Ir.Region.t).live_out in
+  let max_defs =
+    Array.fold_left
+      (fun acc (i : Ir.Instr.t) -> max acc (count_cls cls i.defs))
+      0 (region : Ir.Region.t).instrs
+  in
+  max live_in (max live_out max_defs)

@@ -1,0 +1,20 @@
+(** Lower bounds on schedule length and register pressure.
+
+    ACO terminates early when the global best schedule reaches the
+    pre-computed lower bound, and the compile pipeline skips ACO entirely
+    when the heuristic schedule is already at the bound (Section VI-A).
+    Sound but not necessarily tight bounds are fine: a loose bound only
+    makes the search run longer. *)
+
+val schedule_length : Graph.t -> int
+(** [max (critical path length + 1) n] for the paper's single-issue
+    machine model. *)
+
+val register_pressure : Graph.t -> Ir.Reg.cls -> int
+(** A sound lower bound on the peak register pressure of any schedule for
+    the given class: the maximum of (a) the live-in count (all live-in
+    registers are simultaneously live at entry), (b) the live-out count
+    (simultaneously live at exit), and (c) the largest single-instruction
+    Def set combined with the registers that must be live across that
+    instruction because it is their only producer path... reduced to the
+    simple sound form [max |defs_i|]. *)

@@ -1,0 +1,45 @@
+let order (g : Graph.t) =
+  let n = g.n in
+  let indeg = Array.init n (fun i -> Graph.num_preds g i) in
+  (* Min-heap on node id keeps ties in original program order. *)
+  let q = Support.Pqueue.create ~cmp:(fun a b -> Int.compare b a) in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Support.Pqueue.push q i
+  done;
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  let rec drain () =
+    match Support.Pqueue.pop q with
+    | None -> ()
+    | Some i ->
+        out.(!k) <- i;
+        incr k;
+        Array.iter
+          (fun (j, _) ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then Support.Pqueue.push q j)
+          g.succs.(i);
+        drain ()
+  in
+  drain ();
+  assert (!k = n);
+  out
+
+let is_topological (g : Graph.t) o =
+  let n = g.n in
+  if Array.length o <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun p i -> if i < 0 || i >= n || pos.(i) >= 0 then ok := false else pos.(i) <- p)
+      o;
+    if !ok then
+      Array.iter (fun (e : Graph.edge) -> if pos.(e.src) >= pos.(e.dst) then ok := false) g.edges;
+    !ok
+  end
+
+let reverse_order g =
+  let o = order g in
+  let n = Array.length o in
+  Array.init n (fun i -> o.(n - 1 - i))

@@ -1,0 +1,16 @@
+(** Topological utilities over the DDG.
+
+    The DDG is acyclic by construction (edges always point forward in the
+    original program order), but the schedulers and the transitive closure
+    need explicit topological orders and order validation. *)
+
+val order : Graph.t -> int array
+(** A topological order of the nodes (Kahn's algorithm, ties broken by
+    original program order, so the result is deterministic). *)
+
+val is_topological : Graph.t -> int array -> bool
+(** [is_topological g o] checks that [o] is a permutation of the nodes in
+    which every edge goes from an earlier to a later position. *)
+
+val reverse_order : Graph.t -> int array
+(** [order] reversed (children before parents). *)

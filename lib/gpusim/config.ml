@@ -1,0 +1,67 @@
+type opts = {
+  coalesced_layout : bool;
+  batched_alloc : bool;
+  tight_ready_ub : bool;
+  wavefront_level_explore : bool;
+  optional_stall_fraction : float;
+  early_wavefront_termination : bool;
+  per_wavefront_heuristic : bool;
+  ready_list_limiting : [ `Off | `Min | `Mid ];
+}
+
+let opts_paper =
+  {
+    coalesced_layout = true;
+    batched_alloc = true;
+    tight_ready_ub = true;
+    wavefront_level_explore = true;
+    optional_stall_fraction = 0.25;
+    early_wavefront_termination = true;
+    per_wavefront_heuristic = true;
+    ready_list_limiting = `Off;
+  }
+
+let opts_no_memory =
+  { opts_paper with coalesced_layout = false; batched_alloc = false; tight_ready_ub = false }
+
+let opts_no_divergence =
+  {
+    opts_paper with
+    wavefront_level_explore = false;
+    optional_stall_fraction = 1.0;
+    early_wavefront_termination = false;
+    per_wavefront_heuristic = false;
+  }
+
+type t = {
+  target : Machine.Target.t;
+  num_wavefronts : int;
+  cpu_ns_per_op : float;
+  gpu_ns_per_op : float;
+  mem_transaction_ns : float;
+  launch_overhead_ns : float;
+  copy_ns_per_word : float;
+  sync_overhead_ns : float;
+  alloc_call_ns : float;
+  opts : opts;
+}
+
+let default =
+  {
+    target = Machine.Target.vega20;
+    num_wavefronts = 180;
+    cpu_ns_per_op = 5.0;
+    gpu_ns_per_op = 55.0;
+    mem_transaction_ns = 18.0;
+    launch_overhead_ns = 400_000.0;
+    copy_ns_per_word = 1.0;
+    sync_overhead_ns = 2_000.0;
+    alloc_call_ns = 10_000.0;
+    opts = opts_paper;
+  }
+
+let bench = { default with num_wavefronts = 6 }
+
+let with_opts t opts = { t with opts }
+
+let threads t = t.num_wavefronts * t.target.Machine.Target.wavefront_size

@@ -1,0 +1,81 @@
+(** Configuration of the SIMT simulator on which the parallel ACO
+    scheduler runs.
+
+    This is the substitution for the paper's HIP/ROCm runtime on a Radeon
+    VII (see DESIGN.md): the parallel algorithm executes for real — every
+    ant constructs a real schedule — while its *time* is charged by the
+    simulator according to SIMT cost rules (lockstep path serialization,
+    memory-transaction coalescing, launch and copy overheads).
+
+    Cost constants are documented calibration points, not curve fits:
+    - [cpu_ns_per_op]: one abstract work unit on the host CPU (a ready
+      list entry scan, a successor update, selection arithmetic);
+    - [gpu_ns_per_op]: the same unit on one SIMT lane — slower clock,
+      no out-of-order window, higher latency per access;
+    - [mem_transaction_ns]: one coalesced memory transaction;
+    - [launch_overhead_ns]: device allocation + H2D copy setup + a
+      cooperative kernel launch (charged once per ACO invocation);
+    - [copy_ns_per_word]: size-dependent part of the H2D/D2H copies;
+    - [sync_overhead_ns]: one grid-wide synchronization. *)
+
+type opts = {
+  coalesced_layout : bool;
+      (** SoA column-per-thread layout of per-ant structures (Section V-A) *)
+  batched_alloc : bool;
+      (** one consolidated allocation + copy instead of per-structure calls *)
+  tight_ready_ub : bool;
+      (** size ready arrays by the transitive-closure bound instead of [n] *)
+  wavefront_level_explore : bool;
+      (** the explore/exploit coin is flipped once per wavefront per step *)
+  optional_stall_fraction : float;
+      (** fraction of wavefronts allowed to insert optional stalls *)
+  early_wavefront_termination : bool;
+      (** kill a wavefront's remaining ants once one finishes *)
+  per_wavefront_heuristic : bool;
+      (** different wavefronts use different guiding heuristics *)
+  ready_list_limiting : [ `Off | `Min | `Mid ];
+      (** unify per-lane ready-list scan lengths within a wavefront by
+          capping them at the minimum (or the min/max midpoint) across
+          the wavefront's lanes — the Section V-B experiment the paper
+          reports as *not* improving overall results; [`Off] in every
+          preset, kept as a first-class toggle so the negative result is
+          reproducible (see the bench harness's extras) *)
+}
+
+val opts_paper : opts
+(** The settings behind the paper's headline numbers: every optimization
+    on, 25% of wavefronts inserting optional stalls (Table 6). *)
+
+val opts_no_memory : opts
+(** Memory optimizations off, divergence optimizations on (Table 4.a's
+    baseline). *)
+
+val opts_no_divergence : opts
+(** Divergence optimizations off, memory optimizations on (Table 4.b's
+    baseline; optional stalls unrestricted, i.e. fraction 1.0). *)
+
+type t = {
+  target : Machine.Target.t;  (** GPU the scheduler runs on *)
+  num_wavefronts : int;  (** launched blocks; one wavefront per block *)
+  cpu_ns_per_op : float;
+  gpu_ns_per_op : float;
+  mem_transaction_ns : float;
+  launch_overhead_ns : float;
+  copy_ns_per_word : float;
+  sync_overhead_ns : float;
+  alloc_call_ns : float;  (** one discrete allocation/copy call (unbatched mode) *)
+  opts : opts;
+}
+
+val default : t
+(** Paper geometry — Vega 20, 180 wavefronts (11,520 ants) — with
+    calibrated cost constants and [opts_paper]. *)
+
+val bench : t
+(** Reduced geometry used by the benchmark harness (fewer wavefronts so a
+    laptop-scale reproduction completes); same cost constants. *)
+
+val with_opts : t -> opts -> t
+
+val threads : t -> int
+(** Total ants per launch: wavefronts x wavefront size. *)

@@ -1,0 +1,3 @@
+let pass_time_ns (config : Config.t) ~work = float_of_int work *. config.cpu_ns_per_op
+
+let seconds ns = ns /. 1e9

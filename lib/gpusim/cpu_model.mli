@@ -1,0 +1,11 @@
+(** Host-CPU time model for the sequential ACO baseline.
+
+    The sequential algorithm performs the same abstract work units as the
+    ants report ({!Aco.Ant.work} plus pheromone-table upkeep, already
+    folded into [Seq_aco] pass stats); on the CPU every unit costs
+    [cpu_ns_per_op] with no launch, copy, or divergence charges. *)
+
+val pass_time_ns : Config.t -> work:int -> float
+
+val seconds : float -> float
+(** Nanoseconds to seconds. *)

@@ -1,0 +1,41 @@
+type path = Select_exploit | Select_explore | Mandatory_stall | Optional_stall | Death
+
+let path_of_op = function
+  | Aco.Ant.Selected { explored = false; _ } -> Select_exploit
+  | Aco.Ant.Selected { explored = true; _ } -> Select_explore
+  | Aco.Ant.Mandatory_stall -> Mandatory_stall
+  | Aco.Ant.Optional_stall -> Optional_stall
+  | Aco.Ant.Died -> Death
+
+let path_rank = function
+  | Select_exploit -> 0
+  | Select_explore -> 1
+  | Mandatory_stall -> 2
+  | Optional_stall -> 3
+  | Death -> 4
+
+let op_cost (e : Aco.Ant.event) = e.ready_scanned + e.succs_updated + 3
+
+let lane_reads (e : Aco.Ant.event) = e.ready_scanned + e.succs_updated + 1
+
+type charge = { serialized_ops : int; distinct_paths : int; max_single_path_ops : int }
+
+let step_charge events =
+  let maxima = Array.make 5 0 in
+  let present = Array.make 5 false in
+  List.iter
+    (fun (e : Aco.Ant.event) ->
+      let r = path_rank (path_of_op e.op) in
+      present.(r) <- true;
+      maxima.(r) <- max maxima.(r) (op_cost e))
+    events;
+  let serialized = ref 0 and paths = ref 0 and overall = ref 0 in
+  Array.iteri
+    (fun r p ->
+      if p then begin
+        serialized := !serialized + maxima.(r);
+        incr paths;
+        overall := max !overall maxima.(r)
+      end)
+    present;
+  { serialized_ops = !serialized; distinct_paths = !paths; max_single_path_ops = !overall }

@@ -1,0 +1,30 @@
+let construction_time_ns (config : Config.t) ~wavefront_times =
+  let simds = Machine.Target.total_simds config.target in
+  let per_simd = Array.make simds 0.0 in
+  Array.iteri
+    (fun w time ->
+      let s = w mod simds in
+      per_simd.(s) <- per_simd.(s) +. time)
+    wavefront_times;
+  Array.fold_left Float.max 0.0 per_simd
+
+let log2_ceil n =
+  let rec go v acc = if v >= n then acc else go (v * 2) (acc + 1) in
+  go 1 0
+
+let reduction_wall_ops ~threads = (8 * log2_ceil threads) + 8
+
+let update_wall_ops ~n ~threads = (2 * (((n + 1) * n / max threads 1) + 1)) + 4
+
+let iteration_time_ns (config : Config.t) ~n ~wavefront_times =
+  let threads = Config.threads config in
+  let ops = reduction_wall_ops ~threads + update_wall_ops ~n ~threads in
+  construction_time_ns config ~wavefront_times
+  +. (float_of_int ops *. config.gpu_ns_per_op)
+  +. (2.0 *. config.sync_overhead_ns)
+
+let pass_time_ns (config : Config.t) ~n ~ready_ub ~iteration_times =
+  config.launch_overhead_ns
+  +. Mem_model.setup_time_ns config ~n ~ready_ub
+  +. List.fold_left ( +. ) 0.0 iteration_times
+  +. Mem_model.teardown_time_ns config ~n

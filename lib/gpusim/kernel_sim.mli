@@ -1,0 +1,29 @@
+(** Kernel-level wall-clock assembly.
+
+    The cooperative kernel of Section IV-B alternates three stages per
+    iteration — parallel schedule construction, winner reduction,
+    pheromone update — separated by grid-wide synchronizations. This
+    module turns per-wavefront construction times into an iteration wall
+    time (wavefronts are assigned round-robin to the target's SIMD units;
+    a SIMD executes its wavefronts back to back) and adds the reduction,
+    table-update and synchronization costs; and it assembles whole-pass
+    times from per-iteration times plus setup/teardown. *)
+
+val construction_time_ns : Config.t -> wavefront_times:float array -> float
+(** Wall time of the construction stage: max over SIMD units of the sum
+    of the times of the wavefronts assigned to it. *)
+
+val reduction_wall_ops : threads:int -> int
+(** Serialized rounds of the tree reduction: [O(log2 threads)] with a
+    per-round constant. *)
+
+val update_wall_ops : n:int -> threads:int -> int
+(** Pheromone decay + deposit, columns divided across threads. *)
+
+val iteration_time_ns : Config.t -> n:int -> wavefront_times:float array -> float
+(** Construction + reduction + update + two grid syncs. *)
+
+val pass_time_ns :
+  Config.t -> n:int -> ready_ub:int -> iteration_times:float list -> float
+(** One ACO invocation: launch overhead + memory setup + the iterations +
+    teardown (Section IV-B's full kernel life cycle). *)

@@ -1,0 +1,32 @@
+let step_transactions (config : Config.t) ~reads_per_lane =
+  match reads_per_lane with
+  | [] -> 0
+  | _ :: _ ->
+      if config.opts.Config.coalesced_layout then List.fold_left max 0 reads_per_lane
+      else List.fold_left ( + ) 0 reads_per_lane
+
+let words_per_thread (config : Config.t) ~n ~ready_ub =
+  let ready = if config.opts.Config.tight_ready_ub then ready_ub else n in
+  (* schedule slots (with stall margin) + ready array + pending array +
+     per-register liveness state (bounded by 2n defs) + misc scalars. *)
+  (2 * n) + ready + ready + (2 * n) + 16
+
+let structures_per_thread = 5
+(* schedule, ready, pending, RP state, scalars — each a separate
+   allocation + copy in unbatched mode. *)
+
+let setup_time_ns (config : Config.t) ~n ~ready_ub =
+  let threads = Config.threads config in
+  let words = words_per_thread config ~n ~ready_ub * threads in
+  let pheromone_words = (n + 1) * n in
+  let copy = float_of_int (words + pheromone_words) *. config.copy_ns_per_word in
+  let calls =
+    if config.opts.Config.batched_alloc then 2.0 (* one alloc + one copy *)
+    else float_of_int (structures_per_thread * threads / 64 * 2)
+    (* per-structure calls; the driver batches within a block's worth *)
+  in
+  copy +. (calls *. config.alloc_call_ns)
+
+let teardown_time_ns (config : Config.t) ~n =
+  let calls = if config.opts.Config.batched_alloc then 2.0 else 8.0 in
+  (float_of_int (2 * n) *. config.copy_ns_per_word) +. (calls *. config.alloc_call_ns)

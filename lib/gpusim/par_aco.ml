@@ -1,0 +1,207 @@
+type pass_stats = {
+  invoked : bool;
+  iterations : int;
+  ants_simulated : int;
+  work : int;
+  time_ns : float;
+  improved : bool;
+  hit_lower_bound : bool;
+  serialized_ops : int;
+  single_path_ops : int;
+}
+
+let no_pass =
+  {
+    invoked = false;
+    iterations = 0;
+    ants_simulated = 0;
+    work = 0;
+    time_ns = 0.0;
+    improved = false;
+    hit_lower_bound = false;
+    serialized_ops = 0;
+    single_path_ops = 0;
+  }
+
+type result = {
+  schedule : Sched.Schedule.t;
+  cost : Sched.Cost.t;
+  heuristic_schedule : Sched.Schedule.t;
+  heuristic_cost : Sched.Cost.t;
+  rp_target : Sched.Cost.rp;
+  pass2_initial : Sched.Schedule.t;
+  pass1 : pass_stats;
+  pass2 : pass_stats;
+}
+
+(* Wavefront role assignment (Section V-B): when per-wavefront heuristics
+   are on, half the wavefronts use the aggressive Critical-Path
+   heuristic and a quarter each use Last-Use-Count and source order. *)
+let heuristic_for (config : Config.t) params w =
+  if config.opts.Config.per_wavefront_heuristic then
+    match w mod 4 with
+    | 2 -> Sched.Heuristic.Last_use_count
+    | 3 -> Sched.Heuristic.Source_order
+    | _ -> Sched.Heuristic.Critical_path
+  else params.Aco.Params.heuristic
+
+let allow_optional_for (config : Config.t) w =
+  let frac = config.opts.Config.optional_stall_fraction in
+  let allowed =
+    int_of_float ((frac *. float_of_int config.num_wavefronts) +. 0.5)
+  in
+  w < allowed
+
+let make_wavefronts config graph params =
+  Array.init config.Config.num_wavefronts (fun w ->
+      Wavefront.create config graph params
+        ~heuristic:(heuristic_for config params w)
+        ~allow_optional_stalls:(allow_optional_for config w))
+
+(* One parallel ACO pass on the simulated GPU. Generic in the ant cost
+   and the winning artifact, like the sequential driver. *)
+let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~mode
+    ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a) ~initial_cost
+    ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination ~n ~ready_ub =
+  let open Aco.Params in
+  Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
+  Aco.Pheromone.deposit_path pheromone initial_order
+    (params.deposit /. float_of_int (1 + initial_cost));
+  let lanes = config.target.Machine.Target.wavefront_size in
+  let threads = Config.threads config in
+  let best_cost = ref initial_cost in
+  let best = ref initial_artifact in
+  let improved = ref false in
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  let work = ref 0 in
+  let ants_total = ref 0 in
+  let serialized = ref 0 in
+  let single = ref 0 in
+  let iteration_times = ref [] in
+  while !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations do
+    incr iterations;
+    let wavefront_times = Array.make (Array.length wavefronts) 0.0 in
+    (* Per-thread cost table for the reduction; losers and killed lanes
+       report max_int. *)
+    let costs = Array.init threads (fun i -> (max_int, i)) in
+    let ants_by_index : Aco.Ant.t option array = Array.make threads None in
+    Array.iteri
+      (fun w wavefront ->
+        let outcome = Wavefront.run_iteration wavefront ~rng ~mode ~pheromone in
+        wavefront_times.(w) <- outcome.Wavefront.time_ns;
+        work := !work + outcome.Wavefront.work;
+        serialized := !serialized + outcome.Wavefront.serialized_ops;
+        single := !single + outcome.Wavefront.single_path_ops;
+        ants_total := !ants_total + Wavefront.lanes wavefront;
+        List.iteri
+          (fun k ant ->
+            let idx = (w * lanes) + k in
+            costs.(idx) <- (cost_of_ant ant, idx);
+            ants_by_index.(idx) <- Some ant)
+          outcome.Wavefront.finished)
+      wavefronts;
+    let winner_cost, winner_idx = Reduction.min_reduce costs in
+    iteration_times :=
+      Kernel_sim.iteration_time_ns config ~n ~wavefront_times :: !iteration_times;
+    (match ants_by_index.(winner_idx) with
+    | Some ant when winner_cost < max_int ->
+        Aco.Pheromone.decay pheromone params.decay;
+        Aco.Pheromone.deposit_path pheromone (Aco.Ant.order ant)
+          (params.deposit /. float_of_int (1 + winner_cost));
+        (* An equal-cost winner still becomes the emitted artifact — the
+           ACO build ships the schedule the ants constructed — but only a
+           strict improvement resets the termination counter. *)
+        if winner_cost <= !best_cost then best := artifact_of_ant ant;
+        if winner_cost < !best_cost then begin
+          best_cost := winner_cost;
+          improved := true;
+          no_improve := 0
+        end
+        else incr no_improve
+    | Some _ | None ->
+        Aco.Pheromone.decay pheromone params.decay;
+        incr no_improve)
+  done;
+  let time_ns =
+    Kernel_sim.pass_time_ns config ~n ~ready_ub ~iteration_times:!iteration_times
+  in
+  ( !best,
+    !best_cost,
+    {
+      invoked = true;
+      iterations = !iterations;
+      ants_simulated = !ants_total;
+      work = !work;
+      time_ns;
+      improved = !improved;
+      hit_lower_bound = !best_cost <= lb_cost;
+      serialized_ops = !serialized;
+      single_path_ops = !single;
+    } )
+
+let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) (config : Config.t)
+    (setup : Aco.Setup.t) =
+  let graph = setup.Aco.Setup.graph in
+  let occ = setup.Aco.Setup.occ in
+  let n = graph.Ddg.Graph.n in
+  let rng = Support.Rng.create seed in
+  let wavefronts = make_wavefronts config graph params in
+  let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
+  let termination = Aco.Params.termination_condition n in
+  let ready_ub = Ddg.Closure.ready_list_upper_bound (Ddg.Closure.compute graph) in
+  let rp_scalar_of_ant ant =
+    let v, s = Aco.Ant.rp_peaks ant in
+    Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
+  in
+  let best_order, _, pass1 =
+    if setup.Aco.Setup.pass1_needed then
+      run_pass ~params ~config ~rng ~wavefronts ~pheromone ~mode:Aco.Ant.Rp_pass
+        ~cost_of_ant:rp_scalar_of_ant ~artifact_of_ant:Aco.Ant.order
+        ~initial_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp)
+        ~initial_order:setup.Aco.Setup.pass1_initial_order
+        ~initial_artifact:setup.Aco.Setup.pass1_initial_order
+        ~lb_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.rp_lb)
+        ~termination ~n ~ready_ub
+    else
+      ( setup.Aco.Setup.pass1_initial_order,
+        Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp,
+        no_pass )
+  in
+  let rp_target = Aco.Setup.rp_of_order occ graph best_order in
+  let target_vgpr, target_sgpr = Aco.Setup.targets_of_rp rp_target in
+  let initial_schedule = Aco.Setup.pass2_initial setup ~best_pass1_order:best_order in
+  let initial_length = Sched.Schedule.length initial_schedule in
+  let schedule, _, pass2 =
+    if
+      initial_length - setup.Aco.Setup.length_lb
+      >= max 1 params.Aco.Params.pass2_cycle_threshold
+    then
+      run_pass ~params ~config ~rng ~wavefronts ~pheromone
+        ~mode:(Aco.Ant.Ilp_pass { target_vgpr; target_sgpr })
+        ~cost_of_ant:Aco.Ant.length
+        ~artifact_of_ant:(fun ant ->
+          match Aco.Ant.schedule ant with
+          | Some s -> s
+          | None -> invalid_arg "Par_aco: finished ant produced invalid schedule")
+        ~initial_cost:initial_length
+        ~initial_order:(Sched.Schedule.order initial_schedule)
+        ~initial_artifact:initial_schedule ~lb_cost:setup.Aco.Setup.length_lb ~termination ~n
+        ~ready_ub
+    else (initial_schedule, initial_length, no_pass)
+  in
+  {
+    schedule;
+    cost = Sched.Cost.of_schedule occ schedule;
+    heuristic_schedule = setup.Aco.Setup.amd_schedule;
+    heuristic_cost = setup.Aco.Setup.amd_cost;
+    rp_target;
+    pass2_initial = initial_schedule;
+    pass1;
+    pass2;
+  }
+
+let run ?params ?seed config occ graph =
+  run_from_setup ?params ?seed config (Aco.Setup.prepare occ graph)
+
+let total_time_ns r = r.pass1.time_ns +. r.pass2.time_ns

@@ -1,0 +1,46 @@
+(** The GPU-parallel ACO scheduler (Sections IV-B and V) running on the
+    simulated GPU.
+
+    One ant per thread, one wavefront per block; per iteration all
+    wavefronts construct schedules in lockstep, a tree reduction selects
+    the iteration winner, and the pheromone table is updated in parallel.
+    The algorithm itself is exact — it produces real schedules that must
+    validate — while its wall time is charged by {!Kernel_sim},
+    {!Divergence} and {!Mem_model} under the configuration's
+    optimization toggles. *)
+
+type pass_stats = {
+  invoked : bool;
+  iterations : int;
+  ants_simulated : int;
+  work : int;  (** total abstract work units of all ants *)
+  time_ns : float;  (** simulated GPU wall time of the pass *)
+  improved : bool;
+  hit_lower_bound : bool;
+  serialized_ops : int;  (** divergence-serialized compute ops *)
+  single_path_ops : int;  (** the no-divergence floor for the same steps *)
+}
+
+val no_pass : pass_stats
+
+type result = {
+  schedule : Sched.Schedule.t;
+  cost : Sched.Cost.t;
+  heuristic_schedule : Sched.Schedule.t;
+  heuristic_cost : Sched.Cost.t;
+  rp_target : Sched.Cost.rp;
+  pass2_initial : Sched.Schedule.t;
+      (** pass 2's input schedule (the latency-padded pass-1 winner) *)
+  pass1 : pass_stats;
+  pass2 : pass_stats;
+}
+
+val run :
+  ?params:Aco.Params.t -> ?seed:int -> Config.t -> Machine.Occupancy.t -> Ddg.Graph.t -> result
+
+val run_from_setup : ?params:Aco.Params.t -> ?seed:int -> Config.t -> Aco.Setup.t -> result
+(** As {!run} but from a prepared {!Aco.Setup.t}, so the pipeline can
+    race the sequential and parallel drivers from identical inputs. *)
+
+val total_time_ns : result -> float
+(** GPU time across both passes. *)

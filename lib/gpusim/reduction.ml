@@ -1,0 +1,20 @@
+let better (ca, ia) (cb, ib) = if ca < cb || (ca = cb && ia < ib) then (ca, ia) else (cb, ib)
+
+let min_reduce costs =
+  let n = Array.length costs in
+  if n = 0 then invalid_arg "Reduction.min_reduce: empty";
+  (* Tree rounds with halving stride, as in the shared-memory pattern. *)
+  let buf = Array.copy costs in
+  let active = ref n in
+  while !active > 1 do
+    let half = (!active + 1) / 2 in
+    for i = 0 to !active - half - 1 do
+      buf.(i) <- better buf.(i) buf.(i + half)
+    done;
+    active := half
+  done;
+  buf.(0)
+
+let cost_ops ~threads =
+  let rec rounds n acc = if n <= 1 then acc else rounds ((n + 1) / 2) (acc + n) in
+  rounds threads 0 + 8

@@ -1,0 +1,18 @@
+(** Parallel reduction used to pick the iteration winner (Section IV-B).
+
+    The kernel's second stage finds the best schedule of the iteration
+    with a tree reduction over per-thread costs. This module performs the
+    reduction exactly as the tree would (so the test suite checks it
+    against a sequential fold) and reports its cost in simulated
+    operations: [log2] rounds over the thread block values, charged to
+    the efficient shared-memory pattern of Harris (reference [62]). *)
+
+val min_reduce : (int * int) array -> int * int
+(** [min_reduce costs] returns the minimum [(cost, index)] pair (ties to
+    the lower index), computed by pairwise tree rounds. Raises
+    [Invalid_argument] on an empty array. *)
+
+val cost_ops : threads:int -> int
+(** Simulated per-launch cost: ceil(log2 threads) rounds, one comparison
+    per active lane, lanes halving each round — about [2 * threads]
+    comparisons plus a round constant. *)

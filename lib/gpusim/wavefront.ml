@@ -1,0 +1,104 @@
+type t = {
+  config : Config.t;
+  ants : Aco.Ant.t array;
+  params : Aco.Params.t;
+  heuristic : Sched.Heuristic.kind;
+  allow_optional : bool;
+}
+
+let create config graph params ~heuristic ~allow_optional_stalls =
+  let lanes = config.Config.target.Machine.Target.wavefront_size in
+  {
+    config;
+    ants = Array.init lanes (fun _ -> Aco.Ant.create graph params);
+    params;
+    heuristic;
+    allow_optional = allow_optional_stalls;
+  }
+
+let lanes t = Array.length t.ants
+
+type outcome = {
+  time_ns : float;
+  work : int;
+  serialized_ops : int;
+  single_path_ops : int;
+  steps : int;
+  finished : Aco.Ant.t list;
+}
+
+let run_iteration t ~rng ~mode ~pheromone =
+  let config = t.config in
+  let opts = config.Config.opts in
+  Array.iter
+    (fun ant ->
+      Aco.Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:t.heuristic
+        ~allow_optional_stalls:t.allow_optional mode)
+    t.ants;
+  let time = ref 0.0 in
+  let serialized = ref 0 in
+  let single = ref 0 in
+  let steps = ref 0 in
+  let any_active () = Array.exists (fun a -> Aco.Ant.status a = Aco.Ant.Active) t.ants in
+  while any_active () do
+    incr steps;
+    let force_explore =
+      if opts.Config.wavefront_level_explore then
+        Some (not (Support.Rng.bool rng t.params.Aco.Params.q0))
+      else None
+    in
+    let ready_limit =
+      match opts.Config.ready_list_limiting with
+      | `Off -> None
+      | (`Min | `Mid) as mode ->
+          let mn = ref max_int and mx = ref 0 in
+          Array.iter
+            (fun ant ->
+              if Aco.Ant.status ant = Aco.Ant.Active then begin
+                let c = Aco.Ant.ready_count ant in
+                if c < !mn then mn := c;
+                if c > !mx then mx := c
+              end)
+            t.ants;
+          if !mn = max_int then None
+          else Some (max 1 (match mode with `Min -> !mn | `Mid -> (!mn + !mx + 1) / 2))
+    in
+    let events = ref [] in
+    Array.iter
+      (fun ant ->
+        if Aco.Ant.status ant = Aco.Ant.Active then
+          events := Aco.Ant.step ?force_explore ?ready_limit ant ~pheromone :: !events)
+      t.ants;
+    let charge = Divergence.step_charge !events in
+    let reads = List.map Divergence.lane_reads !events in
+    let transactions = Mem_model.step_transactions config ~reads_per_lane:reads in
+    time :=
+      !time
+      +. (float_of_int charge.Divergence.serialized_ops *. config.Config.gpu_ns_per_op)
+      +. (float_of_int transactions *. config.Config.mem_transaction_ns);
+    serialized := !serialized + charge.Divergence.serialized_ops;
+    single := !single + charge.Divergence.max_single_path_ops;
+    (* Early wavefront termination: a finisher used the fewest cycles any
+       lane of this wavefront can still achieve, so the rest cannot win
+       the iteration (Section V-B). *)
+    if
+      opts.Config.early_wavefront_termination
+      && Array.exists (fun a -> Aco.Ant.status a = Aco.Ant.Finished) t.ants
+    then
+      Array.iter (fun a -> if Aco.Ant.status a = Aco.Ant.Active then Aco.Ant.kill a) t.ants
+  done;
+  let work = Array.fold_left (fun acc a -> acc + Aco.Ant.work a) 0 t.ants in
+  let finished =
+    Array.fold_left
+      (fun acc a -> if Aco.Ant.status a = Aco.Ant.Finished then a :: acc else acc)
+      [] t.ants
+    |> List.rev
+  in
+  {
+    time_ns = !time;
+    work;
+    serialized_ops = !serialized;
+    single_path_ops = !single;
+    steps = !steps;
+    finished;
+  }

@@ -1,0 +1,40 @@
+(** One simulated wavefront: 64 ants advancing in lockstep
+    (Section IV-B maps one ant to one GPU thread; a block is one
+    wavefront so no intra-block synchronization is needed).
+
+    Each lockstep step asks every active ant for one construction step,
+    charges the divergence-serialized compute cost and the coalescing-
+    dependent memory transactions, and honours the wavefront-level
+    optimizations: a single exploration coin per step, optional stalls
+    only in designated wavefronts, early termination once a lane
+    finishes, and a per-wavefront guiding heuristic. *)
+
+type t
+
+val create :
+  Config.t ->
+  Ddg.Graph.t ->
+  Aco.Params.t ->
+  heuristic:Sched.Heuristic.kind ->
+  allow_optional_stalls:bool ->
+  t
+(** Allocate the wavefront's ants (state is reused across iterations). *)
+
+val lanes : t -> int
+
+type outcome = {
+  time_ns : float;  (** simulated lockstep construction time *)
+  work : int;  (** total abstract work of all lanes (CPU-model currency) *)
+  serialized_ops : int;  (** compute ops after divergence serialization *)
+  single_path_ops : int;  (** compute ops had every step been uniform *)
+  steps : int;  (** lockstep steps executed *)
+  finished : Aco.Ant.t list;
+      (** lanes that completed a schedule, in lane order; their state is
+          valid until the next [run_iteration] on this wavefront *)
+}
+
+val run_iteration :
+  t -> rng:Support.Rng.t -> mode:Aco.Ant.mode -> pheromone:Aco.Pheromone.t -> outcome
+(** Construct one candidate schedule per lane. [rng] seeds the lanes
+    (each lane receives an independent split, as each GPU thread
+    receives a distinct seed). *)

@@ -1,0 +1,40 @@
+type kind =
+  | Valu
+  | Valu_trans
+  | Salu
+  | Vmem_load
+  | Vmem_store
+  | Smem_load
+  | Lds
+  | Branch
+  | Export
+
+let default_latency = function
+  | Valu -> 1
+  | Valu_trans -> 4
+  | Salu -> 1
+  | Vmem_load -> 40
+  | Vmem_store -> 1
+  | Smem_load -> 16
+  | Lds -> 8
+  | Branch -> 1
+  | Export -> 1
+
+let to_string = function
+  | Valu -> "v_alu"
+  | Valu_trans -> "v_trans"
+  | Salu -> "s_alu"
+  | Vmem_load -> "v_load"
+  | Vmem_store -> "v_store"
+  | Smem_load -> "s_load"
+  | Lds -> "lds"
+  | Branch -> "branch"
+  | Export -> "export"
+
+let equal (a : kind) b = a = b
+
+let all = [ Valu; Valu_trans; Salu; Vmem_load; Vmem_store; Smem_load; Lds; Branch; Export ]
+
+let is_memory = function
+  | Vmem_load | Vmem_store | Smem_load | Lds -> true
+  | Valu | Valu_trans | Salu | Branch | Export -> false

@@ -1,0 +1,32 @@
+(** Instruction kinds of the AMD-GPU-like target with default result
+    latencies.
+
+    The paper's machine model is single-issue but latency-aware
+    (Section II-A); latencies here are compressed versions of real GCN
+    latencies (a VMEM load takes hundreds of cycles on Vega) — what
+    matters for the scheduler is the *relative* gap between cheap ALU
+    ops and long memory loads, which creates the mandatory/optional
+    stall decisions of Section IV-C and makes the paper's 21-cycle
+    filter threshold meaningful. *)
+
+type kind =
+  | Valu  (** vector ALU, 1 cycle *)
+  | Valu_trans  (** transcendental vector ALU (rcp/sqrt/exp), 4 cycles *)
+  | Salu  (** scalar ALU, 1 cycle *)
+  | Vmem_load  (** global/buffer load, long latency *)
+  | Vmem_store  (** global/buffer store, no consumer latency *)
+  | Smem_load  (** scalar (constant) load *)
+  | Lds  (** local data share access *)
+  | Branch  (** control flow; region terminator *)
+  | Export  (** export / final write *)
+
+val default_latency : kind -> int
+(** Cycles between issue and availability of the defined registers. *)
+
+val to_string : kind -> string
+val equal : kind -> kind -> bool
+val all : kind list
+
+val is_memory : kind -> bool
+(** Loads/stores/LDS — used by the performance model to classify kernels
+    as memory-bound. *)

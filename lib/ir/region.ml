@@ -1,0 +1,85 @@
+type t = { name : string; instrs : Instr.t array; live_out : Reg.t list }
+
+type error =
+  | Empty_region
+  | Bad_id of { expected : int; got : int }
+  | Use_after_exit of Reg.t
+
+let error_to_string = function
+  | Empty_region -> "region has no instructions"
+  | Bad_id { expected; got } ->
+      Printf.sprintf "instruction id %d where %d was expected" got expected
+  | Use_after_exit r ->
+      Printf.sprintf "live-out register %s is neither defined nor live-in" (Reg.to_string r)
+
+let compute_live_in instrs =
+  let defined = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun (i : Instr.t) ->
+      List.iter
+        (fun u ->
+          if (not (Hashtbl.mem defined (Reg.hash u, u))) && not (Hashtbl.mem seen (Reg.hash u, u))
+          then begin
+            Hashtbl.add seen (Reg.hash u, u) ();
+            acc := u :: !acc
+          end)
+        i.uses;
+      List.iter (fun d -> Hashtbl.replace defined (Reg.hash d, d) ()) i.defs)
+    instrs;
+  List.rev !acc
+
+let create ~name ?(live_out = []) instrs =
+  match instrs with
+  | [] -> Error Empty_region
+  | _ ->
+      let arr = Array.of_list instrs in
+      let bad = ref None in
+      Array.iteri
+        (fun i (ins : Instr.t) ->
+          if !bad = None && ins.id <> i then bad := Some (Bad_id { expected = i; got = ins.id }))
+        arr;
+      (match !bad with
+      | Some e -> Error e
+      | None ->
+          let live_in = compute_live_in arr in
+          let defined r =
+            Array.exists (fun (i : Instr.t) -> List.exists (Reg.equal r) i.defs) arr
+          in
+          let dangling =
+            List.find_opt
+              (fun r -> (not (defined r)) && not (List.exists (Reg.equal r) live_in))
+              live_out
+          in
+          (match dangling with
+          | Some r -> Error (Use_after_exit r)
+          | None -> Ok { name; instrs = arr; live_out }))
+
+let create_exn ~name ?live_out instrs =
+  match create ~name ?live_out instrs with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Region.create_exn: " ^ error_to_string e)
+
+let size t = Array.length t.instrs
+
+let live_in t = compute_live_in t.instrs
+
+let is_live_out t r = List.exists (Reg.equal r) t.live_out
+
+let instr t i = t.instrs.(i)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "region %s (%d instrs)\n" t.name (size t));
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf ("  " ^ Instr.to_string i);
+      Buffer.add_char buf '\n')
+    t.instrs;
+  if t.live_out <> [] then
+    Buffer.add_string buf
+      ("  live-out: " ^ String.concat " " (List.map Reg.to_string t.live_out) ^ "\n");
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,43 @@
+(** Scheduling regions.
+
+    In LLVM a scheduling region is a basic block or part of one
+    (Section VI-A). A region is a sequence of instructions in original
+    program order together with the set of registers live past its exit.
+    Uses of registers never defined inside the region are live-in. *)
+
+type t = private {
+  name : string;
+  instrs : Instr.t array;  (** [instrs.(i).id = i] *)
+  live_out : Reg.t list;
+}
+
+type error =
+  | Empty_region
+  | Bad_id of { expected : int; got : int }
+  | Use_after_exit of Reg.t
+      (** a [live_out] register is never defined in the region and never
+          live-in (it could not be live at exit) — indicates a generator bug *)
+
+val error_to_string : error -> string
+
+val create : name:string -> ?live_out:Reg.t list -> Instr.t list -> (t, error) result
+(** Validates ids are consecutive from 0 and that [live_out] registers are
+    either defined in the region or live-in through it. *)
+
+val create_exn : name:string -> ?live_out:Reg.t list -> Instr.t list -> t
+(** [create] or raises [Invalid_argument] with the rendered error. *)
+
+val size : t -> int
+(** Number of instructions. *)
+
+val live_in : t -> Reg.t list
+(** Registers used before any region-local definition, deduplicated, in
+    first-use order. *)
+
+val is_live_out : t -> Reg.t -> bool
+
+val instr : t -> int -> Instr.t
+(** [instr r i] is the instruction with id [i]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = { issue_width : int }
+
+let make ~issue_width =
+  if issue_width <= 0 then invalid_arg "Issue_model.make: non-positive width";
+  { issue_width }
+
+let single_issue = make ~issue_width:1
+
+let issue_width t = t.issue_width
+
+let slots_per_cycle t (_ : Ir.Opcode.kind) = t.issue_width

@@ -1,0 +1,20 @@
+(** Issue model of the target processor.
+
+    The paper's experiments use a simple machine model: one instruction
+    of any type per cycle, with latencies respected (Section II-A). The
+    model is kept behind an interface so a multi-issue model can be
+    swapped in; [single_issue] is the one used by every experiment. *)
+
+type t
+
+val single_issue : t
+
+val make : issue_width:int -> t
+(** A width-[w] model: at most [w] instructions per cycle. Raises
+    [Invalid_argument] for non-positive width. *)
+
+val issue_width : t -> int
+
+val slots_per_cycle : t -> Ir.Opcode.kind -> int
+(** How many instructions of the given kind may issue in one cycle; the
+    simple model returns [issue_width] for every kind. *)

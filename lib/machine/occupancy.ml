@@ -1,0 +1,39 @@
+type t = { target : Target.t }
+
+let create target = { target }
+let default = create Target.vega20
+
+let round_up v g = (v + g - 1) / g * g
+
+let of_class_pressure o cls prp =
+  if prp < 0 then invalid_arg "Occupancy.of_class_pressure: negative pressure";
+  let t = o.target in
+  if prp = 0 then t.max_waves_per_simd
+  else
+    let alloc = round_up prp (Target.granularity t cls) in
+    let budget = Target.reg_budget t cls in
+    max 1 (min t.max_waves_per_simd (budget / alloc))
+
+let of_pressures o ~vgpr ~sgpr =
+  min (of_class_pressure o Ir.Reg.Vgpr vgpr) (of_class_pressure o Ir.Reg.Sgpr sgpr)
+
+let max_waves o = o.target.Target.max_waves_per_simd
+
+let max_pressure_for o cls ~occupancy =
+  let t = o.target in
+  if occupancy < 1 || occupancy > t.max_waves_per_simd then
+    invalid_arg "Occupancy.max_pressure_for: occupancy out of range";
+  let budget = Target.reg_budget t cls in
+  if occupancy = 1 then budget
+  else
+    (* Largest allocation granule count g with budget/g >= occupancy. *)
+    let g = Target.granularity t cls in
+    let alloc = budget / occupancy / g * g in
+    alloc
+
+let aprp o cls prp =
+  if prp = 0 then 0
+  else
+    let occ = of_class_pressure o cls prp in
+    let budget = Target.reg_budget o.target cls in
+    if prp >= budget then prp else max prp (max_pressure_for o cls ~occupancy:occ)

@@ -1,0 +1,38 @@
+(** Occupancy and the APRP (adjusted peak register pressure) cost.
+
+    Occupancy is the number of wavefronts resident per SIMD unit; it is
+    capped by the register file: a kernel using [v] VGPRs allows
+    [min (max_waves, vgprs_per_simd / round_up(v))] wavefronts. On the
+    paper's target a PRP of 24 VGPRs or fewer gives the maximum occupancy
+    of 10 and PRPs in [25, 28] give 9 (Section II-A) — this module's
+    default target reproduces exactly that mapping.
+
+    The APRP of a PRP value [x] is the maximum PRP giving the same
+    occupancy as [x] (so [1..24 -> 24], [25..28 -> 28]). Using APRP as
+    the pass-1 cost stops the search from chasing RP reductions that
+    cannot change occupancy. *)
+
+type t
+
+val create : Target.t -> t
+val default : t
+(** [create Target.vega20]. *)
+
+val of_class_pressure : t -> Ir.Reg.cls -> int -> int
+(** [of_class_pressure o cls prp] is the occupancy permitted by a peak
+    pressure of [prp] registers of class [cls]; at least 1 (a kernel
+    always runs, spilling notwithstanding), at most [max_waves_per_simd].
+    [prp = 0] gives the maximum. *)
+
+val of_pressures : t -> vgpr:int -> sgpr:int -> int
+(** Minimum across classes. *)
+
+val aprp : t -> Ir.Reg.cls -> int -> int
+(** [aprp o cls prp]: the largest pressure with the same occupancy as
+    [prp]. Monotone and idempotent. *)
+
+val max_waves : t -> int
+
+val max_pressure_for : t -> Ir.Reg.cls -> occupancy:int -> int
+(** Largest PRP of [cls] that still allows [occupancy] wavefronts.
+    Raises [Invalid_argument] if [occupancy] is out of [1..max_waves]. *)

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  num_cus : int;
+  simds_per_cu : int;
+  wavefront_size : int;
+  max_waves_per_simd : int;
+  vgprs_per_simd : int;
+  vgpr_granularity : int;
+  sgprs_per_simd : int;
+  sgpr_granularity : int;
+  clock_ghz : float;
+}
+
+let vega20 =
+  {
+    name = "gfx906 (Vega 20, Radeon VII)";
+    num_cus = 60;
+    simds_per_cu = 4;
+    wavefront_size = 64;
+    max_waves_per_simd = 10;
+    vgprs_per_simd = 256;
+    vgpr_granularity = 4;
+    sgprs_per_simd = 800;
+    sgpr_granularity = 16;
+    clock_ghz = 1.8;
+  }
+
+let total_simds t = t.num_cus * t.simds_per_cu
+
+let reg_budget t = function
+  | Ir.Reg.Vgpr -> t.vgprs_per_simd
+  | Ir.Reg.Sgpr -> t.sgprs_per_simd
+
+let granularity t = function
+  | Ir.Reg.Vgpr -> t.vgpr_granularity
+  | Ir.Reg.Sgpr -> t.sgpr_granularity

@@ -1,0 +1,32 @@
+(** Target-GPU description.
+
+    The default target mirrors the paper's AMD Radeon VII (Vega 20):
+    60 compute units, 4 SIMD units per CU, 64-thread wavefronts, at most
+    10 resident wavefronts per SIMD, 256 VGPRs per SIMD lane allocated in
+    granules of 4, and 800 SGPRs per SIMD in granules of 16. These
+    numbers drive both the occupancy model (what the *compiled code* can
+    achieve) and the GPU simulator (where the *scheduler itself* runs). *)
+
+type t = {
+  name : string;
+  num_cus : int;
+  simds_per_cu : int;
+  wavefront_size : int;
+  max_waves_per_simd : int;
+  vgprs_per_simd : int;
+  vgpr_granularity : int;
+  sgprs_per_simd : int;
+  sgpr_granularity : int;
+  clock_ghz : float;
+}
+
+val vega20 : t
+(** The paper's Radeon VII configuration. *)
+
+val total_simds : t -> int
+(** [num_cus * simds_per_cu]. *)
+
+val reg_budget : t -> Ir.Reg.cls -> int
+(** Register file size per SIMD for a class. *)
+
+val granularity : t -> Ir.Reg.cls -> int

@@ -1,0 +1,73 @@
+(** Ablations of the GPU optimizations (Tables 4.a, 4.b and 6).
+
+    Each ablation re-runs the parallel ACO scheduler on the ACO-processed
+    regions of a compiled suite under two option sets and compares the
+    simulated scheduling times (and, for the optional-stall sweep, the
+    schedule lengths). Reported percentages follow the paper's
+    convention: improvement of B over A is [(time_A - time_B) / time_B],
+    so "+600%" means the unoptimized configuration is 7x slower. *)
+
+type time_row = {
+  category : int;
+  pass1_overall_pct : float;  (** improvement aggregated over all regions *)
+  pass1_max_pct : float;  (** best improvement on any single region *)
+  pass2_overall_pct : float;
+  pass2_max_pct : float;
+}
+
+val compare_opts :
+  Compile.config ->
+  Compile.suite_report ->
+  baseline:Gpusim.Config.opts ->
+  optimized:Gpusim.Config.opts ->
+  time_row list
+(** One row per size category. Regions are those where the compiled
+    suite invoked the corresponding ACO pass. *)
+
+type stall_row = {
+  fraction : float;
+  aco_time_increase_pct : float;  (** vs. zero stalling wavefronts *)
+  length_improvement_pct : float;
+  max_length_improvement_pct : float;
+}
+
+val stall_fraction_sweep :
+  Compile.config ->
+  Compile.suite_report ->
+  fractions:float list ->
+  min_region_size:int ->
+  stall_row list
+(** The Table 6 experiment: regions of at least [min_region_size]
+    instructions, each fraction against the 0%% baseline. *)
+
+type ready_limit_row = {
+  limiting : string;  (** "min" or "mid" *)
+  time_change_pct : float;  (** ACO time vs limiting off (negative = faster) *)
+  quality_change_pct : float;
+      (** total emitted schedule length vs limiting off (negative = better) *)
+}
+
+val ready_limit_experiment :
+  Compile.config -> Compile.suite_report -> ready_limit_row list
+(** Section V-B's negative result, reproduced: unifying per-lane
+    ready-list sizes within a wavefront saves some divergence time but
+    defers good candidates, and does not give better overall results.
+    Runs the pass-1-eligible regions under [`Min] and [`Mid] limiting
+    against the [`Off] baseline. *)
+
+type objective_row = {
+  objective : string;  (** "two-pass" or "weighted-sum" *)
+  kernels_at_better_occupancy : int;
+      (** kernels where this formulation reaches strictly higher final
+          occupancy than the other *)
+  total_occupancy : int;
+  total_length : int;
+}
+
+val objective_comparison : Compile.config -> Compile.suite_report -> objective_row list
+(** Section II-A's design choice, measured: run the two-pass search
+    ({!Aco.Seq_aco}) and the weighted-sum single-pass search
+    ({!Aco.Weighted_aco}) on the ACO-eligible hot regions and compare
+    final occupancy and length. The paper adopted two-pass because it
+    "was found to work better on the GPU" — the two-pass row should win
+    the occupancy column. *)

@@ -1,0 +1,122 @@
+type config = {
+  occ : Machine.Occupancy.t;
+  gpu : Gpusim.Config.t;
+  params : Aco.Params.t;
+  filters : Filters.config;
+  seq_seed : int;
+  par_seed : int;
+  run_sequential : bool;
+}
+
+let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default) () =
+  let params =
+    {
+      Aco.Params.default with
+      Aco.Params.ants_per_iteration = Gpusim.Config.threads gpu;
+      (* Run the ILP pass ungated; Report applies [filters.cycle_threshold]
+         by synthesis. *)
+      pass2_cycle_threshold = 1;
+    }
+  in
+  { occ = Machine.Occupancy.default; gpu; params; filters; seq_seed = 101; par_seed = 202; run_sequential = true }
+
+type region_report = {
+  region_name : string;
+  n : int;
+  size_category : int;
+  length_lb : int;
+  heuristic_cost : Sched.Cost.t;
+  heuristic_order : int array;
+  cp_cost : Sched.Cost.t;
+  pass1_invoked : bool;
+  pass2_invoked : bool;
+  pass2_gap : int;
+  aco_cost : Sched.Cost.t;
+  aco_order : int array;
+  pass1_only_cost : Sched.Cost.t;
+  pass1_only_order : int array;
+  seq_pass1 : Aco.Seq_aco.pass_stats option;
+  seq_pass2 : Aco.Seq_aco.pass_stats option;
+  par_pass1 : Gpusim.Par_aco.pass_stats;
+  par_pass2 : Gpusim.Par_aco.pass_stats;
+  seq_pass1_time_ns : float;
+  seq_pass2_time_ns : float;
+  par_pass1_time_ns : float;
+  par_pass2_time_ns : float;
+}
+
+type kernel_report = { kernel : Workload.Suite.kernel; regions : region_report list }
+
+type suite_report = {
+  suite : Workload.Suite.t;
+  compile_config : config;
+  kernels : kernel_report list;
+}
+
+let run_region config ~name region =
+  let graph = Ddg.Graph.build region in
+  let setup = Aco.Setup.prepare config.occ graph in
+  let par = Gpusim.Par_aco.run_from_setup ~params:config.params ~seed:config.par_seed config.gpu setup in
+  let seq =
+    if config.run_sequential then
+      Some (Aco.Seq_aco.run_from_setup ~params:config.params ~seed:config.seq_seed setup)
+    else None
+  in
+  let cp_schedule = Sched.List_scheduler.run graph Sched.Heuristic.Critical_path in
+  let pass2_initial_cost = Sched.Cost.of_schedule config.occ par.Gpusim.Par_aco.pass2_initial in
+  let seq_time stats =
+    match stats with
+    | Some (s : Aco.Seq_aco.pass_stats) ->
+        Gpusim.Cpu_model.pass_time_ns config.gpu ~work:s.Aco.Seq_aco.work
+    | None -> 0.0
+  in
+  {
+    region_name = name;
+    n = Ir.Region.size region;
+    size_category = Aco.Params.size_category (Ir.Region.size region);
+    length_lb = setup.Aco.Setup.length_lb;
+    heuristic_cost = setup.Aco.Setup.amd_cost;
+    heuristic_order = Sched.Schedule.order setup.Aco.Setup.amd_schedule;
+    cp_cost = Sched.Cost.of_schedule config.occ cp_schedule;
+    pass1_invoked = par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.invoked;
+    pass2_invoked = par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.invoked;
+    pass2_gap = setup.Aco.Setup.amd_cost.Sched.Cost.length - setup.Aco.Setup.length_lb;
+    aco_cost = par.Gpusim.Par_aco.cost;
+    aco_order = Sched.Schedule.order par.Gpusim.Par_aco.schedule;
+    pass1_only_cost = pass2_initial_cost;
+    pass1_only_order = Sched.Schedule.order par.Gpusim.Par_aco.pass2_initial;
+    seq_pass1 = Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass1) seq;
+    seq_pass2 = Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass2) seq;
+    par_pass1 = par.Gpusim.Par_aco.pass1;
+    par_pass2 = par.Gpusim.Par_aco.pass2;
+    seq_pass1_time_ns = seq_time (Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass1) seq);
+    seq_pass2_time_ns = seq_time (Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass2) seq);
+    par_pass1_time_ns = par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.time_ns;
+    par_pass2_time_ns = par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.time_ns;
+  }
+
+let run_suite ?(progress = fun _ -> ()) config (suite : Workload.Suite.t) =
+  let kernels =
+    List.map
+      (fun (k : Workload.Suite.kernel) ->
+        progress k.Workload.Suite.kernel_name;
+        let regions =
+          List.mapi
+            (fun i region ->
+              let name = Printf.sprintf "%s/r%d" k.Workload.Suite.kernel_name i in
+              run_region config ~name region)
+            k.Workload.Suite.regions
+        in
+        { kernel = k; regions })
+      suite.Workload.Suite.kernels
+  in
+  { suite; compile_config = config; kernels }
+
+let hot_region (kr : kernel_report) = List.nth kr.regions kr.kernel.Workload.Suite.hot_index
+
+let find_kernel (report : suite_report) (b : Workload.Suite.benchmark) =
+  List.find
+    (fun (kr : kernel_report) ->
+      String.equal kr.kernel.Workload.Suite.kernel_name
+        b.Workload.Suite.kernel.Workload.Suite.kernel_name)
+    report.kernels

@@ -1,0 +1,82 @@
+(** The per-region and per-suite compile flow of Section VI-A.
+
+    Every region is scheduled by the AMD heuristic; when the heuristic
+    schedule is not provably optimal (its RP cost or length is above the
+    lower bound), the ACO scheduler is invoked. The suite is compiled
+    once with the parallel ACO (the product compiler) and once with the
+    sequential ACO from the same starting points (the timing baseline of
+    Tables 3.a/3.b and 5).
+
+    ACO is run *ungated* here while each region's gap — heuristic
+    schedule length minus the length lower bound — is recorded.
+    {!Report} then synthesizes the compiler's output for any
+    cycle-threshold setting (the tuned default, and Table 7's sweep)
+    without recompiling: a region whose gap is below the threshold is
+    treated as never having invoked ACO at all (Section VI-F calls this
+    "filtering out unpromising scheduling regions"). *)
+
+type config = {
+  occ : Machine.Occupancy.t;
+  gpu : Gpusim.Config.t;
+  params : Aco.Params.t;
+  filters : Filters.config;
+  seq_seed : int;
+  par_seed : int;
+  run_sequential : bool;  (** also time the CPU baseline *)
+}
+
+val make_config : ?gpu:Gpusim.Config.t -> ?filters:Filters.config -> unit -> config
+(** Consistent defaults: the sequential ant count equals the parallel
+    thread count (the paper compares equal colonies), the ILP pass is
+    ungated for later synthesis. *)
+
+type region_report = {
+  region_name : string;
+  n : int;
+  size_category : int;
+  length_lb : int;
+  heuristic_cost : Sched.Cost.t;
+  heuristic_order : int array;
+  cp_cost : Sched.Cost.t;  (** Critical-Path schedule (sensitivity check) *)
+  pass1_invoked : bool;
+  pass2_invoked : bool;
+  pass2_gap : int;
+      (** heuristic schedule length minus the length lower bound — the
+          quantity the cycle-threshold filter gates ACO on (known before
+          any ACO work is spent on the region) *)
+  aco_cost : Sched.Cost.t;  (** parallel-ACO product, before filtering *)
+  aco_order : int array;
+  pass1_only_cost : Sched.Cost.t;  (** product if pass 2 were skipped *)
+  pass1_only_order : int array;
+  seq_pass1 : Aco.Seq_aco.pass_stats option;
+  seq_pass2 : Aco.Seq_aco.pass_stats option;
+  par_pass1 : Gpusim.Par_aco.pass_stats;
+  par_pass2 : Gpusim.Par_aco.pass_stats;
+  seq_pass1_time_ns : float;
+  seq_pass2_time_ns : float;
+  par_pass1_time_ns : float;
+  par_pass2_time_ns : float;
+}
+
+type kernel_report = {
+  kernel : Workload.Suite.kernel;
+  regions : region_report list;  (** in [kernel.regions] order *)
+}
+
+type suite_report = {
+  suite : Workload.Suite.t;
+  compile_config : config;
+  kernels : kernel_report list;
+}
+
+val run_region : config -> name:string -> Ir.Region.t -> region_report
+
+val run_suite : ?progress:(string -> unit) -> config -> Workload.Suite.t -> suite_report
+(** Compile every kernel of the suite (kernels shared between benchmarks
+    are compiled once). [progress] receives one message per kernel. *)
+
+val hot_region : kernel_report -> region_report
+
+val find_kernel : suite_report -> Workload.Suite.benchmark -> kernel_report
+(** Kernel report backing a benchmark (kernels are compiled once even
+    when shared). *)

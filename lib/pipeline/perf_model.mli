@@ -1,0 +1,58 @@
+(** Execution-time model for the compiled benchmarks (Figure 4,
+    Table 7).
+
+    A benchmark's runtime is dominated by its kernel's hot region. The
+    model combines the two quantities the scheduler controls:
+
+    - compute time proportional to the hot region's schedule length;
+    - memory time proportional to the (schedule-independent) traffic the
+      heuristic hot schedule implies, divided by a latency-hiding factor
+      that grows with the kernel's occupancy.
+
+    An *un-modeled-factor* term captures everything the scheduler cannot
+    see (caching, banking, DRAM phase): a deterministic pseudo-random
+    perturbation whose magnitude grows with how far the emitted schedule
+    strays from the heuristic order, biased toward harm. Regions changed
+    radically for a marginal modeled gain can therefore regress — exactly
+    the regressions the cycle-threshold filter exists to remove
+    (Section VI-D / Table 7). *)
+
+type final_choice = {
+  cost : Sched.Cost.t;
+  order : int array;
+  reverted : bool;  (** post-scheduling filter reverted to the heuristic *)
+  aco_ran : bool;  (** some ACO pass actually executed under this threshold *)
+}
+
+val final_for : Filters.config -> Compile.region_report -> final_choice
+(** Synthesize the compiler's emitted schedule for a region under the
+    given filter settings (see {!Compile}: the suite is compiled ungated
+    and thresholds are applied afterwards). *)
+
+type view = Heuristic | Cp | Final of Filters.config
+
+val kernel_occupancy : view -> Compile.kernel_report -> int
+(** Minimum occupancy across the kernel's regions — the register
+    allocator sizes the kernel by its worst region. *)
+
+val benchmark_time : view -> Compile.suite_report -> Workload.Suite.benchmark -> float
+(** Modeled time per work item (arbitrary units, comparable across
+    views), including the un-modeled-factor perturbation for [Final]. *)
+
+val benchmark_throughput : view -> Compile.suite_report -> Workload.Suite.benchmark -> float
+(** [bytes_per_item / time] — the GB/s-like figure rocPRIM reports. *)
+
+val speedup_pct : Filters.config -> Compile.suite_report -> Workload.Suite.benchmark -> float
+(** Throughput change of the ACO build vs the heuristic build, percent
+    (positive = improvement). *)
+
+val sensitive : Compile.suite_report -> Workload.Suite.benchmark -> bool
+(** The scheduling-sensitivity criterion of Section VI-A (coefficient of
+    variation of the base / CP / ACO times); the paper's 3%% bar on
+    hardware-noisy measurements maps to 2%% on our jitter-free modeled
+    times. *)
+
+val reldist : int array -> int array -> float
+(** Normalized permutation distance between two instruction orders
+    (0 = identical, ~1 = unrecognizably shuffled) — the magnitude knob of
+    the un-modeled-factor term, exposed for the test suite. *)

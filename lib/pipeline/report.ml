@@ -1,0 +1,265 @@
+type table1 = {
+  num_benchmarks : int;
+  num_kernels : int;
+  num_regions : int;
+  pass1_regions : int;
+  pass2_regions : int;
+  avg_pass1_size : float;
+  avg_pass2_size : float;
+  max_pass1_size : int;
+  max_pass2_size : int;
+}
+
+let sensitive_benchmarks (report : Compile.suite_report) =
+  List.filter (Perf_model.sensitive report) report.Compile.suite.Workload.Suite.benchmarks
+
+(* Regions seen by the build: one occurrence per benchmark instance, as a
+   template-instantiating build schedules shared kernels repeatedly. *)
+let instance_regions report benchmarks =
+  List.concat_map
+    (fun b -> (Compile.find_kernel report b).Compile.regions)
+    benchmarks
+
+let region_kept (filters : Filters.config) (r : Compile.region_report) =
+  r.Compile.pass2_gap >= filters.Filters.cycle_threshold
+
+let pass1_kept filters (r : Compile.region_report) =
+  r.Compile.pass1_invoked && region_kept filters r
+
+let pass2_kept filters (r : Compile.region_report) =
+  r.Compile.pass2_invoked && region_kept filters r
+
+let table1 filters report =
+  let benchmarks = sensitive_benchmarks report in
+  let regions = instance_regions report benchmarks in
+  let unique_kernels =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (b : Workload.Suite.benchmark) -> b.Workload.Suite.kernel.Workload.Suite.kernel_name)
+         benchmarks)
+  in
+  let p1 = List.filter (pass1_kept filters) regions in
+  let p2 = List.filter (pass2_kept filters) regions in
+  let sizes rs = List.map (fun (r : Compile.region_report) -> r.Compile.n) rs in
+  let avg = function
+    | [] -> 0.0
+    | xs -> float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+  in
+  {
+    num_benchmarks = List.length benchmarks;
+    num_kernels = List.length unique_kernels;
+    num_regions = List.length regions;
+    pass1_regions = List.length p1;
+    pass2_regions = List.length p2;
+    avg_pass1_size = avg (sizes p1);
+    avg_pass2_size = avg (sizes p2);
+    max_pass1_size = List.fold_left max 0 (sizes p1);
+    max_pass2_size = List.fold_left max 0 (sizes p2);
+  }
+
+type table2 = {
+  t2_pass1_regions : int;
+  t2_pass2_regions : int;
+  overall_occupancy_increase_pct : float;
+  max_occupancy_increase_pct : float;
+  overall_length_reduction_pct : float;
+  max_length_reduction_pct : float;
+}
+
+let table2 filters report =
+  let benchmarks = sensitive_benchmarks report in
+  let regions = instance_regions report benchmarks in
+  let p1 = List.filter (pass1_kept filters) regions in
+  let p2 = List.filter (pass2_kept filters) regions in
+  (* Occupancy is a kernel-level property; aggregate over the kernels of
+     the included benchmarks (each kernel once). *)
+  let kernel_reports =
+    List.sort_uniq
+      (fun (a : Compile.kernel_report) b ->
+        String.compare a.Compile.kernel.Workload.Suite.kernel_name
+          b.Compile.kernel.Workload.Suite.kernel_name)
+      (List.map (Compile.find_kernel report) benchmarks)
+  in
+  let occ_pairs =
+    List.map
+      (fun kr ->
+        ( Perf_model.kernel_occupancy Perf_model.Heuristic kr,
+          Perf_model.kernel_occupancy (Perf_model.Final filters) kr ))
+      kernel_reports
+  in
+  let sum_h = List.fold_left (fun acc (h, _) -> acc + h) 0 occ_pairs in
+  let sum_f = List.fold_left (fun acc (_, f) -> acc + f) 0 occ_pairs in
+  let max_occ_pct =
+    List.fold_left
+      (fun acc (h, f) -> Float.max acc (float_of_int (f - h) /. float_of_int h *. 100.0))
+      0.0 occ_pairs
+  in
+  (* Length is a region-level property over ACO-processed regions. *)
+  let processed = List.sort_uniq compare (p1 @ p2) in
+  let len_pairs =
+    List.map
+      (fun (r : Compile.region_report) ->
+        ( r.Compile.heuristic_cost.Sched.Cost.length,
+          (Perf_model.final_for filters r).Perf_model.cost.Sched.Cost.length ))
+      processed
+  in
+  let sum_lh = List.fold_left (fun acc (h, _) -> acc + h) 0 len_pairs in
+  let sum_lf = List.fold_left (fun acc (_, f) -> acc + f) 0 len_pairs in
+  let max_len_pct =
+    List.fold_left
+      (fun acc (h, f) -> Float.max acc (float_of_int (h - f) /. float_of_int h *. 100.0))
+      0.0 len_pairs
+  in
+  {
+    t2_pass1_regions = List.length p1;
+    t2_pass2_regions = List.length p2;
+    overall_occupancy_increase_pct =
+      float_of_int (sum_f - sum_h) /. float_of_int (max sum_h 1) *. 100.0;
+    max_occupancy_increase_pct = max_occ_pct;
+    overall_length_reduction_pct =
+      float_of_int (sum_lh - sum_lf) /. float_of_int (max sum_lh 1) *. 100.0;
+    max_length_reduction_pct = max_len_pct;
+  }
+
+type speedup_row = {
+  category : int;
+  processed : int;
+  comparable : int;
+  geomean : float;
+  max_speedup : float;
+  min_speedup : float;
+}
+
+let region_speedup ~pass (r : Compile.region_report) =
+  match pass with
+  | `One -> (
+      match r.Compile.seq_pass1 with
+      | Some s
+        when s.Aco.Seq_aco.invoked && r.Compile.pass1_invoked
+             && s.Aco.Seq_aco.iterations = r.Compile.par_pass1.Gpusim.Par_aco.iterations
+             && r.Compile.par_pass1_time_ns > 0.0 ->
+          Some (r.Compile.seq_pass1_time_ns /. r.Compile.par_pass1_time_ns)
+      | Some _ | None -> None)
+  | `Two -> (
+      match r.Compile.seq_pass2 with
+      | Some s
+        when s.Aco.Seq_aco.invoked && r.Compile.pass2_invoked
+             && s.Aco.Seq_aco.iterations = r.Compile.par_pass2.Gpusim.Par_aco.iterations
+             && r.Compile.par_pass2_time_ns > 0.0 ->
+          Some (r.Compile.seq_pass2_time_ns /. r.Compile.par_pass2_time_ns)
+      | Some _ | None -> None)
+
+let processed_for_pass ~pass filters (r : Compile.region_report) =
+  match pass with `One -> pass1_kept filters r | `Two -> pass2_kept filters r
+
+let speedups ~pass filters report =
+  let benchmarks = sensitive_benchmarks report in
+  let regions = instance_regions report benchmarks in
+  List.filter_map
+    (fun (r : Compile.region_report) ->
+      if processed_for_pass ~pass filters r then
+        Option.map (fun s -> (r.Compile.size_category, s)) (region_speedup ~pass r)
+      else None)
+    regions
+
+let table3 ~pass filters report =
+  let benchmarks = sensitive_benchmarks report in
+  let regions = instance_regions report benchmarks in
+  List.map
+    (fun category ->
+      let in_cat =
+        List.filter (fun (r : Compile.region_report) -> r.Compile.size_category = category) regions
+      in
+      let processed = List.filter (processed_for_pass ~pass filters) in_cat in
+      let ratios = List.filter_map (region_speedup ~pass) processed in
+      match ratios with
+      | [] ->
+          {
+            category;
+            processed = List.length processed;
+            comparable = 0;
+            geomean = 0.0;
+            max_speedup = 0.0;
+            min_speedup = 0.0;
+          }
+      | _ :: _ ->
+          let lo, hi = Support.Stats.min_max ratios in
+          {
+            category;
+            processed = List.length processed;
+            comparable = List.length ratios;
+            geomean = Support.Stats.geomean ratios;
+            max_speedup = hi;
+            min_speedup = lo;
+          })
+    [ 0; 1; 2 ]
+
+type fig4 = {
+  rows : (string * float) list;
+  geomean_improvement_pct : float;
+  improved_ge_5pct : int;
+  improved_ge_10pct : int;
+  max_regression_pct : float;
+}
+
+let fig4 filters report =
+  let benchmarks = sensitive_benchmarks report in
+  let all =
+    List.map
+      (fun (b : Workload.Suite.benchmark) ->
+        (b.Workload.Suite.bench_name, Perf_model.speedup_pct filters report b))
+      benchmarks
+  in
+  let significant =
+    List.filter (fun (_, pct) -> Float.abs pct >= 1.0) all
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let improvements = List.filter (fun (_, pct) -> pct >= 1.0) significant in
+  let geo =
+    match improvements with
+    | [] -> 0.0
+    | _ :: _ ->
+        (Support.Stats.geomean (List.map (fun (_, pct) -> 1.0 +. (pct /. 100.0)) improvements)
+        -. 1.0)
+        *. 100.0
+  in
+  let max_reg =
+    List.fold_left (fun acc (_, pct) -> Float.max acc (-.pct)) 0.0 all
+  in
+  {
+    rows = significant;
+    geomean_improvement_pct = geo;
+    improved_ge_5pct = List.length (List.filter (fun (_, p) -> p >= 5.0) all);
+    improved_ge_10pct = List.length (List.filter (fun (_, p) -> p >= 10.0) all);
+    max_regression_pct = max_reg;
+  }
+
+type table7_row = {
+  threshold : int;
+  imps_ge_3 : int;
+  imps_ge_5 : int;
+  imps_ge_10 : int;
+  regs_ge_3 : int;
+  regs_ge_5 : int;
+  regs_ge_10 : int;
+  max_regression : float;
+}
+
+let table7 ~thresholds report =
+  let benchmarks = sensitive_benchmarks report in
+  List.map
+    (fun threshold ->
+      let filters = { Filters.default with Filters.cycle_threshold = threshold } in
+      let pcts = List.map (Perf_model.speedup_pct filters report) benchmarks in
+      let count p = List.length (List.filter p pcts) in
+      {
+        threshold;
+        imps_ge_3 = count (fun x -> x >= 3.0);
+        imps_ge_5 = count (fun x -> x >= 5.0);
+        imps_ge_10 = count (fun x -> x >= 10.0);
+        regs_ge_3 = count (fun x -> x <= -3.0);
+        regs_ge_5 = count (fun x -> x <= -5.0);
+        regs_ge_10 = count (fun x -> x <= -10.0);
+        max_regression = List.fold_left (fun acc x -> Float.max acc (-.x)) 0.0 pcts;
+      })
+    thresholds

@@ -1,0 +1,79 @@
+(** Aggregation of compile results into the paper's tables and figures.
+
+    Every function synthesizes the requested cycle-threshold setting from
+    the ungated compile (see {!Compile}); the headline numbers use the
+    paper's tuned filter settings. Counts follow the paper's conventions:
+    regions are counted per benchmark build (kernels shared by several
+    benchmarks are scheduled once per benchmark, as template
+    instantiation does), occupancy is aggregated at kernel level, and
+    schedule length at region level. *)
+
+type table1 = {
+  num_benchmarks : int;
+  num_kernels : int;
+  num_regions : int;
+  pass1_regions : int;
+  pass2_regions : int;
+  avg_pass1_size : float;
+  avg_pass2_size : float;
+  max_pass1_size : int;
+  max_pass2_size : int;
+}
+
+val table1 : Filters.config -> Compile.suite_report -> table1
+
+type table2 = {
+  t2_pass1_regions : int;
+  t2_pass2_regions : int;
+  overall_occupancy_increase_pct : float;
+  max_occupancy_increase_pct : float;
+  overall_length_reduction_pct : float;
+  max_length_reduction_pct : float;
+}
+
+val table2 : Filters.config -> Compile.suite_report -> table2
+
+type speedup_row = {
+  category : int;
+  processed : int;
+  comparable : int;  (** equal iteration counts in both algorithms *)
+  geomean : float;
+  max_speedup : float;
+  min_speedup : float;
+}
+
+val table3 : pass:[ `One | `Two ] -> Filters.config -> Compile.suite_report -> speedup_row list
+(** One row per size category ([1-49], [50-99], [>=100]); categories with
+    no comparable regions report zeros. *)
+
+val speedups :
+  pass:[ `One | `Two ] -> Filters.config -> Compile.suite_report -> (int * float) list
+(** Per-comparable-region [(category, speedup)] pairs — the data behind
+    the Figure 2/3 distributions. *)
+
+type fig4 = {
+  rows : (string * float) list;  (** significant benchmarks, best first *)
+  geomean_improvement_pct : float;  (** over the significant improvements *)
+  improved_ge_5pct : int;
+  improved_ge_10pct : int;
+  max_regression_pct : float;  (** most negative speedup over all benchmarks *)
+}
+
+val fig4 : Filters.config -> Compile.suite_report -> fig4
+(** Only scheduling-sensitive benchmarks are considered (Section VI-A);
+    a difference is significant at 1% or more. *)
+
+type table7_row = {
+  threshold : int;
+  imps_ge_3 : int;
+  imps_ge_5 : int;
+  imps_ge_10 : int;
+  regs_ge_3 : int;
+  regs_ge_5 : int;
+  regs_ge_10 : int;
+  max_regression : float;
+}
+
+val table7 : thresholds:int list -> Compile.suite_report -> table7_row list
+
+val sensitive_benchmarks : Compile.suite_report -> Workload.Suite.benchmark list

@@ -1,0 +1,45 @@
+let frontend_ns_per_benchmark = 0.14e9
+let codegen_ns_per_instr = 8_000.0
+
+let heuristic_schedule_ns ~n = float_of_int n *. 2_500.0
+
+type totals = { base_ns : float; seq_ns : float; par_ns : float }
+
+let region_base_ns (r : Compile.region_report) =
+  (float_of_int r.Compile.n *. codegen_ns_per_instr) +. heuristic_schedule_ns ~n:r.Compile.n
+
+let region_aco_ns ~threshold ~pass1 ~pass2 (r : Compile.region_report) =
+  if r.Compile.pass2_gap < threshold then 0.0
+  else
+    (if r.Compile.pass1_invoked then pass1 else 0.0)
+    +. (if r.Compile.pass2_invoked then pass2 else 0.0)
+
+let compile_totals ~threshold (report : Compile.suite_report) =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (kr : Compile.kernel_report) ->
+      Hashtbl.replace by_name kr.Compile.kernel.Workload.Suite.kernel_name kr)
+    report.Compile.kernels;
+  let base = ref 0.0 and seq = ref 0.0 and par = ref 0.0 in
+  List.iter
+    (fun (b : Workload.Suite.benchmark) ->
+      base := !base +. frontend_ns_per_benchmark;
+      match Hashtbl.find_opt by_name b.Workload.Suite.kernel.Workload.Suite.kernel_name with
+      | None -> ()
+      | Some kr ->
+          List.iter
+            (fun (r : Compile.region_report) ->
+              base := !base +. region_base_ns r;
+              seq :=
+                !seq
+                +. region_aco_ns ~threshold ~pass1:r.Compile.seq_pass1_time_ns
+                     ~pass2:r.Compile.seq_pass2_time_ns r;
+              par :=
+                !par
+                +. region_aco_ns ~threshold ~pass1:r.Compile.par_pass1_time_ns
+                     ~pass2:r.Compile.par_pass2_time_ns r)
+            kr.Compile.regions)
+    report.Compile.suite.Workload.Suite.benchmarks;
+  { base_ns = !base; seq_ns = !base +. !seq; par_ns = !base +. !par }
+
+let pct_increase base x = (x -. base) /. base *. 100.0

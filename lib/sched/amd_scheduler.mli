@@ -1,0 +1,15 @@
+(** Stand-in for AMD's production scheduler
+    (GCNMaxOccupancySchedStrategy, reference [65] of the paper).
+
+    A greedy, latency-aware list scheduler that keeps occupancy as the
+    primary objective: among the ready instructions it keeps those whose
+    scheduling preserves the best achievable occupancy (predicted through
+    the incremental RP tracker) and picks the one with the highest
+    critical-path priority. This is the baseline every experiment
+    compares against ("base LLVM" / "AMD scheduler" in Tables 2, 5 and
+    Figure 4). *)
+
+val run : Machine.Occupancy.t -> Ddg.Graph.t -> Schedule.t
+(** Schedule the region. The result always validates with latencies. *)
+
+val run_with_cost : Machine.Occupancy.t -> Ddg.Graph.t -> Schedule.t * Cost.t

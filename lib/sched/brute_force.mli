@@ -1,0 +1,20 @@
+(** Exact reference solutions for tiny regions.
+
+    The test suite uses these exponential solvers to certify the rest of
+    the stack: the register-pressure lower bound must sit at or below
+    the exact optimum, every heuristic at or above it, and the ACO
+    search should reach it on small instances (the paper's termination
+    test compares against a lower bound precisely because the exact
+    optimum is unreachable at scale). *)
+
+val min_peak_pressure : Ddg.Graph.t -> Ir.Reg.cls -> int
+(** Exact minimum over all dependence-respecting instruction orders of
+    the peak register pressure of the given class (latencies ignored, as
+    in pass 1). Subset dynamic programming, O(2^n * n); raises
+    [Invalid_argument] for regions larger than 20 instructions. *)
+
+val min_schedule_length : Ddg.Graph.t -> int
+(** Exact minimum latency-respecting schedule length (single-issue,
+    stalls allowed, RP ignored). Depth-first branch-and-bound with the
+    critical-path bound; raises [Invalid_argument] for regions larger
+    than 12 instructions. *)

@@ -1,0 +1,38 @@
+type kind = Critical_path | Last_use_count | Source_order
+
+let all = [ Critical_path; Last_use_count; Source_order ]
+
+let to_string = function
+  | Critical_path -> "critical-path"
+  | Last_use_count -> "last-use-count"
+  | Source_order -> "source-order"
+
+type ctx = { graph : Ddg.Graph.t; cp : Ddg.Critpath.t; rp : Rp_tracker.t }
+
+let make_ctx graph rp = { graph; cp = Ddg.Critpath.compute graph; rp }
+
+let score kind ctx i =
+  match kind with
+  | Critical_path -> float_of_int (Ddg.Critpath.backward ctx.cp i)
+  | Last_use_count ->
+      (* Primary: live ranges closed minus opened; secondary: distance to
+         the leaves so ties still make progress along long chains. *)
+      let closes = Rp_tracker.closes_count ctx.rp i in
+      let opens = Rp_tracker.opens_count ctx.rp i in
+      (float_of_int (closes - opens) *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
+  | Source_order -> float_of_int (ctx.graph.Ddg.Graph.n - i)
+
+let eta kind ctx i =
+  (* Scores can be negative (LUC); shift into a strictly positive range
+     with a floor so no candidate gets probability zero. *)
+  let s = score kind ctx i in
+  1.0 +. Float.max 0.0 (s +. 4096.0) /. 512.0
+
+let best kind ctx = function
+  | [] -> invalid_arg "Heuristic.best: empty candidate list"
+  | c :: rest ->
+      let better i j =
+        let si = score kind ctx i and sj = score kind ctx j in
+        if si > sj then i else if sj > si then j else min i j
+      in
+      List.fold_left better c rest

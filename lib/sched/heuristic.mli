@@ -1,0 +1,33 @@
+(** Guiding heuristics for list scheduling and for ACO's biased
+    selection.
+
+    The paper's search is guided by classic priority heuristics
+    (Section IV-A): the Critical-Path heuristic (an aggressive ILP
+    heuristic) and the Last-Use-Count heuristic (an RP-reduction
+    heuristic, reference [61]); [Source_order] reproduces the original
+    program order and serves as a neutral control. Section V-B assigns
+    *different* heuristics to different wavefronts to diversify
+    exploration without intra-wavefront divergence. *)
+
+type kind = Critical_path | Last_use_count | Source_order
+
+val all : kind list
+val to_string : kind -> string
+
+type ctx = { graph : Ddg.Graph.t; cp : Ddg.Critpath.t; rp : Rp_tracker.t }
+(** Evaluation context; [rp] must reflect the construction state at the
+    moment of the query. *)
+
+val make_ctx : Ddg.Graph.t -> Rp_tracker.t -> ctx
+
+val score : kind -> ctx -> int -> float
+(** [score k ctx i]: priority of ready instruction [i]; higher is
+    better. Deterministic given the context. *)
+
+val eta : kind -> ctx -> int -> float
+(** Strictly positive attractiveness value for ACO's selection formula,
+    a monotone transform of [score]. *)
+
+val best : kind -> ctx -> int list -> int
+(** Highest-scoring instruction of a non-empty candidate list (ties to
+    the lower instruction id, matching the deterministic baseline). *)

@@ -1,0 +1,16 @@
+(** Classic greedy list scheduling driven by a single heuristic.
+
+    Used to build initial schedules for the ACO search (Section IV-A: an
+    initial schedule is constructed with a heuristic such as
+    Critical-Path or Last-Use-Count) and as a comparison point in the
+    scheduling-sensitivity filter. *)
+
+val run : ?latency_aware:bool -> Ddg.Graph.t -> Heuristic.kind -> Schedule.t
+(** Schedule the whole region, issuing the highest-priority ready
+    instruction each cycle and stalling when none is ready.
+    [latency_aware] defaults to [true]; pass [false] for the pass-1
+    (order-only) variant. The result always validates. *)
+
+val run_order : Ddg.Graph.t -> Heuristic.kind -> int array
+(** Pass-1 convenience: the instruction order of
+    [run ~latency_aware:false]. *)

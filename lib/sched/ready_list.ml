@@ -1,0 +1,120 @@
+type t = {
+  graph : Ddg.Graph.t;
+  latency_aware : bool;
+  unsched_preds : int array;
+  earliest : int array;  (* valid once unsched_preds reaches 0 *)
+  sched_cycle : int array;  (* -1 if unscheduled *)
+  ready : int array;  (* compact prefix of length ready_n *)
+  pos_in_ready : int array;  (* -1 when not in ready *)
+  mutable ready_n : int;
+  mutable pending : (int * int) list;  (* (ready_cycle, instr), kept sorted *)
+  mutable cycle : int;
+  mutable scheduled_n : int;
+}
+
+let setup t =
+  for i = 0 to t.graph.Ddg.Graph.n - 1 do
+    t.unsched_preds.(i) <- Ddg.Graph.num_preds t.graph i;
+    t.earliest.(i) <- 0;
+    t.sched_cycle.(i) <- -1;
+    t.pos_in_ready.(i) <- -1
+  done;
+  t.ready_n <- 0;
+  t.pending <- [];
+  t.cycle <- 0;
+  t.scheduled_n <- 0;
+  for i = 0 to t.graph.Ddg.Graph.n - 1 do
+    if t.unsched_preds.(i) = 0 then begin
+      t.ready.(t.ready_n) <- i;
+      t.pos_in_ready.(i) <- t.ready_n;
+      t.ready_n <- t.ready_n + 1
+    end
+  done
+
+let create ?(latency_aware = true) (graph : Ddg.Graph.t) =
+  let n = graph.n in
+  let t =
+    {
+      graph;
+      latency_aware;
+      unsched_preds = Array.make n 0;
+      earliest = Array.make n 0;
+      sched_cycle = Array.make n (-1);
+      ready = Array.make n 0;
+      pos_in_ready = Array.make n (-1);
+      ready_n = 0;
+      pending = [];
+      cycle = 0;
+      scheduled_n = 0;
+    }
+  in
+  setup t;
+  t
+
+let reset = setup
+
+let current_cycle t = t.cycle
+let ready_count t = t.ready_n
+let ready t k = t.ready.(k)
+
+let ready_list t =
+  let rec loop k acc = if k < 0 then acc else loop (k - 1) (t.ready.(k) :: acc) in
+  loop (t.ready_n - 1) []
+
+let semi_ready t = List.map (fun (c, i) -> (i, c)) t.pending
+
+let min_semi_ready_cycle t =
+  match t.pending with [] -> None | (c, _) :: _ -> Some c
+
+let push_ready t i =
+  t.ready.(t.ready_n) <- i;
+  t.pos_in_ready.(i) <- t.ready_n;
+  t.ready_n <- t.ready_n + 1
+
+let remove_ready t i =
+  let p = t.pos_in_ready.(i) in
+  if p < 0 then invalid_arg "Ready_list: instruction is not ready";
+  let last = t.ready_n - 1 in
+  let moved = t.ready.(last) in
+  t.ready.(p) <- moved;
+  t.pos_in_ready.(moved) <- p;
+  t.ready_n <- last;
+  t.pos_in_ready.(i) <- -1
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: rest as l -> if fst x <= fst y then x :: l else y :: insert_sorted x rest
+
+let promote t =
+  (* Move pending instructions whose ready cycle has arrived. *)
+  let rec loop = function
+    | (c, i) :: rest when c <= t.cycle ->
+        push_ready t i;
+        loop rest
+    | rest -> t.pending <- rest
+  in
+  loop t.pending
+
+let schedule t i =
+  remove_ready t i;
+  t.sched_cycle.(i) <- t.cycle;
+  t.scheduled_n <- t.scheduled_n + 1;
+  Array.iter
+    (fun (j, lat) ->
+      t.unsched_preds.(j) <- t.unsched_preds.(j) - 1;
+      let lat = if t.latency_aware then max lat 1 else 1 in
+      t.earliest.(j) <- max t.earliest.(j) (t.cycle + lat);
+      if t.unsched_preds.(j) = 0 then
+        (* Queue with its ready cycle; [promote] moves it across once the
+           current cycle reaches that point. *)
+        t.pending <- insert_sorted (t.earliest.(j), j) t.pending)
+    t.graph.Ddg.Graph.succs.(i);
+  t.cycle <- t.cycle + 1;
+  promote t
+
+let stall t =
+  t.cycle <- t.cycle + 1;
+  promote t
+
+let scheduled_count t = t.scheduled_n
+let finished t = t.scheduled_n = t.graph.Ddg.Graph.n

@@ -1,0 +1,44 @@
+(** The ready list of cycle-driven schedule construction.
+
+    An instruction is *ready* when all its predecessors are scheduled and
+    their latencies have elapsed at the current cycle; it is *semi-ready*
+    when its predecessors are scheduled but some latency has not yet
+    elapsed (Section IV-C — semi-ready instructions drive the
+    optional-stall heuristic). With [latency_aware:false] (pass 1)
+    latencies are ignored and instructions become ready as soon as their
+    predecessors are scheduled. *)
+
+type t
+
+val create : ?latency_aware:bool -> Ddg.Graph.t -> t
+(** [latency_aware] defaults to [true]. *)
+
+val reset : t -> unit
+
+val current_cycle : t -> int
+
+val ready_count : t -> int
+
+val ready : t -> int -> int
+(** [ready t k] is the [k]-th ready instruction, [0 <= k < ready_count].
+    Order is unspecified but deterministic. *)
+
+val ready_list : t -> int list
+
+val semi_ready : t -> (int * int) list
+(** [(instr, cycle_when_ready)] for instructions waiting only on
+    latency. *)
+
+val min_semi_ready_cycle : t -> int option
+(** Earliest cycle at which some semi-ready instruction becomes ready. *)
+
+val schedule : t -> int -> unit
+(** Issue the given ready instruction at the current cycle, then advance
+    the cycle by one and promote newly ready instructions. Raises
+    [Invalid_argument] if the instruction is not currently ready. *)
+
+val stall : t -> unit
+(** Advance one cycle without issuing. *)
+
+val scheduled_count : t -> int
+val finished : t -> bool

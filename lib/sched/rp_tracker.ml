@@ -1,0 +1,253 @@
+type t = {
+  graph : Ddg.Graph.t;
+  index : (Ir.Reg.t, int) Hashtbl.t;  (* register -> dense id (construction only) *)
+  cls : Ir.Reg.cls array;  (* dense id -> class *)
+  (* per-instruction dense register ids, precomputed so the hot path never
+     hashes *)
+  use_ids : int array array;
+  def_ids : int array array;
+  total_uses : int array;
+  live_out : bool array;
+  live_in : bool array;
+  (* mutable state *)
+  remaining : int array;
+  live : bool array;
+  current : int array;  (* indexed by class rank *)
+  peak : int array;
+}
+
+let rank = function Ir.Reg.Vgpr -> 0 | Ir.Reg.Sgpr -> 1
+
+let create (graph : Ddg.Graph.t) =
+  let region = graph.region in
+  let instrs = (region : Ir.Region.t).instrs in
+  let index = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern r =
+    match Hashtbl.find_opt index r with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        Hashtbl.add index r i;
+        incr next;
+        i
+  in
+  let use_ids =
+    Array.map (fun (ins : Ir.Instr.t) -> Array.of_list (List.map intern ins.uses)) instrs
+  in
+  let def_ids =
+    Array.map (fun (ins : Ir.Instr.t) -> Array.of_list (List.map intern ins.defs)) instrs
+  in
+  List.iter (fun r -> ignore (intern r)) (region : Ir.Region.t).live_out;
+  List.iter (fun r -> ignore (intern r)) (Ir.Region.live_in region);
+  let nregs = max !next 1 in
+  let cls = Array.make nregs Ir.Reg.Vgpr in
+  Hashtbl.iter (fun (r : Ir.Reg.t) i -> cls.(i) <- r.cls) index;
+  let total_uses = Array.make nregs 0 in
+  Array.iter (Array.iter (fun i -> total_uses.(i) <- total_uses.(i) + 1)) use_ids;
+  let live_out = Array.make nregs false in
+  List.iter (fun r -> live_out.(Hashtbl.find index r) <- true) (region : Ir.Region.t).live_out;
+  let live_in = Array.make nregs false in
+  List.iter (fun r -> live_in.(Hashtbl.find index r) <- true) (Ir.Region.live_in region);
+  let t =
+    {
+      graph;
+      index;
+      cls;
+      use_ids;
+      def_ids;
+      total_uses;
+      live_out;
+      live_in;
+      remaining = Array.copy total_uses;
+      live = Array.make nregs false;
+      current = Array.make 2 0;
+      peak = Array.make 2 0;
+    }
+  in
+  Array.iteri
+    (fun i li ->
+      if li then begin
+        t.live.(i) <- true;
+        let c = rank t.cls.(i) in
+        t.current.(c) <- t.current.(c) + 1
+      end)
+    live_in;
+  t.peak.(0) <- t.current.(0);
+  t.peak.(1) <- t.current.(1);
+  t
+
+let reset t =
+  Array.blit t.total_uses 0 t.remaining 0 (Array.length t.total_uses);
+  Array.fill t.current 0 2 0;
+  Array.iteri
+    (fun i li ->
+      t.live.(i) <- li;
+      if li then begin
+        let c = rank t.cls.(i) in
+        t.current.(c) <- t.current.(c) + 1
+      end)
+    t.live_in;
+  t.peak.(0) <- t.current.(0);
+  t.peak.(1) <- t.current.(1)
+
+let copy t =
+  {
+    t with
+    remaining = Array.copy t.remaining;
+    live = Array.copy t.live;
+    current = Array.copy t.current;
+    peak = Array.copy t.peak;
+  }
+
+let schedule t i =
+  let uses = t.use_ids.(i) and defs = t.def_ids.(i) in
+  Array.iter
+    (fun ui ->
+      t.remaining.(ui) <- t.remaining.(ui) - 1;
+      if t.remaining.(ui) = 0 && (not t.live_out.(ui)) && t.live.(ui) then begin
+        t.live.(ui) <- false;
+        let c = rank t.cls.(ui) in
+        t.current.(c) <- t.current.(c) - 1
+      end)
+    uses;
+  Array.iter
+    (fun di ->
+      if not t.live.(di) then begin
+        t.live.(di) <- true;
+        let c = rank t.cls.(di) in
+        t.current.(c) <- t.current.(c) + 1
+      end)
+    defs;
+  if t.current.(0) > t.peak.(0) then t.peak.(0) <- t.current.(0);
+  if t.current.(1) > t.peak.(1) then t.peak.(1) <- t.current.(1);
+  (* A def with no remaining uses and not live-out dies immediately after
+     being counted at this instruction's point. *)
+  Array.iter
+    (fun di ->
+      if t.remaining.(di) = 0 && (not t.live_out.(di)) && t.live.(di) then begin
+        t.live.(di) <- false;
+        let c = rank t.cls.(di) in
+        t.current.(c) <- t.current.(c) - 1
+      end)
+    defs
+
+let current t cls = t.current.(rank cls)
+let peak t cls = t.peak.(rank cls)
+
+(* One-pass, allocation-free analysis of scheduling [i]: per class, the
+   live ranges it would close and open. Duplicate uses of one register in
+   the same instruction are counted by multiplicity with a quadratic scan
+   (Def/Use sets are tiny). Results land in [scratch]. *)
+let scratch = Array.make 4 0 (* closed_v; opened_v; closed_s; opened_s *)
+
+let compute_effects t i =
+  Array.fill scratch 0 4 0;
+  let uses = t.use_ids.(i) and defs = t.def_ids.(i) in
+  let n_uses = Array.length uses in
+  for k = 0 to n_uses - 1 do
+    let ui = uses.(k) in
+    (* multiplicity of ui among uses.(0..k) *)
+    let mult = ref 0 in
+    for j = 0 to k do
+      if uses.(j) = ui then incr mult
+    done;
+    if t.remaining.(ui) = !mult && (not t.live_out.(ui)) && t.live.(ui) then begin
+      (* this occurrence is the last outstanding use *)
+      let last_occurrence = ref true in
+      for j = k + 1 to n_uses - 1 do
+        if uses.(j) = ui then last_occurrence := false
+      done;
+      if !last_occurrence then
+        let c = rank t.cls.(ui) in
+        scratch.(2 * c) <- scratch.(2 * c) + 1
+    end
+  done;
+  Array.iter
+    (fun di ->
+      if not t.live.(di) then begin
+        (* already-opened within this instruction? defs are unique *)
+        let c = rank t.cls.(di) in
+        scratch.((2 * c) + 1) <- scratch.((2 * c) + 1) + 1
+      end)
+    defs
+
+let delta_if_scheduled t i cls =
+  compute_effects t i;
+  let c = rank cls in
+  scratch.((2 * c) + 1) - scratch.(2 * c)
+
+let peak_if_scheduled t i cls =
+  compute_effects t i;
+  let c = rank cls in
+  max t.peak.(c) (t.current.(c) - scratch.(2 * c) + scratch.((2 * c) + 1))
+
+let fits_within t i ~target_vgpr ~target_sgpr =
+  compute_effects t i;
+  let v = max t.peak.(0) (t.current.(0) - scratch.(0) + scratch.(1)) in
+  let s = max t.peak.(1) (t.current.(1) - scratch.(2) + scratch.(3)) in
+  v <= target_vgpr && s <= target_sgpr
+
+let closes_count t i =
+  compute_effects t i;
+  scratch.(0) + scratch.(2)
+
+let opens_count t i =
+  compute_effects t i;
+  scratch.(1) + scratch.(3)
+
+(* Independent reference implementation over live-range intervals; assumes
+   single-definition registers (all generated workloads are SSA-like).
+   A register is live at point p (the point just after the instruction at
+   position p; p = -1 is region entry) iff it was born at or before p and
+   either is live-out, or still has a use after p, or is a dead def born
+   exactly at p. *)
+let naive_peaks (graph : Ddg.Graph.t) order =
+  let region = graph.region in
+  let pos = Array.make graph.n 0 in
+  Array.iteri (fun p i -> pos.(i) <- p) order;
+  let births : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let deaths : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let has_uses : (Ir.Reg.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (ins : Ir.Instr.t) ->
+      let p = pos.(ins.id) in
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt births d with
+          | Some b -> if p < b then Hashtbl.replace births d p
+          | None -> Hashtbl.add births d p)
+        ins.defs;
+      List.iter
+        (fun u ->
+          Hashtbl.replace has_uses u ();
+          match Hashtbl.find_opt deaths u with
+          | Some dth -> if p > dth then Hashtbl.replace deaths u p
+          | None -> Hashtbl.add deaths u p)
+        ins.uses)
+    (region : Ir.Region.t).instrs;
+  let live_out r = Ir.Region.is_live_out region r in
+  let all_regs =
+    Hashtbl.fold (fun r _ acc -> r :: acc) has_uses []
+    |> List.append (Hashtbl.fold (fun r _ acc -> r :: acc) births [])
+    |> List.sort_uniq Ir.Reg.compare
+  in
+  let live_at r p =
+    let birth = Option.value (Hashtbl.find_opt births r) ~default:(-1) in
+    if birth > p then false
+    else if live_out r then true
+    else
+      match Hashtbl.find_opt deaths r with
+      | Some d -> d > p
+      | None -> p = birth (* dead def: live only at its own point *)
+  in
+  let peaks = [| 0; 0 |] in
+  for p = -1 to Array.length order - 1 do
+    let counts = [| 0; 0 |] in
+    List.iter
+      (fun (r : Ir.Reg.t) -> if live_at r p then counts.(rank r.cls) <- counts.(rank r.cls) + 1)
+      all_regs;
+    peaks.(0) <- max peaks.(0) counts.(0);
+    peaks.(1) <- max peaks.(1) counts.(1)
+  done;
+  fun cls -> peaks.(rank cls)

@@ -1,0 +1,55 @@
+(** Incremental register-pressure tracking during schedule construction.
+
+    RP computation follows Section II-A: a register becomes live when its
+    defining instruction is scheduled and dies when its last use is
+    scheduled, except that region live-in registers are live from cycle 0
+    and live-out registers never die inside the region. The tracker
+    maintains the current and peak pressure per register class in O(defs
+    + uses) per scheduled instruction; the test suite cross-checks it
+    against a naive whole-profile recomputation. *)
+
+type t
+
+val create : Ddg.Graph.t -> t
+(** Fresh tracker for the region of the graph; live-in registers are
+    already counted. *)
+
+val reset : t -> unit
+(** Return to the initial state (ants reuse trackers across iterations to
+    mirror the paper's no-dynamic-allocation rule). *)
+
+val copy : t -> t
+
+val schedule : t -> int -> unit
+(** Account for issuing the given instruction. Each instruction must be
+    scheduled at most once per [reset] (unchecked; the schedulers
+    guarantee it). *)
+
+val current : t -> Ir.Reg.cls -> int
+val peak : t -> Ir.Reg.cls -> int
+
+val peak_if_scheduled : t -> int -> Ir.Reg.cls -> int
+(** Peak pressure the class would have right after scheduling the
+    instruction, without mutating the tracker (used by greedy tie-breaks
+    and the optional-stall heuristic). *)
+
+val delta_if_scheduled : t -> int -> Ir.Reg.cls -> int
+(** Net change to the *current* pressure: defs opening live ranges minus
+    uses closing them. *)
+
+val fits_within : t -> int -> target_vgpr:int -> target_sgpr:int -> bool
+(** Would scheduling the instruction keep both class peaks within the
+    given targets? Single pass over its Def/Use sets (the pass-2 hot
+    path). *)
+
+val closes_count : t -> int -> int
+(** Number of live ranges (any class) the instruction would close — the
+    Last-Use-Count heuristic's key (Section IV-A / reference [61]). *)
+
+val opens_count : t -> int -> int
+(** Live ranges (any class) the instruction would open. *)
+
+val naive_peaks : Ddg.Graph.t -> int array -> (Ir.Reg.cls -> int)
+(** Reference implementation: peak pressures of a complete instruction
+    order computed from scratch. Used by tests and as documentation of
+    the liveness rules. *)

@@ -1,0 +1,115 @@
+type slot = Stall | Instr of int
+
+type t = { graph : Ddg.Graph.t; slots : slot array; cycle_of : int array }
+
+type violation =
+  | Missing of int
+  | Duplicated of int
+  | Unknown_instr of int
+  | Order_violation of { src : int; dst : int }
+  | Latency_violation of { src : int; dst : int; need : int; got : int }
+
+let violation_to_string = function
+  | Missing i -> Printf.sprintf "instruction %%%d never scheduled" i
+  | Duplicated i -> Printf.sprintf "instruction %%%d scheduled twice" i
+  | Unknown_instr i -> Printf.sprintf "slot references unknown instruction %%%d" i
+  | Order_violation { src; dst } ->
+      Printf.sprintf "dependence %%%d -> %%%d not respected" src dst
+  | Latency_violation { src; dst; need; got } ->
+      Printf.sprintf "latency of %%%d -> %%%d needs %d cycles, got %d" src dst need got
+
+let check (g : Ddg.Graph.t) ~latency_aware slots cycle_of =
+  let n = g.n in
+  let seen = Array.make n false in
+  let err = ref None in
+  let set e = if !err = None then err := Some e in
+  Array.iter
+    (function
+      | Stall -> ()
+      | Instr i ->
+          if i < 0 || i >= n then set (Unknown_instr i)
+          else if seen.(i) then set (Duplicated i)
+          else seen.(i) <- true)
+    slots;
+  (match !err with
+  | Some _ -> ()
+  | None ->
+      (match Array.find_index (fun s -> not s) seen with
+      | Some i -> set (Missing i)
+      | None -> ());
+      if !err = None then
+        Array.iter
+          (fun (e : Ddg.Graph.edge) ->
+            let cs = cycle_of.(e.src) and cd = cycle_of.(e.dst) in
+            if cd <= cs then set (Order_violation { src = e.src; dst = e.dst })
+            else if latency_aware && cd - cs < e.latency then
+              set (Latency_violation { src = e.src; dst = e.dst; need = e.latency; got = cd - cs }))
+          g.edges);
+  match !err with Some e -> Error e | None -> Ok ()
+
+let of_slots g ~latency_aware slots =
+  let slots = Array.of_list slots in
+  let cycle_of = Array.make g.Ddg.Graph.n (-1) in
+  Array.iteri
+    (fun c s -> match s with Instr i when i >= 0 && i < g.Ddg.Graph.n -> cycle_of.(i) <- c | Instr _ | Stall -> ())
+    slots;
+  match check g ~latency_aware slots cycle_of with
+  | Ok () -> Ok { graph = g; slots; cycle_of }
+  | Error e -> Error e
+
+let of_order g order =
+  of_slots g ~latency_aware:false (Array.to_list (Array.map (fun i -> Instr i) order))
+
+let validate t ~latency_aware = check t.graph ~latency_aware t.slots t.cycle_of
+
+let length t = Array.length t.slots
+
+let num_stalls t =
+  Array.fold_left (fun acc s -> match s with Stall -> acc + 1 | Instr _ -> acc) 0 t.slots
+
+let order t =
+  let acc = ref [] in
+  for c = Array.length t.slots - 1 downto 0 do
+    match t.slots.(c) with Instr i -> acc := i :: !acc | Stall -> ()
+  done;
+  Array.of_list !acc
+
+let cycle t i = t.cycle_of.(i)
+
+let latency_pad (g : Ddg.Graph.t) order =
+  let n = g.n in
+  let cycle_of = Array.make n (-1) in
+  let rev_slots = ref [] in
+  let cycle = ref 0 in
+  Array.iter
+    (fun i ->
+      (* Earliest cycle satisfying all predecessor latencies. *)
+      let earliest = ref !cycle in
+      Array.iter
+        (fun (p, lat) ->
+          if cycle_of.(p) < 0 then invalid_arg "Schedule.latency_pad: order violates dependences";
+          earliest := max !earliest (cycle_of.(p) + max lat 1))
+        g.preds.(i);
+      while !cycle < !earliest do
+        rev_slots := Stall :: !rev_slots;
+        incr cycle
+      done;
+      rev_slots := Instr i :: !rev_slots;
+      cycle_of.(i) <- !cycle;
+      incr cycle)
+    order;
+  { graph = g; slots = Array.of_list (List.rev !rev_slots); cycle_of }
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun c s ->
+      match s with
+      | Stall -> Buffer.add_string buf (Printf.sprintf "%4d: (stall)\n" c)
+      | Instr i ->
+          Buffer.add_string buf
+            (Printf.sprintf "%4d: %s\n" c (Ir.Instr.to_string (Ddg.Graph.instr t.graph i))))
+    t.slots;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,60 @@
+(** Instruction schedules.
+
+    A schedule assigns a machine cycle to each instruction. Under the
+    paper's single-issue model a schedule is a sequence of slots, one per
+    cycle, each either an instruction or a stall; the cycle of an
+    instruction is its slot index (Figure 1.b/1.c).
+
+    Pass 1 of the two-pass approach ignores latencies, so its schedules
+    are plain orders (no stalls) validated only against dependence
+    ordering; pass 2 schedules must also respect latencies. *)
+
+type slot = Stall | Instr of int
+
+type t = private {
+  graph : Ddg.Graph.t;
+  slots : slot array;
+  cycle_of : int array;  (** instruction id -> cycle (slot index) *)
+}
+
+type violation =
+  | Missing of int  (** instruction never scheduled *)
+  | Duplicated of int
+  | Unknown_instr of int
+  | Order_violation of { src : int; dst : int }
+      (** dependence source scheduled at or after its destination *)
+  | Latency_violation of { src : int; dst : int; need : int; got : int }
+
+val violation_to_string : violation -> string
+
+val of_slots : Ddg.Graph.t -> latency_aware:bool -> slot list -> (t, violation) result
+(** Build and validate. With [latency_aware:false] only completeness and
+    dependence order are checked; stalls are still permitted. *)
+
+val of_order : Ddg.Graph.t -> int array -> (t, violation) result
+(** Stall-free schedule from an instruction order (pass-1 form),
+    validated with [latency_aware:false]. *)
+
+val validate : t -> latency_aware:bool -> (unit, violation) result
+(** Re-check an existing schedule (used by the test suite on every
+    schedule any component produces). *)
+
+val length : t -> int
+(** Number of cycles (slots). *)
+
+val num_stalls : t -> int
+
+val order : t -> int array
+(** Instruction ids in issue order, stalls skipped. *)
+
+val cycle : t -> int -> int
+(** Cycle of an instruction. *)
+
+val latency_pad : Ddg.Graph.t -> int array -> t
+(** [latency_pad g order] inserts the minimum stalls into [order] to make
+    it latency-feasible — how pass 2 builds its initial schedule from the
+    pass-1 winner (the leftmost schedule of Figure 1.c). The order must
+    be a valid dependence order. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

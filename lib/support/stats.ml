@@ -1,0 +1,90 @@
+let nonempty name = function [] -> invalid_arg ("Stats." ^ name ^ ": empty") | xs -> xs
+
+let mean xs =
+  let xs = nonempty "mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = nonempty "geomean" xs in
+  let sum_logs =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (sum_logs /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare (nonempty "sorted" xs)
+
+let median xs =
+  let s = Array.of_list (sorted xs) in
+  let n = Array.length s in
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let percentile p xs =
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  let s = Array.of_list (sorted xs) in
+  let n = Array.length s in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+
+let stddev xs =
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let coeff_of_variation xs =
+  let m = mean xs in
+  if m = 0.0 then invalid_arg "Stats.coeff_of_variation: zero mean";
+  stddev xs /. m
+
+let min_max xs =
+  let xs = nonempty "min_max" xs in
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (List.hd xs, List.hd xs) xs
+
+type histogram = { bucket_edges : float array; counts : int array; total : int }
+
+let histogram ~edges xs =
+  let n = Array.length edges in
+  if n < 2 then invalid_arg "Stats.histogram: need at least 2 edges";
+  let counts = Array.make (n - 1) 0 in
+  let place x =
+    (* Clamp out-of-range values into the boundary buckets so every
+       observation is visible in the figure. *)
+    let rec find i =
+      if i >= n - 2 then n - 2
+      else if x < edges.(i + 1) then i
+      else find (i + 1)
+    in
+    let i = if x < edges.(0) then 0 else find 0 in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter place xs;
+  { bucket_edges = edges; counts; total = List.length xs }
+
+let render_histogram ?(width = 50) ~title ~label h =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let maxc = Array.fold_left max 1 h.counts in
+  let label_width =
+    Array.to_list h.counts
+    |> List.mapi (fun i _ -> String.length (label i))
+    |> List.fold_left max 0
+  in
+  Array.iteri
+    (fun i c ->
+      let bar_len = c * width / maxc in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s | %s %d\n" label_width (label i)
+           (String.make bar_len '#') c))
+    h.counts;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Descriptive statistics used throughout the paper's evaluation:
+    geometric means for speedup ratios (Tables 3.a/3.b, Figure 4),
+    medians of repeated runs, coefficients of variation for the
+    scheduling-sensitivity filter (Section VI-A), and histogram rendering
+    for the speedup-distribution figures (Figures 2 and 3). *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of strictly positive values. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank interpolation. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val coeff_of_variation : float list -> float
+(** Standard deviation divided by mean; the scheduling-sensitivity
+    criterion of Section VI-A uses a 3% threshold on this. *)
+
+val min_max : float list -> float * float
+
+type histogram = { bucket_edges : float array; counts : int array; total : int }
+(** [counts.(i)] holds values in [\[edges.(i), edges.(i+1))]; the last
+    bucket is closed on the right. *)
+
+val histogram : edges:float array -> float list -> histogram
+(** Bucket values by the given (sorted, length >= 2) edges. Values outside
+    the edge range are clamped into the first/last bucket. *)
+
+val render_histogram :
+  ?width:int -> title:string -> label:(int -> string) -> histogram -> string
+(** ASCII bar chart, one row per bucket; [label i] names bucket [i]. *)

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?aligns ~title ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+        let a = if List.length a > ncols then List.filteri (fun i _ -> i < ncols) a else a in
+        a @ List.init (ncols - List.length a) (fun _ -> Right)
+    | None -> Left :: List.init (ncols - 1) (fun _ -> Right)
+  in
+  let all = header :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row c with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = match List.nth_opt row c with Some s -> s | None -> "" in
+          pad (List.nth aligns c) w cell)
+        widths
+    in
+    Buffer.add_string buf (String.concat " | " cells);
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.2f%%" (x *. 100.0)
+let pctf x = Printf.sprintf "%.2f%%" x
+let f2 x = Printf.sprintf "%.2f" x
+
+let int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every table in the paper's evaluation section is re-emitted by
+    [bench/main.exe] through this module so that the reproduction output
+    is directly comparable with the paper's rows. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~title ~header rows] draws an ASCII table. Columns default to
+    left alignment for the first column and right for the rest; pass
+    [?aligns] to override (shorter lists are padded with [Right]). *)
+
+val pct : float -> string
+(** Format a ratio-as-percentage with two decimals, e.g. [pct 0.0552] is
+    ["5.52%"]. *)
+
+val pctf : float -> string
+(** Format an already-in-percent float, e.g. [pctf 5.52] is ["5.52%"]. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)
+
+val int : int -> string
+(** Integer with thousands separators, e.g. ["181,883"]. *)

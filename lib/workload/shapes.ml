@@ -1,0 +1,173 @@
+module B = Ir.Builder
+
+(* Shared preamble: kernel-argument pointer in an SGPR plus a lane
+   address in a VGPR — present in virtually every real region. *)
+let preamble b =
+  let base = B.sload b ~name:"s_load_args" ~addr:[] () in
+  let lane = B.valu b ~name:"v_lane_addr" [] in
+  let addr = B.valu b ~name:"v_addr" [ lane ] in
+  (base, addr)
+
+(* Some vector ALU op, occasionally transcendental. *)
+let vop rng b uses =
+  if Support.Rng.bool rng 0.15 then B.valu_trans b ~name:"v_rcp" uses
+  else B.valu b ~name:"v_fma" uses
+
+let reduction rng ~items =
+  let b = B.create ~name:"reduction" in
+  let base, addr = preamble b in
+  let loads = List.init items (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  let rec tree = function
+    | [] -> invalid_arg "Shapes.reduction: items must be positive"
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | x :: y :: rest -> vop rng b [ x; y ] :: pair rest
+          | leftover -> leftover
+        in
+        tree (pair xs)
+  in
+  let total = tree loads in
+  B.vstore b ~data:[ total ] ~addr:[ base; addr ] ();
+  B.finish b
+
+let scan rng ~items =
+  let b = B.create ~name:"scan" in
+  let base, addr = preamble b in
+  let first = B.vload b ~addr:[ base; addr ] () in
+  let running = ref first in
+  for i = 1 to items - 1 do
+    let x = B.vload b ~addr:[ base; addr ] () in
+    running := vop rng b [ !running; x ];
+    (* Periodic LDS exchange of the running prefix, as in block scans. *)
+    if i mod 4 = 0 then begin
+      B.lds_write b ~data:[ !running ] ~addr:[ addr ] ();
+      let back = B.lds_read b ~addr:[ addr ] () in
+      running := B.valu b [ !running; back ]
+    end
+  done;
+  B.vstore b ~data:[ !running ] ~addr:[ base; addr ] ();
+  B.finish b
+
+let transform rng ~unroll ~chain =
+  let b = B.create ~name:"transform" in
+  let base, addr = preamble b in
+  let scale = B.vload b ~name:"v_load_scale" ~addr:[ base ] () in
+  (* Source order hoists every load to the top: the scheduler decides how
+     deep to re-interleave (latency hiding vs pressure). *)
+  let loads = List.init unroll (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  let outs =
+    List.map
+      (fun x ->
+        let rec go v k = if k = 0 then v else go (vop rng b [ v; scale ]) (k - 1) in
+        go x chain)
+      loads
+  in
+  List.iter (fun r -> B.vstore b ~data:[ r ] ~addr:[ base; addr ] ()) outs;
+  B.finish b
+
+let stencil rng ~outputs ~radius =
+  let b = B.create ~name:"stencil" in
+  let base, addr = preamble b in
+  let width = outputs + (2 * radius) in
+  let loads = Array.init width (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  for j = 0 to outputs - 1 do
+    let acc = ref loads.(j) in
+    for d = 1 to 2 * radius do
+      acc := vop rng b [ !acc; loads.(j + d) ]
+    done;
+    B.vstore b ~data:[ !acc ] ~addr:[ base; addr ] ()
+  done;
+  B.finish b
+
+let matmul_tile rng ~m ~k =
+  let b = B.create ~name:"matmul_tile" in
+  let base, addr = preamble b in
+  let accs = Array.init m (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  for _t = 0 to k - 1 do
+    let shared = B.vload b ~name:"v_load_b" ~addr:[ base; addr ] () in
+    for j = 0 to m - 1 do
+      let a = B.vload b ~name:"v_load_a" ~addr:[ base; addr ] () in
+      accs.(j) <- vop rng b [ accs.(j); a; shared ]
+    done
+  done;
+  Array.iter (fun acc -> B.vstore b ~data:[ acc ] ~addr:[ base; addr ] ()) accs;
+  B.finish b
+
+let histogram rng ~items =
+  let b = B.create ~name:"histogram" in
+  let base, addr = preamble b in
+  for _i = 0 to items - 1 do
+    let v = B.vload b ~addr:[ base; addr ] () in
+    let bin = vop rng b [ v ] in
+    let old = B.lds_read b ~addr:[ bin ] () in
+    let sum = B.valu b [ old; v ] in
+    B.lds_write b ~data:[ sum ] ~addr:[ bin ] ()
+  done;
+  B.finish b
+
+let sort_pass rng ~items =
+  let b = B.create ~name:"sort_pass" in
+  let base, addr = preamble b in
+  let keys = Array.init items (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  (* One bitonic-like compare/exchange stage with a couple of strides. *)
+  let stride = ref (max 1 (items / 2)) in
+  while !stride >= 1 do
+    let s = !stride in
+    for i = 0 to items - 1 - s do
+      if i land s = 0 then begin
+        let lo = keys.(i) and hi = keys.(i + s) in
+        let cmp = B.salu b ~name:"v_cmp_vcc" [ lo; hi ] in
+        keys.(i) <- B.valu b ~name:"v_min" [ lo; hi; cmp ];
+        keys.(i + s) <- vop rng b [ lo; hi; cmp ]
+      end
+    done;
+    stride := s / 2
+  done;
+  Array.iter (fun kkey -> B.vstore b ~data:[ kkey ] ~addr:[ base; addr ] ()) keys;
+  B.finish b
+
+let scalar_setup rng ~count =
+  let b = B.create ~name:"scalar_setup" in
+  let s = ref (B.sload b ~addr:[] ()) in
+  for _i = 1 to count - 1 do
+    s := (if Support.Rng.bool rng 0.3 then B.sload b ~addr:[ !s ] () else B.salu b [ !s ])
+  done;
+  B.mark_live_out b !s;
+  B.finish b
+
+let gather_compute rng ~lanes ~chain =
+  let b = B.create ~name:"gather_compute" in
+  let base, addr = preamble b in
+  let outs =
+    List.init lanes (fun _ ->
+        let x = B.vload b ~addr:[ base; addr ] () in
+        let rec go v k = if k = 0 then v else go (vop rng b [ v ]) (k - 1) in
+        go x chain)
+  in
+  List.iter (fun r -> B.vstore b ~data:[ r ] ~addr:[ base; addr ] ()) outs;
+  B.finish b
+
+let wide_accum rng ~accumulators ~rounds =
+  let b = B.create ~name:"wide_accum" in
+  let base, addr = preamble b in
+  let accs = Array.init accumulators (fun _ -> B.vload b ~addr:[ base; addr ] ()) in
+  for t = 0 to rounds - 1 do
+    let x = B.vload b ~addr:[ base; addr ] () in
+    let j = t mod accumulators in
+    accs.(j) <- vop rng b [ accs.(j); x ]
+  done;
+  (* tree-combine the accumulators *)
+  let rec tree = function
+    | [] -> invalid_arg "Shapes.wide_accum"
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | x :: y :: rest -> B.valu b [ x; y ] :: pair rest
+          | leftover -> leftover
+        in
+        tree (pair xs)
+  in
+  let total = tree (Array.to_list accs) in
+  B.vstore b ~data:[ total ] ~addr:[ base; addr ] ();
+  B.finish b

@@ -1,0 +1,51 @@
+(** Generators of rocPRIM-shaped scheduling regions.
+
+    The paper evaluates on the rocPRIM benchmarks — reusable GPU
+    primitives (reductions, scans, sorts, histograms, transforms) whose
+    kernels the scheduler sees only as regions with Def/Use sets,
+    latencies and register classes. Each generator below reproduces the
+    dependence structure of one primitive family, with the structural
+    features that make scheduling interesting:
+
+    - {!reduction}: wide load fan-in into a balanced combine tree —
+      ILP-rich, low pressure;
+    - {!scan}: a serial prefix chain with LDS traffic — latency-bound;
+    - {!transform}: independently unrolled load/compute/store lanes —
+      the classic pressure/latency tension (deep interleaving hides load
+      latency but keeps many values live);
+    - {!stencil}: loads shared by overlapping windows — breadth-first
+      orders keep every load live (greedy heuristics fall into this
+      trap; the paper's 300% occupancy win comes from such regions);
+    - {!matmul_tile}: persistent accumulators with streamed operands —
+      inherent pressure floor with a schedulable margin around the
+      occupancy buckets;
+    - {!histogram}: serialized LDS read-modify-write with hoistable
+      loads;
+    - {!sort_pass}: compare/exchange stages mixing vector, scalar and
+      LDS work;
+    - {!scalar_setup}: small scalar prologues (the bulk of real regions,
+      almost always already optimal).
+
+    All generators are deterministic in the provided generator state. *)
+
+val reduction : Support.Rng.t -> items:int -> Ir.Region.t
+val scan : Support.Rng.t -> items:int -> Ir.Region.t
+val transform : Support.Rng.t -> unroll:int -> chain:int -> Ir.Region.t
+val stencil : Support.Rng.t -> outputs:int -> radius:int -> Ir.Region.t
+val matmul_tile : Support.Rng.t -> m:int -> k:int -> Ir.Region.t
+val histogram : Support.Rng.t -> items:int -> Ir.Region.t
+val sort_pass : Support.Rng.t -> items:int -> Ir.Region.t
+val scalar_setup : Support.Rng.t -> count:int -> Ir.Region.t
+
+val gather_compute : Support.Rng.t -> lanes:int -> chain:int -> Ir.Region.t
+(** A handful of independent load-compute-store lanes. The RP-minimizing
+    order keeps one load in flight (long stalls once latencies are
+    padded), the ILP-optimal order overlaps all of them — the small
+    pass-2 regions with a large gap to the length lower bound that
+    dominate Table 3.b's [1-49] column. *)
+
+val wide_accum : Support.Rng.t -> accumulators:int -> rounds:int -> Ir.Region.t
+(** Unrolled multi-accumulator reduction: [accumulators] running sums
+    stay live across [rounds] of streamed loads, giving an inherent
+    pressure floor near the occupancy boundaries — the mid-sized pass-1
+    regions of Table 1 (average size ~68). *)

@@ -1,0 +1,275 @@
+let test_pheromone_basics () =
+  let p = Aco.Pheromone.create ~n:4 ~initial:1.0 in
+  Alcotest.(check int) "size" 4 (Aco.Pheromone.size p);
+  Alcotest.(check (float 1e-9)) "initial" 1.0 (Aco.Pheromone.get p ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "virtual start row" 1.0 (Aco.Pheromone.get p ~src:(-1) ~dst:2);
+  Aco.Pheromone.deposit p ~src:0 ~dst:1 0.5;
+  Alcotest.(check (float 1e-9)) "deposit" 1.5 (Aco.Pheromone.get p ~src:0 ~dst:1);
+  Aco.Pheromone.decay p 0.8;
+  Alcotest.(check (float 1e-9)) "decay" 1.2 (Aco.Pheromone.get p ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "decay others" 0.8 (Aco.Pheromone.get p ~src:1 ~dst:2);
+  Aco.Pheromone.reset p ~initial:2.0;
+  Alcotest.(check (float 1e-9)) "reset" 2.0 (Aco.Pheromone.get p ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-6)) "total" (20.0 *. 2.0) (Aco.Pheromone.total p)
+
+let test_pheromone_path_deposit () =
+  let p = Aco.Pheromone.create ~n:3 ~initial:0.0 in
+  Aco.Pheromone.deposit_path p [| 2; 0; 1 |] 1.0;
+  Alcotest.(check (float 1e-9)) "start link" 1.0 (Aco.Pheromone.get p ~src:(-1) ~dst:2);
+  Alcotest.(check (float 1e-9)) "2 -> 0" 1.0 (Aco.Pheromone.get p ~src:2 ~dst:0);
+  Alcotest.(check (float 1e-9)) "0 -> 1" 1.0 (Aco.Pheromone.get p ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "unused link untouched" 0.0 (Aco.Pheromone.get p ~src:1 ~dst:0)
+
+let test_pheromone_bounds () =
+  let p = Aco.Pheromone.create ~n:3 ~initial:0.0 in
+  Alcotest.check_raises "dst out of range" (Invalid_argument "Pheromone: out of range")
+    (fun () -> ignore (Aco.Pheromone.get p ~src:0 ~dst:3))
+
+let test_params_categories () =
+  Alcotest.(check int) "small" 0 (Aco.Params.size_category 49);
+  Alcotest.(check int) "medium" 1 (Aco.Params.size_category 50);
+  Alcotest.(check int) "large" 2 (Aco.Params.size_category 100);
+  Alcotest.(check int) "termination small" 1 (Aco.Params.termination_condition 10);
+  Alcotest.(check int) "termination medium" 2 (Aco.Params.termination_condition 70);
+  Alcotest.(check int) "termination large" 3 (Aco.Params.termination_condition 500)
+
+(* Stall-policy decision table on a crafted state: a region whose only
+   ready instruction would blow the target while a semi-ready exists. *)
+let stall_fixture () =
+  let g = Ddg.Graph.build (Tu.diamond_region ()) in
+  let rp = Sched.Rp_tracker.create g in
+  (g, rp)
+
+let test_stall_policy_fits () =
+  let _, rp = stall_fixture () in
+  let rng = Support.Rng.create 1 in
+  match
+    Aco.Stall_policy.classify ~rng ~allow_optional:true ~base_probability:1.0 ~rp
+      ~target_vgpr:10 ~target_sgpr:10 ~ready:[ 0 ] ~has_semi_ready:false
+      ~optional_stalls_so_far:0
+  with
+  | Aco.Stall_policy.Schedule_from [ 0 ] -> ()
+  | Aco.Stall_policy.Schedule_from _ | Aco.Stall_policy.Optional_stall
+  | Aco.Stall_policy.Forced_breach ->
+      Alcotest.fail "expected Schedule_from [0]"
+
+let test_stall_policy_breach_paths () =
+  let _, rp = stall_fixture () in
+  let rng = Support.Rng.create 1 in
+  (* target 0 VGPRs: everything breaches *)
+  (match
+     Aco.Stall_policy.classify ~rng ~allow_optional:true ~base_probability:1.0 ~rp
+       ~target_vgpr:(-1) ~target_sgpr:(-1) ~ready:[ 1 ] ~has_semi_ready:true
+       ~optional_stalls_so_far:0
+   with
+  | Aco.Stall_policy.Optional_stall -> ()
+  | _ -> Alcotest.fail "expected Optional_stall when waiting can help");
+  (match
+     Aco.Stall_policy.classify ~rng ~allow_optional:true ~base_probability:1.0 ~rp
+       ~target_vgpr:(-1) ~target_sgpr:(-1) ~ready:[ 1 ] ~has_semi_ready:false
+       ~optional_stalls_so_far:0
+   with
+  | Aco.Stall_policy.Forced_breach -> ()
+  | _ -> Alcotest.fail "expected Forced_breach when nothing is in flight");
+  match
+    Aco.Stall_policy.classify ~rng ~allow_optional:false ~base_probability:1.0 ~rp
+      ~target_vgpr:(-1) ~target_sgpr:(-1) ~ready:[ 1 ] ~has_semi_ready:true
+      ~optional_stalls_so_far:0
+  with
+  | Aco.Stall_policy.Forced_breach -> ()
+  | _ -> Alcotest.fail "expected Forced_breach in a no-stall wavefront"
+
+let run_ant mode g =
+  let ant = Aco.Ant.create g Tu.test_params in
+  let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+  Aco.Ant.start ant ~rng:(Support.Rng.create 5) ~heuristic:Sched.Heuristic.Critical_path
+    ~allow_optional_stalls:true mode;
+  Aco.Ant.run_to_completion ant ~pheromone;
+  ant
+
+let prop_ant_pass1_valid =
+  QCheck.Test.make ~name:"pass-1 ants build valid orders" ~count:60 (Tu.arb_graph ())
+    (fun g ->
+      let ant = run_ant Aco.Ant.Rp_pass g in
+      Aco.Ant.status ant = Aco.Ant.Finished
+      &&
+      match Aco.Ant.schedule ant with
+      | Some s -> Result.is_ok (Sched.Schedule.validate s ~latency_aware:false)
+      | None -> false)
+
+let prop_ant_pass2_valid_and_within_target =
+  QCheck.Test.make ~name:"pass-2 ants respect latencies and targets" ~count:60
+    (Tu.arb_graph ()) (fun g ->
+      (* A generous target lets every ant finish; validity still checked. *)
+      let ant = run_ant (Aco.Ant.Ilp_pass { target_vgpr = 1000; target_sgpr = 1000 }) g in
+      Aco.Ant.status ant = Aco.Ant.Finished
+      &&
+      match Aco.Ant.schedule ant with
+      | Some s ->
+          Result.is_ok (Sched.Schedule.validate s ~latency_aware:true)
+          && fst (Aco.Ant.rp_peaks ant) <= 1000
+      | None -> false)
+
+let prop_ant_dead_or_within_target =
+  QCheck.Test.make ~name:"pass-2 ants never exceed a tight target" ~count:60
+    (Tu.arb_graph ()) (fun g ->
+      (* Tight target: ants either die or stay within it. *)
+      let lbv = Ddg.Lower_bounds.register_pressure g Ir.Reg.Vgpr in
+      let target = lbv + 1 in
+      let ant = run_ant (Aco.Ant.Ilp_pass { target_vgpr = target; target_sgpr = 1000 }) g in
+      match Aco.Ant.status ant with
+      | Aco.Ant.Dead -> true
+      | Aco.Ant.Finished -> fst (Aco.Ant.rp_peaks ant) <= target
+      | Aco.Ant.Active -> false)
+
+let test_ant_work_accumulates () =
+  let g = Ddg.Graph.build (Tu.diamond_region ()) in
+  let ant = run_ant Aco.Ant.Rp_pass g in
+  Alcotest.(check bool) "work counted" true (Aco.Ant.work ant >= 3 * g.Ddg.Graph.n);
+  Alcotest.(check int) "order complete" g.Ddg.Graph.n (Array.length (Aco.Ant.order ant))
+
+let test_ant_step_requires_active () =
+  let g = Ddg.Graph.build (Tu.diamond_region ()) in
+  let ant = run_ant Aco.Ant.Rp_pass g in
+  let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+  Alcotest.check_raises "stepping a finished ant" (Invalid_argument "Ant.step: ant is not active")
+    (fun () -> ignore (Aco.Ant.step ant ~pheromone))
+
+let test_ant_kill () =
+  let g = Ddg.Graph.build (Tu.diamond_region ()) in
+  let ant = Aco.Ant.create g Tu.test_params in
+  Aco.Ant.start ant ~rng:(Support.Rng.create 1) ~heuristic:Sched.Heuristic.Critical_path
+    ~allow_optional_stalls:true Aco.Ant.Rp_pass;
+  Aco.Ant.kill ant;
+  Alcotest.(check bool) "killed" true (Aco.Ant.status ant = Aco.Ant.Dead);
+  Alcotest.(check bool) "no schedule from dead ant" true (Aco.Ant.schedule ant = None)
+
+let prop_seq_aco_final_valid =
+  QCheck.Test.make ~name:"sequential ACO emits valid schedules" ~count:25
+    (Tu.arb_graph ~max_size:25 ()) (fun g ->
+      let r = Aco.Seq_aco.run ~params:Tu.test_params ~seed:3 Tu.occ g in
+      Result.is_ok (Sched.Schedule.validate r.Aco.Seq_aco.schedule ~latency_aware:true))
+
+let prop_seq_aco_never_worse_rp =
+  QCheck.Test.make ~name:"ACO RP never worse than the heuristic's" ~count:25
+    (Tu.arb_graph ~max_size:25 ()) (fun g ->
+      let r = Aco.Seq_aco.run ~params:Tu.test_params ~seed:4 Tu.occ g in
+      Sched.Cost.compare_rp r.Aco.Seq_aco.cost.Sched.Cost.rp
+        r.Aco.Seq_aco.heuristic_cost.Sched.Cost.rp
+      <= 0)
+
+let prop_seq_aco_lb_respected =
+  QCheck.Test.make ~name:"final length >= LB; hit_lower_bound consistent" ~count:25
+    (Tu.arb_graph ~max_size:25 ()) (fun g ->
+      let lb = Ddg.Lower_bounds.schedule_length g in
+      let r = Aco.Seq_aco.run ~params:Tu.test_params ~seed:5 Tu.occ g in
+      r.Aco.Seq_aco.cost.Sched.Cost.length >= lb
+      && ((not r.Aco.Seq_aco.pass2.Aco.Seq_aco.hit_lower_bound)
+         || r.Aco.Seq_aco.cost.Sched.Cost.length = lb))
+
+let test_seq_aco_deterministic () =
+  let g = Ddg.Graph.build (Tu.random_region 77) in
+  let r1 = Aco.Seq_aco.run ~params:Tu.test_params ~seed:9 Tu.occ g in
+  let r2 = Aco.Seq_aco.run ~params:Tu.test_params ~seed:9 Tu.occ g in
+  Alcotest.(check int) "same final length" r1.Aco.Seq_aco.cost.Sched.Cost.length
+    r2.Aco.Seq_aco.cost.Sched.Cost.length;
+  Alcotest.(check int) "same iterations" r1.Aco.Seq_aco.pass2.Aco.Seq_aco.iterations
+    r2.Aco.Seq_aco.pass2.Aco.Seq_aco.iterations
+
+let test_seq_aco_improves_sort () =
+  (* A latency-rich region where greedy leaves stalls on the table. *)
+  let rng = Support.Rng.create 5 in
+  let g = Ddg.Graph.build (Workload.Shapes.sort_pass rng ~items:12) in
+  let params = { Tu.test_params with Aco.Params.ants_per_iteration = 64; max_iterations = 12 } in
+  let r = Aco.Seq_aco.run ~params ~seed:3 Tu.occ g in
+  Alcotest.(check bool) "no worse than heuristic length at equal RP" true
+    (r.Aco.Seq_aco.cost.Sched.Cost.length
+     <= r.Aco.Seq_aco.heuristic_cost.Sched.Cost.length
+    || Sched.Cost.compare_rp r.Aco.Seq_aco.cost.Sched.Cost.rp
+         r.Aco.Seq_aco.heuristic_cost.Sched.Cost.rp
+       < 0)
+
+let test_setup_invariants () =
+  let g = Ddg.Graph.build (Tu.random_region 123) in
+  let s = Aco.Setup.prepare Tu.occ g in
+  Alcotest.(check bool) "initial RP no worse than AMD's" true
+    (Sched.Cost.compare_rp s.Aco.Setup.pass1_initial_rp
+       s.Aco.Setup.amd_cost.Sched.Cost.rp
+    <= 0);
+  Alcotest.(check bool) "LB below initial" true
+    (Sched.Cost.compare_rp s.Aco.Setup.rp_lb s.Aco.Setup.pass1_initial_rp <= 0);
+  let padded = Aco.Setup.pass2_initial s ~best_pass1_order:s.Aco.Setup.pass1_initial_order in
+  Alcotest.(check bool) "padded initial valid" true (Tu.check_valid ~latency_aware:true padded);
+  Alcotest.(check bool) "length LB holds" true
+    (Sched.Schedule.length padded >= s.Aco.Setup.length_lb)
+
+let prop_aco_within_exact_bounds =
+  QCheck.Test.make ~name:"ACO length between exact optimum and the CP schedule" ~count:20
+    (Tu.arb_graph ~max_size:10 ()) (fun g ->
+      let opt = Sched.Brute_force.min_schedule_length g in
+      let r = Aco.Seq_aco.run ~params:Tu.test_params ~seed:6 Tu.occ g in
+      r.Aco.Seq_aco.cost.Sched.Cost.length >= opt)
+
+let test_aco_reaches_exact_optimum () =
+  (* Deterministic small instances where the search provably lands on the
+     brute-force optimum (fixed generator and search seeds). *)
+  List.iter
+    (fun seed ->
+      let g = Ddg.Graph.build (Tu.random_region ~max_size:11 seed) in
+      if g.Ddg.Graph.n <= 12 then begin
+        let opt = Sched.Brute_force.min_schedule_length g in
+        let params = { Tu.test_params with Aco.Params.ants_per_iteration = 32 } in
+        let r = Aco.Seq_aco.run ~params ~seed Tu.occ g in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d reaches the optimum" seed)
+          opt r.Aco.Seq_aco.cost.Sched.Cost.length
+      end)
+    [ 1; 3; 4; 5; 8 ]
+
+
+let prop_weighted_aco_valid =
+  QCheck.Test.make ~name:"weighted-sum ACO emits valid schedules" ~count:20
+    (Tu.arb_graph ~max_size:25 ()) (fun g ->
+      let r = Aco.Weighted_aco.run ~params:Tu.test_params ~seed:7 Tu.occ g in
+      Result.is_ok (Sched.Schedule.validate r.Aco.Weighted_aco.schedule ~latency_aware:true))
+
+let test_weighted_vs_two_pass_on_pressure () =
+  (* The design choice the paper made: on a register-hungry tile the
+     two-pass search protects occupancy better than the weighted sum. *)
+  let g = Ddg.Graph.build (Workload.Shapes.wide_accum (Support.Rng.create 5) ~accumulators:22 ~rounds:28) in
+  let params = { Tu.test_params with Aco.Params.ants_per_iteration = 64 } in
+  let two = Aco.Seq_aco.run ~params ~seed:3 Tu.occ g in
+  let weighted = Aco.Weighted_aco.run ~params ~seed:3 Tu.occ g in
+  Alcotest.(check bool) "two-pass occupancy at least matches weighted-sum" true
+    (two.Aco.Seq_aco.cost.Sched.Cost.rp.Sched.Cost.occupancy
+    >= weighted.Aco.Weighted_aco.cost.Sched.Cost.rp.Sched.Cost.occupancy)
+
+
+let suite =
+  [
+    Alcotest.test_case "pheromone basics" `Quick test_pheromone_basics;
+    Alcotest.test_case "pheromone path deposit" `Quick test_pheromone_path_deposit;
+    Alcotest.test_case "pheromone bounds" `Quick test_pheromone_bounds;
+    Alcotest.test_case "params categories" `Quick test_params_categories;
+    Alcotest.test_case "stall policy: fits" `Quick test_stall_policy_fits;
+    Alcotest.test_case "stall policy: breach paths" `Quick test_stall_policy_breach_paths;
+    Alcotest.test_case "ant work accumulates" `Quick test_ant_work_accumulates;
+    Alcotest.test_case "ant step requires active" `Quick test_ant_step_requires_active;
+    Alcotest.test_case "ant kill" `Quick test_ant_kill;
+    Alcotest.test_case "seq aco deterministic" `Quick test_seq_aco_deterministic;
+    Alcotest.test_case "seq aco on sort region" `Quick test_seq_aco_improves_sort;
+    Alcotest.test_case "setup invariants" `Quick test_setup_invariants;
+    Alcotest.test_case "aco reaches exact optimum" `Quick test_aco_reaches_exact_optimum;
+    Alcotest.test_case "weighted vs two-pass on pressure" `Quick test_weighted_vs_two_pass_on_pressure;
+  ]
+  @ Tu.qtests
+      [
+        prop_ant_pass1_valid;
+        prop_ant_pass2_valid_and_within_target;
+        prop_ant_dead_or_within_target;
+        prop_seq_aco_final_valid;
+        prop_seq_aco_never_worse_rp;
+        prop_seq_aco_lb_respected;
+        prop_aco_within_exact_bounds;
+        prop_weighted_aco_valid;
+      ]

@@ -1,0 +1,223 @@
+let build = Ddg.Graph.build
+
+let test_flow_edges_diamond () =
+  let g = build (Tu.diamond_region ()) in
+  (* 0:s_load 1:v_load 2:valu 3:valu 4:valu 5:store *)
+  Alcotest.(check (option int)) "s_load -> v_load carries s_load latency"
+    (Some (Ir.Opcode.default_latency Ir.Opcode.Smem_load))
+    (Ddg.Graph.latency_between g 0 1);
+  Alcotest.(check (option int)) "v_load -> valu carries load latency"
+    (Some (Ir.Opcode.default_latency Ir.Opcode.Vmem_load))
+    (Ddg.Graph.latency_between g 1 2);
+  Alcotest.(check (option int)) "no edge between independent" None
+    (Ddg.Graph.latency_between g 2 3);
+  Alcotest.(check (list int)) "roots" [ 0 ] (Ddg.Graph.roots g);
+  Alcotest.(check (list int)) "leaves" [ 5 ] (Ddg.Graph.leaves g)
+
+let test_anti_output_edges () =
+  (* non-SSA sequence: v0 = ...; use v0; v0 = ... again *)
+  let v0 = Ir.Reg.vgpr 0 and v1 = Ir.Reg.vgpr 1 in
+  let instrs =
+    [
+      Ir.Instr.make ~id:0 ~kind:Ir.Opcode.Valu ~defs:[ v0 ] ~uses:[] ();
+      Ir.Instr.make ~id:1 ~kind:Ir.Opcode.Valu ~defs:[ v1 ] ~uses:[ v0 ] ();
+      Ir.Instr.make ~id:2 ~kind:Ir.Opcode.Valu ~defs:[ v0 ] ~uses:[] ();
+    ]
+  in
+  let g = build (Ir.Region.create_exn ~name:"antiout" instrs) in
+  Alcotest.(check bool) "output dep 0->2" true (Ddg.Graph.latency_between g 0 2 <> None);
+  Alcotest.(check bool) "anti dep 1->2" true (Ddg.Graph.latency_between g 1 2 <> None)
+
+let test_mem_ordering () =
+  let b = Ir.Builder.create ~name:"mem" in
+  let a = Ir.Builder.valu b [] in
+  Ir.Builder.vstore b ~data:[ a ] ~addr:[ a ] ();
+  let l = Ir.Builder.vload b ~addr:[ a ] () in
+  Ir.Builder.vstore b ~data:[ l ] ~addr:[ a ] ();
+  let g = build (Ir.Builder.finish b) in
+  (* store(1) -> load(2), load(2) -> store(3), store(1) -> store(3) *)
+  Alcotest.(check bool) "store->load ordered" true (Ddg.Graph.latency_between g 1 2 <> None);
+  Alcotest.(check bool) "load->store ordered" true (Ddg.Graph.latency_between g 2 3 <> None);
+  Alcotest.(check bool) "store->store ordered" true (Ddg.Graph.latency_between g 1 3 <> None)
+
+let test_scalar_loads_not_ordered () =
+  let b = Ir.Builder.create ~name:"sload" in
+  let a = Ir.Builder.valu b [] in
+  Ir.Builder.vstore b ~data:[ a ] ~addr:[ a ] ();
+  let s = Ir.Builder.sload b ~addr:[] () in
+  ignore s;
+  let g = build (Ir.Builder.finish b) in
+  Alcotest.(check (option int)) "scalar load independent of store" None
+    (Ddg.Graph.latency_between g 1 2)
+
+let test_branch_depends_on_all () =
+  let b = Ir.Builder.create ~name:"br" in
+  let x = Ir.Builder.valu b [] in
+  let y = Ir.Builder.valu b [ x ] in
+  ignore y;
+  Ir.Builder.emit b Ir.Opcode.Branch ~defs:[] ~uses:[];
+  let g = build (Ir.Builder.finish b) in
+  Alcotest.(check bool) "0 -> branch" true (Ddg.Graph.latency_between g 0 2 <> None);
+  Alcotest.(check bool) "1 -> branch" true (Ddg.Graph.latency_between g 1 2 <> None)
+
+let prop_edges_forward =
+  QCheck.Test.make ~name:"all DDG edges point forward in program order" ~count:100
+    (Tu.arb_graph ()) (fun g ->
+      Array.for_all (fun (e : Ddg.Graph.edge) -> e.Ddg.Graph.src < e.Ddg.Graph.dst)
+        g.Ddg.Graph.edges)
+
+let prop_preds_succs_consistent =
+  QCheck.Test.make ~name:"preds and succs are mirror images" ~count:100 (Tu.arb_graph ())
+    (fun g ->
+      let ok = ref true in
+      for i = 0 to g.Ddg.Graph.n - 1 do
+        Array.iter
+          (fun (j, lat) ->
+            if not (Array.exists (fun (p, l) -> p = i && l = lat) g.Ddg.Graph.preds.(j)) then
+              ok := false)
+          g.Ddg.Graph.succs.(i)
+      done;
+      !ok)
+
+let test_topo_order_valid () =
+  let g = build (Tu.diamond_region ()) in
+  Alcotest.(check bool) "order is topological" true (Ddg.Topo.is_topological g (Ddg.Topo.order g))
+
+let test_topo_rejects_bad_orders () =
+  let g = build (Tu.diamond_region ()) in
+  Alcotest.(check bool) "reversed is not topological" false
+    (Ddg.Topo.is_topological g (Ddg.Topo.reverse_order g));
+  Alcotest.(check bool) "wrong length rejected" false (Ddg.Topo.is_topological g [| 0; 1 |]);
+  Alcotest.(check bool) "duplicate rejected" false
+    (Ddg.Topo.is_topological g [| 0; 0; 1; 2; 3; 4 |])
+
+let prop_topo_valid =
+  QCheck.Test.make ~name:"Kahn order always topological" ~count:100 (Tu.arb_graph ())
+    (fun g -> Ddg.Topo.is_topological g (Ddg.Topo.order g))
+
+(* Naive reachability by DFS, for cross-checking the bitset closure. *)
+let naive_reaches (g : Ddg.Graph.t) src dst =
+  let visited = Array.make g.Ddg.Graph.n false in
+  let rec dfs i =
+    Array.exists
+      (fun (j, _) -> j = dst || ((not visited.(j)) && (visited.(j) <- true; dfs j)))
+      g.Ddg.Graph.succs.(i)
+  in
+  dfs src
+
+let prop_closure_matches_dfs =
+  QCheck.Test.make ~name:"closure = DFS reachability" ~count:40 (Tu.arb_graph ~max_size:25 ())
+    (fun g ->
+      let c = Ddg.Closure.compute g in
+      let ok = ref true in
+      for i = 0 to g.Ddg.Graph.n - 1 do
+        for j = 0 to g.Ddg.Graph.n - 1 do
+          if i <> j && Ddg.Closure.reaches c i j <> naive_reaches g i j then ok := false
+        done
+      done;
+      !ok)
+
+let prop_independent_symmetric =
+  QCheck.Test.make ~name:"independence is symmetric" ~count:40 (Tu.arb_graph ~max_size:20 ())
+    (fun g ->
+      let c = Ddg.Closure.compute g in
+      let ok = ref true in
+      for i = 0 to g.Ddg.Graph.n - 1 do
+        for j = 0 to g.Ddg.Graph.n - 1 do
+          if Ddg.Closure.independent c i j <> Ddg.Closure.independent c j i then ok := false
+        done
+      done;
+      !ok)
+
+let prop_ready_ub_holds =
+  QCheck.Test.make ~name:"ready-list UB bounds observed ready sizes" ~count:60
+    (Tu.arb_graph ()) (fun g ->
+      let c = Ddg.Closure.compute g in
+      let ub = Ddg.Closure.ready_list_upper_bound c in
+      let rl = Sched.Ready_list.create ~latency_aware:true g in
+      let ok = ref true in
+      while not (Sched.Ready_list.finished rl) do
+        if Sched.Ready_list.ready_count rl > ub then ok := false;
+        if Sched.Ready_list.ready_count rl > 0 then
+          Sched.Ready_list.schedule rl (Sched.Ready_list.ready rl 0)
+        else Sched.Ready_list.stall rl
+      done;
+      !ok)
+
+let test_closure_example_figure1 () =
+  (* A chain a->b->c plus two independent nodes: max independent = 2 for
+     the chain members... construct a small graph and check the counts. *)
+  let b = Ir.Builder.create ~name:"cl" in
+  let x = Ir.Builder.valu b [] in
+  let y = Ir.Builder.valu b [ x ] in
+  ignore (Ir.Builder.valu b [ y ]);
+  ignore (Ir.Builder.valu b []);
+  (* independent of the chain *)
+  let g = build (Ir.Builder.finish b) in
+  let c = Ddg.Closure.compute g in
+  Alcotest.(check int) "chain head independents" 1 (Ddg.Closure.independent_count c 0);
+  Alcotest.(check int) "lone node independents" 3 (Ddg.Closure.independent_count c 3);
+  Alcotest.(check int) "UB = max + 1" 4 (Ddg.Closure.ready_list_upper_bound c)
+
+let test_critpath_diamond () =
+  let g = build (Tu.diamond_region ()) in
+  let cp = Ddg.Critpath.compute g in
+  let sl = Ir.Opcode.default_latency Ir.Opcode.Smem_load in
+  let vl = Ir.Opcode.default_latency Ir.Opcode.Vmem_load in
+  (* 0:s_load 1:v_load 2/3:valu 4:valu 5:store *)
+  Alcotest.(check int) "fwd at root" 0 (Ddg.Critpath.forward cp 0);
+  Alcotest.(check int) "fwd at v_load" sl (Ddg.Critpath.forward cp 1);
+  Alcotest.(check int) "fwd at mid" (sl + vl) (Ddg.Critpath.forward cp 2);
+  Alcotest.(check int) "fwd at join" (sl + vl + 1) (Ddg.Critpath.forward cp 4);
+  Alcotest.(check int) "bwd at root" (sl + vl + 2) (Ddg.Critpath.backward cp 0);
+  Alcotest.(check int) "bwd at leaf" 0 (Ddg.Critpath.backward cp 5);
+  Alcotest.(check int) "cp length" (sl + vl + 2) (Ddg.Critpath.critical_path_length cp)
+
+let prop_length_lb_sound =
+  QCheck.Test.make ~name:"length LB <= every list schedule" ~count:60 (Tu.arb_graph ())
+    (fun g ->
+      let lb = Ddg.Lower_bounds.schedule_length g in
+      List.for_all
+        (fun h -> Sched.Schedule.length (Sched.List_scheduler.run g h) >= lb)
+        Sched.Heuristic.all)
+
+let prop_rp_lb_sound =
+  QCheck.Test.make ~name:"RP LB <= peak of every list schedule" ~count:60 (Tu.arb_graph ())
+    (fun g ->
+      List.for_all
+        (fun h ->
+          let s = Sched.List_scheduler.run g h in
+          let peaks = Sched.Rp_tracker.naive_peaks g (Sched.Schedule.order s) in
+          peaks Ir.Reg.Vgpr >= Ddg.Lower_bounds.register_pressure g Ir.Reg.Vgpr
+          && peaks Ir.Reg.Sgpr >= Ddg.Lower_bounds.register_pressure g Ir.Reg.Sgpr)
+        Sched.Heuristic.all)
+
+let test_to_dot () =
+  let g = build (Tu.diamond_region ()) in
+  let dot = Ddg.Graph.to_dot g in
+  Alcotest.(check bool) "dot output non-trivial" true (String.length dot > 50)
+
+let suite =
+  [
+    Alcotest.test_case "flow edges + latencies" `Quick test_flow_edges_diamond;
+    Alcotest.test_case "anti/output edges" `Quick test_anti_output_edges;
+    Alcotest.test_case "memory ordering" `Quick test_mem_ordering;
+    Alcotest.test_case "scalar loads unordered" `Quick test_scalar_loads_not_ordered;
+    Alcotest.test_case "branch is a sink" `Quick test_branch_depends_on_all;
+    Alcotest.test_case "topo order valid" `Quick test_topo_order_valid;
+    Alcotest.test_case "topo rejects bad orders" `Quick test_topo_rejects_bad_orders;
+    Alcotest.test_case "closure small example" `Quick test_closure_example_figure1;
+    Alcotest.test_case "critical path diamond" `Quick test_critpath_diamond;
+    Alcotest.test_case "dot rendering" `Quick test_to_dot;
+  ]
+  @ Tu.qtests
+      [
+        prop_edges_forward;
+        prop_preds_succs_consistent;
+        prop_topo_valid;
+        prop_closure_matches_dfs;
+        prop_independent_symmetric;
+        prop_ready_ub_holds;
+        prop_length_lb_sound;
+        prop_rp_lb_sound;
+      ]

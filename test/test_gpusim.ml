@@ -1,0 +1,250 @@
+let mk_event op ~scanned ~succs =
+  { Aco.Ant.op; ready_scanned = scanned; succs_updated = succs }
+
+let sel ~explored = Aco.Ant.Selected { instr = 0; explored }
+
+let test_divergence_single_path () =
+  let events =
+    [ mk_event (sel ~explored:false) ~scanned:5 ~succs:2;
+      mk_event (sel ~explored:false) ~scanned:3 ~succs:1 ]
+  in
+  let c = Gpusim.Divergence.step_charge events in
+  Alcotest.(check int) "one path" 1 c.Gpusim.Divergence.distinct_paths;
+  Alcotest.(check int) "cost = max lane" 10 c.Gpusim.Divergence.serialized_ops;
+  Alcotest.(check int) "floor = same" 10 c.Gpusim.Divergence.max_single_path_ops
+
+let test_divergence_two_paths () =
+  let events =
+    [ mk_event (sel ~explored:false) ~scanned:5 ~succs:2;
+      mk_event (sel ~explored:true) ~scanned:3 ~succs:1;
+      mk_event Aco.Ant.Mandatory_stall ~scanned:0 ~succs:0 ]
+  in
+  let c = Gpusim.Divergence.step_charge events in
+  Alcotest.(check int) "three paths" 3 c.Gpusim.Divergence.distinct_paths;
+  (* 10 + 7 + 3 *)
+  Alcotest.(check int) "serialized sums maxima" 20 c.Gpusim.Divergence.serialized_ops;
+  Alcotest.(check int) "floor is overall max" 10 c.Gpusim.Divergence.max_single_path_ops
+
+let test_divergence_empty () =
+  let c = Gpusim.Divergence.step_charge [] in
+  Alcotest.(check int) "zero" 0 c.Gpusim.Divergence.serialized_ops
+
+let prop_divergence_dominates =
+  QCheck.Test.make ~name:"serialized >= single-path floor" ~count:200
+    QCheck.(small_list (pair (int_bound 4) (pair (int_bound 30) (int_bound 10))))
+    (fun raw ->
+      let ops =
+        [| sel ~explored:false; sel ~explored:true; Aco.Ant.Mandatory_stall;
+           Aco.Ant.Optional_stall; Aco.Ant.Died |]
+      in
+      let events =
+        List.map (fun (k, (scanned, succs)) -> mk_event ops.(k) ~scanned ~succs) raw
+      in
+      let c = Gpusim.Divergence.step_charge events in
+      c.Gpusim.Divergence.serialized_ops >= c.Gpusim.Divergence.max_single_path_ops)
+
+let test_mem_coalescing () =
+  let coalesced = Tu.test_gpu in
+  let uncoalesced =
+    Gpusim.Config.with_opts Tu.test_gpu Gpusim.Config.opts_no_memory
+  in
+  let reads = [ 4; 7; 2; 7 ] in
+  Alcotest.(check int) "coalesced = max" 7
+    (Gpusim.Mem_model.step_transactions coalesced ~reads_per_lane:reads);
+  Alcotest.(check int) "uncoalesced = sum" 20
+    (Gpusim.Mem_model.step_transactions uncoalesced ~reads_per_lane:reads);
+  Alcotest.(check int) "empty wavefront" 0
+    (Gpusim.Mem_model.step_transactions coalesced ~reads_per_lane:[])
+
+let prop_coalescing_never_worse =
+  QCheck.Test.make ~name:"coalesced transactions <= uncoalesced" ~count:200
+    QCheck.(small_list (int_bound 50))
+    (fun reads ->
+      let c = Gpusim.Mem_model.step_transactions Tu.test_gpu ~reads_per_lane:reads in
+      let u =
+        Gpusim.Mem_model.step_transactions
+          (Gpusim.Config.with_opts Tu.test_gpu Gpusim.Config.opts_no_memory)
+          ~reads_per_lane:reads
+      in
+      c <= u)
+
+let test_mem_sizing () =
+  let tight = Gpusim.Mem_model.words_per_thread Tu.test_gpu ~n:100 ~ready_ub:10 in
+  let loose =
+    Gpusim.Mem_model.words_per_thread
+      (Gpusim.Config.with_opts Tu.test_gpu Gpusim.Config.opts_no_memory)
+      ~n:100 ~ready_ub:10
+  in
+  Alcotest.(check bool) "tight bound shrinks arrays" true (tight < loose);
+  let batched = Gpusim.Mem_model.setup_time_ns Tu.test_gpu ~n:100 ~ready_ub:10 in
+  let unbatched =
+    Gpusim.Mem_model.setup_time_ns
+      (Gpusim.Config.with_opts Tu.test_gpu Gpusim.Config.opts_no_memory)
+      ~n:100 ~ready_ub:10
+  in
+  Alcotest.(check bool) "batched setup cheaper" true (batched < unbatched)
+
+let test_reduction_matches_fold () =
+  let a = [| (5, 0); (3, 1); (9, 2); (3, 3) |] in
+  Alcotest.(check (pair int int)) "min with lowest index on ties" (3, 1)
+    (Gpusim.Reduction.min_reduce a)
+
+let prop_reduction_correct =
+  QCheck.Test.make ~name:"tree reduction = sequential min" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) int)
+    (fun xs ->
+      let a = Array.of_list (List.mapi (fun i x -> (x, i)) xs) in
+      let tree = Gpusim.Reduction.min_reduce a in
+      let seq =
+        Array.fold_left
+          (fun (bc, bi) (c, i) -> if c < bc || (c = bc && i < bi) then (c, i) else (bc, bi))
+          a.(0) a
+      in
+      tree = seq)
+
+let test_reduction_empty () =
+  Alcotest.check_raises "empty reduction" (Invalid_argument "Reduction.min_reduce: empty")
+    (fun () -> ignore (Gpusim.Reduction.min_reduce [||]))
+
+let test_kernel_sim_construction_time () =
+  let config = Tu.test_gpu in
+  (* Fewer wavefronts than SIMDs: wall = max. *)
+  Alcotest.(check (float 1e-9)) "max rule" 7.0
+    (Gpusim.Kernel_sim.construction_time_ns config ~wavefront_times:[| 3.0; 7.0 |]);
+  (* More wavefronts than SIMDs: same SIMD accumulates. *)
+  let simds = Machine.Target.total_simds config.Gpusim.Config.target in
+  let times = Array.make (simds + 1) 1.0 in
+  Alcotest.(check (float 1e-9)) "round-robin accumulation" 2.0
+    (Gpusim.Kernel_sim.construction_time_ns config ~wavefront_times:times)
+
+let test_kernel_sim_pass_time_includes_overheads () =
+  let config = Tu.test_gpu in
+  let t = Gpusim.Kernel_sim.pass_time_ns config ~n:50 ~ready_ub:10 ~iteration_times:[ 1000.0 ] in
+  Alcotest.(check bool) "launch overhead dominates small kernels" true
+    (t > config.Gpusim.Config.launch_overhead_ns)
+
+let run_wavefront ?(opts = Gpusim.Config.opts_paper) mode g =
+  let config = Gpusim.Config.with_opts Tu.test_gpu opts in
+  let w =
+    Gpusim.Wavefront.create config g Tu.test_params ~heuristic:Sched.Heuristic.Critical_path
+      ~allow_optional_stalls:true
+  in
+  let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+  Gpusim.Wavefront.run_iteration w ~rng:(Support.Rng.create 3) ~mode ~pheromone
+
+let test_wavefront_pass1_all_finish () =
+  let g = Ddg.Graph.build (Tu.random_region 9) in
+  let o = run_wavefront Aco.Ant.Rp_pass g in
+  Alcotest.(check int) "all lanes finish in pass 1" 64
+    (List.length o.Gpusim.Wavefront.finished);
+  Alcotest.(check int) "pass-1 lockstep steps = n" g.Ddg.Graph.n o.Gpusim.Wavefront.steps;
+  Alcotest.(check bool) "time positive" true (o.Gpusim.Wavefront.time_ns > 0.0);
+  Alcotest.(check bool) "divergence floor" true
+    (o.Gpusim.Wavefront.serialized_ops >= o.Gpusim.Wavefront.single_path_ops);
+  List.iter
+    (fun ant ->
+      match Aco.Ant.schedule ant with
+      | Some s ->
+          Alcotest.(check bool) "lane schedule valid" true
+            (Result.is_ok (Sched.Schedule.validate s ~latency_aware:false))
+      | None -> Alcotest.fail "finished lane without schedule")
+    o.Gpusim.Wavefront.finished
+
+let test_wavefront_early_termination () =
+  let g = Ddg.Graph.build (Tu.random_region 21) in
+  let on = run_wavefront ~opts:Gpusim.Config.opts_paper (Aco.Ant.Ilp_pass { target_vgpr = 1000; target_sgpr = 1000 }) g in
+  let off =
+    run_wavefront ~opts:Gpusim.Config.opts_no_divergence
+      (Aco.Ant.Ilp_pass { target_vgpr = 1000; target_sgpr = 1000 })
+      g
+  in
+  Alcotest.(check bool) "early termination keeps only first finishers" true
+    (List.length on.Gpusim.Wavefront.finished <= List.length off.Gpusim.Wavefront.finished);
+  Alcotest.(check bool) "some lane finishes either way" true
+    (on.Gpusim.Wavefront.finished <> [] && off.Gpusim.Wavefront.finished <> [])
+
+let par_run ?(config = Tu.test_gpu) seed g =
+  let params =
+    { Tu.test_params with Aco.Params.ants_per_iteration = Gpusim.Config.threads config }
+  in
+  Gpusim.Par_aco.run ~params ~seed config Tu.occ g
+
+let prop_par_aco_valid =
+  QCheck.Test.make ~name:"parallel ACO emits valid schedules" ~count:15
+    (Tu.arb_graph ~max_size:20 ()) (fun g ->
+      let r = par_run 7 g in
+      Result.is_ok (Sched.Schedule.validate r.Gpusim.Par_aco.schedule ~latency_aware:true))
+
+let prop_par_aco_never_worse_rp =
+  QCheck.Test.make ~name:"parallel ACO RP never worse than heuristic" ~count:15
+    (Tu.arb_graph ~max_size:20 ()) (fun g ->
+      let r = par_run 8 g in
+      Sched.Cost.compare_rp r.Gpusim.Par_aco.cost.Sched.Cost.rp
+        r.Gpusim.Par_aco.heuristic_cost.Sched.Cost.rp
+      <= 0)
+
+let test_par_aco_times_positive () =
+  let g = Ddg.Graph.build (Workload.Shapes.transform (Support.Rng.create 2) ~unroll:8 ~chain:3) in
+  let r = par_run 9 g in
+  if r.Gpusim.Par_aco.pass2.Gpusim.Par_aco.invoked then begin
+    Alcotest.(check bool) "gpu time positive" true
+      (r.Gpusim.Par_aco.pass2.Gpusim.Par_aco.time_ns > 0.0);
+    Alcotest.(check bool) "work positive" true (r.Gpusim.Par_aco.pass2.Gpusim.Par_aco.work > 0)
+  end;
+  Alcotest.(check bool) "total time includes overhead when invoked" true
+    (Gpusim.Par_aco.total_time_ns r >= 0.0)
+
+let test_par_aco_deterministic () =
+  let g = Ddg.Graph.build (Tu.random_region 31) in
+  let r1 = par_run 11 g and r2 = par_run 11 g in
+  Alcotest.(check int) "same length" r1.Gpusim.Par_aco.cost.Sched.Cost.length
+    r2.Gpusim.Par_aco.cost.Sched.Cost.length;
+  Alcotest.(check (float 1e-6)) "same simulated time"
+    (Gpusim.Par_aco.total_time_ns r1) (Gpusim.Par_aco.total_time_ns r2)
+
+let test_memory_opts_speed_up () =
+  let g = Ddg.Graph.build (Workload.Shapes.transform (Support.Rng.create 4) ~unroll:10 ~chain:4) in
+  let fast = par_run ~config:Tu.test_gpu 13 g in
+  let slow =
+    par_run ~config:(Gpusim.Config.with_opts Tu.test_gpu Gpusim.Config.opts_no_memory) 13 g
+  in
+  Alcotest.(check bool) "coalesced build is faster" true
+    (Gpusim.Par_aco.total_time_ns fast < Gpusim.Par_aco.total_time_ns slow)
+
+let test_cpu_model () =
+  let t = Gpusim.Cpu_model.pass_time_ns Tu.test_gpu ~work:1000 in
+  Alcotest.(check (float 1e-9)) "work x ns/op"
+    (1000.0 *. Tu.test_gpu.Gpusim.Config.cpu_ns_per_op) t;
+  Alcotest.(check (float 1e-12)) "seconds" 1e-3 (Gpusim.Cpu_model.seconds 1e6)
+
+let test_config_threads () =
+  Alcotest.(check int) "threads = wavefronts x 64" (2 * 64) (Gpusim.Config.threads Tu.test_gpu);
+  Alcotest.(check int) "paper geometry" (180 * 64) (Gpusim.Config.threads Gpusim.Config.default)
+
+let suite =
+  [
+    Alcotest.test_case "divergence single path" `Quick test_divergence_single_path;
+    Alcotest.test_case "divergence two paths" `Quick test_divergence_two_paths;
+    Alcotest.test_case "divergence empty" `Quick test_divergence_empty;
+    Alcotest.test_case "memory coalescing rule" `Quick test_mem_coalescing;
+    Alcotest.test_case "memory sizing" `Quick test_mem_sizing;
+    Alcotest.test_case "reduction matches fold" `Quick test_reduction_matches_fold;
+    Alcotest.test_case "reduction empty" `Quick test_reduction_empty;
+    Alcotest.test_case "kernel construction time" `Quick test_kernel_sim_construction_time;
+    Alcotest.test_case "kernel pass overheads" `Quick test_kernel_sim_pass_time_includes_overheads;
+    Alcotest.test_case "wavefront pass-1 lockstep" `Quick test_wavefront_pass1_all_finish;
+    Alcotest.test_case "wavefront early termination" `Quick test_wavefront_early_termination;
+    Alcotest.test_case "par aco times" `Quick test_par_aco_times_positive;
+    Alcotest.test_case "par aco deterministic" `Quick test_par_aco_deterministic;
+    Alcotest.test_case "memory opts speed up" `Quick test_memory_opts_speed_up;
+    Alcotest.test_case "cpu model" `Quick test_cpu_model;
+    Alcotest.test_case "config threads" `Quick test_config_threads;
+  ]
+  @ Tu.qtests
+      [
+        prop_divergence_dominates;
+        prop_coalescing_never_worse;
+        prop_reduction_correct;
+        prop_par_aco_valid;
+        prop_par_aco_never_worse_rp;
+      ]

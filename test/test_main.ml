@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "gpu-aco-sched"
+    [
+      ("support", Test_support.suite);
+      ("ir", Test_ir.suite);
+      ("ddg", Test_ddg.suite);
+      ("machine", Test_machine.suite);
+      ("sched", Test_sched.suite);
+      ("aco", Test_aco.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("workload", Test_workload.suite);
+      ("pipeline", Test_pipeline.suite);
+    ]

@@ -1,0 +1,196 @@
+let test_rng_determinism () =
+  let a = Support.Rng.create 42 and b = Support.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Support.Rng.int64 a) (Support.Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Support.Rng.create 1 and b = Support.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Support.Rng.int64 a) (Support.Rng.int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Support.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Support.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Support.Rng.float rng in
+    Alcotest.(check bool) "unit interval" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Support.Rng.create 3 in
+  let c1 = Support.Rng.split parent in
+  let c2 = Support.Rng.split parent in
+  Alcotest.(check bool) "children differ" false
+    (Int64.equal (Support.Rng.int64 c1) (Support.Rng.int64 c2))
+
+let test_rng_copy () =
+  let a = Support.Rng.create 9 in
+  ignore (Support.Rng.int64 a);
+  let b = Support.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Support.Rng.int64 a) (Support.Rng.int64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Support.Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Support.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_bitset_basic () =
+  let s = Support.Bitset.create 200 in
+  Alcotest.(check bool) "empty" true (Support.Bitset.is_empty s);
+  Support.Bitset.add s 0;
+  Support.Bitset.add s 63;
+  Support.Bitset.add s 199;
+  Alcotest.(check int) "cardinal" 3 (Support.Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Support.Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 100" false (Support.Bitset.mem s 100);
+  Support.Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Support.Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 199 ] (Support.Bitset.to_list s)
+
+let test_bitset_out_of_range () =
+  let s = Support.Bitset.create 10 in
+  Alcotest.check_raises "add out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Support.Bitset.add s 10)
+
+let bitset_of_list n l = Support.Bitset.of_list n l
+
+let prop_bitset_union =
+  QCheck.Test.make ~name:"bitset union = list union" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = bitset_of_list 100 xs and b = bitset_of_list 100 ys in
+      Support.Bitset.union_into ~into:a b;
+      Support.Bitset.to_list a = List.sort_uniq compare (xs @ ys))
+
+let prop_bitset_inter =
+  QCheck.Test.make ~name:"inter_cardinal = list intersection size" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = bitset_of_list 100 xs and b = bitset_of_list 100 ys in
+      let expected =
+        List.length (List.filter (fun x -> List.mem x (List.sort_uniq compare ys))
+                       (List.sort_uniq compare xs))
+      in
+      Support.Bitset.inter_cardinal a b = expected)
+
+let prop_bitset_diff_subset =
+  QCheck.Test.make ~name:"diff is subset of original" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = bitset_of_list 100 xs and b = bitset_of_list 100 ys in
+      let d = Support.Bitset.copy a in
+      Support.Bitset.diff_into ~into:d b;
+      Support.Bitset.subset d a)
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Support.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Support.Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Support.Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Support.Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Support.Stats.percentile 0.0 [ 2.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "p100 is max" 3.0 (Support.Stats.percentile 1.0 [ 2.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Support.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_cv () =
+  Alcotest.(check (float 1e-9)) "cv of constants" 0.0
+    (Support.Stats.coeff_of_variation [ 5.0; 5.0; 5.0 ])
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Support.Stats.mean []))
+
+let test_stats_geomean_nonpositive () =
+  Alcotest.check_raises "geomean rejects zero"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Support.Stats.geomean [ 1.0; 0.0 ]))
+
+let test_histogram () =
+  let h = Support.Stats.histogram ~edges:[| 0.0; 1.0; 2.0; 3.0 |] [ 0.5; 1.5; 1.9; 2.5; -1.0; 9.0 ] in
+  Alcotest.(check (array int)) "counts with clamping" [| 2; 2; 2 |] h.Support.Stats.counts;
+  Alcotest.(check int) "total" 6 h.Support.Stats.total;
+  let rendered =
+    Support.Stats.render_histogram ~title:"t" ~label:(fun i -> string_of_int i) h
+  in
+  Alcotest.(check bool) "has bars" true (String.length rendered > 10)
+
+let prop_stats_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= mean (AM-GM)" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.01 100.0))
+    (fun xs -> Support.Stats.geomean xs <= Support.Stats.mean xs +. 1e-9)
+
+let test_pqueue_drains_sorted () =
+  let q = Support.Pqueue.create ~cmp:Int.compare in
+  List.iter (Support.Pqueue.push q) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  let rec drain acc =
+    match Support.Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "max-heap order" [ 9; 6; 5; 4; 3; 2; 1; 1 ] (drain [])
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(small_list int)
+    (fun xs ->
+      let q = Support.Pqueue.create ~cmp:Int.compare in
+      List.iter (Support.Pqueue.push q) xs;
+      let rec drain acc =
+        match Support.Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort (fun a b -> compare b a) xs)
+
+let test_pqueue_peek_clear () =
+  let q = Support.Pqueue.create ~cmp:Int.compare in
+  Alcotest.(check (option int)) "peek empty" None (Support.Pqueue.peek q);
+  Support.Pqueue.push q 5;
+  Support.Pqueue.push q 7;
+  Alcotest.(check (option int)) "peek max" (Some 7) (Support.Pqueue.peek q);
+  Alcotest.(check int) "length" 2 (Support.Pqueue.length q);
+  Support.Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Support.Pqueue.is_empty q)
+
+let test_tablefmt () =
+  let s =
+    Support.Tablefmt.render ~title:"T" ~header:[ "a"; "b" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check string) "pct" "5.52%" (Support.Tablefmt.pct 0.0552);
+  Alcotest.(check string) "pctf" "12.30%" (Support.Tablefmt.pctf 12.3);
+  Alcotest.(check string) "thousands" "181,883" (Support.Tablefmt.int 181883);
+  Alcotest.(check string) "negative thousands" "-1,234" (Support.Tablefmt.int (-1234))
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset range check" `Quick test_bitset_out_of_range;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats cv" `Quick test_stats_cv;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats geomean domain" `Quick test_stats_geomean_nonpositive;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "pqueue drain" `Quick test_pqueue_drains_sorted;
+    Alcotest.test_case "pqueue peek/clear" `Quick test_pqueue_peek_clear;
+    Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+  ]
+  @ Tu.qtests
+      [
+        prop_bitset_union;
+        prop_bitset_inter;
+        prop_bitset_diff_subset;
+        prop_stats_geomean_le_mean;
+        prop_pqueue_sorted;
+      ]

@@ -1,0 +1,90 @@
+(* Shared test utilities: deterministic random regions and common
+   fixtures. *)
+
+let occ = Machine.Occupancy.default
+
+(* A small diamond with a long-latency load at the top:
+     s0 = s_load          (latency 6)
+     a  = v_load [s0]     (latency 12)
+     b  = v_alu  [a]
+     c  = v_alu  [a]
+     d  = v_alu  [b; c]
+     store d *)
+let diamond_region () =
+  let b = Ir.Builder.create ~name:"diamond" in
+  let s0 = Ir.Builder.sload b ~addr:[] () in
+  let a = Ir.Builder.vload b ~addr:[ s0 ] () in
+  let x = Ir.Builder.valu b [ a ] in
+  let y = Ir.Builder.valu b [ a ] in
+  let d = Ir.Builder.valu b [ x; y ] in
+  Ir.Builder.vstore b ~data:[ d ] ~addr:[ s0 ] ();
+  Ir.Builder.finish b
+
+(* Deterministic random SSA region driven by our own RNG. *)
+let random_region ?(max_size = 40) seed =
+  let rng = Support.Rng.create seed in
+  let b = Ir.Builder.create ~name:(Printf.sprintf "rand%d" seed) in
+  let n = 2 + Support.Rng.int rng (max 1 (max_size - 2)) in
+  (* the seed register is live-in: it is used before any definition *)
+  let live_in = Ir.Builder.fresh_vgpr b in
+  let vpool = ref [ Ir.Builder.valu b [ live_in ]; live_in ] in
+  let spool = ref [] in
+  let pick pool =
+    let arr = Array.of_list pool in
+    Support.Rng.choose rng arr
+  in
+  let uses_from pool k =
+    List.init k (fun _ -> pick pool)
+  in
+  for _i = 1 to n do
+    let r = Support.Rng.float rng in
+    if r < 0.35 then begin
+      let k = 1 + Support.Rng.int rng (min 3 (List.length !vpool)) in
+      let d = Ir.Builder.valu b (uses_from !vpool k) in
+      vpool := d :: !vpool
+    end
+    else if r < 0.5 then begin
+      let addr = if !spool = [] then [] else [ pick !spool ] in
+      let d = Ir.Builder.vload b ~addr () in
+      vpool := d :: !vpool
+    end
+    else if r < 0.62 then begin
+      let addr = if !spool = [] then [] else [ pick !spool ] in
+      let d = Ir.Builder.sload b ~addr () in
+      spool := d :: !spool
+    end
+    else if r < 0.74 && !spool <> [] then begin
+      let d = Ir.Builder.salu b [ pick !spool ] in
+      spool := d :: !spool
+    end
+    else if r < 0.86 then
+      Ir.Builder.vstore b ~data:[ pick !vpool ] ~addr:[ pick !vpool ] ()
+    else begin
+      let d = Ir.Builder.lds_read b ~addr:[ pick !vpool ] () in
+      vpool := d :: !vpool
+    end
+  done;
+  (match !vpool with v :: _ -> Ir.Builder.mark_live_out b v | [] -> ());
+  Ir.Builder.finish b
+
+let arb_region ?max_size () =
+  QCheck.make
+    ~print:(fun r -> Ir.Region.to_string r)
+    (QCheck.Gen.map (fun seed -> random_region ?max_size (abs seed)) QCheck.Gen.int)
+
+let arb_graph ?max_size () =
+  QCheck.make
+    ~print:(fun g -> Ir.Region.to_string g.Ddg.Graph.region)
+    (QCheck.Gen.map (fun seed -> Ddg.Graph.build (random_region ?max_size (abs seed))) QCheck.Gen.int)
+
+let check_valid ?(latency_aware = true) schedule =
+  match Sched.Schedule.validate schedule ~latency_aware with
+  | Ok () -> true
+  | Error v -> Alcotest.failf "invalid schedule: %s" (Sched.Schedule.violation_to_string v)
+
+let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+
+(* Fast ACO parameters for tests. *)
+let test_params = { Aco.Params.default with Aco.Params.ants_per_iteration = 24; max_iterations = 8 }
+
+let test_gpu = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 2 }

@@ -225,6 +225,51 @@ let objective ctx =
           rows));
   print_newline ()
 
+let faults ctx =
+  (* Recompile the suite under a fault storm with finite compile budgets
+     and print the degradation ledger. The product compile held in
+     [ctx.report] is untouched; the sequential baseline is skipped (the
+     ledger concerns the parallel driver). *)
+  let base = ctx.config in
+  let fault_config =
+    {
+      base with
+      Pipeline.Compile.gpu =
+        Gpusim.Config.with_faults base.Pipeline.Compile.gpu (Gpusim.Config.uniform_faults 0.10);
+      robust =
+        {
+          Pipeline.Robust.default with
+          Pipeline.Robust.compile_budget_ns = Pipeline.Robust.budgets_of_ms 2.0;
+        };
+      run_sequential = false;
+    }
+  in
+  let report = Pipeline.Compile.run_suite fault_config ctx.report.Pipeline.Compile.suite in
+  let rows =
+    Pipeline.Report.degradation_table report @ [ Pipeline.Report.degradation_total report ]
+  in
+  let label (r : Pipeline.Report.degradation_row) =
+    if r.Pipeline.Report.d_category < 0 then "all" else category_label r.Pipeline.Report.d_category
+  in
+  let col f = List.map (fun (r : Pipeline.Report.degradation_row) -> f r) rows in
+  let tally f = col (fun r -> T.int (f r.Pipeline.Report.d_tally)) in
+  print_string
+    (T.render
+       ~title:
+         "FAULTS — DEGRADATION LEDGER (10% lane-fault rate, 2/4/8 ms budgets)"
+       ~header:("Stat" :: List.map label rows)
+       [
+         "Regions compiled" :: tally (fun t -> t.Pipeline.Robust.regions);
+         "Clean" :: tally (fun t -> t.Pipeline.Robust.clean);
+         "Recovered via retries" :: tally (fun t -> t.Pipeline.Robust.retried);
+         "Budget exceeded" :: tally (fun t -> t.Pipeline.Robust.budget_exceeded);
+         "Heuristic fallback" :: tally (fun t -> t.Pipeline.Robust.faulted_fallback);
+         "Total retries" :: tally (fun t -> t.Pipeline.Robust.total_retries);
+         "Faults injected"
+         :: col (fun r -> T.int (Gpusim.Faults.total r.Pipeline.Report.d_faults));
+       ]);
+  print_newline ()
+
 let all =
   [
     ("table1", table1);
@@ -240,4 +285,5 @@ let all =
     ("table7", table7);
     ("ready-limit", ready_limit);
     ("objective", objective);
+    ("faults", faults);
   ]

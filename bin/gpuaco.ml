@@ -2,6 +2,7 @@
 
    Subcommands:
      schedule  generate a kernel shape and schedule it with a chosen scheduler
+     compile   run a shape through the fault-tolerant compile driver
      dot       print the DDG of a shape in Graphviz format
      stats     generate the benchmark suite and print its statistics *)
 
@@ -94,6 +95,63 @@ let schedule_cmd =
   let info = Cmd.info "schedule" ~doc:"Generate a kernel shape and schedule it." in
   Cmd.v info Term.(const run_schedule $ shape_arg $ size_arg $ seed_arg $ scheduler_arg $ verbose_arg)
 
+(* --- compile ------------------------------------------------------------- *)
+
+let fault_rate_arg =
+  let doc =
+    "Transient-fault rate in [0,1] injected into the simulated GPU (see \
+     Gpusim.Config.uniform_faults for how it spreads over fault classes)."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault injector's private RNG stream." in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let budget_arg =
+  let doc =
+    "Per-region compile budget in simulated milliseconds for the smallest size \
+     category (medium and large regions get 2x and 4x). Unset means unbounded."
+  in
+  Arg.(value & opt (some float) None & info [ "compile-budget-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg =
+  let doc = "Consecutive faulted iterations tolerated per pass before degrading." in
+  Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"K" ~doc)
+
+let run_compile shape size seed fault_rate fault_seed budget_ms max_retries =
+  let region = build_shape shape ~size ~seed in
+  let config =
+    Pipeline.Compile.make_config
+      ~fault_rate:(Float.max 0.0 (Float.min 1.0 fault_rate))
+      ?fault_seed ?compile_budget_ms:budget_ms ~max_retries ()
+  in
+  let config = { config with Pipeline.Compile.run_sequential = false } in
+  let r = Pipeline.Compile.run_region config ~name:shape region in
+  Printf.printf "region %s: %d instructions (size category %s)\n" shape r.Pipeline.Compile.n
+    (Aco.Params.size_category_label r.Pipeline.Compile.size_category);
+  Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Pipeline.Compile.heuristic_cost);
+  Printf.printf "aco:       %s\n" (Sched.Cost.to_string r.Pipeline.Compile.aco_cost);
+  Printf.printf "degradation: %s\n"
+    (Pipeline.Robust.degradation_label r.Pipeline.Compile.degradation);
+  Printf.printf "retries: %d\n" r.Pipeline.Compile.retries;
+  Printf.printf "faults injected: %s\n"
+    (Gpusim.Faults.counts_to_string r.Pipeline.Compile.fault_counts);
+  Printf.printf "simulated compile time: %.3f ms\n"
+    ((r.Pipeline.Compile.par_pass1_time_ns +. r.Pipeline.Compile.par_pass2_time_ns) /. 1e6)
+
+let compile_cmd =
+  let info =
+    Cmd.info "compile"
+      ~doc:
+        "Compile a shape through the fault-tolerant driver and report its \
+         degradation-ledger entry."
+  in
+  Cmd.v info
+    Term.(
+      const run_compile $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
+      $ budget_arg $ retries_arg)
+
 (* --- dot ----------------------------------------------------------------- *)
 
 let run_dot shape size seed =
@@ -121,4 +179,4 @@ let stats_cmd =
 
 let () =
   let info = Cmd.info "gpuaco" ~doc:"ACO instruction scheduling for the GPU on the (simulated) GPU." in
-  exit (Cmd.eval (Cmd.group info [ schedule_cmd; dot_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ schedule_cmd; compile_cmd; dot_cmd; stats_cmd ]))

@@ -5,6 +5,7 @@ type pass_stats = {
   work : int;
   improved : bool;
   hit_lower_bound : bool;
+  aborted_budget : bool;
 }
 
 let no_pass =
@@ -15,6 +16,7 @@ let no_pass =
     work = 0;
     improved = false;
     hit_lower_bound = false;
+    aborted_budget = false;
   }
 
 type result = {
@@ -33,7 +35,7 @@ type result = {
    (RP scalar in pass 1, length in pass 2) and in the artifact kept for
    the best solution (order in pass 1, schedule in pass 2). *)
 let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
-    ~(artifact_of_ant : Ant.t -> a) ~initial_cost ~(initial_order : int array)
+    ~(artifact_of_ant : Ant.t -> a) ~budget_work ~initial_cost ~(initial_order : int array)
     ~(initial_artifact : a) ~lb_cost ~termination =
   let open Params in
   Pheromone.reset pheromone ~initial:params.initial_pheromone;
@@ -48,7 +50,14 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
   let work = ref 0 in
   let ants_total = ref 0 in
   let n = Pheromone.size pheromone in
-  while !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations do
+  (* The compile budget is expressed in abstract work units — the same
+     currency {!Ant.work} charges — so the sequential driver stays free
+     of any wall-clock notion; the pipeline converts nanoseconds to work
+     via its CPU cost model. *)
+  while
+    !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations
+    && !work < budget_work
+  do
     incr iterations;
     let iter_best_cost = ref max_int in
     let iter_best = ref None in
@@ -92,9 +101,11 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
       work = !work;
       improved = !improved;
       hit_lower_bound = !best_cost <= lb_cost;
+      aborted_budget = budget_work < max_int && !work >= budget_work;
     } )
 
-let run_from_setup ?(params = Params.default) ?(seed = 1) (setup : Setup.t) =
+let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)
+    (setup : Setup.t) =
   let graph = setup.graph in
   let occ = setup.occ in
   let n = graph.Ddg.Graph.n in
@@ -110,7 +121,7 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) (setup : Setup.t) =
   let best_order, _, pass1 =
     if setup.pass1_needed then
       run_pass ~params ~rng ~ants ~pheromone ~mode:Ant.Rp_pass ~cost_of_ant:rp_scalar_of_ant
-        ~artifact_of_ant:Ant.order
+        ~artifact_of_ant:Ant.order ~budget_work
         ~initial_cost:(Sched.Cost.rp_scalar setup.pass1_initial_rp)
         ~initial_order:setup.pass1_initial_order ~initial_artifact:setup.pass1_initial_order
         ~lb_cost:(Sched.Cost.rp_scalar setup.rp_lb) ~termination
@@ -121,11 +132,15 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) (setup : Setup.t) =
   (* Pass 2: minimize length under the pass-1 RP target. *)
   let initial_schedule = Setup.pass2_initial setup ~best_pass1_order:best_order in
   let initial_length = Sched.Schedule.length initial_schedule in
+  (* Pass 2 inherits whatever budget pass 1 left unspent. *)
+  let budget2_work =
+    if budget_work = max_int then max_int else max 0 (budget_work - pass1.work)
+  in
   let schedule, _, pass2 =
     if initial_length - setup.length_lb >= max 1 params.Params.pass2_cycle_threshold then
       run_pass ~params ~rng ~ants ~pheromone
         ~mode:(Ant.Ilp_pass { target_vgpr; target_sgpr })
-        ~cost_of_ant:Ant.length
+        ~cost_of_ant:Ant.length ~budget_work:budget2_work
         ~artifact_of_ant:(fun ant ->
           match Ant.schedule ant with
           | Some s -> s

@@ -15,6 +15,8 @@ type pass_stats = {
   work : int;  (** abstract work units (see {!Ant.work}) plus table upkeep *)
   improved : bool;  (** beat the pass's initial schedule *)
   hit_lower_bound : bool;
+  aborted_budget : bool;
+      (** the pass exhausted its work budget and kept its best-so-far *)
 }
 
 val no_pass : pass_stats
@@ -37,7 +39,13 @@ type result = {
 val run : ?params:Params.t -> ?seed:int -> Machine.Occupancy.t -> Ddg.Graph.t -> result
 (** Schedule a region. Deterministic for a fixed seed. *)
 
-val run_from_setup : ?params:Params.t -> ?seed:int -> Setup.t -> result
+val run_from_setup : ?params:Params.t -> ?seed:int -> ?budget_work:int -> Setup.t -> result
 (** Same, reusing an already-prepared {!Setup.t} (the pipeline prepares
     one setup and feeds it to both the sequential and parallel
-    drivers so they race from identical starting points). *)
+    drivers so they race from identical starting points).
+
+    [budget_work] (default unlimited) is a compile budget in abstract
+    work units shared across both passes: a pass that exhausts it stops
+    after the current iteration, keeps its best-so-far, and reports
+    [aborted_budget]. The pipeline converts its nanosecond budget to
+    work units through its CPU cost model. *)

@@ -33,6 +33,39 @@ let opts_no_divergence =
     per_wavefront_heuristic = false;
   }
 
+type fault_rates = {
+  lane_fault_rate : float;
+  wavefront_hang_rate : float;
+  reduction_drop_rate : float;
+  mem_fault_rate : float;
+}
+
+let no_faults =
+  {
+    lane_fault_rate = 0.0;
+    wavefront_hang_rate = 0.0;
+    reduction_drop_rate = 0.0;
+    mem_fault_rate = 0.0;
+  }
+
+(* A single headline rate expands into per-class rates: lane faults at
+   the headline rate, memory-transaction replays and lost reduction
+   messages at a quarter of it, and the rarer whole-wavefront hangs at a
+   sixteenth. Reduction drops are per iteration (not per lane), so the
+   quarter rate keeps them visible at drill rates. *)
+let uniform_faults rate =
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  {
+    lane_fault_rate = rate;
+    wavefront_hang_rate = rate /. 16.0;
+    reduction_drop_rate = rate /. 4.0;
+    mem_fault_rate = rate /. 4.0;
+  }
+
+let faults_enabled f =
+  f.lane_fault_rate > 0.0 || f.wavefront_hang_rate > 0.0
+  || f.reduction_drop_rate > 0.0 || f.mem_fault_rate > 0.0
+
 type t = {
   target : Machine.Target.t;
   num_wavefronts : int;
@@ -44,6 +77,8 @@ type t = {
   sync_overhead_ns : float;
   alloc_call_ns : float;
   opts : opts;
+  faults : fault_rates;
+  fault_seed : int;
 }
 
 let default =
@@ -58,7 +93,11 @@ let default =
     sync_overhead_ns = 2_000.0;
     alloc_call_ns = 10_000.0;
     opts = opts_paper;
+    faults = no_faults;
+    fault_seed = 9001;
   }
+
+let with_faults ?(seed = default.fault_seed) t faults = { t with faults; fault_seed = seed }
 
 let bench = { default with num_wavefronts = 6 }
 

@@ -54,6 +54,33 @@ val opts_no_divergence : opts
 (** Divergence optimizations off, memory optimizations on (Table 4.b's
     baseline; optional stalls unrestricted, i.e. fraction 1.0). *)
 
+type fault_rates = {
+  lane_fault_rate : float;
+      (** per lane per iteration: a transient fault corrupts the ant's
+          next-instruction choice; the lane is quarantined for the
+          iteration (its candidate is discarded) *)
+  wavefront_hang_rate : float;
+      (** per wavefront per iteration: the whole wavefront hangs and is
+          recovered by the watchdog at a fixed detection penalty *)
+  reduction_drop_rate : float;
+      (** per iteration: the winner message of the tree reduction is
+          lost, so the iteration yields no winner *)
+  mem_fault_rate : float;
+      (** per wavefront per lockstep step: a memory transaction errors
+          and the step's transactions are replayed once *)
+}
+
+val no_faults : fault_rates
+(** All rates zero — the default; behaviour is byte-identical to a build
+    without the fault model. *)
+
+val uniform_faults : float -> fault_rates
+(** [uniform_faults r] expands one headline rate (clamped to [0,1]) into
+    per-class rates: lane faults at [r], memory replays and reduction
+    drops at [r/4], hangs at [r/16]. *)
+
+val faults_enabled : fault_rates -> bool
+
 type t = {
   target : Machine.Target.t;  (** GPU the scheduler runs on *)
   num_wavefronts : int;  (** launched blocks; one wavefront per block *)
@@ -65,6 +92,11 @@ type t = {
   sync_overhead_ns : float;
   alloc_call_ns : float;  (** one discrete allocation/copy call (unbatched mode) *)
   opts : opts;
+  faults : fault_rates;  (** injected-fault rates ({!no_faults} by default) *)
+  fault_seed : int;
+      (** seed of the fault injector's own RNG stream — faults are a
+          deterministic function of this seed and never perturb the
+          ants' RNG streams *)
 }
 
 val default : t
@@ -76,6 +108,8 @@ val bench : t
     laptop-scale reproduction completes); same cost constants. *)
 
 val with_opts : t -> opts -> t
+
+val with_faults : ?seed:int -> t -> fault_rates -> t
 
 val threads : t -> int
 (** Total ants per launch: wavefronts x wavefront size. *)

@@ -1,0 +1,82 @@
+type counts = {
+  lane_faults : int;
+  wavefront_hangs : int;
+  reduction_drops : int;
+  mem_faults : int;
+}
+
+let zero = { lane_faults = 0; wavefront_hangs = 0; reduction_drops = 0; mem_faults = 0 }
+
+let add a b =
+  {
+    lane_faults = a.lane_faults + b.lane_faults;
+    wavefront_hangs = a.wavefront_hangs + b.wavefront_hangs;
+    reduction_drops = a.reduction_drops + b.reduction_drops;
+    mem_faults = a.mem_faults + b.mem_faults;
+  }
+
+let sub a b =
+  {
+    lane_faults = a.lane_faults - b.lane_faults;
+    wavefront_hangs = a.wavefront_hangs - b.wavefront_hangs;
+    reduction_drops = a.reduction_drops - b.reduction_drops;
+    mem_faults = a.mem_faults - b.mem_faults;
+  }
+
+let total c = c.lane_faults + c.wavefront_hangs + c.reduction_drops + c.mem_faults
+
+let counts_to_string c =
+  Printf.sprintf "lane:%d hang:%d drop:%d mem:%d" c.lane_faults c.wavefront_hangs
+    c.reduction_drops c.mem_faults
+
+type t = {
+  rates : Config.fault_rates;
+  rng : Support.Rng.t;
+  mutable injected : counts;
+}
+
+let create ?(seed = 0) (rates : Config.fault_rates) =
+  { rates; rng = Support.Rng.create seed; injected = zero }
+
+(* The disabled injector never draws and never counts, so sharing one
+   global value is safe. *)
+let disabled = create Config.no_faults
+
+let enabled t = Config.faults_enabled t.rates
+
+let counts t = t.injected
+
+(* Each fire test draws from the injector's private stream only when its
+   class is armed: a zero-rate class costs nothing and — crucially —
+   consumes no randomness, so runs with all rates zero are byte-identical
+   to runs without the fault model. *)
+let fire t rate bump =
+  rate > 0.0
+  && Support.Rng.bool t.rng rate
+  &&
+  (t.injected <- bump t.injected;
+   true)
+
+let lane_fault t =
+  fire t t.rates.Config.lane_fault_rate (fun c -> { c with lane_faults = c.lane_faults + 1 })
+
+let wavefront_hang t =
+  fire t t.rates.Config.wavefront_hang_rate (fun c ->
+      { c with wavefront_hangs = c.wavefront_hangs + 1 })
+
+let reduction_drop t =
+  fire t t.rates.Config.reduction_drop_rate (fun c ->
+      { c with reduction_drops = c.reduction_drops + 1 })
+
+let mem_fault t =
+  fire t t.rates.Config.mem_fault_rate (fun c -> { c with mem_faults = c.mem_faults + 1 })
+
+let pick t bound = if bound <= 0 then 0 else Support.Rng.int t.rng bound
+
+(* Simulated time between a wavefront hanging and the watchdog noticing
+   and recovering it — one watchdog polling interval. *)
+let hang_penalty_ns = 50_000.0
+
+(* Base of the exponential retry backoff charged to simulated time when a
+   faulted iteration is re-run with a reseeded RNG. *)
+let retry_backoff_ns = 10_000.0

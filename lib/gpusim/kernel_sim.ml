@@ -23,6 +23,13 @@ let iteration_time_ns (config : Config.t) ~n ~wavefront_times =
   +. (float_of_int ops *. config.gpu_ns_per_op)
   +. (2.0 *. config.sync_overhead_ns)
 
+(* Watchdog rule for one iteration: an iteration that overruns the
+   deadline is aborted at the deadline — its time is clamped (the
+   watchdog fired and recovery began) and its result is discarded by the
+   caller. *)
+let watchdog_clamp ~deadline_ns time_ns =
+  if time_ns > deadline_ns then (deadline_ns, true) else (time_ns, false)
+
 let pass_time_ns (config : Config.t) ~n ~ready_ub ~iteration_times =
   config.launch_overhead_ns
   +. Mem_model.setup_time_ns config ~n ~ready_ub

@@ -23,6 +23,13 @@ val update_wall_ops : n:int -> threads:int -> int
 val iteration_time_ns : Config.t -> n:int -> wavefront_times:float array -> float
 (** Construction + reduction + update + two grid syncs. *)
 
+val watchdog_clamp : deadline_ns:float -> float -> float * bool
+(** [watchdog_clamp ~deadline_ns t] is [(t, false)] when the iteration
+    finished within the per-iteration deadline, and
+    [(deadline_ns, true)] when the watchdog fired: the iteration is
+    charged exactly the deadline and the caller must discard its
+    result. An infinite deadline never fires. *)
+
 val pass_time_ns :
   Config.t -> n:int -> ready_ub:int -> iteration_times:float list -> float
 (** One ACO invocation: launch overhead + memory setup + the iterations +

@@ -8,6 +8,10 @@ type pass_stats = {
   hit_lower_bound : bool;
   serialized_ops : int;
   single_path_ops : int;
+  retries : int;
+  aborted_budget : bool;
+  aborted_faults : bool;
+  fault_counts : Faults.counts;
 }
 
 let no_pass =
@@ -21,6 +25,10 @@ let no_pass =
     hit_lower_bound = false;
     serialized_ops = 0;
     single_path_ops = 0;
+    retries = 0;
+    aborted_budget = false;
+    aborted_faults = false;
+    fault_counts = Faults.zero;
   }
 
 type result = {
@@ -59,16 +67,30 @@ let make_wavefronts config graph params =
         ~allow_optional_stalls:(allow_optional_for config w))
 
 (* One parallel ACO pass on the simulated GPU. Generic in the ant cost
-   and the winning artifact, like the sequential driver. *)
+   and the winning artifact, like the sequential driver.
+
+   Robustness discipline around the plain search loop:
+   - every reduction winner passes [validate_artifact] before it can
+     become the emitted artifact (corrupted colony state never ships);
+   - a faulted iteration (hang, quarantine, lost reduction message,
+     watchdog abort, or a winner failing validation) is retried with a
+     reseeded RNG under exponential backoff charged to simulated time,
+     at most [max_retries] consecutive times before the pass degrades to
+     its best-so-far artifact;
+   - the pass aborts once its accumulated simulated time crosses
+     [budget_ns], again keeping the best-so-far artifact. *)
 let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~mode
-    ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a) ~initial_cost
-    ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination ~n ~ready_ub =
+    ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a)
+    ~(validate_artifact : a -> bool) ~faults ~budget_ns ~iteration_deadline_ns ~max_retries
+    ~initial_cost ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination
+    ~n ~ready_ub =
   let open Aco.Params in
   Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
   Aco.Pheromone.deposit_path pheromone initial_order
     (params.deposit /. float_of_int (1 + initial_cost));
   let lanes = config.target.Machine.Target.wavefront_size in
   let threads = Config.threads config in
+  let faults_before = Faults.counts faults in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
   let improved = ref false in
@@ -79,21 +101,34 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
   let serialized = ref 0 in
   let single = ref 0 in
   let iteration_times = ref [] in
-  while !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations do
+  let elapsed = ref 0.0 in
+  let retries = ref 0 in
+  let consecutive_failures = ref 0 in
+  let aborted_budget = ref false in
+  let aborted_faults = ref false in
+  let stop = ref false in
+  let within_budget () = !elapsed < budget_ns in
+  while
+    (not !stop) && within_budget () && !best_cost > lb_cost && !no_improve < termination
+    && !iterations < params.max_iterations
+  do
     incr iterations;
     let wavefront_times = Array.make (Array.length wavefronts) 0.0 in
     (* Per-thread cost table for the reduction; losers and killed lanes
        report max_int. *)
     let costs = Array.init threads (fun i -> (max_int, i)) in
     let ants_by_index : Aco.Ant.t option array = Array.make threads None in
+    let iter_faulted = ref false in
     Array.iteri
       (fun w wavefront ->
-        let outcome = Wavefront.run_iteration wavefront ~rng ~mode ~pheromone in
+        let outcome = Wavefront.run_iteration ~faults wavefront ~rng ~mode ~pheromone in
         wavefront_times.(w) <- outcome.Wavefront.time_ns;
         work := !work + outcome.Wavefront.work;
         serialized := !serialized + outcome.Wavefront.serialized_ops;
         single := !single + outcome.Wavefront.single_path_ops;
         ants_total := !ants_total + Wavefront.lanes wavefront;
+        if outcome.Wavefront.hung || outcome.Wavefront.quarantined > 0 then
+          iter_faulted := true;
         List.iteri
           (fun k ant ->
             let idx = (w * lanes) + k in
@@ -102,27 +137,73 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
           outcome.Wavefront.finished)
       wavefronts;
     let winner_cost, winner_idx = Reduction.min_reduce costs in
-    iteration_times :=
-      Kernel_sim.iteration_time_ns config ~n ~wavefront_times :: !iteration_times;
-    (match ants_by_index.(winner_idx) with
-    | Some ant when winner_cost < max_int ->
-        Aco.Pheromone.decay pheromone params.decay;
-        Aco.Pheromone.deposit_path pheromone (Aco.Ant.order ant)
-          (params.deposit /. float_of_int (1 + winner_cost));
-        (* An equal-cost winner still becomes the emitted artifact — the
-           ACO build ships the schedule the ants constructed — but only a
-           strict improvement resets the termination counter. *)
-        if winner_cost <= !best_cost then best := artifact_of_ant ant;
-        if winner_cost < !best_cost then begin
-          best_cost := winner_cost;
-          improved := true;
-          no_improve := 0
-        end
-        else incr no_improve
-    | Some _ | None ->
-        Aco.Pheromone.decay pheromone params.decay;
-        incr no_improve)
+    let dropped = Faults.enabled faults && Faults.reduction_drop faults in
+    if dropped then iter_faulted := true;
+    let iter_time_raw = Kernel_sim.iteration_time_ns config ~n ~wavefront_times in
+    let iter_time, watchdog_fired =
+      Kernel_sim.watchdog_clamp ~deadline_ns:iteration_deadline_ns iter_time_raw
+    in
+    if watchdog_fired then iter_faulted := true;
+    iteration_times := iter_time :: !iteration_times;
+    elapsed := !elapsed +. iter_time;
+    let accepted =
+      (not dropped) && (not watchdog_fired)
+      &&
+      match ants_by_index.(winner_idx) with
+      | Some ant when winner_cost < max_int ->
+          let artifact = artifact_of_ant ant in
+          (* Validation guard: a winner that does not reconstruct into a
+             valid schedule is quarantined — the iteration failed. *)
+          if validate_artifact artifact then begin
+            Aco.Pheromone.decay pheromone params.decay;
+            Aco.Pheromone.deposit_path pheromone (Aco.Ant.order ant)
+              (params.deposit /. float_of_int (1 + winner_cost));
+            (* An equal-cost winner still becomes the emitted artifact — the
+               ACO build ships the schedule the ants constructed — but only a
+               strict improvement resets the termination counter. *)
+            if winner_cost <= !best_cost then best := artifact;
+            if winner_cost < !best_cost then begin
+              best_cost := winner_cost;
+              improved := true;
+              no_improve := 0
+            end
+            else incr no_improve;
+            true
+          end
+          else begin
+            iter_faulted := true;
+            false
+          end
+      | Some _ | None -> false
+    in
+    if accepted then consecutive_failures := 0
+    else if !iter_faulted then begin
+      (* Guard-and-retry: the table still decays (simulated time passed),
+         then the iteration is re-run from a reseeded stream with
+         exponential backoff charged to simulated time; [max_retries]
+         consecutive failures degrade the pass to its best-so-far. *)
+      Aco.Pheromone.decay pheromone params.decay;
+      if !consecutive_failures < max_retries then begin
+        incr retries;
+        incr consecutive_failures;
+        ignore (Support.Rng.int64 rng);
+        let backoff =
+          Faults.retry_backoff_ns *. (2.0 ** float_of_int (!consecutive_failures - 1))
+        in
+        iteration_times := backoff :: !iteration_times;
+        elapsed := !elapsed +. backoff
+      end
+      else begin
+        aborted_faults := true;
+        stop := true
+      end
+    end
+    else begin
+      Aco.Pheromone.decay pheromone params.decay;
+      incr no_improve
+    end
   done;
+  if budget_ns < infinity && not (within_budget ()) then aborted_budget := true;
   let time_ns =
     Kernel_sim.pass_time_ns config ~n ~ready_ub ~iteration_times:!iteration_times
   in
@@ -138,13 +219,30 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       hit_lower_bound = !best_cost <= lb_cost;
       serialized_ops = !serialized;
       single_path_ops = !single;
+      retries = !retries;
+      aborted_budget = !aborted_budget;
+      aborted_faults = !aborted_faults;
+      fault_counts = Faults.sub (Faults.counts faults) faults_before;
     } )
 
-let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) (config : Config.t)
+let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_ns = infinity)
+    ?(iteration_deadline_ns = infinity) ?(max_retries = 2) (config : Config.t)
     (setup : Aco.Setup.t) =
   let graph = setup.Aco.Setup.graph in
   let occ = setup.Aco.Setup.occ in
   let n = graph.Ddg.Graph.n in
+  let faults =
+    match faults with
+    | Some f -> f
+    | None ->
+        if Config.faults_enabled config.Config.faults then
+          (* Mix the region size and driver seed into the injector seed so
+             different regions see different — but replayable — fault
+             patterns. *)
+          Faults.create config.Config.faults
+            ~seed:(config.Config.fault_seed lxor (n * 0x9e3779b1) lxor (seed * 0x85ebca77))
+        else Faults.disabled
+  in
   let rng = Support.Rng.create seed in
   let wavefronts = make_wavefronts config graph params in
   let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
@@ -158,6 +256,8 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) (config : Config.t
     if setup.Aco.Setup.pass1_needed then
       run_pass ~params ~config ~rng ~wavefronts ~pheromone ~mode:Aco.Ant.Rp_pass
         ~cost_of_ant:rp_scalar_of_ant ~artifact_of_ant:Aco.Ant.order
+        ~validate_artifact:(fun order -> Result.is_ok (Sched.Schedule.of_order graph order))
+        ~faults ~budget_ns ~iteration_deadline_ns ~max_retries
         ~initial_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp)
         ~initial_order:setup.Aco.Setup.pass1_initial_order
         ~initial_artifact:setup.Aco.Setup.pass1_initial_order
@@ -172,6 +272,12 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) (config : Config.t
   let target_vgpr, target_sgpr = Aco.Setup.targets_of_rp rp_target in
   let initial_schedule = Aco.Setup.pass2_initial setup ~best_pass1_order:best_order in
   let initial_length = Sched.Schedule.length initial_schedule in
+  (* The region's compile budget spans both passes: pass 2 inherits
+     whatever pass 1 left. *)
+  let budget2_ns =
+    if budget_ns = infinity then infinity
+    else Float.max 0.0 (budget_ns -. pass1.time_ns)
+  in
   let schedule, _, pass2 =
     if
       initial_length - setup.Aco.Setup.length_lb
@@ -184,6 +290,8 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) (config : Config.t
           match Aco.Ant.schedule ant with
           | Some s -> s
           | None -> invalid_arg "Par_aco: finished ant produced invalid schedule")
+        ~validate_artifact:(fun s -> Sched.Schedule.is_valid s ~latency_aware:true)
+        ~faults ~budget_ns:budget2_ns ~iteration_deadline_ns ~max_retries
         ~initial_cost:initial_length
         ~initial_order:(Sched.Schedule.order initial_schedule)
         ~initial_artifact:initial_schedule ~lb_cost:setup.Aco.Setup.length_lb ~termination ~n
@@ -205,3 +313,11 @@ let run ?params ?seed config occ graph =
   run_from_setup ?params ?seed config (Aco.Setup.prepare occ graph)
 
 let total_time_ns r = r.pass1.time_ns +. r.pass2.time_ns
+
+let total_retries r = r.pass1.retries + r.pass2.retries
+
+let total_faults r = Faults.add r.pass1.fault_counts r.pass2.fault_counts
+
+let degraded r =
+  r.pass1.aborted_budget || r.pass2.aborted_budget || r.pass1.aborted_faults
+  || r.pass2.aborted_faults

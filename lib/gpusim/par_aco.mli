@@ -19,6 +19,15 @@ type pass_stats = {
   hit_lower_bound : bool;
   serialized_ops : int;  (** divergence-serialized compute ops *)
   single_path_ops : int;  (** the no-divergence floor for the same steps *)
+  retries : int;
+      (** faulted iterations re-run with a reseeded stream (each charged
+          an exponential backoff in simulated time) *)
+  aborted_budget : bool;
+      (** the pass ran out of compile budget and kept its best-so-far *)
+  aborted_faults : bool;
+      (** consecutive failures exhausted the retry allowance and the pass
+          degraded to its best-so-far *)
+  fault_counts : Faults.counts;  (** faults injected during this pass *)
 }
 
 val no_pass : pass_stats
@@ -38,9 +47,42 @@ type result = {
 val run :
   ?params:Aco.Params.t -> ?seed:int -> Config.t -> Machine.Occupancy.t -> Ddg.Graph.t -> result
 
-val run_from_setup : ?params:Aco.Params.t -> ?seed:int -> Config.t -> Aco.Setup.t -> result
+val run_from_setup :
+  ?params:Aco.Params.t ->
+  ?seed:int ->
+  ?faults:Faults.t ->
+  ?budget_ns:float ->
+  ?iteration_deadline_ns:float ->
+  ?max_retries:int ->
+  Config.t ->
+  Aco.Setup.t ->
+  result
 (** As {!run} but from a prepared {!Aco.Setup.t}, so the pipeline can
-    race the sequential and parallel drivers from identical inputs. *)
+    race the sequential and parallel drivers from identical inputs.
+
+    Robustness controls (all default to the fault-free, unbounded
+    behaviour, leaving existing callers byte-identical):
+    - [faults]: the fault injector. When omitted, one is built from
+      [config.faults]/[config.fault_seed] (or {!Faults.disabled} when
+      all rates are zero).
+    - [budget_ns]: per-region compile budget in simulated nanoseconds,
+      shared across both passes; an over-budget pass aborts keeping its
+      best-so-far artifact and reports [aborted_budget].
+    - [iteration_deadline_ns]: watchdog deadline for a single iteration
+      ({!Kernel_sim.watchdog_clamp}); a fired watchdog discards the
+      iteration's winner and charges exactly the deadline.
+    - [max_retries]: consecutive faulted iterations tolerated before the
+      pass degrades to its best-so-far ([aborted_faults]). Every
+      constructed winner must additionally pass schedule validation
+      before it is trusted. *)
 
 val total_time_ns : result -> float
 (** GPU time across both passes. *)
+
+val total_retries : result -> int
+
+val total_faults : result -> Faults.counts
+
+val degraded : result -> bool
+(** True when either pass aborted (budget or faults) and emitted its
+    best-so-far rather than running to its termination condition. *)

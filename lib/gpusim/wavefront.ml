@@ -25,16 +25,49 @@ type outcome = {
   single_path_ops : int;
   steps : int;
   finished : Aco.Ant.t list;
+  hung : bool;
+  quarantined : int;
+  mem_faults : int;
 }
 
-let run_iteration t ~rng ~mode ~pheromone =
+let hang_outcome =
+  {
+    time_ns = Faults.hang_penalty_ns;
+    work = 0;
+    serialized_ops = 0;
+    single_path_ops = 0;
+    steps = 0;
+    finished = [];
+    hung = true;
+    quarantined = 0;
+    mem_faults = 0;
+  }
+
+let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
   let config = t.config in
   let opts = config.Config.opts in
+  if Faults.enabled faults && Faults.wavefront_hang faults then hang_outcome
+  else begin
   Array.iter
     (fun ant ->
       Aco.Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:t.heuristic
         ~allow_optional_stalls:t.allow_optional mode)
     t.ants;
+  (* Transient lane faults are decided up front (one trial per lane per
+     iteration) and strike at an injector-chosen construction step: the
+     corrupted lane's candidate can no longer be trusted, so the lane is
+     killed — quarantined for the iteration. Partial work is still
+     charged: the fault does not refund the time already spent. *)
+  let graph_n = Aco.Pheromone.size pheromone in
+  let fault_at =
+    if Faults.enabled faults then
+      Array.map
+        (fun _ -> if Faults.lane_fault faults then 1 + Faults.pick faults (max 1 graph_n) else -1)
+        t.ants
+    else [||]
+  in
+  let quarantined = ref 0 in
+  let mem_faults = ref 0 in
   let time = ref 0.0 in
   let serialized = ref 0 in
   let single = ref 0 in
@@ -42,6 +75,14 @@ let run_iteration t ~rng ~mode ~pheromone =
   let any_active () = Array.exists (fun a -> Aco.Ant.status a = Aco.Ant.Active) t.ants in
   while any_active () do
     incr steps;
+    if fault_at <> [||] then
+      Array.iteri
+        (fun i ant ->
+          if fault_at.(i) = !steps && Aco.Ant.status ant = Aco.Ant.Active then begin
+            Aco.Ant.kill ant;
+            incr quarantined
+          end)
+        t.ants;
     let force_explore =
       if opts.Config.wavefront_level_explore then
         Some (not (Support.Rng.bool rng t.params.Aco.Params.q0))
@@ -72,6 +113,18 @@ let run_iteration t ~rng ~mode ~pheromone =
     let charge = Divergence.step_charge !events in
     let reads = List.map Divergence.lane_reads !events in
     let transactions = Mem_model.step_transactions config ~reads_per_lane:reads in
+    (* A memory-transaction error forces a replay of the step's
+       transactions: same data, double the time. *)
+    let transactions =
+      if
+        Faults.enabled faults && transactions > 0
+        && Faults.mem_fault faults
+      then begin
+        incr mem_faults;
+        2 * transactions
+      end
+      else transactions
+    in
     time :=
       !time
       +. (float_of_int charge.Divergence.serialized_ops *. config.Config.gpu_ns_per_op)
@@ -101,4 +154,8 @@ let run_iteration t ~rng ~mode ~pheromone =
     single_path_ops = !single;
     steps = !steps;
     finished;
+    hung = false;
+    quarantined = !quarantined;
+    mem_faults = !mem_faults;
   }
+  end

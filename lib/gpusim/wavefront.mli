@@ -31,10 +31,26 @@ type outcome = {
   finished : Aco.Ant.t list;
       (** lanes that completed a schedule, in lane order; their state is
           valid until the next [run_iteration] on this wavefront *)
+  hung : bool;
+      (** the wavefront hung (injected fault) and was recovered by the
+          watchdog; [finished] is empty and [time_ns] is the watchdog
+          detection penalty *)
+  quarantined : int;
+      (** lanes killed by injected transient faults this iteration *)
+  mem_faults : int;  (** memory-transaction replays injected this iteration *)
 }
 
 val run_iteration :
-  t -> rng:Support.Rng.t -> mode:Aco.Ant.mode -> pheromone:Aco.Pheromone.t -> outcome
+  ?faults:Faults.t ->
+  t ->
+  rng:Support.Rng.t ->
+  mode:Aco.Ant.mode ->
+  pheromone:Aco.Pheromone.t ->
+  outcome
 (** Construct one candidate schedule per lane. [rng] seeds the lanes
     (each lane receives an independent split, as each GPU thread
-    receives a distinct seed). *)
+    receives a distinct seed). [faults] (default {!Faults.disabled})
+    may hang the whole wavefront, quarantine individual lanes
+    mid-construction, or replay a step's memory transactions; it never
+    touches [rng], so a disabled injector leaves the construction
+    byte-identical. *)

@@ -3,12 +3,14 @@ type config = {
   gpu : Gpusim.Config.t;
   params : Aco.Params.t;
   filters : Filters.config;
+  robust : Robust.config;
   seq_seed : int;
   par_seed : int;
   run_sequential : bool;
 }
 
-let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default) () =
+let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default)
+    ?(robust = Robust.default) ?fault_rate ?fault_seed ?compile_budget_ms ?max_retries () =
   let params =
     {
       Aco.Params.default with
@@ -18,7 +20,35 @@ let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default) () =
       pass2_cycle_threshold = 1;
     }
   in
-  { occ = Machine.Occupancy.default; gpu; params; filters; seq_seed = 101; par_seed = 202; run_sequential = true }
+  let gpu =
+    match fault_rate with
+    | Some rate ->
+        Gpusim.Config.with_faults ?seed:fault_seed gpu (Gpusim.Config.uniform_faults rate)
+    | None -> (
+        match fault_seed with
+        | Some seed -> { gpu with Gpusim.Config.fault_seed = seed }
+        | None -> gpu)
+  in
+  let robust =
+    match compile_budget_ms with
+    | Some ms -> { robust with Robust.compile_budget_ns = Robust.budgets_of_ms ms }
+    | None -> robust
+  in
+  let robust =
+    match max_retries with
+    | Some k -> { robust with Robust.max_retries = max 0 k }
+    | None -> robust
+  in
+  {
+    occ = Machine.Occupancy.default;
+    gpu;
+    params;
+    filters;
+    robust;
+    seq_seed = 101;
+    par_seed = 202;
+    run_sequential = true;
+  }
 
 type region_report = {
   region_name : string;
@@ -43,6 +73,9 @@ type region_report = {
   seq_pass2_time_ns : float;
   par_pass1_time_ns : float;
   par_pass2_time_ns : float;
+  degradation : Robust.degradation;
+  retries : int;
+  fault_counts : Gpusim.Faults.counts;
 }
 
 type kernel_report = { kernel : Workload.Suite.kernel; regions : region_report list }
@@ -53,13 +86,66 @@ type suite_report = {
   kernels : kernel_report list;
 }
 
+(* Worst-case product: the AMD heuristic schedule dressed up as an ACO
+   result. This is what the driver ships when the parallel driver itself
+   trapped — the schedule is valid by construction, so compilation always
+   completes. *)
+let heuristic_fallback (setup : Aco.Setup.t) : Gpusim.Par_aco.result =
+  {
+    Gpusim.Par_aco.schedule = setup.Aco.Setup.amd_schedule;
+    cost = setup.Aco.Setup.amd_cost;
+    heuristic_schedule = setup.Aco.Setup.amd_schedule;
+    heuristic_cost = setup.Aco.Setup.amd_cost;
+    rp_target = setup.Aco.Setup.amd_cost.Sched.Cost.rp;
+    pass2_initial = setup.Aco.Setup.amd_schedule;
+    pass1 = Gpusim.Par_aco.no_pass;
+    pass2 = Gpusim.Par_aco.no_pass;
+  }
+
 let run_region config ~name region =
   let graph = Ddg.Graph.build region in
   let setup = Aco.Setup.prepare config.occ graph in
-  let par = Gpusim.Par_aco.run_from_setup ~params:config.params ~seed:config.par_seed config.gpu setup in
+  let budget_ns = Robust.budget_for config.robust ~n:graph.Ddg.Graph.n in
+  let par, par_trapped =
+    match
+      Gpusim.Par_aco.run_from_setup ~params:config.params ~seed:config.par_seed
+        ~budget_ns ~iteration_deadline_ns:config.robust.Robust.iteration_deadline_ns
+        ~max_retries:config.robust.Robust.max_retries config.gpu setup
+    with
+    | par -> (par, false)
+    | exception _ -> (heuristic_fallback setup, true)
+  in
+  (* Last line of defence: whatever the driver went through above, the
+     region emits a schedule that validates. *)
+  let guarded_schedule, guard_fired =
+    Sched.Schedule.guard par.Gpusim.Par_aco.schedule ~latency_aware:true
+      ~fallback:setup.Aco.Setup.amd_schedule
+  in
+  let par =
+    if guard_fired then
+      { par with Gpusim.Par_aco.schedule = guarded_schedule; cost = setup.Aco.Setup.amd_cost }
+    else par
+  in
+  let degradation =
+    Robust.classify
+      ~fell_back:(par_trapped || guard_fired)
+      ~aborted_faults:
+        (par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.aborted_faults
+        || par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.aborted_faults)
+      ~aborted_budget:
+        (par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.aborted_budget
+        || par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.aborted_budget)
+      ~retries:(Gpusim.Par_aco.total_retries par)
+  in
   let seq =
     if config.run_sequential then
-      Some (Aco.Seq_aco.run_from_setup ~params:config.params ~seed:config.seq_seed setup)
+      let budget_work = Robust.budget_work_of_ns config.gpu budget_ns in
+      match
+        Aco.Seq_aco.run_from_setup ~params:config.params ~seed:config.seq_seed ~budget_work
+          setup
+      with
+      | r -> Some r
+      | exception _ -> None
     else None
   in
   let cp_schedule = Sched.List_scheduler.run graph Sched.Heuristic.Critical_path in
@@ -93,6 +179,9 @@ let run_region config ~name region =
     seq_pass2_time_ns = seq_time (Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass2) seq);
     par_pass1_time_ns = par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.time_ns;
     par_pass2_time_ns = par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.time_ns;
+    degradation;
+    retries = Gpusim.Par_aco.total_retries par;
+    fault_counts = Gpusim.Par_aco.total_faults par;
   }
 
 let run_suite ?(progress = fun _ -> ()) config (suite : Workload.Suite.t) =
@@ -112,7 +201,14 @@ let run_suite ?(progress = fun _ -> ()) config (suite : Workload.Suite.t) =
   in
   { suite; compile_config = config; kernels }
 
-let hot_region (kr : kernel_report) = List.nth kr.regions kr.kernel.Workload.Suite.hot_index
+(* [hot_index] comes from workload metadata; an out-of-range index must
+   not crash the reporting path, so clamp it into the region list. *)
+let hot_region (kr : kernel_report) =
+  match kr.regions with
+  | [] -> invalid_arg "Compile.hot_region: kernel has no regions"
+  | regions ->
+      let i = kr.kernel.Workload.Suite.hot_index in
+      List.nth regions (max 0 (min (List.length regions - 1) i))
 
 let find_kernel (report : suite_report) (b : Workload.Suite.benchmark) =
   List.find

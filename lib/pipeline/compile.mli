@@ -20,15 +20,31 @@ type config = {
   gpu : Gpusim.Config.t;
   params : Aco.Params.t;
   filters : Filters.config;
+  robust : Robust.config;  (** budgets, watchdog deadline, retry allowance *)
   seq_seed : int;
   par_seed : int;
   run_sequential : bool;  (** also time the CPU baseline *)
 }
 
-val make_config : ?gpu:Gpusim.Config.t -> ?filters:Filters.config -> unit -> config
+val make_config :
+  ?gpu:Gpusim.Config.t ->
+  ?filters:Filters.config ->
+  ?robust:Robust.config ->
+  ?fault_rate:float ->
+  ?fault_seed:int ->
+  ?compile_budget_ms:float ->
+  ?max_retries:int ->
+  unit ->
+  config
 (** Consistent defaults: the sequential ant count equals the parallel
     thread count (the paper compares equal colonies), the ILP pass is
-    ungated for later synthesis. *)
+    ungated for later synthesis.
+
+    Robustness knobs layer on top of [robust] (default {!Robust.default},
+    i.e. fault-free and unbounded): [fault_rate] installs
+    {!Gpusim.Config.uniform_faults} on [gpu] (seeded by [fault_seed]),
+    [compile_budget_ms] installs {!Robust.budgets_of_ms}, and
+    [max_retries] overrides the retry allowance. *)
 
 type region_report = {
   region_name : string;
@@ -56,6 +72,9 @@ type region_report = {
   seq_pass2_time_ns : float;
   par_pass1_time_ns : float;
   par_pass2_time_ns : float;
+  degradation : Robust.degradation;  (** the region's ledger entry *)
+  retries : int;  (** faulted iterations re-run across both passes *)
+  fault_counts : Gpusim.Faults.counts;  (** faults injected while compiling *)
 }
 
 type kernel_report = {
@@ -70,12 +89,21 @@ type suite_report = {
 }
 
 val run_region : config -> name:string -> Ir.Region.t -> region_report
+(** Total: always yields a report whose [aco_order] reconstructs into a
+    valid schedule. Faults are retried, over-budget passes keep their
+    best-so-far, and a driver that traps (or emits an invalid schedule)
+    is replaced by the AMD heuristic schedule — the failure mode is
+    recorded in [degradation], never raised. *)
 
 val run_suite : ?progress:(string -> unit) -> config -> Workload.Suite.t -> suite_report
 (** Compile every kernel of the suite (kernels shared between benchmarks
     are compiled once). [progress] receives one message per kernel. *)
 
 val hot_region : kernel_report -> region_report
+(** The region backing the kernel's hot loop. Total for any [hot_index]:
+    out-of-range indices clamp to the nearest region (raises
+    [Invalid_argument] only for a kernel with no regions, which the
+    workload generator never produces). *)
 
 val find_kernel : suite_report -> Workload.Suite.benchmark -> kernel_report
 (** Kernel report backing a benchmark (kernels are compiled once even

@@ -263,3 +263,37 @@ let table7 ~thresholds report =
         max_regression = List.fold_left (fun acc x -> Float.max acc (-.x)) 0.0 pcts;
       })
     thresholds
+
+type degradation_row = {
+  d_category : int;
+  d_tally : Robust.tally;
+  d_faults : Gpusim.Faults.counts;
+}
+
+(* The ledger is about the compile itself, so it aggregates over compiled
+   kernels (each compiled once), not per-benchmark instances. *)
+let compiled_regions (report : Compile.suite_report) =
+  List.concat_map (fun (kr : Compile.kernel_report) -> kr.Compile.regions) report.Compile.kernels
+
+let degradation_row_of regions cat =
+  {
+    d_category = cat;
+    d_tally =
+      Robust.tally_of_list
+        (List.map (fun (r : Compile.region_report) -> r.Compile.degradation) regions);
+    d_faults =
+      List.fold_left
+        (fun acc (r : Compile.region_report) -> Gpusim.Faults.add acc r.Compile.fault_counts)
+        Gpusim.Faults.zero regions;
+  }
+
+let degradation_table report =
+  let regions = compiled_regions report in
+  List.map
+    (fun cat ->
+      degradation_row_of
+        (List.filter (fun (r : Compile.region_report) -> r.Compile.size_category = cat) regions)
+        cat)
+    [ 0; 1; 2 ]
+
+let degradation_total report = degradation_row_of (compiled_regions report) (-1)

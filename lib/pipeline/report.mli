@@ -77,3 +77,17 @@ type table7_row = {
 val table7 : thresholds:int list -> Compile.suite_report -> table7_row list
 
 val sensitive_benchmarks : Compile.suite_report -> Workload.Suite.benchmark list
+
+type degradation_row = {
+  d_category : int;  (** {!Aco.Params.size_category}, or [-1] for the total row *)
+  d_tally : Robust.tally;
+  d_faults : Gpusim.Faults.counts;
+}
+
+val degradation_table : Compile.suite_report -> degradation_row list
+(** Degradation statistics of the fault-tolerant driver, one row per
+    size category over the compiled kernels (each kernel compiled once).
+    With faults off and budgets unbounded every region tallies as
+    clean. *)
+
+val degradation_total : Compile.suite_report -> degradation_row

@@ -1,0 +1,78 @@
+type config = {
+  compile_budget_ns : float array;
+  iteration_deadline_ns : float;
+  max_retries : int;
+}
+
+let default =
+  {
+    compile_budget_ns = [| infinity; infinity; infinity |];
+    iteration_deadline_ns = infinity;
+    max_retries = 2;
+  }
+
+let budgets_of_ms ms =
+  let ms = Float.max 0.0 ms in
+  [| ms *. 1e6; 2.0 *. ms *. 1e6; 4.0 *. ms *. 1e6 |]
+
+let budget_for t ~n =
+  let k = Array.length t.compile_budget_ns in
+  if k = 0 then infinity
+  else t.compile_budget_ns.(min (Aco.Params.size_category n) (k - 1))
+
+let budget_work_of_ns (gpu : Gpusim.Config.t) ns =
+  if ns = infinity then max_int
+  else max 0 (int_of_float (Float.min (ns /. gpu.Gpusim.Config.cpu_ns_per_op) 1e15))
+
+type degradation = Clean | Retried of int | Budget_exceeded | Faulted_fallback
+
+let degradation_label = function
+  | Clean -> "clean"
+  | Retried k -> Printf.sprintf "retried(%d)" k
+  | Budget_exceeded -> "budget"
+  | Faulted_fallback -> "fallback"
+
+let severity = function
+  | Clean -> 0
+  | Retried _ -> 1
+  | Budget_exceeded -> 2
+  | Faulted_fallback -> 3
+
+(* Classification priority (most severe wins): the driver replaced the
+   ACO product with the heuristic schedule, or a pass exhausted its
+   retries > a pass ran out of compile budget > faulted iterations were
+   retried but the region recovered > nothing happened. *)
+let classify ~fell_back ~aborted_faults ~aborted_budget ~retries =
+  if fell_back || aborted_faults then Faulted_fallback
+  else if aborted_budget then Budget_exceeded
+  else if retries > 0 then Retried retries
+  else Clean
+
+type tally = {
+  regions : int;
+  clean : int;
+  retried : int;
+  budget_exceeded : int;
+  faulted_fallback : int;
+  total_retries : int;
+}
+
+let empty_tally =
+  {
+    regions = 0;
+    clean = 0;
+    retried = 0;
+    budget_exceeded = 0;
+    faulted_fallback = 0;
+    total_retries = 0;
+  }
+
+let tally_add t d =
+  let t = { t with regions = t.regions + 1 } in
+  match d with
+  | Clean -> { t with clean = t.clean + 1 }
+  | Retried k -> { t with retried = t.retried + 1; total_retries = t.total_retries + k }
+  | Budget_exceeded -> { t with budget_exceeded = t.budget_exceeded + 1 }
+  | Faulted_fallback -> { t with faulted_fallback = t.faulted_fallback + 1 }
+
+let tally_of_list ds = List.fold_left tally_add empty_tally ds

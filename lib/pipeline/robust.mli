@@ -1,0 +1,75 @@
+(** Robustness policy of the fault-tolerant compile driver.
+
+    The driver's contract is graceful degradation: {!Compile.run_region}
+    always emits a valid schedule, and when faults, watchdogs, or compile
+    budgets get in the way it steps down — first retrying faulted
+    iterations, then keeping a pass's best-so-far, and in the worst case
+    shipping the AMD heuristic schedule. This module holds the knobs
+    (per-category budgets, the iteration watchdog deadline, the retry
+    allowance) and the degradation ledger that records which rung every
+    region ended on. *)
+
+type config = {
+  compile_budget_ns : float array;
+      (** per-region compile budget in simulated nanoseconds, indexed by
+          {!Aco.Params.size_category} (out-of-range categories clamp to
+          the last entry; an empty array means unbounded) *)
+  iteration_deadline_ns : float;  (** watchdog deadline per ACO iteration *)
+  max_retries : int;
+      (** consecutive faulted iterations tolerated per pass before it
+          degrades to its best-so-far *)
+}
+
+val default : config
+(** Unbounded budgets, no iteration deadline, 2 retries — the fault-free
+    pipeline behaves exactly as before. *)
+
+val budgets_of_ms : float -> float array
+(** [budgets_of_ms ms] grants small regions [ms] milliseconds, medium
+    regions [2*ms] and large regions [4*ms] (budget scales with the
+    category because so does iteration cost). *)
+
+val budget_for : config -> n:int -> float
+(** Budget in nanoseconds for a region of [n] instructions. *)
+
+val budget_work_of_ns : Gpusim.Config.t -> float -> int
+(** Convert a nanosecond budget into the sequential driver's abstract
+    work units via the CPU cost model ([max_int] for an infinite
+    budget). *)
+
+type degradation =
+  | Clean  (** no faults, no budget pressure; full ACO product *)
+  | Retried of int
+      (** [Retried k]: [k] faulted iterations were re-run (with reseeded
+          RNG and backoff) but the region recovered and shipped the ACO
+          product *)
+  | Budget_exceeded
+      (** a pass ran out of compile budget; the best-so-far schedule
+          shipped *)
+  | Faulted_fallback
+      (** retries were exhausted, the final schedule failed validation,
+          or the driver trapped an exception; the emitted schedule is
+          the pass's best-so-far or the AMD heuristic *)
+
+val degradation_label : degradation -> string
+
+val severity : degradation -> int
+(** [Clean] = 0 rising to [Faulted_fallback] = 3. *)
+
+val classify :
+  fell_back:bool -> aborted_faults:bool -> aborted_budget:bool -> retries:int -> degradation
+(** Fold a region's raw robustness signals into its ledger entry, most
+    severe signal first. *)
+
+type tally = {
+  regions : int;
+  clean : int;
+  retried : int;  (** regions that recovered via retries *)
+  budget_exceeded : int;
+  faulted_fallback : int;
+  total_retries : int;  (** summed retry counts over retried regions *)
+}
+
+val empty_tally : tally
+val tally_add : tally -> degradation -> tally
+val tally_of_list : degradation list -> tally

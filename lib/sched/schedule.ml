@@ -62,6 +62,11 @@ let of_order g order =
 
 let validate t ~latency_aware = check t.graph ~latency_aware t.slots t.cycle_of
 
+let is_valid t ~latency_aware = Result.is_ok (validate t ~latency_aware)
+
+let guard t ~latency_aware ~fallback =
+  if is_valid t ~latency_aware then (t, false) else (fallback, true)
+
 let length t = Array.length t.slots
 
 let num_stalls t =

@@ -39,6 +39,15 @@ val validate : t -> latency_aware:bool -> (unit, violation) result
 (** Re-check an existing schedule (used by the test suite on every
     schedule any component produces). *)
 
+val is_valid : t -> latency_aware:bool -> bool
+(** [Result.is_ok (validate t ~latency_aware)]. *)
+
+val guard : t -> latency_aware:bool -> fallback:t -> t * bool
+(** [guard t ~latency_aware ~fallback] is [(t, false)] when [t]
+    validates and [(fallback, true)] otherwise — the last line of
+    defence a fault-tolerant driver places in front of schedule
+    emission. The fallback is trusted (not re-validated). *)
+
 val length : t -> int
 (** Number of cycles (slots). *)
 

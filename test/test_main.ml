@@ -10,4 +10,5 @@ let () =
       ("gpusim", Test_gpusim.suite);
       ("workload", Test_workload.suite);
       ("pipeline", Test_pipeline.suite);
+      ("robust", Test_robust.suite);
     ]

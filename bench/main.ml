@@ -6,7 +6,46 @@
      dune exec bench/main.exe                 # everything, bench scale
      dune exec bench/main.exe -- table3 fig4  # selected experiments
      dune exec bench/main.exe -- --small      # quick run on the test scale
-     dune exec bench/main.exe -- micro        # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro        # micro-benchmarks only
+     dune exec bench/main.exe -- alloc-gate   # assert the per-step allocation budget *)
+
+(* Pre-arena reference numbers for the two acceptance benchmarks,
+   measured on this harness at the PR base commit. Kept so the emitted
+   JSON carries its own speedup context. *)
+let baseline_ns =
+  [ ("core/one_ant_pass2", 107_680.0); ("core/wavefront_iteration", 5_158_500.0) ]
+
+let write_bench_json rows ~alloc_words_per_step ~alloc_steps ~alloc_words =
+  let file = "BENCH_arena.json" in
+  let oc = open_out file in
+  let buf = Buffer.create 1024 in
+  let fl x = if Float.is_nan x then "null" else Printf.sprintf "%.2f" x in
+  Buffer.add_string buf "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (r : Micro.row) ->
+      let base = List.assoc_opt r.Micro.name baseline_ns in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": %s, \
+            \"baseline_ns_per_run\": %s, \"speedup_vs_baseline\": %s}%s\n"
+           r.Micro.name (fl r.Micro.ns_per_run)
+           (fl r.Micro.minor_words_per_run)
+           (match base with Some b -> fl b | None -> "null")
+           (match base with
+           | Some b when r.Micro.ns_per_run > 0.0 -> fl (b /. r.Micro.ns_per_run)
+           | _ -> "null")
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n  \"alloc_gate\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"minor_words_per_ant_step\": %s,\n" (fl alloc_words_per_step));
+  Buffer.add_string buf (Printf.sprintf "    \"ant_steps\": %d,\n" alloc_steps);
+  Buffer.add_string buf (Printf.sprintf "    \"minor_words\": %s,\n" (fl alloc_words));
+  Buffer.add_string buf (Printf.sprintf "    \"ceiling\": %s\n" (fl Micro.alloc_ceiling));
+  Buffer.add_string buf "  }\n}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "# wrote %s\n%!" file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -42,4 +81,24 @@ let () =
     let ctx = { Tables.report; filters = Pipeline.Filters.default; config } in
     List.iter (fun (name, print) -> if want name then print ctx) Tables.all
   end;
-  if want "micro" then Micro.run ()
+  if want "micro" then begin
+    let rows = Micro.run () in
+    let per_step, steps, words = Micro.alloc_gate () in
+    Printf.printf "  %-28s %12.1f mnr-words/ant-step (%d steps, ceiling %.0f)\n\n"
+      "alloc_gate" per_step steps Micro.alloc_ceiling;
+    write_bench_json rows ~alloc_words_per_step:per_step ~alloc_steps:steps
+      ~alloc_words:words
+  end;
+  if List.mem "alloc-gate" wanted then begin
+    let per_step, steps, words = Micro.alloc_gate () in
+    Printf.printf
+      "alloc-gate: %.1f minor words per ant step (%d ant steps, %.0f words, ceiling %.0f)\n"
+      per_step steps words Micro.alloc_ceiling;
+    if per_step > Micro.alloc_ceiling then begin
+      Printf.eprintf
+        "alloc-gate: FAIL — selection loop allocates %.1f minor words per ant step (ceiling %.0f)\n"
+        per_step Micro.alloc_ceiling;
+      exit 1
+    end
+    else print_endline "alloc-gate: OK"
+  end

@@ -72,18 +72,68 @@ let tests =
       test_wavefront_iteration;
     ]
 
-let run () =
-  print_endline "Micro-benchmarks (bechamel, monotonic clock):";
+type row = { name : string; ns_per_run : float; minor_words_per_run : float }
+
+(* One benchmark run measured against two responders: wall clock and
+   minor-heap allocation. Bechamel samples both from the same raw runs,
+   so the columns describe the same executions. *)
+let measure () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock; Instance.minor_allocated ] tests in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan)
+    | None -> nan
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  List.map
+    (fun name ->
+      {
+        name;
+        ns_per_run = estimate times name;
+        minor_words_per_run = estimate allocs name;
+      })
+    (List.sort compare names)
+
+(* Allocation budget of the construct-schedule inner loop. The batched
+   arena leaves only per-iteration bookkeeping (outcome record, finished
+   list, RNG splits) on the minor heap, amortized over every ant step of
+   the iteration; the ceiling has ~2x headroom over the measured value
+   so it trips on a regression, not on noise. *)
+let alloc_ceiling = 96.0
+
+let alloc_gate () =
+  let g = Lazy.force graph in
+  let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 1 } in
+  let w =
+    Gpusim.Wavefront.create config g Aco.Params.default
+      ~heuristic:Sched.Heuristic.Critical_path ~allow_optional_stalls:true
+  in
+  let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+  let rng = Support.Rng.create 4 in
+  (* Warm-up iteration so one-time setup is not charged to the loop. *)
+  ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone);
+  let steps = ref 0 in
+  let before = Support.Perfcount.minor_words () in
+  for _ = 1 to 20 do
+    let o = Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone in
+    steps := !steps + o.Gpusim.Wavefront.ant_steps
+  done;
+  let words = Support.Perfcount.minor_words () -. before in
+  let per_step = if !steps = 0 then 0.0 else words /. float_of_int !steps in
+  (per_step, !steps, words)
+
+let run () =
+  print_endline "Micro-benchmarks (bechamel; monotonic clock, minor words):";
+  let rows = measure () in
   List.iter
-    (fun (name, ols) ->
-      let ns =
-        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
-      in
-      Printf.printf "  %-28s %12.0f ns/run\n" name ns)
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
-  print_newline ()
+    (fun r ->
+      Printf.printf "  %-28s %12.0f ns/run %12.1f mnr-words/run\n" r.name r.ns_per_run
+        r.minor_words_per_run)
+    rows;
+  print_newline ();
+  rows

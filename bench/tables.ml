@@ -270,6 +270,28 @@ let faults ctx =
        ]);
   print_newline ()
 
+let perf ctx =
+  let rows =
+    Pipeline.Report.perf_table ctx.report @ [ Pipeline.Report.perf_total ctx.report ]
+  in
+  let label (r : Pipeline.Report.perf_row) =
+    if r.Pipeline.Report.p_category < 0 then "all" else category_label r.Pipeline.Report.p_category
+  in
+  let col f = List.map (fun (r : Pipeline.Report.perf_row) -> f r) rows in
+  print_string
+    (T.render
+       ~title:"PERF — ARENA ALLOCATION DISCIPLINE (parallel passes, host-side counters)"
+       ~header:("Stat" :: List.map label rows)
+       [
+         "Regions compiled" :: col (fun r -> T.int r.Pipeline.Report.p_regions);
+         "Lockstep steps" :: col (fun r -> T.int r.Pipeline.Report.p_lockstep_steps);
+         "Ant steps" :: col (fun r -> T.int r.Pipeline.Report.p_ant_steps);
+         "Selection steps" :: col (fun r -> T.int r.Pipeline.Report.p_selections);
+         "Minor words allocated" :: col (fun r -> Printf.sprintf "%.0f" r.Pipeline.Report.p_minor_words);
+         "Minor words / ant step" :: col (fun r -> T.f2 r.Pipeline.Report.p_words_per_ant_step);
+       ]);
+  print_newline ()
+
 let all =
   [
     ("table1", table1);
@@ -286,4 +308,5 @@ let all =
     ("ready-limit", ready_limit);
     ("objective", objective);
     ("faults", faults);
+    ("perf", perf);
   ]

@@ -138,7 +138,16 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries =
   Printf.printf "faults injected: %s\n"
     (Gpusim.Faults.counts_to_string r.Pipeline.Compile.fault_counts);
   Printf.printf "simulated compile time: %.3f ms\n"
-    ((r.Pipeline.Compile.par_pass1_time_ns +. r.Pipeline.Compile.par_pass2_time_ns) /. 1e6)
+    ((r.Pipeline.Compile.par_pass1_time_ns +. r.Pipeline.Compile.par_pass2_time_ns) /. 1e6);
+  let p1 = r.Pipeline.Compile.par_pass1 and p2 = r.Pipeline.Compile.par_pass2 in
+  let steps = p1.Gpusim.Par_aco.ant_steps + p2.Gpusim.Par_aco.ant_steps in
+  let words = p1.Gpusim.Par_aco.minor_words +. p2.Gpusim.Par_aco.minor_words in
+  Printf.printf "perf: %d lockstep steps, %d ant steps, %d selections\n"
+    (p1.Gpusim.Par_aco.lockstep_steps + p2.Gpusim.Par_aco.lockstep_steps)
+    steps
+    (p1.Gpusim.Par_aco.selections + p2.Gpusim.Par_aco.selections);
+  Printf.printf "perf: %.0f minor words allocated (%.1f per ant step)\n" words
+    (if steps = 0 then 0.0 else words /. float_of_int steps)
 
 let compile_cmd =
   let info =

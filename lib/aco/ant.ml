@@ -10,6 +10,28 @@ type op =
 
 type event = { op : op; ready_scanned : int; succs_updated : int }
 
+(* Region-wide analyses shared by every ant of a colony: the critical
+   path, the interned register layout, and the transitive-closure bound
+   on the ready-list size (Section V-A: per-thread arrays are sized by
+   this bound, not by n). Computing these once per colony instead of
+   once per lane removes the dominant cost of wavefront construction. *)
+type shared = {
+  s_graph : Ddg.Graph.t;
+  s_cp : Ddg.Critpath.t;
+  s_layout : Sched.Rp_tracker.layout;
+  s_ready_ub : int;
+}
+
+let prepare_shared graph =
+  {
+    s_graph = graph;
+    s_cp = Ddg.Critpath.compute graph;
+    s_layout = Sched.Rp_tracker.layout_of_graph graph;
+    s_ready_ub = Ddg.Closure.ready_list_upper_bound (Ddg.Closure.compute graph);
+  }
+
+let shared_ready_ub shared = shared.s_ready_ub
+
 type t = {
   graph : Ddg.Graph.t;
   params : Params.t;
@@ -17,37 +39,104 @@ type t = {
   rl_cycle : Sched.Ready_list.t;  (* pass 2: latency-aware *)
   rp : Sched.Rp_tracker.t;
   ctx : Sched.Heuristic.ctx;
+  cand : int array;  (* scratch: candidate slice, ready order *)
+  vals : float array;  (* scratch: eta then tau^a * eta^b per candidate *)
+  (* eta^beta per instruction for the construction-state-independent
+     heuristics (critical path and source order depend only on the
+     region), precomputed at [create] so the selection loop is a table
+     lookup; the LUC heuristic stays dynamic. *)
+  eta_pow_cp : float array;
+  eta_pow_so : float array;
   mutable rng : Support.Rng.t;
   mutable heuristic : Sched.Heuristic.kind;
   mutable allow_optional : bool;
   mutable mode : mode;
   mutable status : status;
   mutable last : int;  (* previously selected instruction, -1 at start *)
-  mutable rev_slots : Sched.Schedule.slot list;
+  mutable slots : int array;  (* issue order; -1 marks a stall *)
   mutable n_slots : int;
   mutable n_optional : int;
   mutable work : int;
+  (* last-step report, overwritten by each step (the divergence and
+     memory models read these instead of a per-step event record) *)
+  mutable last_rank : int;  (* Divergence path rank: 0 exploit, 1 explore,
+                               2 mandatory stall, 3 optional stall, 4 death *)
+  mutable last_instr : int;
+  mutable last_explored : bool;
+  mutable last_scanned : int;
+  mutable last_succs : int;
 }
 
-let create graph params =
-  let rp = Sched.Rp_tracker.create graph in
+let arena_demand shared =
+  let ints =
+    (2 * Sched.Ready_list.int_demand shared.s_graph)
+    + Sched.Rp_tracker.int_demand shared.s_layout
+  in
+  (ints, 0)
+
+let pow_fast x e =
+  (* The defaults (alpha = 1, beta = 2) are on the hot path; [Float.pow]
+     costs more than the rest of the selection arithmetic combined. *)
+  if e = 1.0 then x
+  else if e = 2.0 then x *. x
+  else if e = 0.0 then 1.0
+  else x ** e
+
+let create ?shared ?arena graph params =
+  let shared =
+    match shared with
+    | Some s ->
+        if s.s_graph != graph then invalid_arg "Ant.create: shared state is for another graph";
+        s
+    | None ->
+        (* Stand-alone ants skip the closure: [n] is always a valid
+           ready-list bound. *)
+        {
+          s_graph = graph;
+          s_cp = Ddg.Critpath.compute graph;
+          s_layout = Sched.Rp_tracker.layout_of_graph graph;
+          s_ready_ub = graph.Ddg.Graph.n;
+        }
+  in
+  let arena =
+    match arena with
+    | Some a -> a
+    | None ->
+        let ints, floats = arena_demand shared in
+        Support.Arena.create ~ints ~floats
+  in
+  let n = graph.Ddg.Graph.n in
+  let ub = max 1 shared.s_ready_ub in
+  let rp = Sched.Rp_tracker.create_in arena shared.s_layout in
+  let ctx = Sched.Heuristic.make_ctx ~cp:shared.s_cp graph rp in
+  let beta = params.Params.beta in
+  let eta_pow kind = Array.init n (fun i -> pow_fast (Sched.Heuristic.eta kind ctx i) beta) in
   {
     graph;
     params;
-    rl_order = Sched.Ready_list.create ~latency_aware:false graph;
-    rl_cycle = Sched.Ready_list.create ~latency_aware:true graph;
+    rl_order = Sched.Ready_list.create_in ~latency_aware:false arena graph;
+    rl_cycle = Sched.Ready_list.create_in ~latency_aware:true arena graph;
     rp;
-    ctx = Sched.Heuristic.make_ctx graph rp;
+    ctx;
+    cand = Array.make ub 0;
+    vals = Array.make ub 0.0;
+    eta_pow_cp = eta_pow Sched.Heuristic.Critical_path;
+    eta_pow_so = eta_pow Sched.Heuristic.Source_order;
     rng = Support.Rng.create 0;
     heuristic = params.Params.heuristic;
     allow_optional = true;
     mode = Rp_pass;
     status = Dead;
     last = -1;
-    rev_slots = [];
+    slots = Array.make (max 8 ((2 * n) + 8)) (-1);
     n_slots = 0;
     n_optional = 0;
     work = 0;
+    last_rank = 4;
+    last_instr = -1;
+    last_explored = false;
+    last_scanned = 0;
+    last_succs = 0;
   }
 
 let ready_list t = match t.mode with Rp_pass -> t.rl_order | Ilp_pass _ -> t.rl_cycle
@@ -59,7 +148,6 @@ let start t ~rng ~heuristic ~allow_optional_stalls mode =
   t.mode <- mode;
   t.status <- Active;
   t.last <- -1;
-  t.rev_slots <- [];
   t.n_slots <- 0;
   t.n_optional <- 0;
   t.work <- 0;
@@ -84,143 +172,239 @@ let effective_heuristic t =
 (* ACS-style biased selection: with probability q0 exploit (argmax of
    tau^alpha * eta^beta), otherwise explore (roulette wheel over the same
    values). *)
-let pow_fast x e =
-  (* The defaults (alpha = 1, beta = 2) are on the hot path; [Float.pow]
-     costs more than the rest of the selection arithmetic combined. *)
-  if e = 1.0 then x
-  else if e = 2.0 then x *. x
-  else if e = 0.0 then 1.0
-  else x ** e
 
-let select t ~pheromone ~explored candidates =
-  let heuristic = effective_heuristic t in
-  let value j =
-    let tau = Pheromone.get pheromone ~src:t.last ~dst:j in
-    let eta = Sched.Heuristic.eta heuristic t.ctx j in
-    pow_fast tau t.params.Params.alpha *. pow_fast eta t.params.Params.beta
-  in
-  match candidates with
-  | [] -> invalid_arg "Ant.select: empty candidate list"
-  | [ only ] -> only
-  | first :: _ ->
-      if explored then begin
-        let total = List.fold_left (fun acc j -> acc +. value j) 0.0 candidates in
-        let target = Support.Rng.float t.rng *. total in
-        let rec pick acc = function
-          | [] -> first
-          | [ j ] -> j
-          | j :: rest ->
-              let acc = acc +. value j in
-              if acc >= target then j else pick acc rest
-        in
-        pick 0.0 candidates
+(* Float accumulators for the roulette wheel: stores into a float array
+   are unboxed, so the summation loop never allocates (a local [ref]
+   may or may not be unboxed depending on the compiler). Single-threaded,
+   like [Rp_tracker]'s effects scratch. *)
+let facc = Array.make 2 0.0
+
+(* Selection over the candidate slice [t.cand.(0 .. m-1)]: fill
+   [t.vals] with eta, combine with the pheromone row of [t.last], then
+   exploit (argmax, first maximum wins) or explore (roulette wheel). The
+   float-operation order matches the seed's list folds exactly, so the
+   constructed schedules are byte-identical. *)
+let select_slice t ~pheromone ~explored m =
+  if m = 0 then invalid_arg "Ant.select: empty candidate list"
+  else if m = 1 then t.cand.(0)
+  else begin
+    let heuristic = effective_heuristic t in
+    let cells = Pheromone.cells pheromone in
+    let base = Pheromone.row_base pheromone ~src:t.last in
+    let alpha = t.params.Params.alpha in
+    (* tau^alpha * eta^beta per candidate. For the static heuristics
+       eta^beta comes from the [create]-time tables (bit-identical to
+       recomputing: eta depends only on the instruction); LUC's eta
+       depends on the live set and is recomputed each step. *)
+    (match heuristic with
+    | Sched.Heuristic.Critical_path ->
+        let tab = t.eta_pow_cp in
+        for k = 0 to m - 1 do
+          let i = Array.unsafe_get t.cand k in
+          let tau = Pheromone.row_get cells ~base ~dst:i in
+          Array.unsafe_set t.vals k (pow_fast tau alpha *. Array.unsafe_get tab i)
+        done
+    | Sched.Heuristic.Source_order ->
+        let tab = t.eta_pow_so in
+        for k = 0 to m - 1 do
+          let i = Array.unsafe_get t.cand k in
+          let tau = Pheromone.row_get cells ~base ~dst:i in
+          Array.unsafe_set t.vals k (pow_fast tau alpha *. Array.unsafe_get tab i)
+        done
+    | Sched.Heuristic.Last_use_count ->
+        let beta = t.params.Params.beta in
+        Sched.Heuristic.fill_eta heuristic t.ctx ~cand:t.cand ~n:m ~out:t.vals;
+        for k = 0 to m - 1 do
+          let tau = Pheromone.row_get cells ~base ~dst:t.cand.(k) in
+          t.vals.(k) <- pow_fast tau alpha *. pow_fast t.vals.(k) beta
+        done);
+    if explored then begin
+      facc.(0) <- 0.0;
+      for k = 0 to m - 1 do
+        facc.(0) <- facc.(0) +. t.vals.(k)
+      done;
+      let total = facc.(0) in
+      let u = Support.Rng.float t.rng in
+      if total > 0.0 then begin
+        (* Roulette wheel; like the seed's fold, the last candidate wins
+           by default without a comparison (guarding against the
+           accumulated sum falling short of [target] through rounding). *)
+        let target = u *. total in
+        facc.(1) <- 0.0;
+        let chosen = ref (m - 1) in
+        let k = ref 0 in
+        while !chosen = m - 1 && !k < m - 1 do
+          facc.(1) <- facc.(1) +. t.vals.(!k);
+          if facc.(1) >= target then chosen := !k else incr k
+        done;
+        t.cand.(!chosen)
       end
       else
-        let best, _ =
-          List.fold_left
-            (fun (bj, bv) j ->
-              let v = value j in
-              if v > bv then (j, v) else (bj, bv))
-            (first, value first)
-            (List.tl candidates)
-        in
-        best
+        (* Degenerate wheel: every value is zero (e.g. the row's
+           pheromone underflowed), so the wheel would silently pick the
+           first candidate every time. Fall back to a uniform pick,
+           reusing the single draw the wheel consumes. *)
+        t.cand.(min (m - 1) (int_of_float (u *. float_of_int m)))
+    end
+    else begin
+      let bk = ref 0 in
+      for k = 1 to m - 1 do
+        if t.vals.(k) > t.vals.(!bk) then bk := k
+      done;
+      t.cand.(!bk)
+    end
+  end
+
+let ensure_slot t =
+  if t.n_slots >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) (-1) in
+    Array.blit t.slots 0 bigger 0 t.n_slots;
+    t.slots <- bigger
+  end
 
 let emit_instr t rl i =
   Sched.Ready_list.schedule rl i;
   Sched.Rp_tracker.schedule t.rp i;
-  t.rev_slots <- Sched.Schedule.Instr i :: t.rev_slots;
+  ensure_slot t;
+  t.slots.(t.n_slots) <- i;
   t.n_slots <- t.n_slots + 1;
   t.last <- i;
   if Sched.Ready_list.finished rl then t.status <- Finished
 
 let emit_stall t rl =
   Sched.Ready_list.stall rl;
-  t.rev_slots <- Sched.Schedule.Stall :: t.rev_slots;
+  ensure_slot t;
+  t.slots.(t.n_slots) <- -1;
   t.n_slots <- t.n_slots + 1
 
-let finish_event t ev =
-  t.work <- t.work + ev.ready_scanned + ev.succs_updated + 3;
-  ev
+let finish_step t ~rank ~instr ~explored ~scanned ~succs =
+  t.last_rank <- rank;
+  t.last_instr <- instr;
+  t.last_explored <- explored;
+  t.last_scanned <- scanned;
+  t.last_succs <- succs;
+  t.work <- t.work + scanned + succs + 3
 
 let ready_count t =
   if t.status <> Active then 0 else Sched.Ready_list.ready_count (ready_list t)
 
-let rec take k = function [] -> [] | x :: rest -> if k <= 0 then [] else x :: take (k - 1) rest
-
-let step ?force_explore ?ready_limit t ~pheromone =
+(* The allocation-free step. [force_explore] is -1 (ant draws its own
+   coin), 0 (exploit) or 1 (explore); [ready_limit] is 0 for unlimited.
+   The step's kind/cost lands in the [last_*] fields. *)
+let step_hot t ~pheromone ~force_explore ~ready_limit =
   if t.status <> Active then invalid_arg "Ant.step: ant is not active";
   let rl = ready_list t in
-  let ready = Sched.Ready_list.ready_list rl in
-  let ready =
-    (* Limiting applies to the RP pass only: in the ILP pass a truncated
-       view could hide the only candidate that fits the RP target and
-       kill the ant spuriously. *)
-    match (ready_limit, t.mode) with
-    | Some k, Rp_pass when k >= 1 -> take k ready
-    | (Some _ | None), _ -> ready
+  let rn = Sched.Ready_list.ready_count rl in
+  (* Limiting applies to the RP pass only: in the ILP pass a truncated
+     view could hide the only candidate that fits the RP target and
+     kill the ant spuriously. *)
+  let m =
+    match t.mode with
+    | Rp_pass when ready_limit >= 1 && ready_limit < rn -> ready_limit
+    | Rp_pass | Ilp_pass _ -> rn
   in
-  let n_ready = List.length ready in
+  for k = 0 to m - 1 do
+    t.cand.(k) <- Sched.Ready_list.ready rl k
+  done;
+  (* The exploration coin is drawn before the mode dispatch (even for a
+     mandatory stall) so the RNG stream is independent of the decision —
+     part of the construction's byte-identity contract. *)
   let explored =
-    match force_explore with
-    | Some b -> b
-    | None -> not (Support.Rng.bool t.rng t.params.Params.q0)
-  in
-  let selected_event i =
-    finish_event t
-      {
-        op = Selected { instr = i; explored };
-        ready_scanned = n_ready;
-        succs_updated = Ddg.Graph.num_succs t.graph i;
-      }
+    if force_explore >= 0 then force_explore = 1
+    else not (Support.Rng.bool t.rng t.params.Params.q0)
   in
   match t.mode with
   | Rp_pass ->
       (* Latencies ignored: the ready list is never empty while work
          remains. *)
-      let i = select t ~pheromone ~explored ready in
+      let i = select_slice t ~pheromone ~explored m in
       emit_instr t rl i;
-      selected_event i
+      finish_step t
+        ~rank:(if explored then 1 else 0)
+        ~instr:i ~explored ~scanned:m ~succs:(Ddg.Graph.num_succs t.graph i)
   | Ilp_pass { target_vgpr; target_sgpr } ->
-      if n_ready = 0 then begin
+      if m = 0 then begin
         emit_stall t rl;
-        finish_event t { op = Mandatory_stall; ready_scanned = 0; succs_updated = 0 }
+        finish_step t ~rank:2 ~instr:(-1) ~explored ~scanned:0 ~succs:0
       end
       else begin
-        let has_semi_ready = Sched.Ready_list.min_semi_ready_cycle rl <> None in
+        let has_semi_ready = Sched.Ready_list.has_semi_ready rl in
         match
-          Stall_policy.classify ~rng:t.rng ~allow_optional:t.allow_optional
+          Stall_policy.classify_slice ~rng:t.rng ~allow_optional:t.allow_optional
             ~base_probability:t.params.Params.stall_base_probability ~rp:t.rp ~target_vgpr
-            ~target_sgpr ~ready ~has_semi_ready ~optional_stalls_so_far:t.n_optional
+            ~target_sgpr ~cand:t.cand ~n_cand:m ~has_semi_ready
+            ~optional_stalls_so_far:t.n_optional
         with
-        | Stall_policy.Schedule_from fitting ->
-            let i = select t ~pheromone ~explored fitting in
+        | Stall_policy.Fits fitting ->
+            let i = select_slice t ~pheromone ~explored fitting in
             emit_instr t rl i;
-            selected_event i
-        | Stall_policy.Optional_stall ->
+            finish_step t
+              ~rank:(if explored then 1 else 0)
+              ~instr:i ~explored ~scanned:m ~succs:(Ddg.Graph.num_succs t.graph i)
+        | Stall_policy.Stall ->
             emit_stall t rl;
             t.n_optional <- t.n_optional + 1;
-            finish_event t { op = Optional_stall; ready_scanned = n_ready; succs_updated = 0 }
-        | Stall_policy.Forced_breach ->
+            finish_step t ~rank:3 ~instr:(-1) ~explored ~scanned:m ~succs:0
+        | Stall_policy.Breach ->
             t.status <- Dead;
-            finish_event t { op = Died; ready_scanned = n_ready; succs_updated = 0 }
+            finish_step t ~rank:4 ~instr:(-1) ~explored ~scanned:m ~succs:0
       end
+
+let last_rank t = t.last_rank
+let last_scanned t = t.last_scanned
+let last_succs t = t.last_succs
+
+let event_of_last t =
+  let op =
+    match t.last_rank with
+    | 0 | 1 -> Selected { instr = t.last_instr; explored = t.last_explored }
+    | 2 -> Mandatory_stall
+    | 3 -> Optional_stall
+    | _ -> Died
+  in
+  { op; ready_scanned = t.last_scanned; succs_updated = t.last_succs }
+
+let step ?force_explore ?ready_limit t ~pheromone =
+  let force_explore =
+    match force_explore with None -> -1 | Some false -> 0 | Some true -> 1
+  in
+  let ready_limit = match ready_limit with None -> 0 | Some k -> max 0 k in
+  step_hot t ~pheromone ~force_explore ~ready_limit;
+  event_of_last t
 
 let kill t = t.status <- Dead
 
 let run_to_completion ?force_explore t ~pheromone =
+  let fe = match force_explore with None -> -1 | Some false -> 0 | Some true -> 1 in
   while t.status = Active do
-    ignore (step ?force_explore t ~pheromone)
+    step_hot t ~pheromone ~force_explore:fe ~ready_limit:0
   done
 
-let slots t = List.rev t.rev_slots
+let slots t =
+  let rec loop k acc =
+    if k < 0 then acc
+    else
+      let s =
+        if t.slots.(k) < 0 then Sched.Schedule.Stall else Sched.Schedule.Instr t.slots.(k)
+      in
+      loop (k - 1) (s :: acc)
+  in
+  loop (t.n_slots - 1) []
 
 let order t =
-  let acc = ref [] in
-  List.iter
-    (fun s -> match s with Sched.Schedule.Instr i -> acc := i :: !acc | Sched.Schedule.Stall -> ())
-    t.rev_slots;
-  Array.of_list !acc
+  let count = ref 0 in
+  for k = 0 to t.n_slots - 1 do
+    if t.slots.(k) >= 0 then incr count
+  done;
+  let arr = Array.make !count 0 in
+  let p = ref 0 in
+  for k = 0 to t.n_slots - 1 do
+    if t.slots.(k) >= 0 then begin
+      arr.(!p) <- t.slots.(k);
+      incr p
+    end
+  done;
+  arr
 
 let schedule t =
   if t.status <> Finished then None

@@ -8,9 +8,14 @@
     ant performed and how much work it scanned, which is exactly what the
     divergence and memory models of the GPU simulator charge for.
 
-    All per-ant state (ready list arrays, RP tracker, slot buffer) is
-    allocated once at [create] and reused across iterations, mirroring
-    the paper's no-dynamic-allocation-on-the-GPU rule (Section V-A). *)
+    All per-ant state (ready list arrays, RP tracker, slot buffer,
+    candidate scratch) is allocated once at [create] — batched into a
+    caller-supplied {!Support.Arena} when ants form a colony — and reused
+    across iterations, mirroring the paper's
+    no-dynamic-allocation-on-the-GPU rule (Section V-A). The stepping
+    fast path ({!step_hot}) allocates nothing: candidates are scored over
+    an array slice with reusable scratch buffers sized by the
+    transitive-closure ready-list bound. *)
 
 type mode = Rp_pass | Ilp_pass of { target_vgpr : int; target_sgpr : int }
 
@@ -28,9 +33,28 @@ type event = {
   succs_updated : int;  (** successor-list length traversed *)
 }
 
+type shared
+(** Region-wide analyses shared by every ant of a colony: critical path,
+    register layout, transitive-closure ready-list bound. *)
+
+val prepare_shared : Ddg.Graph.t -> shared
+
+val shared_ready_ub : shared -> int
+(** The transitive-closure ready-list bound, for drivers that also size
+    their memory model by it. *)
+
+val arena_demand : shared -> int * int
+(** [(ints, floats)] one ant's arena state needs; a colony arena is
+    sized as lanes times this (exact pre-sizing, no growth). *)
+
 type t
 
-val create : Ddg.Graph.t -> Params.t -> t
+val create : ?shared:shared -> ?arena:Support.Arena.t -> Ddg.Graph.t -> Params.t -> t
+(** Without [shared], the region analyses are computed privately (and
+    the scratch bound falls back to [n]). Without [arena], a private
+    exactly-sized arena backs this ant alone. Raises [Invalid_argument]
+    when [shared] belongs to a different graph or the arena is too
+    small. *)
 
 val start :
   t ->
@@ -52,6 +76,24 @@ val step : ?force_explore:bool -> ?ready_limit:int -> t -> pheromone:Pheromone.t
     unhelpful overall, Section V-B); correctness is unaffected because
     deferred candidates remain in the list for later steps. Raises
     [Invalid_argument] when the ant is not [Active]. *)
+
+val step_hot : t -> pheromone:Pheromone.t -> force_explore:int -> ready_limit:int -> unit
+(** Allocation-free {!step}: [force_explore] is [-1] (ant draws its own
+    coin), [0] (exploit) or [1] (explore); [ready_limit] is [0] for
+    unlimited. Instead of returning an event record, the step's kind and
+    costs land in the [last_*] accessors below. Identical construction
+    and RNG consumption to {!step}. *)
+
+val last_rank : t -> int
+(** Path rank of the last step, matching {!Divergence.path_rank}:
+    0 exploiting selection, 1 exploring selection, 2 mandatory stall,
+    3 optional stall, 4 death. *)
+
+val last_scanned : t -> int
+(** [ready_scanned] of the last step. *)
+
+val last_succs : t -> int
+(** [succs_updated] of the last step. *)
 
 val ready_count : t -> int
 (** Current ready-list size (0 when the ant is not [Active]); the

@@ -12,6 +12,19 @@ let index t src dst =
 
 let get t ~src ~dst = t.cells.(index t src dst)
 
+(* Hot-path row accessors: the selection loop reads one row (fixed [src],
+   many [dst]) per step, so the range check runs once at row selection
+   and the per-candidate read is a single indexed load. [dst] values are
+   instruction ids supplied by the ready list, which are in range by
+   construction; the checked [get] remains for everything else. *)
+let row_base t ~src =
+  if src < -1 || src >= t.n then invalid_arg "Pheromone: out of range";
+  (src + 1) * t.n
+
+let cells t = t.cells
+
+let[@inline] row_get cells ~base ~dst = Array.unsafe_get cells (base + dst)
+
 let decay t retention =
   for i = 0 to Array.length t.cells - 1 do
     t.cells.(i) <- t.cells.(i) *. retention
@@ -22,10 +35,17 @@ let deposit t ~src ~dst amount =
   t.cells.(i) <- t.cells.(i) +. amount
 
 let deposit_path t order amount =
+  (* Validate once: every entry of [order] addresses column [order.(k)]
+     of the row after its predecessor; one range sweep replaces a checked
+     [index] per link. *)
+  let n = t.n in
+  Array.iter (fun i -> if i < 0 || i >= n then invalid_arg "Pheromone: out of range") order;
+  let cells = t.cells in
   let prev = ref (-1) in
   Array.iter
     (fun i ->
-      deposit t ~src:!prev ~dst:i amount;
+      let idx = ((!prev + 1) * n) + i in
+      cells.(idx) <- cells.(idx) +. amount;
       prev := i)
     order
 

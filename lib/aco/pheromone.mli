@@ -14,7 +14,24 @@ val size : t -> int
 (** Number of instructions [n]. *)
 
 val get : t -> src:int -> dst:int -> float
-(** [src = -1] addresses the virtual start row. *)
+(** [src = -1] addresses the virtual start row. Range-checked; tests and
+    cold paths use this. *)
+
+val row_base : t -> src:int -> int
+(** Base offset of row [src] into {!cells}, with the range check done
+    once here instead of per lookup ([src = -1] addresses the virtual
+    start row). The selection loop reads one row per step, so it hoists
+    this out of its candidate scan. *)
+
+val cells : t -> float array
+(** The backing row-major [(n+1) x n] matrix; read entry [dst] of a row
+    with {!row_get}. *)
+
+val row_get : float array -> base:int -> dst:int -> float
+(** [row_get cells ~base ~dst] with [base] from {!row_base} is
+    [get t ~src ~dst]. Unchecked: [dst] must be a valid instruction id
+    ([0 <= dst < size t]), which holds for ready-list entries by
+    construction. *)
 
 val decay : t -> float -> unit
 (** Multiply every entry by the retention factor. *)

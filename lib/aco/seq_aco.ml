@@ -6,6 +6,7 @@ type pass_stats = {
   improved : bool;
   hit_lower_bound : bool;
   aborted_budget : bool;
+  minor_words : float;
 }
 
 let no_pass =
@@ -17,6 +18,7 @@ let no_pass =
     improved = false;
     hit_lower_bound = false;
     aborted_budget = false;
+    minor_words = 0.0;
   }
 
 type result = {
@@ -42,6 +44,7 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
   (* The initial (heuristic) schedule is the global best at the start:
      bias the table toward it. *)
   Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+  let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
   let improved = ref false in
@@ -102,6 +105,7 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
       improved = !improved;
       hit_lower_bound = !best_cost <= lb_cost;
       aborted_budget = budget_work < max_int && !work >= budget_work;
+      minor_words = Support.Perfcount.minor_words () -. minor_before;
     } )
 
 let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)
@@ -110,7 +114,12 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_in
   let occ = setup.occ in
   let n = graph.Ddg.Graph.n in
   let rng = Support.Rng.create seed in
-  let ants = Array.init params.Params.ants_per_iteration (fun _ -> Ant.create graph params) in
+  (* One set of region analyses and one SoA arena back the whole colony. *)
+  let shared = Ant.prepare_shared graph in
+  let ints, floats = Ant.arena_demand shared in
+  let lanes = params.Params.ants_per_iteration in
+  let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+  let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
   let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
   let termination = Params.termination_condition n in
   let rp_scalar_of_ant ant =

@@ -17,6 +17,7 @@ type pass_stats = {
   hit_lower_bound : bool;
   aborted_budget : bool;
       (** the pass exhausted its work budget and kept its best-so-far *)
+  minor_words : float;  (** host minor-heap words allocated during the pass *)
 }
 
 val no_pass : pass_stats

@@ -14,9 +14,39 @@ let path_rank = function
   | Optional_stall -> 3
   | Death -> 4
 
-let op_cost (e : Aco.Ant.event) = e.ready_scanned + e.succs_updated + 3
+let cost_of ~ready_scanned ~succs_updated = ready_scanned + succs_updated + 3
 
-let lane_reads (e : Aco.Ant.event) = e.ready_scanned + e.succs_updated + 1
+let reads_of ~ready_scanned ~succs_updated = ready_scanned + succs_updated + 1
+
+let op_cost (e : Aco.Ant.event) = cost_of ~ready_scanned:e.ready_scanned ~succs_updated:e.succs_updated
+
+let lane_reads (e : Aco.Ant.event) = reads_of ~ready_scanned:e.ready_scanned ~succs_updated:e.succs_updated
+
+(* Accumulator form for the allocation-free lockstep loop: the wavefront
+   folds each lane's step into a 5-entry per-path-rank maxima array (a
+   path is present iff its maximum is nonzero — every op costs at least
+   the fixed 3) and these fold the array into the charge components. *)
+
+let serialized_of_maxima maxima =
+  let acc = ref 0 in
+  for r = 0 to Array.length maxima - 1 do
+    acc := !acc + maxima.(r)
+  done;
+  !acc
+
+let distinct_paths_of_maxima maxima =
+  let acc = ref 0 in
+  for r = 0 to Array.length maxima - 1 do
+    if maxima.(r) > 0 then incr acc
+  done;
+  !acc
+
+let max_single_of_maxima maxima =
+  let acc = ref 0 in
+  for r = 0 to Array.length maxima - 1 do
+    if maxima.(r) > !acc then acc := maxima.(r)
+  done;
+  !acc
 
 type charge = { serialized_ops : int; distinct_paths : int; max_single_path_ops : int }
 

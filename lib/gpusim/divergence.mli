@@ -16,6 +16,10 @@ type path = Select_exploit | Select_explore | Mandatory_stall | Optional_stall |
 
 val path_of_op : Aco.Ant.op -> path
 
+val path_rank : path -> int
+(** Dense rank 0..4 in declaration order; {!Aco.Ant.last_rank} reports
+    the same encoding. *)
+
 val op_cost : Aco.Ant.event -> int
 (** Lane-local compute cost of one step: ready-list scan + successor
     updates + fixed selection arithmetic. *)
@@ -23,6 +27,22 @@ val op_cost : Aco.Ant.event -> int
 val lane_reads : Aco.Ant.event -> int
 (** Lane-local memory accesses of one step (ready entries read, successor
     states touched, the schedule slot written). *)
+
+val cost_of : ready_scanned:int -> succs_updated:int -> int
+(** {!op_cost} from the raw step counters (no event record). *)
+
+val reads_of : ready_scanned:int -> succs_updated:int -> int
+(** {!lane_reads} from the raw step counters. *)
+
+val serialized_of_maxima : int array -> int
+(** Charge components from a 5-entry per-path-rank maxima array (the
+    allocation-free accumulator the wavefront folds its lanes into; a
+    path is present iff its entry is nonzero). Equal to
+    [(step_charge events).serialized_ops] for the events the maxima
+    summarize. *)
+
+val distinct_paths_of_maxima : int array -> int
+val max_single_of_maxima : int array -> int
 
 type charge = {
   serialized_ops : int;  (** divergence-serialized compute cost *)

@@ -34,3 +34,7 @@ val pass_time_ns :
   Config.t -> n:int -> ready_ub:int -> iteration_times:float list -> float
 (** One ACO invocation: launch overhead + memory setup + the iterations +
     teardown (Section IV-B's full kernel life cycle). *)
+
+val pass_time_ns_buf :
+  Config.t -> n:int -> ready_ub:int -> times:float array -> count:int -> float
+(** {!pass_time_ns} over the first [count] entries of a reused buffer. *)

@@ -5,6 +5,11 @@ let step_transactions (config : Config.t) ~reads_per_lane =
       if config.opts.Config.coalesced_layout then List.fold_left max 0 reads_per_lane
       else List.fold_left ( + ) 0 reads_per_lane
 
+let step_transactions_acc (config : Config.t) ~active ~reads_max ~reads_sum =
+  if active = 0 then 0
+  else if config.opts.Config.coalesced_layout then reads_max
+  else reads_sum
+
 let words_per_thread (config : Config.t) ~n ~ready_ub =
   let ready = if config.opts.Config.tight_ready_ub then ready_ub else n in
   (* schedule slots (with stall margin) + ready array + pending array +

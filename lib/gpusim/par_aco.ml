@@ -8,6 +8,10 @@ type pass_stats = {
   hit_lower_bound : bool;
   serialized_ops : int;
   single_path_ops : int;
+  lockstep_steps : int;
+  ant_steps : int;
+  selections : int;
+  minor_words : float;
   retries : int;
   aborted_budget : bool;
   aborted_faults : bool;
@@ -25,6 +29,10 @@ let no_pass =
     hit_lower_bound = false;
     serialized_ops = 0;
     single_path_ops = 0;
+    lockstep_steps = 0;
+    ant_steps = 0;
+    selections = 0;
+    minor_words = 0.0;
     retries = 0;
     aborted_budget = false;
     aborted_faults = false;
@@ -60,9 +68,9 @@ let allow_optional_for (config : Config.t) w =
   in
   w < allowed
 
-let make_wavefronts config graph params =
+let make_wavefronts ?shared config graph params =
   Array.init config.Config.num_wavefronts (fun w ->
-      Wavefront.create config graph params
+      Wavefront.create ?shared config graph params
         ~heuristic:(heuristic_for config params w)
         ~allow_optional_stalls:(allow_optional_for config w))
 
@@ -91,6 +99,7 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
   let lanes = config.target.Machine.Target.wavefront_size in
   let threads = Config.threads config in
   let faults_before = Faults.counts faults in
+  let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
   let improved = ref false in
@@ -100,7 +109,31 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
   let ants_total = ref 0 in
   let serialized = ref 0 in
   let single = ref 0 in
-  let iteration_times = ref [] in
+  let lockstep_steps = ref 0 in
+  let ant_steps = ref 0 in
+  let selections = ref 0 in
+  (* Per-iteration buffers, allocated once per pass and reused: the
+     iteration loop itself stays allocation-free apart from the finished
+     lists the wavefronts report. *)
+  let num_wavefronts = Array.length wavefronts in
+  let wavefront_times = Array.make (max 1 num_wavefronts) 0.0 in
+  let outcomes : Wavefront.outcome option array = Array.make (max 1 num_wavefronts) None in
+  let cost_buf = Array.make threads max_int in
+  let red_cost = Array.make threads 0 in
+  let red_idx = Array.make threads 0 in
+  (* Iteration times land in a growable buffer (an iteration can add a
+     backoff entry besides its own time, hence the factor 2). *)
+  let iter_times = ref (Array.make (max 8 (min ((2 * params.max_iterations) + 4) 4096)) 0.0) in
+  let iter_count = ref 0 in
+  let push_time x =
+    if !iter_count = Array.length !iter_times then begin
+      let grown = Array.make (2 * Array.length !iter_times) 0.0 in
+      Array.blit !iter_times 0 grown 0 !iter_count;
+      iter_times := grown
+    end;
+    !iter_times.(!iter_count) <- x;
+    incr iter_count
+  in
   let elapsed = ref 0.0 in
   let retries = ref 0 in
   let consecutive_failures = ref 0 in
@@ -113,30 +146,31 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
     && !iterations < params.max_iterations
   do
     incr iterations;
-    let wavefront_times = Array.make (Array.length wavefronts) 0.0 in
     (* Per-thread cost table for the reduction; losers and killed lanes
        report max_int. *)
-    let costs = Array.init threads (fun i -> (max_int, i)) in
-    let ants_by_index : Aco.Ant.t option array = Array.make threads None in
+    Array.fill cost_buf 0 threads max_int;
     let iter_faulted = ref false in
     Array.iteri
       (fun w wavefront ->
         let outcome = Wavefront.run_iteration ~faults wavefront ~rng ~mode ~pheromone in
+        outcomes.(w) <- Some outcome;
         wavefront_times.(w) <- outcome.Wavefront.time_ns;
         work := !work + outcome.Wavefront.work;
         serialized := !serialized + outcome.Wavefront.serialized_ops;
         single := !single + outcome.Wavefront.single_path_ops;
+        lockstep_steps := !lockstep_steps + outcome.Wavefront.steps;
+        ant_steps := !ant_steps + outcome.Wavefront.ant_steps;
+        selections := !selections + outcome.Wavefront.selections;
         ants_total := !ants_total + Wavefront.lanes wavefront;
         if outcome.Wavefront.hung || outcome.Wavefront.quarantined > 0 then
           iter_faulted := true;
         List.iteri
-          (fun k ant ->
-            let idx = (w * lanes) + k in
-            costs.(idx) <- (cost_of_ant ant, idx);
-            ants_by_index.(idx) <- Some ant)
+          (fun k ant -> cost_buf.((w * lanes) + k) <- cost_of_ant ant)
           outcome.Wavefront.finished)
       wavefronts;
-    let winner_cost, winner_idx = Reduction.min_reduce costs in
+    let winner_cost, winner_idx =
+      Reduction.min_reduce_into ~costs:cost_buf ~scratch_cost:red_cost ~scratch_idx:red_idx
+    in
     let dropped = Faults.enabled faults && Faults.reduction_drop faults in
     if dropped then iter_faulted := true;
     let iter_time_raw = Kernel_sim.iteration_time_ns config ~n ~wavefront_times in
@@ -144,13 +178,22 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       Kernel_sim.watchdog_clamp ~deadline_ns:iteration_deadline_ns iter_time_raw
     in
     if watchdog_fired then iter_faulted := true;
-    iteration_times := iter_time :: !iteration_times;
+    push_time iter_time;
     elapsed := !elapsed +. iter_time;
+    (* The winner's thread index decomposes into its wavefront and its
+       position in that wavefront's finished list. *)
+    let winner_ant =
+      if winner_cost < max_int then
+        match outcomes.(winner_idx / lanes) with
+        | Some o -> List.nth_opt o.Wavefront.finished (winner_idx mod lanes)
+        | None -> None
+      else None
+    in
     let accepted =
       (not dropped) && (not watchdog_fired)
       &&
-      match ants_by_index.(winner_idx) with
-      | Some ant when winner_cost < max_int ->
+      match winner_ant with
+      | Some ant ->
           let artifact = artifact_of_ant ant in
           (* Validation guard: a winner that does not reconstruct into a
              valid schedule is quarantined — the iteration failed. *)
@@ -174,7 +217,7 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
             iter_faulted := true;
             false
           end
-      | Some _ | None -> false
+      | None -> false
     in
     if accepted then consecutive_failures := 0
     else if !iter_faulted then begin
@@ -190,7 +233,7 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
         let backoff =
           Faults.retry_backoff_ns *. (2.0 ** float_of_int (!consecutive_failures - 1))
         in
-        iteration_times := backoff :: !iteration_times;
+        push_time backoff;
         elapsed := !elapsed +. backoff
       end
       else begin
@@ -205,7 +248,7 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
   done;
   if budget_ns < infinity && not (within_budget ()) then aborted_budget := true;
   let time_ns =
-    Kernel_sim.pass_time_ns config ~n ~ready_ub ~iteration_times:!iteration_times
+    Kernel_sim.pass_time_ns_buf config ~n ~ready_ub ~times:!iter_times ~count:!iter_count
   in
   ( !best,
     !best_cost,
@@ -219,6 +262,10 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       hit_lower_bound = !best_cost <= lb_cost;
       serialized_ops = !serialized;
       single_path_ops = !single;
+      lockstep_steps = !lockstep_steps;
+      ant_steps = !ant_steps;
+      selections = !selections;
+      minor_words = Support.Perfcount.minor_words () -. minor_before;
       retries = !retries;
       aborted_budget = !aborted_budget;
       aborted_faults = !aborted_faults;
@@ -244,10 +291,13 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_n
         else Faults.disabled
   in
   let rng = Support.Rng.create seed in
-  let wavefronts = make_wavefronts config graph params in
+  (* One set of region analyses (critical path, register layout, closure
+     ready-list bound) feeds every wavefront of the colony. *)
+  let shared = Aco.Ant.prepare_shared graph in
+  let wavefronts = make_wavefronts ~shared config graph params in
   let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
   let termination = Aco.Params.termination_condition n in
-  let ready_ub = Ddg.Closure.ready_list_upper_bound (Ddg.Closure.compute graph) in
+  let ready_ub = Aco.Ant.shared_ready_ub shared in
   let rp_scalar_of_ant ant =
     let v, s = Aco.Ant.rp_peaks ant in
     Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)

@@ -19,6 +19,13 @@ type pass_stats = {
   hit_lower_bound : bool;
   serialized_ops : int;  (** divergence-serialized compute ops *)
   single_path_ops : int;  (** the no-divergence floor for the same steps *)
+  lockstep_steps : int;  (** wavefront lockstep steps across all iterations *)
+  ant_steps : int;  (** individual ant construction steps *)
+  selections : int;  (** ant steps that selected an instruction *)
+  minor_words : float;
+      (** host (OCaml) minor-heap words allocated during the pass — the
+          allocation-discipline counter the arena refactor drives toward
+          zero per ant step *)
   retries : int;
       (** faulted iterations re-run with a reseeded stream (each charged
           an exponential backoff in simulated time) *)

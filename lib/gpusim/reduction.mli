@@ -12,6 +12,14 @@ val min_reduce : (int * int) array -> int * int
     the lower index), computed by pairwise tree rounds. Raises
     [Invalid_argument] on an empty array. *)
 
+val min_reduce_into :
+  costs:int array -> scratch_cost:int array -> scratch_idx:int array -> int * int
+(** {!min_reduce} over [costs.(i)] paired with index [i], using
+    caller-owned scratch (each at least as long as [costs]) so the per
+    iteration reduction allocates only the result pair. Identical tree
+    shape and tie-breaking to [min_reduce (Array.mapi (fun i c -> (c, i))
+    costs)]. *)
+
 val cost_ops : threads:int -> int
 (** Simulated per-launch cost: ceil(log2 threads) rounds, one comparison
     per active lane, lanes halving each round — about [2 * threads]

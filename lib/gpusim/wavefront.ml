@@ -4,19 +4,30 @@ type t = {
   params : Aco.Params.t;
   heuristic : Sched.Heuristic.kind;
   allow_optional : bool;
+  arena_words : int;
+  fault_at : int array;  (* per-lane injected fault step, -1 = none *)
+  maxima : int array;  (* per-path-rank max op cost of one lockstep step *)
 }
 
-let create config graph params ~heuristic ~allow_optional_stalls =
+let create ?shared config graph params ~heuristic ~allow_optional_stalls =
   let lanes = config.Config.target.Machine.Target.wavefront_size in
+  let shared = match shared with Some s -> s | None -> Aco.Ant.prepare_shared graph in
+  let ints, floats = Aco.Ant.arena_demand shared in
+  let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
   {
     config;
-    ants = Array.init lanes (fun _ -> Aco.Ant.create graph params);
+    ants = Array.init lanes (fun _ -> Aco.Ant.create ~shared ~arena graph params);
     params;
     heuristic;
     allow_optional = allow_optional_stalls;
+    arena_words = Support.Arena.words arena;
+    fault_at = Array.make lanes (-1);
+    maxima = Array.make 5 0;
   }
 
 let lanes t = Array.length t.ants
+
+let arena_words t = t.arena_words
 
 type outcome = {
   time_ns : float;
@@ -24,6 +35,8 @@ type outcome = {
   serialized_ops : int;
   single_path_ops : int;
   steps : int;
+  ant_steps : int;
+  selections : int;
   finished : Aco.Ant.t list;
   hung : bool;
   quarantined : int;
@@ -37,6 +50,8 @@ let hang_outcome =
     serialized_ops = 0;
     single_path_ops = 0;
     steps = 0;
+    ant_steps = 0;
+    selections = 0;
     finished = [];
     hung = true;
     quarantined = 0;
@@ -58,39 +73,42 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
      corrupted lane's candidate can no longer be trusted, so the lane is
      killed — quarantined for the iteration. Partial work is still
      charged: the fault does not refund the time already spent. *)
-  let graph_n = Aco.Pheromone.size pheromone in
-  let fault_at =
-    if Faults.enabled faults then
-      Array.map
-        (fun _ -> if Faults.lane_fault faults then 1 + Faults.pick faults (max 1 graph_n) else -1)
-        t.ants
-    else [||]
-  in
+  let faults_on = Faults.enabled faults in
+  if faults_on then begin
+    let graph_n = Aco.Pheromone.size pheromone in
+    for i = 0 to Array.length t.ants - 1 do
+      t.fault_at.(i) <-
+        (if Faults.lane_fault faults then 1 + Faults.pick faults (max 1 graph_n) else -1)
+    done
+  end;
   let quarantined = ref 0 in
   let mem_faults = ref 0 in
   let time = ref 0.0 in
   let serialized = ref 0 in
   let single = ref 0 in
   let steps = ref 0 in
+  let ant_steps = ref 0 in
+  let selections = ref 0 in
   let any_active () = Array.exists (fun a -> Aco.Ant.status a = Aco.Ant.Active) t.ants in
   while any_active () do
     incr steps;
-    if fault_at <> [||] then
+    if faults_on then
       Array.iteri
         (fun i ant ->
-          if fault_at.(i) = !steps && Aco.Ant.status ant = Aco.Ant.Active then begin
+          if t.fault_at.(i) = !steps && Aco.Ant.status ant = Aco.Ant.Active then begin
             Aco.Ant.kill ant;
             incr quarantined
           end)
         t.ants;
     let force_explore =
       if opts.Config.wavefront_level_explore then
-        Some (not (Support.Rng.bool rng t.params.Aco.Params.q0))
-      else None
+        (* exploit on heads: [step] received [Some (not coin)] *)
+        if Support.Rng.bool rng t.params.Aco.Params.q0 then 0 else 1
+      else -1
     in
     let ready_limit =
       match opts.Config.ready_list_limiting with
-      | `Off -> None
+      | `Off -> 0
       | (`Min | `Mid) as mode ->
           let mn = ref max_int and mx = ref 0 in
           Array.iter
@@ -101,25 +119,36 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
                 if c > !mx then mx := c
               end)
             t.ants;
-          if !mn = max_int then None
-          else Some (max 1 (match mode with `Min -> !mn | `Mid -> (!mn + !mx + 1) / 2))
+          if !mn = max_int then 0
+          else max 1 (match mode with `Min -> !mn | `Mid -> (!mn + !mx + 1) / 2)
     in
-    let events = ref [] in
+    Array.fill t.maxima 0 5 0;
+    let reads_max = ref 0 and reads_sum = ref 0 and stepped = ref 0 in
     Array.iter
       (fun ant ->
-        if Aco.Ant.status ant = Aco.Ant.Active then
-          events := Aco.Ant.step ?force_explore ?ready_limit ant ~pheromone :: !events)
+        if Aco.Ant.status ant = Aco.Ant.Active then begin
+          Aco.Ant.step_hot ant ~pheromone ~force_explore ~ready_limit;
+          let rank = Aco.Ant.last_rank ant in
+          let sc = Aco.Ant.last_scanned ant and su = Aco.Ant.last_succs ant in
+          let cost = Divergence.cost_of ~ready_scanned:sc ~succs_updated:su in
+          if cost > t.maxima.(rank) then t.maxima.(rank) <- cost;
+          let reads = Divergence.reads_of ~ready_scanned:sc ~succs_updated:su in
+          if reads > !reads_max then reads_max := reads;
+          reads_sum := !reads_sum + reads;
+          if rank <= 1 then incr selections;
+          incr stepped
+        end)
       t.ants;
-    let charge = Divergence.step_charge !events in
-    let reads = List.map Divergence.lane_reads !events in
-    let transactions = Mem_model.step_transactions config ~reads_per_lane:reads in
+    ant_steps := !ant_steps + !stepped;
+    let serialized_step = Divergence.serialized_of_maxima t.maxima in
+    let transactions =
+      Mem_model.step_transactions_acc config ~active:!stepped ~reads_max:!reads_max
+        ~reads_sum:!reads_sum
+    in
     (* A memory-transaction error forces a replay of the step's
        transactions: same data, double the time. *)
     let transactions =
-      if
-        Faults.enabled faults && transactions > 0
-        && Faults.mem_fault faults
-      then begin
+      if faults_on && transactions > 0 && Faults.mem_fault faults then begin
         incr mem_faults;
         2 * transactions
       end
@@ -127,10 +156,10 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
     in
     time :=
       !time
-      +. (float_of_int charge.Divergence.serialized_ops *. config.Config.gpu_ns_per_op)
+      +. (float_of_int serialized_step *. config.Config.gpu_ns_per_op)
       +. (float_of_int transactions *. config.Config.mem_transaction_ns);
-    serialized := !serialized + charge.Divergence.serialized_ops;
-    single := !single + charge.Divergence.max_single_path_ops;
+    serialized := !serialized + serialized_step;
+    single := !single + Divergence.max_single_of_maxima t.maxima;
     (* Early wavefront termination: a finisher used the fewest cycles any
        lane of this wavefront can still achieve, so the rest cannot win
        the iteration (Section V-B). *)
@@ -153,6 +182,8 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
     serialized_ops = !serialized;
     single_path_ops = !single;
     steps = !steps;
+    ant_steps = !ant_steps;
+    selections = !selections;
     finished;
     hung = false;
     quarantined = !quarantined;

@@ -12,15 +12,22 @@
 type t
 
 val create :
+  ?shared:Aco.Ant.shared ->
   Config.t ->
   Ddg.Graph.t ->
   Aco.Params.t ->
   heuristic:Sched.Heuristic.kind ->
   allow_optional_stalls:bool ->
   t
-(** Allocate the wavefront's ants (state is reused across iterations). *)
+(** Allocate the wavefront's ants, batched into one SoA colony arena
+    sized once from the transitive-closure ready-list bound; all state is
+    reused across iterations. [shared] lets a driver reuse one set of
+    region analyses across every wavefront of the colony. *)
 
 val lanes : t -> int
+
+val arena_words : t -> int
+(** Size of this wavefront's colony arena in words. *)
 
 type outcome = {
   time_ns : float;  (** simulated lockstep construction time *)
@@ -28,6 +35,8 @@ type outcome = {
   serialized_ops : int;  (** compute ops after divergence serialization *)
   single_path_ops : int;  (** compute ops had every step been uniform *)
   steps : int;  (** lockstep steps executed *)
+  ant_steps : int;  (** individual ant construction steps (active lanes summed) *)
+  selections : int;  (** ant steps that selected an instruction (ranks 0–1) *)
   finished : Aco.Ant.t list;
       (** lanes that completed a schedule, in lane order; their state is
           valid until the next [run_iteration] on this wavefront *)

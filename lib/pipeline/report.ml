@@ -297,3 +297,54 @@ let degradation_table report =
     [ 0; 1; 2 ]
 
 let degradation_total report = degradation_row_of (compiled_regions report) (-1)
+
+type perf_row = {
+  p_category : int;
+  p_regions : int;
+  p_lockstep_steps : int;
+  p_ant_steps : int;
+  p_selections : int;
+  p_minor_words : float;
+  p_words_per_ant_step : float;
+}
+
+(* Allocation-discipline counters of the parallel driver, both passes
+   summed: how many construction steps the colonies executed and how
+   much OCaml minor-heap allocation they cost. The arena refactor's
+   budget is minor words per ant step. *)
+let perf_row_of regions cat =
+  let add f =
+    List.fold_left
+      (fun acc (r : Compile.region_report) ->
+        acc + f r.Compile.par_pass1 + f r.Compile.par_pass2)
+      0 regions
+  in
+  let addf f =
+    List.fold_left
+      (fun acc (r : Compile.region_report) ->
+        acc +. f r.Compile.par_pass1 +. f r.Compile.par_pass2)
+      0.0 regions
+  in
+  let steps = add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.ant_steps) in
+  let words = addf (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.minor_words) in
+  {
+    p_category = cat;
+    p_regions = List.length regions;
+    p_lockstep_steps =
+      add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.lockstep_steps);
+    p_ant_steps = steps;
+    p_selections = add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.selections);
+    p_minor_words = words;
+    p_words_per_ant_step = (if steps = 0 then 0.0 else words /. float_of_int steps);
+  }
+
+let perf_table report =
+  let regions = compiled_regions report in
+  List.map
+    (fun cat ->
+      perf_row_of
+        (List.filter (fun (r : Compile.region_report) -> r.Compile.size_category = cat) regions)
+        cat)
+    [ 0; 1; 2 ]
+
+let perf_total report = perf_row_of (compiled_regions report) (-1)

@@ -91,3 +91,22 @@ val degradation_table : Compile.suite_report -> degradation_row list
     clean. *)
 
 val degradation_total : Compile.suite_report -> degradation_row
+
+type perf_row = {
+  p_category : int;  (** {!Aco.Params.size_category}, or [-1] for the total row *)
+  p_regions : int;
+  p_lockstep_steps : int;  (** wavefront-level lockstep rounds, both passes *)
+  p_ant_steps : int;  (** individual ant construction steps, both passes *)
+  p_selections : int;  (** steps that ran the pheromone selection loop *)
+  p_minor_words : float;  (** OCaml minor-heap words allocated by the passes *)
+  p_words_per_ant_step : float;  (** [p_minor_words / p_ant_steps]; 0 when no steps *)
+}
+
+val perf_table : Compile.suite_report -> perf_row list
+(** Allocation-discipline counters of the parallel (GPU-model) passes,
+    one row per size category over the compiled kernels. The batched
+    arena keeps [p_words_per_ant_step] near zero: the construct-schedule
+    inner loop allocates nothing, so the residual is per-iteration
+    bookkeeping amortized over the steps. *)
+
+val perf_total : Compile.suite_report -> perf_row

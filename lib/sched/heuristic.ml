@@ -9,7 +9,11 @@ let to_string = function
 
 type ctx = { graph : Ddg.Graph.t; cp : Ddg.Critpath.t; rp : Rp_tracker.t }
 
-let make_ctx graph rp = { graph; cp = Ddg.Critpath.compute graph; rp }
+let make_ctx ?cp graph rp =
+  (* Critical-path distances depend only on the graph: a colony computes
+     them once and shares them across its lanes via [?cp]. *)
+  let cp = match cp with Some cp -> cp | None -> Ddg.Critpath.compute graph in
+  { graph; cp; rp }
 
 let score kind ctx i =
   match kind with
@@ -17,9 +21,8 @@ let score kind ctx i =
   | Last_use_count ->
       (* Primary: live ranges closed minus opened; secondary: distance to
          the leaves so ties still make progress along long chains. *)
-      let closes = Rp_tracker.closes_count ctx.rp i in
-      let opens = Rp_tracker.opens_count ctx.rp i in
-      (float_of_int (closes - opens) *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
+      let net = Rp_tracker.closes_minus_opens ctx.rp i in
+      (float_of_int net *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
   | Source_order -> float_of_int (ctx.graph.Ddg.Graph.n - i)
 
 let eta kind ctx i =
@@ -27,6 +30,34 @@ let eta kind ctx i =
      with a floor so no candidate gets probability zero. *)
   let s = score kind ctx i in
   1.0 +. Float.max 0.0 (s +. 4096.0) /. 512.0
+
+(* Same transform, applied to a whole candidate slice into a caller
+   scratch buffer. The kind dispatch happens once outside the loop; each
+   branch repeats [eta]'s exact float expression so the filled values are
+   bit-identical to per-candidate [eta] calls (the ACO selection is
+   byte-reproducible across the list- and array-backed ants). *)
+let fill_eta kind ctx ~cand ~n ~out =
+  match kind with
+  | Critical_path ->
+      for k = 0 to n - 1 do
+        let s = float_of_int (Ddg.Critpath.backward ctx.cp cand.(k)) in
+        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+      done
+  | Last_use_count ->
+      for k = 0 to n - 1 do
+        let i = cand.(k) in
+        let net = Rp_tracker.closes_minus_opens ctx.rp i in
+        let s =
+          (float_of_int net *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
+        in
+        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+      done
+  | Source_order ->
+      let n_instrs = ctx.graph.Ddg.Graph.n in
+      for k = 0 to n - 1 do
+        let s = float_of_int (n_instrs - cand.(k)) in
+        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+      done
 
 let best kind ctx = function
   | [] -> invalid_arg "Heuristic.best: empty candidate list"

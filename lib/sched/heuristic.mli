@@ -18,7 +18,9 @@ type ctx = { graph : Ddg.Graph.t; cp : Ddg.Critpath.t; rp : Rp_tracker.t }
 (** Evaluation context; [rp] must reflect the construction state at the
     moment of the query. *)
 
-val make_ctx : Ddg.Graph.t -> Rp_tracker.t -> ctx
+val make_ctx : ?cp:Ddg.Critpath.t -> Ddg.Graph.t -> Rp_tracker.t -> ctx
+(** [cp] (computed when omitted) lets a colony share one critical-path
+    analysis across all its lanes' contexts. *)
 
 val score : kind -> ctx -> int -> float
 (** [score k ctx i]: priority of ready instruction [i]; higher is
@@ -27,6 +29,12 @@ val score : kind -> ctx -> int -> float
 val eta : kind -> ctx -> int -> float
 (** Strictly positive attractiveness value for ACO's selection formula,
     a monotone transform of [score]. *)
+
+val fill_eta : kind -> ctx -> cand:int array -> n:int -> out:float array -> unit
+(** [fill_eta kind ctx ~cand ~n ~out] stores [eta kind ctx cand.(k)] in
+    [out.(k)] for [0 <= k < n], bit-identical to per-candidate {!eta}
+    calls but with the kind dispatch hoisted out of the loop and no
+    allocation — the ACO selection hot path over a candidate slice. *)
 
 val best : kind -> ctx -> int list -> int
 (** Highest-scoring instruction of a non-empty candidate list (ties to

@@ -1,49 +1,72 @@
+(* All per-list state lives as seven n-sized segments of a flat int
+   backing array (a caller-supplied arena or a private buffer), so a
+   whole colony's ready lists come from one batched allocation
+   (Section V-A). The pending set — instructions waiting only on
+   latency — is a flat sorted window [pend_head, pend_tail) of the
+   (cycle, instr) segment pair: each instruction enters pending at most
+   once per reset, so n slots never overflow and the head only
+   advances. *)
+
 type t = {
   graph : Ddg.Graph.t;
   latency_aware : bool;
-  unsched_preds : int array;
-  earliest : int array;  (* valid once unsched_preds reaches 0 *)
-  sched_cycle : int array;  (* -1 if unscheduled *)
-  ready : int array;  (* compact prefix of length ready_n *)
-  pos_in_ready : int array;  (* -1 when not in ready *)
+  buf : int array;
+  unsched_preds : int;  (* base offsets into [buf], n entries each *)
+  earliest : int;  (* valid once unsched_preds reaches 0 *)
+  sched_cycle : int;  (* -1 if unscheduled *)
+  ready_base : int;  (* compact prefix of length ready_n *)
+  pos_in_ready : int;  (* -1 when not in ready *)
+  pend_cycle : int;  (* sorted window [pend_head, pend_tail) *)
+  pend_instr : int;
   mutable ready_n : int;
-  mutable pending : (int * int) list;  (* (ready_cycle, instr), kept sorted *)
+  mutable pend_head : int;
+  mutable pend_tail : int;
   mutable cycle : int;
   mutable scheduled_n : int;
 }
 
+let int_demand (graph : Ddg.Graph.t) = 7 * graph.n
+
 let setup t =
-  for i = 0 to t.graph.Ddg.Graph.n - 1 do
-    t.unsched_preds.(i) <- Ddg.Graph.num_preds t.graph i;
-    t.earliest.(i) <- 0;
-    t.sched_cycle.(i) <- -1;
-    t.pos_in_ready.(i) <- -1
+  let n = t.graph.Ddg.Graph.n in
+  let buf = t.buf in
+  for i = 0 to n - 1 do
+    buf.(t.unsched_preds + i) <- Ddg.Graph.num_preds t.graph i;
+    buf.(t.earliest + i) <- 0;
+    buf.(t.sched_cycle + i) <- -1;
+    buf.(t.pos_in_ready + i) <- -1
   done;
   t.ready_n <- 0;
-  t.pending <- [];
+  t.pend_head <- 0;
+  t.pend_tail <- 0;
   t.cycle <- 0;
   t.scheduled_n <- 0;
-  for i = 0 to t.graph.Ddg.Graph.n - 1 do
-    if t.unsched_preds.(i) = 0 then begin
-      t.ready.(t.ready_n) <- i;
-      t.pos_in_ready.(i) <- t.ready_n;
+  for i = 0 to n - 1 do
+    if buf.(t.unsched_preds + i) = 0 then begin
+      buf.(t.ready_base + t.ready_n) <- i;
+      buf.(t.pos_in_ready + i) <- t.ready_n;
       t.ready_n <- t.ready_n + 1
     end
   done
 
-let create ?(latency_aware = true) (graph : Ddg.Graph.t) =
+let create_in ?(latency_aware = true) arena (graph : Ddg.Graph.t) =
   let n = graph.n in
+  let base = Support.Arena.alloc_ints arena (7 * n) in
   let t =
     {
       graph;
       latency_aware;
-      unsched_preds = Array.make n 0;
-      earliest = Array.make n 0;
-      sched_cycle = Array.make n (-1);
-      ready = Array.make n 0;
-      pos_in_ready = Array.make n (-1);
+      buf = Support.Arena.ints arena;
+      unsched_preds = base;
+      earliest = base + n;
+      sched_cycle = base + (2 * n);
+      ready_base = base + (3 * n);
+      pos_in_ready = base + (4 * n);
+      pend_cycle = base + (5 * n);
+      pend_instr = base + (6 * n);
       ready_n = 0;
-      pending = [];
+      pend_head = 0;
+      pend_tail = 0;
       cycle = 0;
       scheduled_n = 0;
     }
@@ -51,63 +74,89 @@ let create ?(latency_aware = true) (graph : Ddg.Graph.t) =
   setup t;
   t
 
+let create ?latency_aware (graph : Ddg.Graph.t) =
+  let arena = Support.Arena.create ~ints:(int_demand graph) ~floats:0 in
+  create_in ?latency_aware arena graph
+
 let reset = setup
 
 let current_cycle t = t.cycle
 let ready_count t = t.ready_n
-let ready t k = t.ready.(k)
+let ready t k = t.buf.(t.ready_base + k)
 
 let ready_list t =
-  let rec loop k acc = if k < 0 then acc else loop (k - 1) (t.ready.(k) :: acc) in
+  let rec loop k acc = if k < 0 then acc else loop (k - 1) (t.buf.(t.ready_base + k) :: acc) in
   loop (t.ready_n - 1) []
 
-let semi_ready t = List.map (fun (c, i) -> (i, c)) t.pending
+let semi_ready t =
+  let rec loop p acc =
+    if p < t.pend_head then acc
+    else loop (p - 1) ((t.buf.(t.pend_instr + p), t.buf.(t.pend_cycle + p)) :: acc)
+  in
+  loop (t.pend_tail - 1) []
 
 let min_semi_ready_cycle t =
-  match t.pending with [] -> None | (c, _) :: _ -> Some c
+  if t.pend_head = t.pend_tail then None else Some t.buf.(t.pend_cycle + t.pend_head)
+
+let has_semi_ready t = t.pend_head <> t.pend_tail
 
 let push_ready t i =
-  t.ready.(t.ready_n) <- i;
-  t.pos_in_ready.(i) <- t.ready_n;
+  t.buf.(t.ready_base + t.ready_n) <- i;
+  t.buf.(t.pos_in_ready + i) <- t.ready_n;
   t.ready_n <- t.ready_n + 1
 
 let remove_ready t i =
-  let p = t.pos_in_ready.(i) in
+  let p = t.buf.(t.pos_in_ready + i) in
   if p < 0 then invalid_arg "Ready_list: instruction is not ready";
   let last = t.ready_n - 1 in
-  let moved = t.ready.(last) in
-  t.ready.(p) <- moved;
-  t.pos_in_ready.(moved) <- p;
+  let moved = t.buf.(t.ready_base + last) in
+  t.buf.(t.ready_base + p) <- moved;
+  t.buf.(t.pos_in_ready + moved) <- p;
   t.ready_n <- last;
-  t.pos_in_ready.(i) <- -1
+  t.buf.(t.pos_in_ready + i) <- -1
 
-let rec insert_sorted x = function
-  | [] -> [ x ]
-  | y :: rest as l -> if fst x <= fst y then x :: l else y :: insert_sorted x rest
+(* Insert (c, i) keeping the window sorted by cycle; among equal cycles
+   the new element goes first, matching the [fst x <= fst y] tie-break of
+   the seed's sorted-list insert (the promotion order is part of the
+   construction's byte-identity contract). *)
+let insert_pending t c i =
+  let buf = t.buf in
+  let p = ref t.pend_head in
+  while !p < t.pend_tail && buf.(t.pend_cycle + !p) < c do
+    incr p
+  done;
+  let q = ref t.pend_tail in
+  while !q > !p do
+    buf.(t.pend_cycle + !q) <- buf.(t.pend_cycle + !q - 1);
+    buf.(t.pend_instr + !q) <- buf.(t.pend_instr + !q - 1);
+    decr q
+  done;
+  buf.(t.pend_cycle + !p) <- c;
+  buf.(t.pend_instr + !p) <- i;
+  t.pend_tail <- t.pend_tail + 1
 
 let promote t =
   (* Move pending instructions whose ready cycle has arrived. *)
-  let rec loop = function
-    | (c, i) :: rest when c <= t.cycle ->
-        push_ready t i;
-        loop rest
-    | rest -> t.pending <- rest
-  in
-  loop t.pending
+  let buf = t.buf in
+  while t.pend_head < t.pend_tail && buf.(t.pend_cycle + t.pend_head) <= t.cycle do
+    push_ready t buf.(t.pend_instr + t.pend_head);
+    t.pend_head <- t.pend_head + 1
+  done
 
 let schedule t i =
   remove_ready t i;
-  t.sched_cycle.(i) <- t.cycle;
+  let buf = t.buf in
+  buf.(t.sched_cycle + i) <- t.cycle;
   t.scheduled_n <- t.scheduled_n + 1;
   Array.iter
     (fun (j, lat) ->
-      t.unsched_preds.(j) <- t.unsched_preds.(j) - 1;
+      buf.(t.unsched_preds + j) <- buf.(t.unsched_preds + j) - 1;
       let lat = if t.latency_aware then max lat 1 else 1 in
-      t.earliest.(j) <- max t.earliest.(j) (t.cycle + lat);
-      if t.unsched_preds.(j) = 0 then
+      if t.cycle + lat > buf.(t.earliest + j) then buf.(t.earliest + j) <- t.cycle + lat;
+      if buf.(t.unsched_preds + j) = 0 then
         (* Queue with its ready cycle; [promote] moves it across once the
            current cycle reaches that point. *)
-        t.pending <- insert_sorted (t.earliest.(j), j) t.pending)
+        insert_pending t buf.(t.earliest + j) j)
     t.graph.Ddg.Graph.succs.(i);
   t.cycle <- t.cycle + 1;
   promote t

@@ -11,7 +11,16 @@
 type t
 
 val create : ?latency_aware:bool -> Ddg.Graph.t -> t
-(** [latency_aware] defaults to [true]. *)
+(** [latency_aware] defaults to [true]. Stand-alone list with a private
+    backing buffer. *)
+
+val int_demand : Ddg.Graph.t -> int
+(** Arena ints one list needs (for exact pre-sizing): 7 segments of [n]
+    entries. *)
+
+val create_in : ?latency_aware:bool -> Support.Arena.t -> Ddg.Graph.t -> t
+(** As {!create} but with all state carved out of the given arena — the
+    batched SoA colony allocation of Section V-A. *)
 
 val reset : t -> unit
 
@@ -31,6 +40,9 @@ val semi_ready : t -> (int * int) list
 
 val min_semi_ready_cycle : t -> int option
 (** Earliest cycle at which some semi-ready instruction becomes ready. *)
+
+val has_semi_ready : t -> bool
+(** [min_semi_ready_cycle t <> None] without the option allocation. *)
 
 val schedule : t -> int -> unit
 (** Issue the given ready instruction at the current cycle, then advance

@@ -1,24 +1,41 @@
-type t = {
+(* The tracker is split into a shared immutable [layout] — the interned
+   register universe and per-instruction Def/Use id arrays, identical for
+   every ant scheduling the same region — and a small per-ant mutable
+   state carved out of a caller-supplied arena (or a private backing
+   array). A colony of 64 lanes therefore interns registers once and
+   packs all 64 trackers' state into one allocation (Section V-A's
+   batched SoA layout). *)
+
+type layout = {
   graph : Ddg.Graph.t;
-  index : (Ir.Reg.t, int) Hashtbl.t;  (* register -> dense id (construction only) *)
   cls : Ir.Reg.cls array;  (* dense id -> class *)
   (* per-instruction dense register ids, precomputed so the hot path never
      hashes *)
   use_ids : int array array;
   def_ids : int array array;
+  (* per-instruction def counts by class: scheduling [i] can raise a
+     class's pressure by at most this many opens, which gives the hot
+     fits check a sound fast path that skips the per-register scan *)
+  defs_v : int array;
+  defs_s : int array;
   total_uses : int array;
   live_out : bool array;
   live_in : bool array;
-  (* mutable state *)
-  remaining : int array;
-  live : bool array;
-  current : int array;  (* indexed by class rank *)
-  peak : int array;
+  nregs : int;
+}
+
+type t = {
+  layout : layout;
+  buf : int array;
+  rem_base : int;  (* remaining use counts, nregs entries *)
+  live_base : int;  (* 0/1 liveness flags, nregs entries *)
+  cur_base : int;  (* current pressure, 2 entries (class rank) *)
+  peak_base : int;  (* peak pressure, 2 entries *)
 }
 
 let rank = function Ir.Reg.Vgpr -> 0 | Ir.Reg.Sgpr -> 1
 
-let create (graph : Ddg.Graph.t) =
+let layout_of_graph (graph : Ddg.Graph.t) =
   let region = graph.region in
   let instrs = (region : Ir.Region.t).instrs in
   let index = Hashtbl.create 64 in
@@ -49,91 +66,103 @@ let create (graph : Ddg.Graph.t) =
   List.iter (fun r -> live_out.(Hashtbl.find index r) <- true) (region : Ir.Region.t).live_out;
   let live_in = Array.make nregs false in
   List.iter (fun r -> live_in.(Hashtbl.find index r) <- true) (Ir.Region.live_in region);
-  let t =
-    {
-      graph;
-      index;
-      cls;
-      use_ids;
-      def_ids;
-      total_uses;
-      live_out;
-      live_in;
-      remaining = Array.copy total_uses;
-      live = Array.make nregs false;
-      current = Array.make 2 0;
-      peak = Array.make 2 0;
-    }
-  in
-  Array.iteri
-    (fun i li ->
-      if li then begin
-        t.live.(i) <- true;
-        let c = rank t.cls.(i) in
-        t.current.(c) <- t.current.(c) + 1
-      end)
-    live_in;
-  t.peak.(0) <- t.current.(0);
-  t.peak.(1) <- t.current.(1);
-  t
+  let n = Array.length def_ids in
+  let defs_v = Array.make n 0 and defs_s = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun di ->
+        match cls.(di) with
+        | Ir.Reg.Vgpr -> defs_v.(i) <- defs_v.(i) + 1
+        | Ir.Reg.Sgpr -> defs_s.(i) <- defs_s.(i) + 1)
+      def_ids.(i)
+  done;
+  { graph; cls; use_ids; def_ids; defs_v; defs_s; total_uses; live_out; live_in; nregs }
+
+let int_demand layout = (2 * layout.nregs) + 4
 
 let reset t =
-  Array.blit t.total_uses 0 t.remaining 0 (Array.length t.total_uses);
-  Array.fill t.current 0 2 0;
-  Array.iteri
-    (fun i li ->
-      t.live.(i) <- li;
-      if li then begin
-        let c = rank t.cls.(i) in
-        t.current.(c) <- t.current.(c) + 1
-      end)
-    t.live_in;
-  t.peak.(0) <- t.current.(0);
-  t.peak.(1) <- t.current.(1)
+  let l = t.layout in
+  let buf = t.buf in
+  Array.blit l.total_uses 0 buf t.rem_base l.nregs;
+  buf.(t.cur_base) <- 0;
+  buf.(t.cur_base + 1) <- 0;
+  for i = 0 to l.nregs - 1 do
+    if l.live_in.(i) then begin
+      buf.(t.live_base + i) <- 1;
+      let c = rank l.cls.(i) in
+      buf.(t.cur_base + c) <- buf.(t.cur_base + c) + 1
+    end
+    else buf.(t.live_base + i) <- 0
+  done;
+  buf.(t.peak_base) <- buf.(t.cur_base);
+  buf.(t.peak_base + 1) <- buf.(t.cur_base + 1)
+
+let create_in arena layout =
+  let base = Support.Arena.alloc_ints arena (int_demand layout) in
+  let t =
+    {
+      layout;
+      buf = Support.Arena.ints arena;
+      rem_base = base;
+      live_base = base + layout.nregs;
+      cur_base = base + (2 * layout.nregs);
+      peak_base = base + (2 * layout.nregs) + 2;
+    }
+  in
+  reset t;
+  t
+
+let create graph =
+  let layout = layout_of_graph graph in
+  let arena = Support.Arena.create ~ints:(int_demand layout) ~floats:0 in
+  create_in arena layout
 
 let copy t =
-  {
-    t with
-    remaining = Array.copy t.remaining;
-    live = Array.copy t.live;
-    current = Array.copy t.current;
-    peak = Array.copy t.peak;
-  }
+  let buf = Array.copy t.buf in
+  (* A private copy keeps the source's offsets but its own backing, so
+     the two trackers evolve independently even when the source lives in
+     a shared arena. *)
+  { t with buf }
 
 let schedule t i =
-  let uses = t.use_ids.(i) and defs = t.def_ids.(i) in
+  let l = t.layout in
+  let buf = t.buf in
+  let uses = l.use_ids.(i) and defs = l.def_ids.(i) in
   Array.iter
     (fun ui ->
-      t.remaining.(ui) <- t.remaining.(ui) - 1;
-      if t.remaining.(ui) = 0 && (not t.live_out.(ui)) && t.live.(ui) then begin
-        t.live.(ui) <- false;
-        let c = rank t.cls.(ui) in
-        t.current.(c) <- t.current.(c) - 1
+      buf.(t.rem_base + ui) <- buf.(t.rem_base + ui) - 1;
+      if buf.(t.rem_base + ui) = 0 && (not l.live_out.(ui)) && buf.(t.live_base + ui) = 1
+      then begin
+        buf.(t.live_base + ui) <- 0;
+        let c = rank l.cls.(ui) in
+        buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
       end)
     uses;
   Array.iter
     (fun di ->
-      if not t.live.(di) then begin
-        t.live.(di) <- true;
-        let c = rank t.cls.(di) in
-        t.current.(c) <- t.current.(c) + 1
+      if buf.(t.live_base + di) = 0 then begin
+        buf.(t.live_base + di) <- 1;
+        let c = rank l.cls.(di) in
+        buf.(t.cur_base + c) <- buf.(t.cur_base + c) + 1
       end)
     defs;
-  if t.current.(0) > t.peak.(0) then t.peak.(0) <- t.current.(0);
-  if t.current.(1) > t.peak.(1) then t.peak.(1) <- t.current.(1);
+  if buf.(t.cur_base) > buf.(t.peak_base) then buf.(t.peak_base) <- buf.(t.cur_base);
+  if buf.(t.cur_base + 1) > buf.(t.peak_base + 1) then
+    buf.(t.peak_base + 1) <- buf.(t.cur_base + 1);
   (* A def with no remaining uses and not live-out dies immediately after
      being counted at this instruction's point. *)
   Array.iter
     (fun di ->
-      if t.remaining.(di) = 0 && (not t.live_out.(di)) && t.live.(di) then begin
-        t.live.(di) <- false;
-        let c = rank t.cls.(di) in
-        t.current.(c) <- t.current.(c) - 1
+      if buf.(t.rem_base + di) = 0 && (not l.live_out.(di)) && buf.(t.live_base + di) = 1
+      then begin
+        buf.(t.live_base + di) <- 0;
+        let c = rank l.cls.(di) in
+        buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
       end)
     defs
 
-let current t cls = t.current.(rank cls)
-let peak t cls = t.peak.(rank cls)
+let current t cls = t.buf.(t.cur_base + rank cls)
+let peak t cls = t.buf.(t.peak_base + rank cls)
 
 (* One-pass, allocation-free analysis of scheduling [i]: per class, the
    live ranges it would close and open. Duplicate uses of one register in
@@ -143,7 +172,9 @@ let scratch = Array.make 4 0 (* closed_v; opened_v; closed_s; opened_s *)
 
 let compute_effects t i =
   Array.fill scratch 0 4 0;
-  let uses = t.use_ids.(i) and defs = t.def_ids.(i) in
+  let l = t.layout in
+  let buf = t.buf in
+  let uses = l.use_ids.(i) and defs = l.def_ids.(i) in
   let n_uses = Array.length uses in
   for k = 0 to n_uses - 1 do
     let ui = uses.(k) in
@@ -152,22 +183,23 @@ let compute_effects t i =
     for j = 0 to k do
       if uses.(j) = ui then incr mult
     done;
-    if t.remaining.(ui) = !mult && (not t.live_out.(ui)) && t.live.(ui) then begin
+    if buf.(t.rem_base + ui) = !mult && (not l.live_out.(ui)) && buf.(t.live_base + ui) = 1
+    then begin
       (* this occurrence is the last outstanding use *)
       let last_occurrence = ref true in
       for j = k + 1 to n_uses - 1 do
         if uses.(j) = ui then last_occurrence := false
       done;
       if !last_occurrence then
-        let c = rank t.cls.(ui) in
+        let c = rank l.cls.(ui) in
         scratch.(2 * c) <- scratch.(2 * c) + 1
     end
   done;
   Array.iter
     (fun di ->
-      if not t.live.(di) then begin
+      if buf.(t.live_base + di) = 0 then begin
         (* already-opened within this instruction? defs are unique *)
-        let c = rank t.cls.(di) in
+        let c = rank l.cls.(di) in
         scratch.((2 * c) + 1) <- scratch.((2 * c) + 1) + 1
       end)
     defs
@@ -180,13 +212,57 @@ let delta_if_scheduled t i cls =
 let peak_if_scheduled t i cls =
   compute_effects t i;
   let c = rank cls in
-  max t.peak.(c) (t.current.(c) - scratch.(2 * c) + scratch.((2 * c) + 1))
+  max t.buf.(t.peak_base + c) (t.buf.(t.cur_base + c) - scratch.(2 * c) + scratch.((2 * c) + 1))
 
 let fits_within t i ~target_vgpr ~target_sgpr =
-  compute_effects t i;
-  let v = max t.peak.(0) (t.current.(0) - scratch.(0) + scratch.(1)) in
-  let s = max t.peak.(1) (t.current.(1) - scratch.(2) + scratch.(3)) in
-  v <= target_vgpr && s <= target_sgpr
+  let l = t.layout in
+  let buf = t.buf in
+  (* Fast path: the post-schedule pressure is at most cur + defs of the
+     class (every open is a def; closes only lower it), so when even
+     that bound fits there is no need to scan the registers. With the
+     generous targets of early ILP iterations this covers almost every
+     candidate. *)
+  if
+    max buf.(t.peak_base) (buf.(t.cur_base) + l.defs_v.(i)) <= target_vgpr
+    && max buf.(t.peak_base + 1) (buf.(t.cur_base + 1) + l.defs_s.(i)) <= target_sgpr
+  then true
+  else begin
+    compute_effects t i;
+    let v = max buf.(t.peak_base) (buf.(t.cur_base) - scratch.(0) + scratch.(1)) in
+    let s = max buf.(t.peak_base + 1) (buf.(t.cur_base + 1) - scratch.(2) + scratch.(3)) in
+    v <= target_vgpr && s <= target_sgpr
+  end
+
+(* Stable in-place filter: compact the candidates of [cand.(0..n_cand-1)]
+   that fit the targets into the prefix, preserving order, and return
+   their count. Equivalent to testing [fits_within] on each candidate,
+   with the pressure loads hoisted out of the loop. *)
+let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
+  let l = t.layout in
+  let buf = t.buf in
+  let pv = buf.(t.peak_base) and ps = buf.(t.peak_base + 1) in
+  let cv = buf.(t.cur_base) and cs = buf.(t.cur_base + 1) in
+  if pv > target_vgpr || ps > target_sgpr then 0
+    (* the peak already exceeds a target: nothing can fit *)
+  else begin
+    let m = ref 0 in
+    for k = 0 to n_cand - 1 do
+      let i = Array.unsafe_get cand k in
+      let fits =
+        (cv + Array.unsafe_get l.defs_v i <= target_vgpr
+        && cs + Array.unsafe_get l.defs_s i <= target_sgpr)
+        ||
+        (compute_effects t i;
+         cv - scratch.(0) + scratch.(1) <= target_vgpr
+         && cs - scratch.(2) + scratch.(3) <= target_sgpr)
+      in
+      if fits then begin
+        Array.unsafe_set cand !m i;
+        incr m
+      end
+    done;
+    !m
+  end
 
 let closes_count t i =
   compute_effects t i;
@@ -195,6 +271,12 @@ let closes_count t i =
 let opens_count t i =
   compute_effects t i;
   scratch.(1) + scratch.(3)
+
+let closes_minus_opens t i =
+  (* One effects pass instead of two; same integer as
+     [closes_count t i - opens_count t i]. *)
+  compute_effects t i;
+  scratch.(0) + scratch.(2) - scratch.(1) - scratch.(3)
 
 (* Independent reference implementation over live-range intervals; assumes
    single-definition registers (all generated workloads are SSA-like).

@@ -10,9 +10,27 @@
 
 type t
 
+type layout
+(** The immutable, region-wide part of a tracker: interned register ids,
+    per-instruction Def/Use id arrays, total use counts and boundary
+    liveness. Shared by every ant scheduling the same region, so the
+    interning hash pass runs once per colony instead of once per lane. *)
+
+val layout_of_graph : Ddg.Graph.t -> layout
+
+val int_demand : layout -> int
+(** Arena ints one tracker's mutable state needs (for exact
+    pre-sizing). *)
+
+val create_in : Support.Arena.t -> layout -> t
+(** Tracker whose mutable state lives in the given arena (the batched
+    SoA colony allocation); live-in registers are already counted.
+    Raises [Invalid_argument] when the arena lacks [int_demand layout]
+    ints. *)
+
 val create : Ddg.Graph.t -> t
-(** Fresh tracker for the region of the graph; live-in registers are
-    already counted. *)
+(** Fresh stand-alone tracker for the region of the graph (private
+    layout and backing); live-in registers are already counted. *)
 
 val reset : t -> unit
 (** Return to the initial state (ants reuse trackers across iterations to
@@ -40,7 +58,14 @@ val delta_if_scheduled : t -> int -> Ir.Reg.cls -> int
 val fits_within : t -> int -> target_vgpr:int -> target_sgpr:int -> bool
 (** Would scheduling the instruction keep both class peaks within the
     given targets? Single pass over its Def/Use sets (the pass-2 hot
-    path). *)
+    path), with a scan-free fast path when even the def-count upper
+    bound fits. *)
+
+val filter_fits_prefix :
+  t -> cand:int array -> n_cand:int -> target_vgpr:int -> target_sgpr:int -> int
+(** Stable in-place filter of [cand.(0..n_cand-1)]: compacts the
+    candidates for which {!fits_within} holds into the prefix (ready
+    order preserved) and returns their count. *)
 
 val closes_count : t -> int -> int
 (** Number of live ranges (any class) the instruction would close — the
@@ -48,6 +73,10 @@ val closes_count : t -> int -> int
 
 val opens_count : t -> int -> int
 (** Live ranges (any class) the instruction would open. *)
+
+val closes_minus_opens : t -> int -> int
+(** [closes_count t i - opens_count t i] in a single effects pass — the
+    Last-Use-Count heuristic's key on the selection hot path. *)
 
 val naive_peaks : Ddg.Graph.t -> int array -> (Ir.Reg.cls -> int)
 (** Reference implementation: peak pressures of a complete instruction

@@ -1,0 +1,42 @@
+type t = {
+  ints : int array;
+  floats : float array;
+  mutable int_used : int;
+  mutable float_used : int;
+}
+
+let create ~ints ~floats =
+  if ints < 0 || floats < 0 then invalid_arg "Arena.create: negative capacity";
+  {
+    ints = Array.make (max ints 1) 0;
+    floats = Array.make (max floats 1) 0.0;
+    int_used = 0;
+    float_used = 0;
+  }
+
+let alloc_ints t n =
+  if n < 0 then invalid_arg "Arena.alloc_ints: negative size";
+  let base = t.int_used in
+  if base + n > Array.length t.ints then invalid_arg "Arena.alloc_ints: capacity exceeded";
+  t.int_used <- base + n;
+  base
+
+let alloc_floats t n =
+  if n < 0 then invalid_arg "Arena.alloc_floats: negative size";
+  let base = t.float_used in
+  if base + n > Array.length t.floats then invalid_arg "Arena.alloc_floats: capacity exceeded";
+  t.float_used <- base + n;
+  base
+
+let ints t = t.ints
+let floats t = t.floats
+let int_capacity t = Array.length t.ints
+let float_capacity t = Array.length t.floats
+let int_used t = t.int_used
+let float_used t = t.float_used
+
+let words t =
+  (* One OCaml word per int; float arrays store unboxed doubles (one word
+     each on 64-bit). Headers are ignored — this is a capacity stat, not
+     a heap census. *)
+  Array.length t.ints + Array.length t.floats

@@ -1,0 +1,22 @@
+let minor_words = Gc.minor_words
+
+let span f =
+  let before = Gc.minor_words () in
+  let result = f () in
+  (result, Gc.minor_words () -. before)
+
+type t = { mutable started : float; mutable total : float }
+
+let create () = { started = nan; total = 0.0 }
+
+let start t = t.started <- Gc.minor_words ()
+
+let stop t =
+  if Float.is_nan t.started then invalid_arg "Perfcount.stop: not started";
+  t.total <- t.total +. (Gc.minor_words () -. t.started);
+  t.started <- nan
+
+let total t = t.total
+let reset t =
+  t.started <- nan;
+  t.total <- 0.0

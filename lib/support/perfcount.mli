@@ -1,0 +1,26 @@
+(** Minor-allocation counters for the hot-loop perf instrumentation.
+
+    [Gc.minor_words] is a monotone counter of words allocated on the
+    minor heap; deltas around a region of code measure its allocation
+    rate with no sampling noise. The drivers wrap each ACO pass in a
+    span and surface the delta in their pass stats, and the bench
+    harness asserts a per-ant-step ceiling from the same numbers. *)
+
+val minor_words : unit -> float
+(** Words allocated on the minor heap since program start. *)
+
+val span : (unit -> 'a) -> 'a * float
+(** [span f] runs [f] and returns its result with the minor words it
+    allocated. *)
+
+type t
+(** An accumulating counter (for spans that start and stop across
+    function boundaries). *)
+
+val create : unit -> t
+val start : t -> unit
+val stop : t -> unit
+(** Raises [Invalid_argument] when not started. *)
+
+val total : t -> float
+val reset : t -> unit

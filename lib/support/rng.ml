@@ -1,4 +1,12 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256++ with the four 64-bit state words stored by bit pattern in
+   a flat float array: float-array loads and stores compile to unboxed
+   moves and [Int64.bits_of_float]/[float_of_bits] are no-op bit casts,
+   so — with the hot draws inlined — advancing the generator allocates
+   nothing. A mutable int64 record would box every state store (and the
+   selection loop of the ACO ant draws on every step). The emitted
+   stream is bit-identical to the textbook int64 formulation. *)
+
+type t = float array
 
 (* splitmix64: expands a 64-bit seed into well-distributed words; the
    recommended way to seed xoshiro. *)
@@ -10,38 +18,46 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let st = ref (Int64.of_int seed) in
+let of_seed_word w =
+  let st = ref w in
   let s0 = splitmix64 st in
   let s1 = splitmix64 st in
   let s2 = splitmix64 st in
   let s3 = splitmix64 st in
-  { s0; s1; s2; s3 }
+  [|
+    Int64.float_of_bits s0;
+    Int64.float_of_bits s1;
+    Int64.float_of_bits s2;
+    Int64.float_of_bits s3;
+  |]
 
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+let create seed = of_seed_word (Int64.of_int seed)
+
+let[@inline] rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 (* xoshiro256++ step. *)
-let int64 t =
-  let open Int64 in
-  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+let[@inline] int64 (t : t) =
+  let s0 = Int64.bits_of_float (Array.unsafe_get t 0) in
+  let s1 = Int64.bits_of_float (Array.unsafe_get t 1) in
+  let s2 = Int64.bits_of_float (Array.unsafe_get t 2) in
+  let s3 = Int64.bits_of_float (Array.unsafe_get t 3) in
+  let result = Int64.add (rotl (Int64.add s0 s3) 23) s0 in
+  let tmp = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Array.unsafe_set t 0 (Int64.float_of_bits s0);
+  Array.unsafe_set t 1 (Int64.float_of_bits s1);
+  Array.unsafe_set t 2 (Int64.float_of_bits s2);
+  Array.unsafe_set t 3 (Int64.float_of_bits s3);
   result
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy (t : t) = Array.copy t
 
-let split t =
-  let st = ref (int64 t) in
-  let s0 = splitmix64 st in
-  let s1 = splitmix64 st in
-  let s2 = splitmix64 st in
-  let s3 = splitmix64 st in
-  { s0; s1; s2; s3 }
+let split t = of_seed_word (int64 t)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -49,12 +65,12 @@ let int t bound =
   let v = Int64.to_int (Int64.logand (int64 t) mask) in
   v mod bound
 
-let float t =
+let[@inline] float t =
   (* 53 high bits -> [0,1). *)
   let v = Int64.shift_right_logical (int64 t) 11 in
   Int64.to_float v *. (1.0 /. 9007199254740992.0)
 
-let bool t p = float t < p
+let[@inline] bool t p = float t < p
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

@@ -1,0 +1,250 @@
+(* Reference ant: the original list-based implementation, kept verbatim
+   (modulo the shared roulette-degenerate fix) as the differential-test
+   oracle for the arena-backed [Aco.Ant]. It allocates freely and uses
+   only the retained list-level public APIs — [Sched.Ready_list]'s list
+   view, [Stall_policy.classify], [Pheromone.get], [Sched.Heuristic.eta]
+   — so it cannot silently share the optimized code paths it is meant to
+   check. Every RNG draw and float operation happens in the same order
+   as in the production ant; the qcheck suite in [Test_arena] asserts
+   byte-identity of the resulting constructions. *)
+
+type op =
+  | Selected of { instr : int; explored : bool }
+  | Mandatory_stall
+  | Optional_stall
+  | Died
+
+type event = { op : op; ready_scanned : int; succs_updated : int }
+
+(* [Divergence.path_rank] encoding, as reported by [Aco.Ant.last_rank]. *)
+let rank_of_op = function
+  | Selected { explored = false; _ } -> 0
+  | Selected { explored = true; _ } -> 1
+  | Mandatory_stall -> 2
+  | Optional_stall -> 3
+  | Died -> 4
+
+type t = {
+  graph : Ddg.Graph.t;
+  params : Aco.Params.t;
+  rl_order : Sched.Ready_list.t;  (* pass 1: latencies ignored *)
+  rl_cycle : Sched.Ready_list.t;  (* pass 2: latency-aware *)
+  rp : Sched.Rp_tracker.t;
+  ctx : Sched.Heuristic.ctx;
+  mutable rng : Support.Rng.t;
+  mutable heuristic : Sched.Heuristic.kind;
+  mutable allow_optional : bool;
+  mutable mode : Aco.Ant.mode;
+  mutable status : Aco.Ant.status;
+  mutable last : int;  (* previously selected instruction, -1 at start *)
+  mutable rev_slots : Sched.Schedule.slot list;
+  mutable n_slots : int;
+  mutable n_optional : int;
+  mutable work : int;
+}
+
+let create graph params =
+  let rp = Sched.Rp_tracker.create graph in
+  {
+    graph;
+    params;
+    rl_order = Sched.Ready_list.create ~latency_aware:false graph;
+    rl_cycle = Sched.Ready_list.create ~latency_aware:true graph;
+    rp;
+    ctx = Sched.Heuristic.make_ctx graph rp;
+    rng = Support.Rng.create 0;
+    heuristic = params.Aco.Params.heuristic;
+    allow_optional = true;
+    mode = Aco.Ant.Rp_pass;
+    status = Aco.Ant.Dead;
+    last = -1;
+    rev_slots = [];
+    n_slots = 0;
+    n_optional = 0;
+    work = 0;
+  }
+
+let ready_list t =
+  match t.mode with Aco.Ant.Rp_pass -> t.rl_order | Aco.Ant.Ilp_pass _ -> t.rl_cycle
+
+let start t ~rng ~heuristic ~allow_optional_stalls mode =
+  t.rng <- rng;
+  t.heuristic <- heuristic;
+  t.allow_optional <- allow_optional_stalls;
+  t.mode <- mode;
+  t.status <- Aco.Ant.Active;
+  t.last <- -1;
+  t.rev_slots <- [];
+  t.n_slots <- 0;
+  t.n_optional <- 0;
+  t.work <- 0;
+  Sched.Rp_tracker.reset t.rp;
+  Sched.Ready_list.reset (ready_list t)
+
+let status t = t.status
+
+let effective_heuristic t =
+  match t.mode with
+  | Aco.Ant.Rp_pass -> t.heuristic
+  | Aco.Ant.Ilp_pass { target_vgpr; target_sgpr } ->
+      let headroom_v = target_vgpr - Sched.Rp_tracker.current t.rp Ir.Reg.Vgpr in
+      let headroom_s = target_sgpr - Sched.Rp_tracker.current t.rp Ir.Reg.Sgpr in
+      if headroom_v <= 2 || headroom_s <= 8 then Sched.Heuristic.Last_use_count
+      else t.heuristic
+
+let pow_fast x e =
+  if e = 1.0 then x else if e = 2.0 then x *. x else if e = 0.0 then 1.0 else x ** e
+
+let select t ~pheromone ~explored candidates =
+  let heuristic = effective_heuristic t in
+  let value j =
+    let tau = Aco.Pheromone.get pheromone ~src:t.last ~dst:j in
+    let eta = Sched.Heuristic.eta heuristic t.ctx j in
+    pow_fast tau t.params.Aco.Params.alpha *. pow_fast eta t.params.Aco.Params.beta
+  in
+  match candidates with
+  | [] -> invalid_arg "Ant_ref.select: empty candidate list"
+  | [ only ] -> only
+  | _ :: _ ->
+      if explored then begin
+        let total = List.fold_left (fun acc j -> acc +. value j) 0.0 candidates in
+        let u = Support.Rng.float t.rng in
+        if total > 0.0 then begin
+          let target = u *. total in
+          let rec pick acc = function
+            | [] | [ _ ] -> List.nth candidates (List.length candidates - 1)
+            | j :: rest ->
+                let acc = acc +. value j in
+                if acc >= target then j else pick acc rest
+          in
+          pick 0.0 candidates
+        end
+        else
+          (* Degenerate wheel (all values zero): uniform pick reusing the
+             single draw, exactly as the production ant does. *)
+          let m = List.length candidates in
+          List.nth candidates (min (m - 1) (int_of_float (u *. float_of_int m)))
+      end
+      else
+        let first = List.hd candidates in
+        let best, _ =
+          List.fold_left
+            (fun (bj, bv) j ->
+              let v = value j in
+              if v > bv then (j, v) else (bj, bv))
+            (first, value first)
+            (List.tl candidates)
+        in
+        best
+
+let emit_instr t rl i =
+  Sched.Ready_list.schedule rl i;
+  Sched.Rp_tracker.schedule t.rp i;
+  t.rev_slots <- Sched.Schedule.Instr i :: t.rev_slots;
+  t.n_slots <- t.n_slots + 1;
+  t.last <- i;
+  if Sched.Ready_list.finished rl then t.status <- Aco.Ant.Finished
+
+let emit_stall t rl =
+  Sched.Ready_list.stall rl;
+  t.rev_slots <- Sched.Schedule.Stall :: t.rev_slots;
+  t.n_slots <- t.n_slots + 1
+
+let finish_event t ev =
+  t.work <- t.work + ev.ready_scanned + ev.succs_updated + 3;
+  ev
+
+let ready_count t =
+  if t.status <> Aco.Ant.Active then 0 else Sched.Ready_list.ready_count (ready_list t)
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k <= 0 then [] else x :: take (k - 1) rest
+
+let step ?force_explore ?ready_limit t ~pheromone =
+  if t.status <> Aco.Ant.Active then invalid_arg "Ant_ref.step: ant is not active";
+  let rl = ready_list t in
+  let ready = Sched.Ready_list.ready_list rl in
+  let ready =
+    match (ready_limit, t.mode) with
+    | Some k, Aco.Ant.Rp_pass when k >= 1 -> take k ready
+    | (Some _ | None), _ -> ready
+  in
+  let n_ready = List.length ready in
+  let explored =
+    match force_explore with
+    | Some b -> b
+    | None -> not (Support.Rng.bool t.rng t.params.Aco.Params.q0)
+  in
+  let selected_event i =
+    finish_event t
+      {
+        op = Selected { instr = i; explored };
+        ready_scanned = n_ready;
+        succs_updated = Ddg.Graph.num_succs t.graph i;
+      }
+  in
+  match t.mode with
+  | Aco.Ant.Rp_pass ->
+      let i = select t ~pheromone ~explored ready in
+      emit_instr t rl i;
+      selected_event i
+  | Aco.Ant.Ilp_pass { target_vgpr; target_sgpr } ->
+      if n_ready = 0 then begin
+        emit_stall t rl;
+        finish_event t { op = Mandatory_stall; ready_scanned = 0; succs_updated = 0 }
+      end
+      else begin
+        let has_semi_ready = Sched.Ready_list.min_semi_ready_cycle rl <> None in
+        match
+          Aco.Stall_policy.classify ~rng:t.rng ~allow_optional:t.allow_optional
+            ~base_probability:t.params.Aco.Params.stall_base_probability ~rp:t.rp
+            ~target_vgpr ~target_sgpr ~ready ~has_semi_ready
+            ~optional_stalls_so_far:t.n_optional
+        with
+        | Aco.Stall_policy.Schedule_from fitting ->
+            let i = select t ~pheromone ~explored fitting in
+            emit_instr t rl i;
+            selected_event i
+        | Aco.Stall_policy.Optional_stall ->
+            emit_stall t rl;
+            t.n_optional <- t.n_optional + 1;
+            finish_event t { op = Optional_stall; ready_scanned = n_ready; succs_updated = 0 }
+        | Aco.Stall_policy.Forced_breach ->
+            t.status <- Aco.Ant.Dead;
+            finish_event t { op = Died; ready_scanned = n_ready; succs_updated = 0 }
+      end
+
+let kill t = t.status <- Aco.Ant.Dead
+
+let run_to_completion ?force_explore t ~pheromone =
+  while t.status = Aco.Ant.Active do
+    ignore (step ?force_explore t ~pheromone)
+  done
+
+let slots t = List.rev t.rev_slots
+
+let order t =
+  let acc = ref [] in
+  List.iter
+    (fun s ->
+      match s with Sched.Schedule.Instr i -> acc := i :: !acc | Sched.Schedule.Stall -> ())
+    t.rev_slots;
+  Array.of_list !acc
+
+let schedule t =
+  if t.status <> Aco.Ant.Finished then None
+  else
+    let latency_aware =
+      match t.mode with Aco.Ant.Rp_pass -> false | Aco.Ant.Ilp_pass _ -> true
+    in
+    match Sched.Schedule.of_slots t.graph ~latency_aware (slots t) with
+    | Ok s -> Some s
+    | Error _ -> None
+
+let rp_peaks t =
+  (Sched.Rp_tracker.peak t.rp Ir.Reg.Vgpr, Sched.Rp_tracker.peak t.rp Ir.Reg.Sgpr)
+
+let length t = t.n_slots
+let optional_stalls t = t.n_optional
+let work t = t.work

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- table3 fig4  # selected experiments
      dune exec bench/main.exe -- --small      # quick run on the test scale
      dune exec bench/main.exe -- micro        # micro-benchmarks only
-     dune exec bench/main.exe -- alloc-gate   # assert the per-step allocation budget *)
+     dune exec bench/main.exe -- alloc-gate   # assert the per-step allocation budget
+     dune exec bench/main.exe -- obs-gate     # assert the trace-on overhead budget
+     dune exec bench/main.exe -- --trace=F --metrics=G ...  # flight-record the compile *)
 
 (* Pre-arena reference numbers for the two acceptance benchmarks,
    measured on this harness at the PR base commit. Kept so the emitted
@@ -47,10 +49,37 @@ let write_bench_json rows ~alloc_words_per_step ~alloc_steps ~alloc_words =
   close_out oc;
   Printf.eprintf "# wrote %s\n%!" file
 
+let write_obs_json ~untraced_ns ~traced_ns ~overhead_pct =
+  let file = "BENCH_obs.json" in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"wavefront_iteration\": {\n\
+    \    \"untraced_ns_per_run\": %.0f,\n\
+    \    \"traced_ns_per_run\": %.0f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"ceiling_pct\": %.0f\n\
+    \  }\n\
+     }\n"
+    untraced_ns traced_ns overhead_pct Micro.obs_ceiling_pct;
+  close_out oc;
+  Printf.eprintf "# wrote %s\n%!" file
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let small = List.mem "--small" args in
   let no_seq = List.mem "--no-seq" args in
+  let flag_value prefix =
+    List.find_map
+      (fun a ->
+        let k = String.length prefix in
+        if String.length a > k && String.sub a 0 k = prefix then
+          Some (String.sub a k (String.length a - k))
+        else None)
+      args
+  in
+  let trace_file = flag_value "--trace=" in
+  let metrics_file = flag_value "--metrics=" in
   let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let want name = wanted = [] || List.mem name wanted in
   let table_names = List.map fst Tables.all in
@@ -66,6 +95,16 @@ let () =
       let c = Pipeline.Compile.make_config ~gpu:Gpusim.Config.bench () in
       if no_seq then { c with Pipeline.Compile.run_sequential = false } else c
     in
+    (* Optional flight recording of the whole suite compile; the ring
+       drops the oldest events if the suite outgrows it. *)
+    let trace =
+      match trace_file with
+      | Some _ -> Obs.Trace.create ~capacity:(1 lsl 20) ()
+      | None -> Obs.Trace.null
+    in
+    let metrics =
+      match metrics_file with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
+    in
     let t0 = Unix.gettimeofday () in
     let done_kernels = ref 0 in
     let report =
@@ -75,9 +114,22 @@ let () =
           Printf.eprintf "# [%d/%d] %s (%.0fs)\n%!" !done_kernels
             stats.Workload.Suite.num_kernels k
             (Unix.gettimeofday () -. t0))
-        config suite
+        ~trace ~metrics config suite
     in
     Printf.eprintf "# compiled in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+    (match trace_file with
+    | Some file ->
+        Obs.Trace.write_chrome_json trace file;
+        Printf.eprintf "# wrote %s (%d events, %d dropped)\n%!" file
+          (Obs.Trace.recorded trace) (Obs.Trace.dropped trace)
+    | None -> ());
+    (match metrics_file with
+    | Some file ->
+        (if Filename.check_suffix file ".json" then Obs.Metrics.write_json
+         else Obs.Metrics.write_csv)
+          metrics file;
+        Printf.eprintf "# wrote %s\n%!" file
+    | None -> ());
     let ctx = { Tables.report; filters = Pipeline.Filters.default; config } in
     List.iter (fun (name, print) -> if want name then print ctx) Tables.all
   end;
@@ -101,4 +153,19 @@ let () =
       exit 1
     end
     else print_endline "alloc-gate: OK"
+  end;
+  if List.mem "obs-gate" wanted then begin
+    let untraced_ns, traced_ns, overhead_pct = Micro.obs_overhead () in
+    Printf.printf
+      "obs-gate: wavefront_iteration %.0f ns untraced, %.0f ns traced (overhead %.2f%%, \
+       ceiling %.0f%%)\n"
+      untraced_ns traced_ns overhead_pct Micro.obs_ceiling_pct;
+    write_obs_json ~untraced_ns ~traced_ns ~overhead_pct;
+    if overhead_pct > Micro.obs_ceiling_pct then begin
+      Printf.eprintf
+        "obs-gate: FAIL — tracing the wavefront loop costs %.2f%% (ceiling %.0f%%)\n"
+        overhead_pct Micro.obs_ceiling_pct;
+      exit 1
+    end
+    else print_endline "obs-gate: OK"
   end

@@ -127,6 +127,54 @@ let alloc_gate () =
   let per_step = if !steps = 0 then 0.0 else words /. float_of_int !steps in
   (per_step, !steps, words)
 
+(* Flight-recorder overhead on the wavefront hot loop: the same batch of
+   run_iteration calls timed with the recorder disabled and enabled,
+   min-of-trials so scheduler noise does not read as overhead. The
+   ceiling is the observability contract: tracing every lockstep round
+   (plus the metrics registry) must cost less than 10% of the loop it
+   instruments. *)
+let obs_ceiling_pct = 10.0
+
+let obs_overhead () =
+  let g = Lazy.force graph in
+  let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 1 } in
+  let make ~traced =
+    let w =
+      Gpusim.Wavefront.create config g Aco.Params.default
+        ~heuristic:Sched.Heuristic.Critical_path ~allow_optional_stalls:true
+    in
+    if traced then
+      Gpusim.Wavefront.set_obs w ~trace:(Obs.Trace.create ())
+        ~metrics:(Obs.Metrics.create ()) ~track:2 ~obs_cursor:(Array.make 2 0.0)
+        ~simd_cursor:(Array.make 1 0.0) ~simd:0;
+    let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+    let rng = Support.Rng.create 4 in
+    (* Warm-up iteration so one-time setup is not charged to the loop. *)
+    ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone);
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 10 do
+        ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone)
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. 10.0
+    in
+    batch
+  in
+  (* Interleave the trials: timing one full mode after the other reads
+     cache/frequency warm-up as 20%+ "overhead" in either direction. *)
+  let run_untraced = make ~traced:false and run_traced = make ~traced:true in
+  let untraced_ns = ref infinity and traced_ns = ref infinity in
+  for _ = 1 to 8 do
+    let u = run_untraced () in
+    if u < !untraced_ns then untraced_ns := u;
+    let t = run_traced () in
+    if t < !traced_ns then traced_ns := t
+  done;
+  let overhead_pct =
+    if !untraced_ns > 0.0 then (!traced_ns /. !untraced_ns -. 1.0) *. 100.0 else 0.0
+  in
+  (!untraced_ns, !traced_ns, overhead_pct)
+
 let run () =
   print_endline "Micro-benchmarks (bechamel; monotonic clock, minor words):";
   let rows = measure () in

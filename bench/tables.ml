@@ -292,6 +292,29 @@ let perf ctx =
        ]);
   print_newline ()
 
+let convergence ctx =
+  (* Convergence telemetry of the product compile: per-pass best-cost
+     trajectories. Rows that improved past their seed schedule come
+     first; the listing is capped so a bench-scale suite stays legible. *)
+  let rows = Pipeline.Report.convergence_table ctx.report in
+  let live = List.filter (fun (r : Pipeline.Report.convergence_row) -> r.Pipeline.Report.c_iterations > 0) rows in
+  let improved, flat =
+    List.partition
+      (fun (r : Pipeline.Report.convergence_row) -> r.Pipeline.Report.c_final < r.Pipeline.Report.c_initial)
+      live
+  in
+  let cap = 20 in
+  let take n xs =
+    let rec go n = function x :: tl when n > 0 -> x :: go (n - 1) tl | _ -> [] in
+    go n xs
+  in
+  let shown = take cap (improved @ flat) in
+  print_string (Pipeline.Report.render_convergence shown);
+  Printf.printf
+    "  convergence: %d ACO pass runs, %d improved on their initial schedule%s\n\n"
+    (List.length live) (List.length improved)
+    (if List.length live > cap then Printf.sprintf " (showing %d)" cap else "")
+
 let all =
   [
     ("table1", table1);
@@ -309,4 +332,5 @@ let all =
     ("objective", objective);
     ("faults", faults);
     ("perf", perf);
+    ("convergence", convergence);
   ]

@@ -3,6 +3,7 @@
    Subcommands:
      schedule  generate a kernel shape and schedule it with a chosen scheduler
      compile   run a shape through the fault-tolerant compile driver
+     trace     flight-record a compile and export/inspect the recording
      dot       print the DDG of a shape in Graphviz format
      stats     generate the benchmark suite and print its statistics *)
 
@@ -69,15 +70,22 @@ let run_schedule shape size seed scheduler verbose =
     if verbose then print_string (Sched.Schedule.to_string schedule)
   in
   match scheduler with
-  | "amd" -> finish "amd" (Sched.Amd_scheduler.run occ graph)
-  | "cp" -> finish "cp" (Sched.List_scheduler.run graph Sched.Heuristic.Critical_path)
-  | "luc" -> finish "luc" (Sched.List_scheduler.run graph Sched.Heuristic.Last_use_count)
+  | "amd" ->
+      finish "amd" (Sched.Amd_scheduler.run occ graph);
+      0
+  | "cp" ->
+      finish "cp" (Sched.List_scheduler.run graph Sched.Heuristic.Critical_path);
+      0
+  | "luc" ->
+      finish "luc" (Sched.List_scheduler.run graph Sched.Heuristic.Last_use_count);
+      0
   | "aco" ->
       let r = Aco.Seq_aco.run ~seed occ graph in
       Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Aco.Seq_aco.heuristic_cost);
       Printf.printf "pass 1: %d iterations, pass 2: %d iterations\n"
         r.Aco.Seq_aco.pass1.Aco.Seq_aco.iterations r.Aco.Seq_aco.pass2.Aco.Seq_aco.iterations;
-      finish "aco" r.Aco.Seq_aco.schedule
+      finish "aco" r.Aco.Seq_aco.schedule;
+      0
   | "par-aco" ->
       let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 4 } in
       let params =
@@ -86,10 +94,11 @@ let run_schedule shape size seed scheduler verbose =
       let r = Gpusim.Par_aco.run ~params ~seed config occ graph in
       Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Gpusim.Par_aco.heuristic_cost);
       Printf.printf "simulated GPU time: %.3f ms\n" (Gpusim.Par_aco.total_time_ns r /. 1e6);
-      finish "par-aco" r.Gpusim.Par_aco.schedule
+      finish "par-aco" r.Gpusim.Par_aco.schedule;
+      0
   | other ->
       Printf.eprintf "unknown scheduler %s\n" other;
-      exit 1
+      1
 
 let schedule_cmd =
   let info = Cmd.info "schedule" ~doc:"Generate a kernel shape and schedule it." in
@@ -119,7 +128,54 @@ let retries_arg =
   let doc = "Consecutive faulted iterations tolerated per pass before degrading." in
   Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"K" ~doc)
 
-let run_compile shape size seed fault_rate fault_seed budget_ms max_retries =
+let trace_out_arg =
+  let doc =
+    "Write a flight recording of the compile to $(docv) as Chrome trace-event JSON \
+     (open in Perfetto or chrome://tracing). Timestamps are simulated nanoseconds."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the metrics registry (fault counters, convergence series, occupancy \
+     histograms) to $(docv): JSON when it ends in .json, CSV otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let convergence_arg =
+  let doc = "Print the per-iteration best-cost convergence table." in
+  Arg.(value & flag & info [ "convergence" ] ~doc)
+
+(* Exit status mirrors the degradation ledger so scripts can tell a clean
+   compile from a degraded one without parsing the output. *)
+let degradation_exit = function
+  | Pipeline.Robust.Clean -> 0
+  | Pipeline.Robust.Retried _ -> 10
+  | Pipeline.Robust.Budget_exceeded -> 11
+  | Pipeline.Robust.Faulted_fallback -> 12
+
+let degradation_exits =
+  Cmd.Exit.info 0 ~doc:"The region compiled clean: the full ACO product shipped."
+  :: Cmd.Exit.info 10
+       ~doc:
+         "Degraded (recovered): faulted iterations were retried, but the region \
+          recovered and the ACO product shipped."
+  :: Cmd.Exit.info 11
+       ~doc:
+         "Degraded: a pass exhausted its compile budget and shipped its best-so-far \
+          schedule."
+  :: Cmd.Exit.info 12
+       ~doc:
+         "Degraded: retries were exhausted, validation failed, or the driver \
+          trapped; a best-so-far or heuristic fallback schedule shipped."
+  :: Cmd.Exit.defaults
+
+let write_metrics metrics file =
+  if Filename.check_suffix file ".json" then Obs.Metrics.write_json metrics file
+  else Obs.Metrics.write_csv metrics file
+
+let run_compile shape size seed fault_rate fault_seed budget_ms max_retries trace_out
+    metrics_out convergence =
   let region = build_shape shape ~size ~seed in
   let config =
     Pipeline.Compile.make_config
@@ -127,7 +183,13 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries =
       ?fault_seed ?compile_budget_ms:budget_ms ~max_retries ()
   in
   let config = { config with Pipeline.Compile.run_sequential = false } in
-  let r = Pipeline.Compile.run_region config ~name:shape region in
+  let trace =
+    match trace_out with Some _ -> Obs.Trace.create () | None -> Obs.Trace.null
+  in
+  let metrics =
+    match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
+  in
+  let r = Pipeline.Compile.run_region ~trace ~metrics config ~name:shape region in
   Printf.printf "region %s: %d instructions (size category %s)\n" shape r.Pipeline.Compile.n
     (Aco.Params.size_category_label r.Pipeline.Compile.size_category);
   Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Pipeline.Compile.heuristic_cost);
@@ -147,25 +209,130 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries =
     steps
     (p1.Gpusim.Par_aco.selections + p2.Gpusim.Par_aco.selections);
   Printf.printf "perf: %.0f minor words allocated (%.1f per ant step)\n" words
-    (if steps = 0 then 0.0 else words /. float_of_int steps)
+    (if steps = 0 then 0.0 else words /. float_of_int steps);
+  if convergence then
+    print_string
+      (Pipeline.Report.render_convergence (Pipeline.Report.convergence_rows_of_region r));
+  (match trace_out with
+  | Some file ->
+      Obs.Trace.write_chrome_json trace file;
+      Printf.printf "trace: %d events written to %s (%d dropped)\n"
+        (min (Obs.Trace.recorded trace) (Obs.Trace.capacity trace))
+        file (Obs.Trace.dropped trace)
+  | None -> ());
+  (match metrics_out with
+  | Some file ->
+      write_metrics metrics file;
+      Printf.printf "metrics: written to %s\n" file
+  | None -> ());
+  degradation_exit r.Pipeline.Compile.degradation
 
 let compile_cmd =
   let info =
     Cmd.info "compile"
       ~doc:
         "Compile a shape through the fault-tolerant driver and report its \
-         degradation-ledger entry."
+         degradation-ledger entry. The exit status encodes that entry (see EXIT \
+         STATUS)."
+      ~exits:degradation_exits
   in
   Cmd.v info
     Term.(
       const run_compile $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
-      $ budget_arg $ retries_arg)
+      $ budget_arg $ retries_arg $ trace_out_arg $ metrics_out_arg $ convergence_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_file_arg =
+  let doc = "Output file for the Chrome trace-event JSON recording." in
+  Arg.(value & opt string "gpuaco-trace.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let lint_arg =
+  let doc =
+    "Instead of recording, validate an existing trace-event JSON file: well-formed \
+     JSON, known phases, monotone timestamps per track, balanced B/E pairs."
+  in
+  Arg.(value & opt (some string) None & info [ "lint" ] ~docv:"FILE" ~doc)
+
+let trace_seq_arg =
+  let doc = "Also run the sequential (CPU-baseline) driver so its convergence series are recorded." in
+  Arg.(value & flag & info [ "seq" ] ~doc)
+
+let run_trace shape size seed fault_rate fault_seed budget_ms max_retries out metrics_out
+    seq lint =
+  match lint with
+  | Some file ->
+      let rep = Obs.Trace_check.lint_file file in
+      print_string (Obs.Trace_check.report_to_string rep);
+      if Obs.Trace_check.ok rep then 0 else 1
+  | None ->
+      let region = build_shape shape ~size ~seed in
+      let config =
+        Pipeline.Compile.make_config
+          ~fault_rate:(Float.max 0.0 (Float.min 1.0 fault_rate))
+          ?fault_seed ?compile_budget_ms:budget_ms ~max_retries ()
+      in
+      let config = { config with Pipeline.Compile.run_sequential = seq } in
+      let trace = Obs.Trace.create () in
+      let metrics = Obs.Metrics.create () in
+      let r = Pipeline.Compile.run_region ~trace ~metrics config ~name:shape region in
+      Printf.printf "region %s: %d instructions, degradation %s\n" shape
+        r.Pipeline.Compile.n
+        (Pipeline.Robust.degradation_label r.Pipeline.Compile.degradation);
+      Printf.printf "simulated compile time: %.3f ms\n"
+        ((r.Pipeline.Compile.par_pass1_time_ns +. r.Pipeline.Compile.par_pass2_time_ns)
+        /. 1e6);
+      Printf.printf "flight recorder: %d events recorded, %d dropped (capacity %d)\n"
+        (Obs.Trace.recorded trace) (Obs.Trace.dropped trace) (Obs.Trace.capacity trace);
+      print_string "\nwhere simulated time goes (span totals):\n";
+      List.iteri
+        (fun i (name, total_ns, n) ->
+          if i < 12 then
+            Printf.printf "  %-18s %10.3f ms  x%d\n" name (total_ns /. 1e6) n)
+        (Obs.Trace.span_totals trace);
+      (match Obs.Trace.instant_counts trace with
+      | [] -> ()
+      | instants ->
+          print_string "\nevents:\n";
+          List.iter (fun (name, n) -> Printf.printf "  %-24s x%d\n" name n) instants);
+      print_newline ();
+      print_string
+        (Pipeline.Report.render_convergence (Pipeline.Report.convergence_rows_of_region r));
+      Obs.Trace.write_chrome_json trace out;
+      Printf.printf "\ntrace written to %s (open in Perfetto or chrome://tracing)\n" out;
+      (match metrics_out with
+      | Some file ->
+          write_metrics metrics file;
+          Printf.printf "metrics written to %s\n" file
+      | None -> ());
+      (* Self-check: the recording we just produced must lint clean. *)
+      let rep = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json trace) in
+      if Obs.Trace_check.ok rep then 0
+      else begin
+        print_string (Obs.Trace_check.report_to_string rep);
+        1
+      end
+
+let trace_cmd =
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Compile a shape with the flight recorder on and export the recording as \
+         Chrome trace-event JSON, with a span/instant/convergence summary; or lint \
+         an existing recording with $(b,--lint)."
+  in
+  Cmd.v info
+    Term.(
+      const run_trace $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
+      $ budget_arg $ retries_arg $ trace_file_arg $ metrics_out_arg $ trace_seq_arg
+      $ lint_arg)
 
 (* --- dot ----------------------------------------------------------------- *)
 
 let run_dot shape size seed =
   let region = build_shape shape ~size ~seed in
-  print_string (Ddg.Graph.to_dot (Ddg.Graph.build region))
+  print_string (Ddg.Graph.to_dot (Ddg.Graph.build region));
+  0
 
 let dot_cmd =
   let info = Cmd.info "dot" ~doc:"Print a shape's data dependence graph in Graphviz format." in
@@ -180,7 +347,8 @@ let run_stats seed =
   Printf.printf "benchmarks: %d\nkernels: %d\nregions: %d\nmax region size: %d\navg region size: %.1f\n"
     stats.Workload.Suite.num_benchmarks stats.Workload.Suite.num_kernels
     stats.Workload.Suite.num_regions stats.Workload.Suite.max_region_size
-    stats.Workload.Suite.avg_region_size
+    stats.Workload.Suite.avg_region_size;
+  0
 
 let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Generate the rocPRIM-like suite and print its statistics." in
@@ -188,4 +356,4 @@ let stats_cmd =
 
 let () =
   let info = Cmd.info "gpuaco" ~doc:"ACO instruction scheduling for the GPU on the (simulated) GPU." in
-  exit (Cmd.eval (Cmd.group info [ schedule_cmd; compile_cmd; dot_cmd; stats_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ schedule_cmd; compile_cmd; trace_cmd; dot_cmd; stats_cmd ]))

@@ -52,3 +52,31 @@ let deposit_path t order amount =
 let reset t ~initial = Array.fill t.cells 0 (Array.length t.cells) initial
 
 let total t = Array.fold_left ( +. ) 0.0 t.cells
+
+(* Mean normalized Shannon entropy of the rows: 1.0 is a uniform table
+   (pure exploration), 0.0 a table whose rows each concentrate on one
+   link (converged). Diagnostics only — never on the search path. *)
+let row_entropy t =
+  let n = t.n in
+  if n <= 1 then 0.0
+  else begin
+    let cells = t.cells in
+    let log_n = log (float_of_int n) in
+    let acc = ref 0.0 in
+    for src = -1 to n - 1 do
+      let base = (src + 1) * n in
+      let sum = ref 0.0 in
+      for dst = 0 to n - 1 do
+        sum := !sum +. cells.(base + dst)
+      done;
+      if !sum > 0.0 then begin
+        let h = ref 0.0 in
+        for dst = 0 to n - 1 do
+          let p = cells.(base + dst) /. !sum in
+          if p > 0.0 then h := !h -. (p *. log p)
+        done;
+        acc := !acc +. (!h /. log_n)
+      end
+    done;
+    !acc /. float_of_int (n + 1)
+  end

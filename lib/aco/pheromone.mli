@@ -47,3 +47,8 @@ val reset : t -> initial:float -> unit
 
 val total : t -> float
 (** Sum of all entries (diagnostics / tests). *)
+
+val row_entropy : t -> float
+(** Mean normalized Shannon entropy across rows: 1.0 for a uniform table
+    (pure exploration), approaching 0.0 as each row concentrates on one
+    link (converged). Diagnostics only. *)

@@ -6,6 +6,7 @@ type pass_stats = {
   improved : bool;
   hit_lower_bound : bool;
   aborted_budget : bool;
+  best_costs : int array;
   minor_words : float;
 }
 
@@ -18,6 +19,7 @@ let no_pass =
     improved = false;
     hit_lower_bound = false;
     aborted_budget = false;
+    best_costs = [||];
     minor_words = 0.0;
   }
 
@@ -37,13 +39,22 @@ type result = {
    (RP scalar in pass 1, length in pass 2) and in the artifact kept for
    the best solution (order in pass 1, schedule in pass 2). *)
 let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
-    ~(artifact_of_ant : Ant.t -> a) ~budget_work ~initial_cost ~(initial_order : int array)
-    ~(initial_artifact : a) ~lb_cost ~termination =
+    ~(artifact_of_ant : Ant.t -> a) ~budget_work ~metrics ~pass_label ~initial_cost
+    ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination =
   let open Params in
   Pheromone.reset pheromone ~initial:params.initial_pheromone;
   (* The initial (heuristic) schedule is the global best at the start:
      bias the table toward it. *)
   Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+  (* Telemetry scratch sits before the minor-words snapshot so the
+     reported allocation stays byte-identical with metering off. *)
+  let metering = Obs.Metrics.enabled metrics in
+  let m_best = if metering then pass_label ^ ".best_cost" else "" in
+  let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
+  (* Convergence series: entry 0 is the initial cost, entry [k] the best
+     cost after the [k]th iteration. *)
+  let bc_buf = Array.make (1 + params.max_iterations) initial_cost in
+  let bc_len = ref 1 in
   let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
@@ -82,7 +93,7 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
     (* Table upkeep: full decay plus the winner deposit. *)
     work := !work + (((n + 1) * n) / 8) + n;
     Pheromone.decay pheromone params.decay;
-    match !iter_best with
+    (match !iter_best with
     | Some (order, art) ->
         Pheromone.deposit_path pheromone order
           (params.deposit /. float_of_int (1 + !iter_best_cost));
@@ -93,8 +104,18 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
           no_improve := 0
         end
         else incr no_improve
-    | None -> incr no_improve
+    | None -> incr no_improve);
+    bc_buf.(!bc_len) <- !best_cost;
+    incr bc_len;
+    if metering then begin
+      Obs.Metrics.push metrics m_best (float_of_int !best_cost);
+      Obs.Metrics.push metrics m_entropy (Pheromone.row_entropy pheromone)
+    end
   done;
+  (* [minor_delta] first: the series copy must stay outside the measured
+     window so the stat is byte-identical with metering off. *)
+  let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let best_costs = Array.sub bc_buf 0 !bc_len in
   ( !best,
     !best_cost,
     {
@@ -105,11 +126,12 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
       improved = !improved;
       hit_lower_bound = !best_cost <= lb_cost;
       aborted_budget = budget_work < max_int && !work >= budget_work;
-      minor_words = Support.Perfcount.minor_words () -. minor_before;
+      best_costs;
+      minor_words = minor_delta;
     } )
 
 let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)
-    (setup : Setup.t) =
+    ?(metrics = Obs.Metrics.null) ?(label = "") (setup : Setup.t) =
   let graph = setup.graph in
   let occ = setup.occ in
   let n = graph.Ddg.Graph.n in
@@ -130,7 +152,7 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_in
   let best_order, _, pass1 =
     if setup.pass1_needed then
       run_pass ~params ~rng ~ants ~pheromone ~mode:Ant.Rp_pass ~cost_of_ant:rp_scalar_of_ant
-        ~artifact_of_ant:Ant.order ~budget_work
+        ~artifact_of_ant:Ant.order ~budget_work ~metrics ~pass_label:(label ^ "pass1")
         ~initial_cost:(Sched.Cost.rp_scalar setup.pass1_initial_rp)
         ~initial_order:setup.pass1_initial_order ~initial_artifact:setup.pass1_initial_order
         ~lb_cost:(Sched.Cost.rp_scalar setup.rp_lb) ~termination
@@ -149,7 +171,8 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_in
     if initial_length - setup.length_lb >= max 1 params.Params.pass2_cycle_threshold then
       run_pass ~params ~rng ~ants ~pheromone
         ~mode:(Ant.Ilp_pass { target_vgpr; target_sgpr })
-        ~cost_of_ant:Ant.length ~budget_work:budget2_work
+        ~cost_of_ant:Ant.length ~budget_work:budget2_work ~metrics
+        ~pass_label:(label ^ "pass2")
         ~artifact_of_ant:(fun ant ->
           match Ant.schedule ant with
           | Some s -> s

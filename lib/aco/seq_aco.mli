@@ -17,6 +17,9 @@ type pass_stats = {
   hit_lower_bound : bool;
   aborted_budget : bool;
       (** the pass exhausted its work budget and kept its best-so-far *)
+  best_costs : int array;
+      (** convergence series: entry 0 is the initial cost, entry [k] the
+          best cost after the [k]th iteration *)
   minor_words : float;  (** host minor-heap words allocated during the pass *)
 }
 
@@ -40,7 +43,14 @@ type result = {
 val run : ?params:Params.t -> ?seed:int -> Machine.Occupancy.t -> Ddg.Graph.t -> result
 (** Schedule a region. Deterministic for a fixed seed. *)
 
-val run_from_setup : ?params:Params.t -> ?seed:int -> ?budget_work:int -> Setup.t -> result
+val run_from_setup :
+  ?params:Params.t ->
+  ?seed:int ->
+  ?budget_work:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?label:string ->
+  Setup.t ->
+  result
 (** Same, reusing an already-prepared {!Setup.t} (the pipeline prepares
     one setup and feeds it to both the sequential and parallel
     drivers so they race from identical starting points).
@@ -49,4 +59,9 @@ val run_from_setup : ?params:Params.t -> ?seed:int -> ?budget_work:int -> Setup.
     work units shared across both passes: a pass that exhausts it stops
     after the current iteration, keeps its best-so-far, and reports
     [aborted_budget]. The pipeline converts its nanosecond budget to
-    work units through its CPU cost model. *)
+    work units through its CPU cost model.
+
+    [metrics] (default {!Obs.Metrics.null}) records per-iteration
+    best-cost and pheromone-entropy series named ["<label>passN.*"]; a
+    disabled registry is a true no-op — schedules, RNG streams and the
+    reported [minor_words] stay byte-identical. *)

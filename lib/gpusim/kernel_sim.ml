@@ -30,6 +30,29 @@ let iteration_time_ns (config : Config.t) ~n ~wavefront_times =
 let watchdog_clamp ~deadline_ns time_ns =
   if time_ns > deadline_ns then (deadline_ns, true) else (time_ns, false)
 
+(* Flight-recorder view of one iteration's stage budget: the same cost
+   terms iteration_time_ns charges, laid out on the kernel track as
+   construct / sync / reduce / sync / update spans starting at [ts].
+   Pure bookkeeping — it records what the model already charged and
+   never feeds back into any time. *)
+let trace_iteration trace (config : Config.t) ~n ~track ~ts ~construction_ns =
+  if Obs.Trace.enabled trace then begin
+    let threads = Config.threads config in
+    let gpu = config.gpu_ns_per_op in
+    let reduce_ns = float_of_int (reduction_wall_ops ~threads) *. gpu in
+    let update_ns = float_of_int (update_wall_ops ~n ~threads) *. gpu in
+    let sync = config.sync_overhead_ns in
+    Obs.Trace.span trace ~track ~name:"construct" ~ts ~dur:construction_ns;
+    let t1 = ts +. construction_ns in
+    Obs.Trace.span trace ~track ~name:"grid_sync" ~ts:t1 ~dur:sync;
+    let t2 = t1 +. sync in
+    Obs.Trace.span trace ~track ~name:"reduce" ~ts:t2 ~dur:reduce_ns;
+    let t3 = t2 +. reduce_ns in
+    Obs.Trace.span trace ~track ~name:"grid_sync" ~ts:t3 ~dur:sync;
+    Obs.Trace.span trace ~track ~name:"pheromone_update" ~ts:(t3 +. sync)
+      ~dur:update_ns
+  end
+
 let pass_time_ns (config : Config.t) ~n ~ready_ub ~iteration_times =
   config.launch_overhead_ns
   +. Mem_model.setup_time_ns config ~n ~ready_ub

@@ -30,6 +30,13 @@ val watchdog_clamp : deadline_ns:float -> float -> float * bool
     charged exactly the deadline and the caller must discard its
     result. An infinite deadline never fires. *)
 
+val trace_iteration :
+  Obs.Trace.t -> Config.t -> n:int -> track:int -> ts:float -> construction_ns:float -> unit
+(** Record one iteration's stage budget on [track] of the flight
+    recorder: construct / sync / reduce / sync / update spans starting at
+    simulated time [ts], with the same cost terms {!iteration_time_ns}
+    charges. A no-op on a disabled recorder. *)
+
 val pass_time_ns :
   Config.t -> n:int -> ready_ub:int -> iteration_times:float list -> float
 (** One ACO invocation: launch overhead + memory setup + the iterations +

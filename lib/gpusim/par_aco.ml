@@ -11,6 +11,7 @@ type pass_stats = {
   lockstep_steps : int;
   ant_steps : int;
   selections : int;
+  best_costs : int array;
   minor_words : float;
   retries : int;
   aborted_budget : bool;
@@ -32,6 +33,7 @@ let no_pass =
     lockstep_steps = 0;
     ant_steps = 0;
     selections = 0;
+    best_costs = [||];
     minor_words = 0.0;
     retries = 0;
     aborted_budget = false;
@@ -90,6 +92,7 @@ let make_wavefronts ?shared config graph params =
 let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~mode
     ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a)
     ~(validate_artifact : a -> bool) ~faults ~budget_ns ~iteration_deadline_ns ~max_retries
+    ~trace ~metrics ~pass_label ~obs_cursor ~simd_cursor
     ~initial_cost ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination
     ~n ~ready_ub =
   let open Aco.Params in
@@ -99,6 +102,28 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
   let lanes = config.target.Machine.Target.wavefront_size in
   let threads = Config.threads config in
   let faults_before = Faults.counts faults in
+  (* Flight-recorder state. Everything the traced path touches inside the
+     loop is allocated here, before the minor-words snapshot, so the
+     untraced hot path is limited to branches on [tracing]/[metering] and
+     the measured allocation stays byte-identical with tracing off. *)
+  let tracing = Obs.Trace.enabled trace in
+  let metering = Obs.Metrics.enabled metrics in
+  let pass_t0 = Obs.Trace.now trace in
+  let m_best = if metering then pass_label ^ ".best_cost" else "" in
+  let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
+  (* Convergence series: entry 0 is the initial cost, entry [k] the best
+     cost after the [k]th attempted iteration (retries included). *)
+  let bc_buf = Array.make (1 + params.max_iterations) initial_cost in
+  let bc_len = ref 1 in
+  if tracing then begin
+    let setup_ns = Mem_model.setup_time_ns config ~n ~ready_ub in
+    Obs.Trace.span trace ~track:1 ~name:"kernel_launch" ~ts:pass_t0
+      ~dur:config.launch_overhead_ns;
+    Obs.Trace.span trace ~track:1 ~name:"mem_setup"
+      ~ts:(pass_t0 +. config.launch_overhead_ns)
+      ~dur:setup_ns;
+    obs_cursor.(0) <- pass_t0 +. config.launch_overhead_ns +. setup_ns
+  end;
   let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
@@ -146,6 +171,16 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
     && !iterations < params.max_iterations
   do
     incr iterations;
+    if tracing then begin
+      (* Wavefronts round-robin over the SIMD units; a unit runs its
+         wavefronts back to back, so a wavefront's track starts at the
+         sum of the times of the earlier wavefronts on the same unit.
+         The wavefronts read and advance these cursors themselves
+         (installed via [Wavefront.set_obs]) so the per-iteration closure
+         below captures nothing the untraced build does not. *)
+      Array.fill simd_cursor 0 (Array.length simd_cursor) 0.0;
+      obs_cursor.(1) <- obs_cursor.(0)
+    end;
     (* Per-thread cost table for the reduction; losers and killed lanes
        report max_int. *)
     Array.fill cost_buf 0 threads max_int;
@@ -180,6 +215,19 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
     if watchdog_fired then iter_faulted := true;
     push_time iter_time;
     elapsed := !elapsed +. iter_time;
+    if tracing then begin
+      Kernel_sim.trace_iteration trace config ~n ~track:1 ~ts:obs_cursor.(1)
+        ~construction_ns:(Kernel_sim.construction_time_ns config ~wavefront_times);
+      obs_cursor.(0) <- obs_cursor.(1) +. iter_time;
+      if watchdog_fired then
+        Obs.Trace.instant trace ~track:0 ~name:"watchdog_fired" ~ts:obs_cursor.(0);
+      if dropped then
+        Obs.Trace.instant trace ~track:1 ~name:"reduction_drop" ~ts:obs_cursor.(0)
+    end;
+    if metering then begin
+      if watchdog_fired then Obs.Metrics.incr metrics "faults.watchdog_fired";
+      if dropped then Obs.Metrics.incr metrics "faults.reduction_drop"
+    end;
     (* The winner's thread index decomposes into its wavefront and its
        position in that wavefront's finished list. *)
     let winner_ant =
@@ -234,22 +282,65 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
           Faults.retry_backoff_ns *. (2.0 ** float_of_int (!consecutive_failures - 1))
         in
         push_time backoff;
-        elapsed := !elapsed +. backoff
+        elapsed := !elapsed +. backoff;
+        if tracing then begin
+          Obs.Trace.instant_arg trace ~track:0 ~name:"retry" ~ts:obs_cursor.(0)
+            ~key:"attempt"
+            ~value:(float_of_int !consecutive_failures);
+          Obs.Trace.span trace ~track:0 ~name:"retry_backoff" ~ts:obs_cursor.(0)
+            ~dur:backoff;
+          obs_cursor.(0) <- obs_cursor.(0) +. backoff
+        end;
+        if metering then Obs.Metrics.incr metrics "robust.retries"
       end
       else begin
         aborted_faults := true;
-        stop := true
+        stop := true;
+        if tracing then
+          Obs.Trace.instant trace ~track:0 ~name:"fault_abort" ~ts:obs_cursor.(0);
+        if metering then Obs.Metrics.incr metrics "robust.fault_aborts"
       end
     end
     else begin
       Aco.Pheromone.decay pheromone params.decay;
       incr no_improve
+    end;
+    bc_buf.(!bc_len) <- !best_cost;
+    incr bc_len;
+    if tracing then
+      Obs.Trace.span_arg trace ~track:0 ~name:"iteration" ~ts:obs_cursor.(1)
+        ~dur:iter_time ~key:"best_cost"
+        ~value:(float_of_int !best_cost);
+    if metering then begin
+      Obs.Metrics.push metrics m_best (float_of_int !best_cost);
+      Obs.Metrics.push metrics m_entropy (Aco.Pheromone.row_entropy pheromone)
     end
   done;
   if budget_ns < infinity && not (within_budget ()) then aborted_budget := true;
   let time_ns =
     Kernel_sim.pass_time_ns_buf config ~n ~ready_ub ~times:!iter_times ~count:!iter_count
   in
+  (* The baseline evaluated the stats record's fields right to left, so
+     [fault_counts] (which allocates) landed inside the measured window
+     and the convergence series (textually before [minor_words]) must
+     stay out of it: bind them explicitly in that order to keep the
+     reported delta byte-identical with tracing off. *)
+  let fault_counts = Faults.sub (Faults.counts faults) faults_before in
+  let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let best_costs = Array.sub bc_buf 0 !bc_len in
+  if tracing then begin
+    let teardown = Mem_model.teardown_time_ns config ~n in
+    Obs.Trace.span trace ~track:1 ~name:"mem_teardown"
+      ~ts:(pass_t0 +. time_ns -. teardown)
+      ~dur:teardown;
+    Obs.Trace.span_arg trace ~track:0 ~name:pass_label ~ts:pass_t0 ~dur:time_ns
+      ~key:"best_cost"
+      ~value:(float_of_int !best_cost);
+    if !aborted_budget then
+      Obs.Trace.instant trace ~track:0 ~name:"budget_abort" ~ts:obs_cursor.(0);
+    Obs.Trace.set_now trace (pass_t0 +. time_ns)
+  end;
+  if metering && !aborted_budget then Obs.Metrics.incr metrics "robust.budget_aborts";
   ( !best,
     !best_cost,
     {
@@ -265,15 +356,17 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       lockstep_steps = !lockstep_steps;
       ant_steps = !ant_steps;
       selections = !selections;
-      minor_words = Support.Perfcount.minor_words () -. minor_before;
+      best_costs;
+      minor_words = minor_delta;
       retries = !retries;
       aborted_budget = !aborted_budget;
       aborted_faults = !aborted_faults;
-      fault_counts = Faults.sub (Faults.counts faults) faults_before;
+      fault_counts;
     } )
 
 let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_ns = infinity)
-    ?(iteration_deadline_ns = infinity) ?(max_retries = 2) (config : Config.t)
+    ?(iteration_deadline_ns = infinity) ?(max_retries = 2) ?(trace = Obs.Trace.null)
+    ?(metrics = Obs.Metrics.null) ?(label = "") (config : Config.t)
     (setup : Aco.Setup.t) =
   let graph = setup.Aco.Setup.graph in
   let occ = setup.Aco.Setup.occ in
@@ -295,6 +388,26 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_n
      ready-list bound) feeds every wavefront of the colony. *)
   let shared = Aco.Ant.prepare_shared graph in
   let wavefronts = make_wavefronts ~shared config graph params in
+  (* Track layout: 0 = driver, 1 = kernel stages, 2.. = one per
+     wavefront. Hooks are attached here, outside any measured window, so
+     the per-iteration calls need no optional-argument wrapping. *)
+  let simds = Machine.Target.total_simds config.Config.target in
+  (* Driver-owned simulated-time cursors, shared with every wavefront:
+     [obs_cursor].(0) is the driver cursor, (1) the current iteration's
+     start; [simd_cursor].(s) sums the construction time of the
+     wavefronts already run on SIMD unit [s] this iteration. *)
+  let obs_cursor = Array.make 2 0.0 in
+  let simd_cursor = Array.make (max 1 simds) 0.0 in
+  if Obs.Trace.enabled trace || Obs.Metrics.enabled metrics then begin
+    Obs.Trace.name_track trace 0 "driver";
+    Obs.Trace.name_track trace 1 "kernel: reduce + pheromone";
+    Array.iteri
+      (fun w wf ->
+        Obs.Trace.name_track trace (2 + w) (Printf.sprintf "wavefront %d" w);
+        Wavefront.set_obs wf ~trace ~metrics ~track:(2 + w) ~obs_cursor ~simd_cursor
+          ~simd:(w mod simds))
+      wavefronts
+  end;
   let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
   let termination = Aco.Params.termination_condition n in
   let ready_ub = Aco.Ant.shared_ready_ub shared in
@@ -307,7 +420,8 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_n
       run_pass ~params ~config ~rng ~wavefronts ~pheromone ~mode:Aco.Ant.Rp_pass
         ~cost_of_ant:rp_scalar_of_ant ~artifact_of_ant:Aco.Ant.order
         ~validate_artifact:(fun order -> Result.is_ok (Sched.Schedule.of_order graph order))
-        ~faults ~budget_ns ~iteration_deadline_ns ~max_retries
+        ~faults ~budget_ns ~iteration_deadline_ns ~max_retries ~trace ~metrics
+        ~pass_label:(label ^ "pass1") ~obs_cursor ~simd_cursor
         ~initial_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp)
         ~initial_order:setup.Aco.Setup.pass1_initial_order
         ~initial_artifact:setup.Aco.Setup.pass1_initial_order
@@ -341,7 +455,8 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_n
           | Some s -> s
           | None -> invalid_arg "Par_aco: finished ant produced invalid schedule")
         ~validate_artifact:(fun s -> Sched.Schedule.is_valid s ~latency_aware:true)
-        ~faults ~budget_ns:budget2_ns ~iteration_deadline_ns ~max_retries
+        ~faults ~budget_ns:budget2_ns ~iteration_deadline_ns ~max_retries ~trace ~metrics
+        ~pass_label:(label ^ "pass2") ~obs_cursor ~simd_cursor
         ~initial_cost:initial_length
         ~initial_order:(Sched.Schedule.order initial_schedule)
         ~initial_artifact:initial_schedule ~lb_cost:setup.Aco.Setup.length_lb ~termination ~n

@@ -22,6 +22,10 @@ type pass_stats = {
   lockstep_steps : int;  (** wavefront lockstep steps across all iterations *)
   ant_steps : int;  (** individual ant construction steps *)
   selections : int;  (** ant steps that selected an instruction *)
+  best_costs : int array;
+      (** convergence series: entry 0 is the initial cost, entry [k] the
+          best cost after the [k]th attempted iteration (retried
+          iterations included, their best unchanged) *)
   minor_words : float;
       (** host (OCaml) minor-heap words allocated during the pass — the
           allocation-discipline counter the arena refactor drives toward
@@ -61,11 +65,24 @@ val run_from_setup :
   ?budget_ns:float ->
   ?iteration_deadline_ns:float ->
   ?max_retries:int ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?label:string ->
   Config.t ->
   Aco.Setup.t ->
   result
 (** As {!run} but from a prepared {!Aco.Setup.t}, so the pipeline can
     race the sequential and parallel drivers from identical inputs.
+
+    Observability: [trace] (default {!Obs.Trace.null}) attaches a flight
+    recorder — track 0 carries driver-level iteration/pass spans and
+    fault instants, track 1 the kernel-stage budget, tracks 2.. one per
+    wavefront — timestamped in simulated nanoseconds. [metrics] (default
+    {!Obs.Metrics.null}) records per-iteration best-cost and
+    pheromone-entropy series named ["<label>passN.*"] plus fault and
+    robustness counters. Both default to disabled recorders, which are
+    true no-ops: schedules, RNG streams and the reported [minor_words]
+    stay byte-identical.
 
     Robustness controls (all default to the fault-free, unbounded
     behaviour, leaving existing callers byte-identical):

@@ -7,6 +7,23 @@ type t = {
   arena_words : int;
   fault_at : int array;  (* per-lane injected fault step, -1 = none *)
   maxima : int array;  (* per-path-rank max op cost of one lockstep step *)
+  (* Observability hooks. Mutable fields (not optional arguments) so the
+     per-iteration call adds no [Some] wrapping inside the measured
+     minor-words window; scratch arrays are preallocated here so the
+     traced path needs no fresh refs in the hot loop either. *)
+  mutable trace : Obs.Trace.t;
+  mutable metrics : Obs.Metrics.t;
+  mutable track : int;
+  (* Simulated-time cursors shared with the driver: [obs_cursor].(1) is
+     the current iteration's start and [simd_cursor].(simd) the summed
+     time of earlier wavefronts on this SIMD unit. Owned by the driver
+     and installed via [set_obs]; reachable through [t] so the traced
+     hot loops capture nothing beyond what the untraced ones do. *)
+  mutable obs_cursor : float array;
+  mutable simd_cursor : float array;
+  mutable simd : int;
+  obs_f : float array;  (* [0] = round start, [1] = iteration base (traced only) *)
+  obs_i : int array;  (* [0] = optional stalls this iteration *)
 }
 
 let create ?shared config graph params ~heuristic ~allow_optional_stalls =
@@ -23,11 +40,27 @@ let create ?shared config graph params ~heuristic ~allow_optional_stalls =
     arena_words = Support.Arena.words arena;
     fault_at = Array.make lanes (-1);
     maxima = Array.make 5 0;
+    trace = Obs.Trace.null;
+    metrics = Obs.Metrics.null;
+    track = 0;
+    obs_cursor = Array.make 2 0.0;
+    simd_cursor = Array.make 1 0.0;
+    simd = 0;
+    obs_f = Array.make 2 0.0;
+    obs_i = Array.make 1 0;
   }
 
 let lanes t = Array.length t.ants
 
 let arena_words t = t.arena_words
+
+let set_obs t ~trace ~metrics ~track ~obs_cursor ~simd_cursor ~simd =
+  t.trace <- trace;
+  t.metrics <- metrics;
+  t.track <- track;
+  t.obs_cursor <- obs_cursor;
+  t.simd_cursor <- simd_cursor;
+  t.simd <- simd
 
 type outcome = {
   time_ns : float;
@@ -61,7 +94,23 @@ let hang_outcome =
 let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
   let config = t.config in
   let opts = config.Config.opts in
-  if Faults.enabled faults && Faults.wavefront_hang faults then hang_outcome
+  let tr = t.trace in
+  let tracing = Obs.Trace.enabled tr in
+  let ms = t.metrics in
+  let metering = Obs.Metrics.enabled ms in
+  (* Guarded read: the cursors are driver-owned scratch, so this costs no
+     allocation; computing it only under [tracing] keeps even the float
+     arithmetic off the untraced path. *)
+  let base = if tracing then t.obs_cursor.(1) +. t.simd_cursor.(t.simd) else 0.0 in
+  if tracing then t.obs_f.(1) <- base;
+  if Faults.enabled faults && Faults.wavefront_hang faults then begin
+    if tracing then begin
+      Obs.Trace.instant tr ~track:t.track ~name:"wavefront_hang" ~ts:base;
+      t.simd_cursor.(t.simd) <- t.simd_cursor.(t.simd) +. Faults.hang_penalty_ns
+    end;
+    if metering then Obs.Metrics.incr ms "faults.wavefront_hang";
+    hang_outcome
+  end
   else begin
   Array.iter
     (fun ant ->
@@ -89,15 +138,28 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
   let steps = ref 0 in
   let ant_steps = ref 0 in
   let selections = ref 0 in
+  t.obs_i.(0) <- 0;
   let any_active () = Array.exists (fun a -> Aco.Ant.status a = Aco.Ant.Active) t.ants in
   while any_active () do
     incr steps;
+    if tracing then t.obs_f.(0) <- !time;
     if faults_on then
       Array.iteri
         (fun i ant ->
           if t.fault_at.(i) = !steps && Aco.Ant.status ant = Aco.Ant.Active then begin
             Aco.Ant.kill ant;
-            incr quarantined
+            incr quarantined;
+            (* Everything here goes through [t] and its scratch arrays
+               ([t.obs_f.(1)] = base, [t.obs_f.(0)] = round start), never
+               through [time]/[base]/[tr]/[ms] directly: capturing the
+               [time] float ref would defeat its unboxing, and any extra
+               capture grows this per-round closure on the untraced path. *)
+            if Obs.Trace.enabled t.trace then
+              Obs.Trace.instant_arg t.trace ~track:t.track ~name:"lane_fault"
+                ~ts:(t.obs_f.(1) +. t.obs_f.(0))
+                ~key:"lane" ~value:(float_of_int i);
+            if Obs.Metrics.enabled t.metrics then
+              Obs.Metrics.incr t.metrics "faults.lane_quarantined"
           end)
         t.ants;
     let force_explore =
@@ -122,6 +184,20 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
           if !mn = max_int then 0
           else max 1 (match mode with `Min -> !mn | `Mid -> (!mn + !mx + 1) / 2)
     in
+    if metering then begin
+      (* ready-list occupancy across active lanes at round start *)
+      let sum = ref 0 and act = ref 0 in
+      Array.iter
+        (fun ant ->
+          if Aco.Ant.status ant = Aco.Ant.Active then begin
+            sum := !sum + Aco.Ant.ready_count ant;
+            incr act
+          end)
+        t.ants;
+      if !act > 0 then
+        Obs.Metrics.observe ms "wavefront.ready_occupancy"
+          (float_of_int !sum /. float_of_int !act)
+    end;
     Array.fill t.maxima 0 5 0;
     let reads_max = ref 0 and reads_sum = ref 0 and stepped = ref 0 in
     Array.iter
@@ -129,6 +205,9 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
         if Aco.Ant.status ant = Aco.Ant.Active then begin
           Aco.Ant.step_hot ant ~pheromone ~force_explore ~ready_limit;
           let rank = Aco.Ant.last_rank ant in
+          (* optional-stall tally for metrics; unconditional int store so
+             the closure captures nothing extra *)
+          if rank = 3 then t.obs_i.(0) <- t.obs_i.(0) + 1;
           let sc = Aco.Ant.last_scanned ant and su = Aco.Ant.last_succs ant in
           let cost = Divergence.cost_of ~ready_scanned:sc ~succs_updated:su in
           if cost > t.maxima.(rank) then t.maxima.(rank) <- cost;
@@ -150,6 +229,10 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
     let transactions =
       if faults_on && transactions > 0 && Faults.mem_fault faults then begin
         incr mem_faults;
+        if tracing then
+          Obs.Trace.instant tr ~track:t.track ~name:"mem_fault_replay"
+            ~ts:(base +. !time);
+        if metering then Obs.Metrics.incr ms "faults.mem_replay";
         2 * transactions
       end
       else transactions
@@ -158,6 +241,11 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
       !time
       +. (float_of_int serialized_step *. config.Config.gpu_ns_per_op)
       +. (float_of_int transactions *. config.Config.mem_transaction_ns);
+    if tracing then
+      Obs.Trace.span_arg tr ~track:t.track ~name:"lockstep_round"
+        ~ts:(base +. t.obs_f.(0))
+        ~dur:(!time -. t.obs_f.(0))
+        ~key:"active" ~value:(float_of_int !stepped);
     serialized := !serialized + serialized_step;
     single := !single + Divergence.max_single_of_maxima t.maxima;
     (* Early wavefront termination: a finisher used the fewest cycles any
@@ -169,6 +257,13 @@ let run_iteration ?(faults = Faults.disabled) t ~rng ~mode ~pheromone =
     then
       Array.iter (fun a -> if Aco.Ant.status a = Aco.Ant.Active then Aco.Ant.kill a) t.ants
   done;
+  if tracing then t.simd_cursor.(t.simd) <- t.simd_cursor.(t.simd) +. !time;
+  if metering then begin
+    Obs.Metrics.add ms "wavefront.optional_stalls" t.obs_i.(0);
+    if !single > 0 then
+      Obs.Metrics.observe ms "wavefront.serialization_ratio"
+        (float_of_int !serialized /. float_of_int !single)
+  end;
   let work = Array.fold_left (fun acc a -> acc + Aco.Ant.work a) 0 t.ants in
   let finished =
     Array.fold_left

@@ -29,6 +29,30 @@ val lanes : t -> int
 val arena_words : t -> int
 (** Size of this wavefront's colony arena in words. *)
 
+val set_obs :
+  t ->
+  trace:Obs.Trace.t ->
+  metrics:Obs.Metrics.t ->
+  track:int ->
+  obs_cursor:float array ->
+  simd_cursor:float array ->
+  simd:int ->
+  unit
+(** Attach a flight recorder and metrics registry; [track] is this
+    wavefront's trace track, [simd] the SIMD unit it round-robins onto.
+    [obs_cursor].(1) must hold the current iteration's simulated start
+    time and [simd_cursor].(simd) the summed construction time of the
+    earlier wavefronts on the same unit; the wavefront adds its own time
+    to that slot as it finishes. Mutable fields rather than per-call
+    optional arguments — and driver-shared scratch arrays rather than
+    values threaded through closures — so the untraced hot path (defaults
+    [Obs.Trace.null] / [Obs.Metrics.null]) stays allocation-free inside
+    the drivers' minor-words measurement windows. With tracing on, each
+    lockstep round becomes a span on [track], and lane quarantines,
+    memory replays and wavefront hangs become instant events; metrics
+    record ready-list occupancy, optional stalls and the divergence
+    serialization ratio. *)
+
 type outcome = {
   time_ns : float;  (** simulated lockstep construction time *)
   work : int;  (** total abstract work of all lanes (CPU-model currency) *)

@@ -1,0 +1,186 @@
+(* Metrics registry: named counters, gauges, histogram summaries and
+   append-only series, with JSON and CSV export.
+
+   Metrics are registered on first use; the registry keeps insertion
+   order for stable export. The disabled registry [null] turns every
+   operation into a branch on an immutable bool, so instrumentation
+   sites guarded by [enabled] cost nothing when metrics are off. *)
+
+type kind = Counter | Gauge | Histogram | Series
+
+let kind_label = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Series -> "series"
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  mutable m_count : int;
+  mutable m_sum : float;
+  mutable m_min : float;
+  mutable m_max : float;
+  mutable m_last : float;
+  mutable m_series : float array;
+  mutable m_len : int;
+}
+
+type t = {
+  on : bool;
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* reversed insertion order *)
+}
+
+let create () = { on = true; tbl = Hashtbl.create 64; order = [] }
+let null = { on = false; tbl = Hashtbl.create 1; order = [] }
+let[@inline] enabled t = t.on
+
+let find t name kind =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m ->
+      if m.m_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_label m.m_kind)
+             (kind_label kind));
+      m
+  | None ->
+      let m =
+        {
+          m_name = name;
+          m_kind = kind;
+          m_count = 0;
+          m_sum = 0.0;
+          m_min = infinity;
+          m_max = neg_infinity;
+          m_last = 0.0;
+          m_series = (if kind = Series then Array.make 16 0.0 else [||]);
+          m_len = 0;
+        }
+      in
+      Hashtbl.add t.tbl name m;
+      t.order <- name :: t.order;
+      m
+
+let update m v =
+  m.m_count <- m.m_count + 1;
+  m.m_sum <- m.m_sum +. v;
+  if v < m.m_min then m.m_min <- v;
+  if v > m.m_max then m.m_max <- v;
+  m.m_last <- v
+
+let add t name by =
+  if t.on then begin
+    let m = find t name Counter in
+    m.m_count <- m.m_count + 1;
+    m.m_sum <- m.m_sum +. float_of_int by
+  end
+
+let incr t name = add t name 1
+
+let set t name v = if t.on then update (find t name Gauge) v
+
+let observe t name v = if t.on then update (find t name Histogram) v
+
+let push t name v =
+  if t.on then begin
+    let m = find t name Series in
+    if m.m_len = Array.length m.m_series then begin
+      let grown = Array.make (2 * m.m_len) 0.0 in
+      Array.blit m.m_series 0 grown 0 m.m_len;
+      m.m_series <- grown
+    end;
+    m.m_series.(m.m_len) <- v;
+    m.m_len <- m.m_len + 1;
+    update m v
+  end
+
+let names t = List.rev t.order
+
+let get t name = Hashtbl.find_opt t.tbl name
+
+let kind_of m = m.m_kind
+let count m = m.m_count
+let sum m = m.m_sum
+let last m = m.m_last
+let series m = Array.sub m.m_series 0 m.m_len
+
+let value m =
+  match m.m_kind with Counter -> m.m_sum | Gauge -> m.m_last | Histogram | Series -> m.m_sum
+
+let mean m = if m.m_count = 0 then 0.0 else m.m_sum /. float_of_int m.m_count
+
+let fl v =
+  if Float.is_nan v || Float.abs v = infinity then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "metric,kind,index,value,count,sum,min,max,mean\n";
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find t.tbl name in
+      let vmin = if m.m_count = 0 then 0.0 else m.m_min in
+      let vmax = if m.m_count = 0 then 0.0 else m.m_max in
+      let summary =
+        Printf.sprintf "%s,%s,,%s,%d,%s,%s,%s,%s\n" m.m_name (kind_label m.m_kind)
+          (fl (value m)) m.m_count (fl m.m_sum) (fl vmin) (fl vmax) (fl (mean m))
+      in
+      Buffer.add_string buf summary;
+      if m.m_kind = Series then
+        for i = 0 to m.m_len - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "%s,point,%d,%s,,,,,\n" m.m_name i (fl m.m_series.(i)))
+        done)
+    (names t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  let first = ref true in
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find t.tbl name in
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\": {\"kind\": \"%s\", \"count\": %d, \"sum\": %s"
+           (json_escape m.m_name) (kind_label m.m_kind) m.m_count (fl m.m_sum));
+      if m.m_count > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf ", \"min\": %s, \"max\": %s, \"mean\": %s, \"last\": %s" (fl m.m_min)
+             (fl m.m_max) (fl (mean m)) (fl m.m_last));
+      if m.m_kind = Series then begin
+        Buffer.add_string buf ", \"values\": [";
+        for i = 0 to m.m_len - 1 do
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (fl m.m_series.(i))
+        done;
+        Buffer.add_string buf "]"
+      end;
+      Buffer.add_string buf "}")
+    (names t);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write_csv t file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let write_json t file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json t))

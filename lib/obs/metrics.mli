@@ -1,0 +1,61 @@
+(** Metrics registry: named counters, gauges, histogram summaries and
+    append-only series, registered on first use, exported as JSON or CSV.
+
+    {!null} is the disabled registry: every operation on it is a single
+    branch on an immutable bool, so instrumentation guarded by it adds
+    no allocation and no writes. *)
+
+type t
+
+val create : unit -> t
+val null : t
+val enabled : t -> bool
+
+val incr : t -> string -> unit
+(** Bump a counter by one. *)
+
+val add : t -> string -> int -> unit
+(** Bump a counter by [n]. *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge (min/max/mean of the sets are kept too). *)
+
+val observe : t -> string -> float -> unit
+(** Feed a histogram summary (count/sum/min/max/mean). *)
+
+val push : t -> string -> float -> unit
+(** Append to a series: like {!observe} but the individual values are
+    kept in order and exported (convergence curves). *)
+
+(** {2 Reading back} *)
+
+type metric
+type kind = Counter | Gauge | Histogram | Series
+
+val names : t -> string list
+(** Registration order. *)
+
+val get : t -> string -> metric option
+val kind_of : metric -> kind
+val count : metric -> int
+val sum : metric -> float
+val last : metric -> float
+val mean : metric -> float
+
+val value : metric -> float
+(** The headline value: total for counters, last for gauges, sum
+    otherwise. *)
+
+val series : metric -> float array
+(** The recorded points of a series (empty for other kinds). *)
+
+(** {2 Export} *)
+
+val to_csv : t -> string
+(** One summary row per metric
+    ([metric,kind,index,value,count,sum,min,max,mean]) followed by one
+    [point] row per series element. *)
+
+val to_json : t -> string
+val write_csv : t -> string -> unit
+val write_json : t -> string -> unit

@@ -1,0 +1,95 @@
+(** Flight recorder for the simulated GPU: a preallocated ring buffer of
+    spans and instant events keyed to {e simulated} nanoseconds.
+
+    The drivers thread one recorder through a compile; each record call
+    is a handful of array writes into the ring (plus a one-time intern
+    per distinct name). A full ring wraps and overwrites the oldest
+    events — recording never allocates per event and never fails —
+    and {!dropped} reports the loss. {!to_chrome_json} renders the
+    surviving events as a Chrome trace-event timeline (one [tid] per
+    track, balanced [B]/[E] span pairs, [i] instants) that opens in
+    Perfetto or [chrome://tracing].
+
+    {!null} is the disabled recorder: every call on it is a single
+    branch on an immutable bool — no allocation, no writes — so an
+    uninstrumented run is byte-identical, including its allocation
+    counters. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An enabled recorder holding the last [capacity] (default 65536,
+    minimum 16) events. *)
+
+val null : t
+(** The disabled recorder; shared, never records. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val recorded : t -> int
+(** Events ever recorded, including any since overwritten. *)
+
+val dropped : t -> int
+(** Events lost to ring wrap-around ([max 0 (recorded - capacity)]). *)
+
+(** {2 Simulated clock}
+
+    The recorder carries a cursor in simulated nanoseconds so that
+    sequential passes and regions stack on one timeline. The cursor is
+    bookkeeping for instrumentation sites; record calls take explicit
+    timestamps. Stored in a one-element float array so updates do not
+    box. *)
+
+val now : t -> float
+val set_now : t -> float -> unit
+val advance : t -> float -> unit
+
+(** {2 Recording} *)
+
+val name_track : t -> int -> string -> unit
+(** Label a track (rendered as a Chrome thread name). First label wins. *)
+
+val span : t -> track:int -> name:string -> ts:float -> dur:float -> unit
+(** A complete span: [ts] start and [dur] length, both simulated ns.
+    Spans on one track must nest or tile; partial overlap is clamped at
+    export. *)
+
+val span_arg :
+  t -> track:int -> name:string -> ts:float -> dur:float -> key:string -> value:float -> unit
+(** As {!span} with one numeric argument. *)
+
+val instant : t -> track:int -> name:string -> ts:float -> unit
+val instant_arg : t -> track:int -> name:string -> ts:float -> key:string -> value:float -> unit
+
+(** {2 Reading back} *)
+
+type event = {
+  e_kind : [ `Span | `Instant ];
+  e_name : string;
+  e_track : int;
+  e_ts : float;
+  e_dur : float;  (** 0 for instants *)
+  e_arg : (string * float) option;
+}
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Over surviving events, oldest first. *)
+
+val events : t -> event list
+
+val span_totals : t -> (string * float * int) list
+(** [(name, total duration ns, count)] per span name, longest first —
+    the phase breakdown of where simulated time went. *)
+
+val instant_counts : t -> (string * int) list
+
+(** {2 Export} *)
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON: metadata thread names, then the events
+    sorted by timestamp with balanced, properly nested [B]/[E] pairs
+    per track. Timestamps are emitted in microseconds (the trace-event
+    unit) at nanosecond resolution. *)
+
+val write_chrome_json : t -> string -> unit

@@ -1,0 +1,37 @@
+(** Validation for Chrome trace-event JSON (used by [gpuaco trace --lint]
+    and CI): well-formed JSON, required event keys, known phases, monotone
+    timestamps per track, and balanced, name-matched [B]/[E] span pairs.
+
+    Carries its own minimal JSON parser so the lint needs no external
+    dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse_json : string -> json
+(** Parse a complete JSON document. @raise Parse_error on malformed input. *)
+
+type report = {
+  events : int;
+  spans : int;  (** [B] (and [X]) events *)
+  instants : int;
+  tracks : int;  (** distinct (pid, tid) pairs seen on non-metadata events *)
+  errors : string list;
+}
+
+val ok : report -> bool
+
+val lint_string : string -> report
+(** Lint a trace document: either a bare event array or an object with a
+    ["traceEvents"] array. Never raises; parse failures land in [errors]. *)
+
+val lint_file : string -> report
+
+val report_to_string : report -> string

@@ -102,15 +102,17 @@ let heuristic_fallback (setup : Aco.Setup.t) : Gpusim.Par_aco.result =
     pass2 = Gpusim.Par_aco.no_pass;
   }
 
-let run_region config ~name region =
+let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name region =
   let graph = Ddg.Graph.build region in
   let setup = Aco.Setup.prepare config.occ graph in
   let budget_ns = Robust.budget_for config.robust ~n:graph.Ddg.Graph.n in
+  let region_t0 = Obs.Trace.now trace in
   let par, par_trapped =
     match
       Gpusim.Par_aco.run_from_setup ~params:config.params ~seed:config.par_seed
         ~budget_ns ~iteration_deadline_ns:config.robust.Robust.iteration_deadline_ns
-        ~max_retries:config.robust.Robust.max_retries config.gpu setup
+        ~max_retries:config.robust.Robust.max_retries ~trace ~metrics
+        ~label:(name ^ ".par.") config.gpu setup
     with
     | par -> (par, false)
     | exception _ -> (heuristic_fallback setup, true)
@@ -137,12 +139,20 @@ let run_region config ~name region =
         || par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.aborted_budget)
       ~retries:(Gpusim.Par_aco.total_retries par)
   in
+  (* The pass-level set_now calls left the trace clock at the end of the
+     parallel compile, so the region span covers both its passes. *)
+  if Obs.Trace.enabled trace then
+    Obs.Trace.span_arg trace ~track:0 ~name:("region " ^ name) ~ts:region_t0
+      ~dur:(Obs.Trace.now trace -. region_t0)
+      ~key:"n"
+      ~value:(float_of_int graph.Ddg.Graph.n);
+  Robust.observe trace metrics ~region:name degradation;
   let seq =
     if config.run_sequential then
       let budget_work = Robust.budget_work_of_ns config.gpu budget_ns in
       match
         Aco.Seq_aco.run_from_setup ~params:config.params ~seed:config.seq_seed ~budget_work
-          setup
+          ~metrics ~label:(name ^ ".seq.") setup
       with
       | r -> Some r
       | exception _ -> None
@@ -184,7 +194,8 @@ let run_region config ~name region =
     fault_counts = Gpusim.Par_aco.total_faults par;
   }
 
-let run_suite ?(progress = fun _ -> ()) config (suite : Workload.Suite.t) =
+let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
+    ?(metrics = Obs.Metrics.null) config (suite : Workload.Suite.t) =
   let kernels =
     List.map
       (fun (k : Workload.Suite.kernel) ->
@@ -193,7 +204,7 @@ let run_suite ?(progress = fun _ -> ()) config (suite : Workload.Suite.t) =
           List.mapi
             (fun i region ->
               let name = Printf.sprintf "%s/r%d" k.Workload.Suite.kernel_name i in
-              run_region config ~name region)
+              run_region ~trace ~metrics config ~name region)
             k.Workload.Suite.regions
         in
         { kernel = k; regions })

@@ -88,16 +88,35 @@ type suite_report = {
   kernels : kernel_report list;
 }
 
-val run_region : config -> name:string -> Ir.Region.t -> region_report
+val run_region :
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  config ->
+  name:string ->
+  Ir.Region.t ->
+  region_report
 (** Total: always yields a report whose [aco_order] reconstructs into a
     valid schedule. Faults are retried, over-budget passes keep their
     best-so-far, and a driver that traps (or emits an invalid schedule)
     is replaced by the AMD heuristic schedule — the failure mode is
-    recorded in [degradation], never raised. *)
+    recorded in [degradation], never raised.
 
-val run_suite : ?progress:(string -> unit) -> config -> Workload.Suite.t -> suite_report
+    [trace] / [metrics] (default disabled, a true no-op) attach the
+    flight recorder: the region becomes a span on the driver track
+    enclosing its parallel-ACO passes, degradations become instants via
+    {!Robust.observe}, and both drivers' per-iteration series are
+    recorded under ["<name>.par."] / ["<name>.seq."] prefixes. *)
+
+val run_suite :
+  ?progress:(string -> unit) ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  config ->
+  Workload.Suite.t ->
+  suite_report
 (** Compile every kernel of the suite (kernels shared between benchmarks
-    are compiled once). [progress] receives one message per kernel. *)
+    are compiled once). [progress] receives one message per kernel;
+    [trace] / [metrics] are threaded to every {!run_region}. *)
 
 val hot_region : kernel_report -> region_report
 (** The region backing the kernel's hot loop. Total for any [hot_index]:

@@ -348,3 +348,118 @@ let perf_table report =
     [ 0; 1; 2 ]
 
 let perf_total report = perf_row_of (compiled_regions report) (-1)
+
+(* --- convergence telemetry ---------------------------------------------- *)
+
+type convergence_row = {
+  c_region : string;
+  c_pass : string;
+  c_iterations : int;
+  c_initial : int;
+  c_final : int;
+  c_first_improvement : int;
+  c_series : int array;
+}
+
+let convergence_row ~region ~pass (series : int array) =
+  let len = Array.length series in
+  if len = 0 then None
+  else begin
+    let first = ref 0 in
+    (try
+       for k = 1 to len - 1 do
+         if series.(k) < series.(0) then begin
+           first := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Some
+      {
+        c_region = region;
+        c_pass = pass;
+        c_iterations = len - 1;
+        c_initial = series.(0);
+        c_final = series.(len - 1);
+        c_first_improvement = !first;
+        c_series = series;
+      }
+  end
+
+let convergence_rows_of_region (r : Compile.region_report) =
+  let name = r.Compile.region_name in
+  let par (p : Gpusim.Par_aco.pass_stats) pass =
+    convergence_row ~region:name ~pass p.Gpusim.Par_aco.best_costs
+  in
+  let seq (p : Aco.Seq_aco.pass_stats option) pass =
+    match p with
+    | Some p -> convergence_row ~region:name ~pass p.Aco.Seq_aco.best_costs
+    | None -> None
+  in
+  List.filter_map Fun.id
+    [
+      par r.Compile.par_pass1 "par pass1";
+      par r.Compile.par_pass2 "par pass2";
+      seq r.Compile.seq_pass1 "seq pass1";
+      seq r.Compile.seq_pass2 "seq pass2";
+    ]
+
+let convergence_table report =
+  List.concat_map convergence_rows_of_region (compiled_regions report)
+
+(* Compact rendering of a cost series: distinct plateaus joined by ">",
+   each as cost(xrepeat), so "33>31(x2)>30(x5)" reads as one improvement
+   at iteration 1 and another at 3 that held for the last five. *)
+let series_to_string (series : int array) =
+  let buf = Buffer.create 64 in
+  let n = Array.length series in
+  let i = ref 0 in
+  while !i < n do
+    let v = series.(!i) in
+    let j = ref !i in
+    while !j + 1 < n && series.(!j + 1) = v do
+      incr j
+    done;
+    if !i > 0 then Buffer.add_char buf '>';
+    Buffer.add_string buf (string_of_int v);
+    let run = !j - !i + 1 in
+    if run > 1 then Buffer.add_string buf (Printf.sprintf "(x%d)" run);
+    i := !j + 1
+  done;
+  Buffer.contents buf
+
+let render_convergence rows =
+  let improvement r =
+    if r.c_initial = 0 then 0.0
+    else float_of_int (r.c_initial - r.c_final) /. float_of_int r.c_initial *. 100.0
+  in
+  Support.Tablefmt.render ~title:"Convergence (best cost per iteration)"
+    ~header:[ "region"; "pass"; "iters"; "initial"; "final"; "gain"; "first imp"; "series" ]
+    ~aligns:
+      Support.Tablefmt.[ Left; Left; Right; Right; Right; Right; Right; Left ]
+    (List.map
+       (fun r ->
+         [
+           r.c_region;
+           r.c_pass;
+           string_of_int r.c_iterations;
+           string_of_int r.c_initial;
+           string_of_int r.c_final;
+           Support.Tablefmt.pctf (improvement r);
+           (if r.c_first_improvement = 0 then "-" else string_of_int r.c_first_improvement);
+           series_to_string r.c_series;
+         ])
+       rows)
+
+let convergence_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "region,pass,iteration,best_cost\n";
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun k v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%d,%d\n" r.c_region r.c_pass k v))
+        r.c_series)
+    rows;
+  Buffer.contents buf

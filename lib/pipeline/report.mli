@@ -110,3 +110,32 @@ val perf_table : Compile.suite_report -> perf_row list
     bookkeeping amortized over the steps. *)
 
 val perf_total : Compile.suite_report -> perf_row
+
+type convergence_row = {
+  c_region : string;
+  c_pass : string;  (** ["par pass1"], ["par pass2"], ["seq pass1"] or ["seq pass2"] *)
+  c_iterations : int;  (** attempted iterations (retries included) *)
+  c_initial : int;  (** cost of the pass's initial (heuristic) schedule *)
+  c_final : int;  (** best cost when the pass stopped *)
+  c_first_improvement : int;
+      (** iteration of the first strict improvement, 0 when the pass never
+          beat its initial schedule *)
+  c_series : int array;  (** the full per-iteration best-cost series *)
+}
+
+val convergence_rows_of_region : Compile.region_report -> convergence_row list
+(** One row per pass that ran (empty series are dropped — a pass that was
+    never invoked contributes nothing). *)
+
+val convergence_table : Compile.suite_report -> convergence_row list
+(** Convergence telemetry over the compiled kernels, region by region:
+    the per-iteration best-cost series of both drivers' passes. *)
+
+val render_convergence : convergence_row list -> string
+(** ASCII table: one line per pass with the series compacted into
+    plateaus (["33>31(x2)>30(x5)"] = improved at iteration 1, again at 3,
+    then five unchanged iterations). *)
+
+val convergence_csv : convergence_row list -> string
+(** Long-format CSV ([region,pass,iteration,best_cost]) for external
+    plotting. *)

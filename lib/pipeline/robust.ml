@@ -48,6 +48,24 @@ let classify ~fell_back ~aborted_faults ~aborted_budget ~retries =
   else if retries > 0 then Retried retries
   else Clean
 
+(* Ledger → flight recorder: one instant on the driver track per
+   degraded region plus a stable-named counter per rung (the [Retried]
+   payload goes in the event arg, not the metric name, so series stay
+   mergeable across runs). *)
+let observe trace metrics ~region d =
+  if Obs.Trace.enabled trace && severity d > 0 then
+    Obs.Trace.instant_arg trace ~track:0
+      ~name:("degraded: " ^ region)
+      ~ts:(Obs.Trace.now trace) ~key:"severity"
+      ~value:(float_of_int (severity d));
+  if Obs.Metrics.enabled metrics then
+    Obs.Metrics.incr metrics
+      (match d with
+      | Clean -> "regions.clean"
+      | Retried _ -> "regions.retried"
+      | Budget_exceeded -> "regions.budget_exceeded"
+      | Faulted_fallback -> "regions.faulted_fallback")
+
 type tally = {
   regions : int;
   clean : int;

@@ -61,6 +61,12 @@ val classify :
 (** Fold a region's raw robustness signals into its ledger entry, most
     severe signal first. *)
 
+val observe : Obs.Trace.t -> Obs.Metrics.t -> region:string -> degradation -> unit
+(** Record a region's ledger entry on the flight recorder (an instant on
+    the driver track when the region degraded, with the severity as its
+    argument) and bump the matching ["regions.*"] counter. A no-op on
+    disabled recorders. *)
+
 type tally = {
   regions : int;
   clean : int;

@@ -1,10 +1,5 @@
 let minor_words = Gc.minor_words
 
-let span f =
-  let before = Gc.minor_words () in
-  let result = f () in
-  (result, Gc.minor_words () -. before)
-
 type t = { mutable started : float; mutable total : float }
 
 let create () = { started = nan; total = 0.0 }
@@ -12,11 +7,27 @@ let create () = { started = nan; total = 0.0 }
 let start t = t.started <- Gc.minor_words ()
 
 let stop t =
-  if Float.is_nan t.started then invalid_arg "Perfcount.stop: not started";
-  t.total <- t.total +. (Gc.minor_words () -. t.started);
-  t.started <- nan
+  if not (Float.is_nan t.started) then begin
+    t.total <- t.total +. (Gc.minor_words () -. t.started);
+    t.started <- nan
+  end
+
+let span ?into f =
+  let before = Gc.minor_words () in
+  let finish () =
+    let delta = Gc.minor_words () -. before in
+    (match into with None -> () | Some c -> c.total <- c.total +. delta);
+    delta
+  in
+  match f () with
+  | result -> (result, finish ())
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (finish () : float);
+      Printexc.raise_with_backtrace exn bt
 
 let total t = t.total
+
 let reset t =
   t.started <- nan;
   t.total <- 0.0

@@ -9,18 +9,23 @@
 val minor_words : unit -> float
 (** Words allocated on the minor heap since program start. *)
 
-val span : (unit -> 'a) -> 'a * float
-(** [span f] runs [f] and returns its result with the minor words it
-    allocated. *)
-
 type t
 (** An accumulating counter (for spans that start and stop across
     function boundaries). *)
 
 val create : unit -> t
 val start : t -> unit
+
 val stop : t -> unit
-(** Raises [Invalid_argument] when not started. *)
+(** Closes an open {!start} window, adding its delta to the total. A
+    no-op when not started (e.g. after {!reset}), so teardown paths can
+    call it unconditionally. *)
+
+val span : ?into:t -> (unit -> 'a) -> 'a * float
+(** [span f] runs [f] and returns its result with the minor words it
+    allocated. The measurement is exception-safe: if [f] raises, the
+    delta up to the raise is still accumulated into [into] (when given)
+    before the exception is re-raised with its backtrace. *)
 
 val total : t -> float
 val reset : t -> unit

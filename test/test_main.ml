@@ -12,4 +12,5 @@ let () =
       ("workload", Test_workload.suite);
       ("pipeline", Test_pipeline.suite);
       ("robust", Test_robust.suite);
+      ("obs", Test_obs.suite);
     ]

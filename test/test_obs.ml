@@ -1,0 +1,269 @@
+(* Flight-recorder safety net.
+
+   1. Unit tests of the [Obs.Trace] ring (wrap-around accounting, span
+      totals, the disabled recorder) and of the [Obs.Metrics] registry
+      (kinds, headline values, CSV/JSON export).
+   2. Round-trip: [Trace.to_chrome_json] must pass [Trace_check]'s lint
+      (well-formed JSON, monotone timestamps, balanced B/E pairs), and
+      the lint must reject malformed documents.
+   3. The observability contract as a qcheck differential: compiling a
+      random region with live recorders attached must be byte-identical
+      to the uninstrumented compile — same schedules, same costs, same
+      simulated times, same degradation ledger, same fault counts —
+      across fault rates and compile budgets. Tracing may not perturb
+      any RNG stream or cost model. *)
+
+(* --- trace ring ---------------------------------------------------------- *)
+
+let test_ring_wrap () =
+  let t = Obs.Trace.create ~capacity:16 () in
+  Alcotest.(check bool) "enabled" true (Obs.Trace.enabled t);
+  Alcotest.(check int) "capacity" 16 (Obs.Trace.capacity t);
+  for i = 0 to 39 do
+    Obs.Trace.span t ~track:1 ~name:"s" ~ts:(float_of_int i) ~dur:1.0
+  done;
+  Alcotest.(check int) "recorded counts every event" 40 (Obs.Trace.recorded t);
+  Alcotest.(check int) "dropped = recorded - capacity" 24 (Obs.Trace.dropped t);
+  let evs = Obs.Trace.events t in
+  Alcotest.(check int) "ring keeps the last capacity events" 16 (List.length evs);
+  (* oldest first: the survivors are events 24..39 *)
+  (match evs with
+  | first :: _ -> Alcotest.(check (float 0.0)) "oldest survivor" 24.0 first.Obs.Trace.e_ts
+  | [] -> Alcotest.fail "no events");
+  let last = List.nth evs 15 in
+  Alcotest.(check (float 0.0)) "newest survivor" 39.0 last.Obs.Trace.e_ts
+
+let test_span_totals () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.span t ~track:0 ~name:"long" ~ts:0.0 ~dur:100.0;
+  Obs.Trace.span t ~track:1 ~name:"short" ~ts:0.0 ~dur:3.0;
+  Obs.Trace.span t ~track:1 ~name:"short" ~ts:5.0 ~dur:4.0;
+  Obs.Trace.instant t ~track:1 ~name:"tick" ~ts:1.0;
+  Obs.Trace.instant t ~track:1 ~name:"tick" ~ts:2.0;
+  Obs.Trace.instant_arg t ~track:0 ~name:"boom" ~ts:3.0 ~key:"lane" ~value:4.0;
+  Alcotest.(check (list (triple string (float 0.0) int)))
+    "totals, longest first"
+    [ ("long", 100.0, 1); ("short", 7.0, 2) ]
+    (Obs.Trace.span_totals t);
+  Alcotest.(check (list (pair string int)))
+    "instant counts" [ ("boom", 1); ("tick", 2) ] (Obs.Trace.instant_counts t)
+
+let test_null_recorders () =
+  let t = Obs.Trace.null in
+  Alcotest.(check bool) "trace disabled" false (Obs.Trace.enabled t);
+  Obs.Trace.span t ~track:0 ~name:"s" ~ts:0.0 ~dur:1.0;
+  Obs.Trace.instant t ~track:0 ~name:"i" ~ts:0.0;
+  Obs.Trace.advance t 10.0;
+  Alcotest.(check int) "null records nothing" 0 (Obs.Trace.recorded t);
+  Alcotest.(check (float 0.0)) "null clock pinned" 0.0 (Obs.Trace.now t);
+  let m = Obs.Metrics.null in
+  Alcotest.(check bool) "metrics disabled" false (Obs.Metrics.enabled m);
+  Obs.Metrics.incr m "c";
+  Obs.Metrics.push m "s" 1.0;
+  Alcotest.(check (list string)) "null registers nothing" [] (Obs.Metrics.names m)
+
+let test_simulated_clock () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.set_now t 100.0;
+  Obs.Trace.advance t 50.0;
+  Alcotest.(check (float 0.0)) "cursor" 150.0 (Obs.Trace.now t)
+
+(* --- chrome export round-trip -------------------------------------------- *)
+
+let test_chrome_json_lints () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.name_track t 0 "driver";
+  Obs.Trace.name_track t 2 "wavefront 0";
+  (* children recorded before their enclosing parent: the exporter must
+     still emit properly nested B/E pairs *)
+  Obs.Trace.span t ~track:2 ~name:"round" ~ts:0.0 ~dur:10.0;
+  Obs.Trace.span t ~track:2 ~name:"round" ~ts:10.0 ~dur:10.0;
+  Obs.Trace.span_arg t ~track:2 ~name:"iteration" ~ts:0.0 ~dur:20.0 ~key:"best"
+    ~value:42.0;
+  Obs.Trace.instant t ~track:2 ~name:"fault" ~ts:5.0;
+  Obs.Trace.span t ~track:0 ~name:"region" ~ts:0.0 ~dur:25.0;
+  let json = Obs.Trace.to_chrome_json t in
+  let r = Obs.Trace_check.lint_string json in
+  if not (Obs.Trace_check.ok r) then
+    Alcotest.failf "lint failed:\n%s" (Obs.Trace_check.report_to_string r);
+  Alcotest.(check int) "span count" 4 r.Obs.Trace_check.spans;
+  Alcotest.(check int) "instant count" 1 r.Obs.Trace_check.instants;
+  Alcotest.(check int) "track count" 2 r.Obs.Trace_check.tracks
+
+let test_lint_rejects_malformed () =
+  let bad s = not (Obs.Trace_check.ok (Obs.Trace_check.lint_string s)) in
+  Alcotest.(check bool) "truncated JSON" true (bad "{\"traceEvents\": [");
+  Alcotest.(check bool) "not a trace" true (bad "{\"foo\": 1}");
+  Alcotest.(check bool) "unbalanced B" true
+    (bad
+       "[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":0,\"tid\":1}]");
+  Alcotest.(check bool) "E without B" true
+    (bad
+       "[{\"name\":\"a\",\"ph\":\"E\",\"ts\":0,\"pid\":0,\"tid\":1}]");
+  Alcotest.(check bool) "non-monotone ts" true
+    (bad
+       "[{\"name\":\"a\",\"ph\":\"i\",\"ts\":5,\"pid\":0,\"tid\":1},\n\
+        {\"name\":\"b\",\"ph\":\"i\",\"ts\":1,\"pid\":0,\"tid\":1}]");
+  (* a well-formed minimal trace passes *)
+  Alcotest.(check bool) "minimal trace passes" false
+    (bad
+       "[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":0,\"tid\":1},\n\
+        {\"name\":\"a\",\"ph\":\"E\",\"ts\":2,\"pid\":0,\"tid\":1}]")
+
+(* --- metrics registry ----------------------------------------------------- *)
+
+let test_metrics_kinds () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "c";
+  Obs.Metrics.add m "c" 4;
+  Obs.Metrics.set m "g" 2.0;
+  Obs.Metrics.set m "g" 7.0;
+  Obs.Metrics.observe m "h" 1.0;
+  Obs.Metrics.observe m "h" 3.0;
+  Obs.Metrics.push m "s" 10.0;
+  Obs.Metrics.push m "s" 8.0;
+  Obs.Metrics.push m "s" 8.0;
+  Alcotest.(check (list string)) "registration order" [ "c"; "g"; "h"; "s" ]
+    (Obs.Metrics.names m);
+  let get n = Option.get (Obs.Metrics.get m n) in
+  Alcotest.(check bool) "counter kind" true (Obs.Metrics.kind_of (get "c") = Obs.Metrics.Counter);
+  Alcotest.(check (float 0.0)) "counter value" 5.0 (Obs.Metrics.value (get "c"));
+  Alcotest.(check bool) "gauge kind" true (Obs.Metrics.kind_of (get "g") = Obs.Metrics.Gauge);
+  Alcotest.(check (float 0.0)) "gauge last" 7.0 (Obs.Metrics.value (get "g"));
+  Alcotest.(check int) "histogram count" 2 (Obs.Metrics.count (get "h"));
+  Alcotest.(check (float 0.0)) "histogram sum" 4.0 (Obs.Metrics.sum (get "h"));
+  Alcotest.(check (float 0.0)) "histogram mean" 2.0 (Obs.Metrics.mean (get "h"));
+  Alcotest.(check bool) "series kind" true (Obs.Metrics.kind_of (get "s") = Obs.Metrics.Series);
+  Alcotest.(check (array (float 0.0))) "series points" [| 10.0; 8.0; 8.0 |]
+    (Obs.Metrics.series (get "s"));
+  Alcotest.(check (float 0.0)) "series last" 8.0 (Obs.Metrics.last (get "s"));
+  Alcotest.(check (option string)) "unknown name" None
+    (Option.map (fun _ -> "x") (Obs.Metrics.get m "nope"))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_export () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add m "faults.total" 3;
+  Obs.Metrics.push m "r0.best_cost" 33.0;
+  Obs.Metrics.push m "r0.best_cost" 31.0;
+  let csv = Obs.Metrics.to_csv m in
+  Alcotest.(check bool) "csv header" true
+    (contains csv "metric,kind,index,value,count,sum,min,max,mean");
+  Alcotest.(check bool) "csv counter row" true (contains csv "faults.total,counter");
+  Alcotest.(check bool) "csv point rows" true (contains csv "r0.best_cost,point,1,31");
+  let json = Obs.Metrics.to_json m in
+  (* the registry's JSON must itself be well-formed *)
+  (match Obs.Trace_check.parse_json json with
+  | Obs.Trace_check.Obj _ -> ()
+  | _ -> Alcotest.fail "metrics JSON is not an object"
+  | exception Obs.Trace_check.Parse_error e -> Alcotest.failf "metrics JSON: %s" e);
+  Alcotest.(check bool) "json has series" true (contains json "r0.best_cost")
+
+(* --- the no-perturbation contract ----------------------------------------- *)
+
+let compile_cfg ?fault_rate ?fault_seed ?compile_budget_ms () =
+  {
+    (Pipeline.Compile.make_config ~gpu:Tu.test_gpu ?fault_rate ?fault_seed
+       ?compile_budget_ms ())
+    with
+    Pipeline.Compile.params =
+      {
+        Tu.test_params with
+        Aco.Params.ants_per_iteration = Gpusim.Config.threads Tu.test_gpu;
+        pass2_cycle_threshold = 1;
+      };
+  }
+
+(* The observables that must not move when the recorders attach. Host
+   minor_words legitimately differs (the recorders themselves allocate),
+   so it is excluded; everything the simulation computes is included. *)
+let par_signature (p : Gpusim.Par_aco.pass_stats) =
+  ( ( p.Gpusim.Par_aco.invoked,
+      p.Gpusim.Par_aco.iterations,
+      p.Gpusim.Par_aco.ants_simulated,
+      p.Gpusim.Par_aco.work,
+      p.Gpusim.Par_aco.time_ns ),
+    ( p.Gpusim.Par_aco.serialized_ops,
+      p.Gpusim.Par_aco.lockstep_steps,
+      p.Gpusim.Par_aco.ant_steps,
+      p.Gpusim.Par_aco.selections,
+      p.Gpusim.Par_aco.retries ),
+    ( p.Gpusim.Par_aco.aborted_budget,
+      p.Gpusim.Par_aco.aborted_faults,
+      Gpusim.Faults.total p.Gpusim.Par_aco.fault_counts,
+      Array.to_list p.Gpusim.Par_aco.best_costs ) )
+
+let region_signature (r : Pipeline.Compile.region_report) =
+  ( ( Array.to_list r.Pipeline.Compile.aco_order,
+      Array.to_list r.Pipeline.Compile.pass1_only_order,
+      r.Pipeline.Compile.aco_cost,
+      r.Pipeline.Compile.degradation,
+      r.Pipeline.Compile.retries ),
+    ( par_signature r.Pipeline.Compile.par_pass1,
+      par_signature r.Pipeline.Compile.par_pass2,
+      r.Pipeline.Compile.par_pass1_time_ns,
+      r.Pipeline.Compile.par_pass2_time_ns,
+      Gpusim.Faults.total r.Pipeline.Compile.fault_counts ),
+    ( Option.map
+        (fun (s : Aco.Seq_aco.pass_stats) -> Array.to_list s.Aco.Seq_aco.best_costs)
+        r.Pipeline.Compile.seq_pass1,
+      Option.map
+        (fun (s : Aco.Seq_aco.pass_stats) -> Array.to_list s.Aco.Seq_aco.best_costs)
+        r.Pipeline.Compile.seq_pass2,
+      r.Pipeline.Compile.seq_pass1_time_ns,
+      r.Pipeline.Compile.seq_pass2_time_ns ) )
+
+let tracing_is_inert =
+  QCheck.Test.make ~count:8 ~name:"live recorders never perturb the compile"
+    (QCheck.pair (Tu.arb_region ~max_size:30 ()) QCheck.small_int)
+    (fun (region, seed) ->
+      List.iter
+        (fun (fault_rate, compile_budget_ms) ->
+          let cfg () =
+            compile_cfg ?fault_rate ~fault_seed:(seed + 11) ?compile_budget_ms ()
+          in
+          let off = Pipeline.Compile.run_region (cfg ()) ~name:"r" region in
+          let trace = Obs.Trace.create ~capacity:256 () (* force ring wrap too *) in
+          let metrics = Obs.Metrics.create () in
+          let on = Pipeline.Compile.run_region ~trace ~metrics (cfg ()) ~name:"r" region in
+          if region_signature off <> region_signature on then
+            Alcotest.failf
+              "recorders perturbed the compile (fault_rate=%s budget=%s)"
+              (match fault_rate with Some f -> string_of_float f | None -> "0")
+              (match compile_budget_ms with Some b -> string_of_float b | None -> "inf");
+          (* and the recording it produced must lint *)
+          let r = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json trace) in
+          if not (Obs.Trace_check.ok r) then
+            Alcotest.failf "trace of the compile fails lint:\n%s"
+              (Obs.Trace_check.report_to_string r);
+          (* convergence series surfaced through the metrics registry
+             agree with the driver's own record *)
+          (match Obs.Metrics.get metrics "r.par.pass2.best_cost" with
+          | Some m ->
+              let pushed = Array.map int_of_float (Obs.Metrics.series m) in
+              let stats = on.Pipeline.Compile.par_pass2.Gpusim.Par_aco.best_costs in
+              (* the registry sees one push per attempted iteration:
+                 the series drops the initial-cost entry 0 *)
+              Alcotest.(check (array int)) "metrics series matches pass stats"
+                (Array.sub stats 1 (Array.length stats - 1))
+                pushed
+          | None -> ()))
+        [ (None, None); (Some 0.2, Some 2.0); (Some 1.0, None); (None, Some 0.01) ];
+      true)
+
+let suite =
+  [
+    ("trace ring wrap", `Quick, test_ring_wrap);
+    ("trace span totals", `Quick, test_span_totals);
+    ("null recorders", `Quick, test_null_recorders);
+    ("simulated clock", `Quick, test_simulated_clock);
+    ("chrome export lints", `Quick, test_chrome_json_lints);
+    ("lint rejects malformed", `Quick, test_lint_rejects_malformed);
+    ("metrics kinds", `Quick, test_metrics_kinds);
+    ("metrics export", `Quick, test_metrics_export);
+  ]
+  @ Tu.qtests [ tracing_is_inert ]

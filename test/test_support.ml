@@ -157,6 +157,49 @@ let test_pqueue_peek_clear () =
   Support.Pqueue.clear q;
   Alcotest.(check bool) "cleared" true (Support.Pqueue.is_empty q)
 
+exception Probe_failed
+
+let test_perfcount_span_exception_safe () =
+  let c = Support.Perfcount.create () in
+  (* a raising measured function must still accumulate its delta and
+     re-raise the original exception *)
+  Alcotest.check_raises "re-raises" Probe_failed (fun () ->
+      ignore
+        (Support.Perfcount.span ~into:c (fun () ->
+             ignore (Sys.opaque_identity (Array.make 256 0.0));
+             raise Probe_failed)));
+  Alcotest.(check bool) "delta accumulated before the raise" true
+    (Support.Perfcount.total c >= 256.0);
+  (* the counter remains usable: a closed span keeps accumulating *)
+  let before = Support.Perfcount.total c in
+  let (), d =
+    Support.Perfcount.span ~into:c (fun () ->
+        ignore (Sys.opaque_identity (Array.make 128 0.0)))
+  in
+  Alcotest.(check bool) "span returns its own delta" true (d >= 128.0);
+  Alcotest.(check (float 1e-9)) "into accumulates the same delta" (before +. d)
+    (Support.Perfcount.total c)
+
+let test_perfcount_stop_without_start () =
+  let c = Support.Perfcount.create () in
+  (* stop on a never-started counter is a no-op, not an error *)
+  Support.Perfcount.stop c;
+  Alcotest.(check (float 0.0)) "nothing counted" 0.0 (Support.Perfcount.total c);
+  (* reset closes any open window; a following stop must also be a no-op *)
+  Support.Perfcount.start c;
+  ignore (Sys.opaque_identity (Array.make 64 0.0));
+  Support.Perfcount.reset c;
+  Support.Perfcount.stop c;
+  Alcotest.(check (float 0.0)) "reset discards the open window" 0.0
+    (Support.Perfcount.total c);
+  (* double stop after a real window counts the window exactly once *)
+  Support.Perfcount.start c;
+  ignore (Sys.opaque_identity (Array.make 64 0.0));
+  Support.Perfcount.stop c;
+  let t = Support.Perfcount.total c in
+  Support.Perfcount.stop c;
+  Alcotest.(check (float 1e-9)) "second stop adds nothing" t (Support.Perfcount.total c)
+
 let test_tablefmt () =
   let s =
     Support.Tablefmt.render ~title:"T" ~header:[ "a"; "b" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
@@ -184,6 +227,9 @@ let suite =
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "pqueue drain" `Quick test_pqueue_drains_sorted;
     Alcotest.test_case "pqueue peek/clear" `Quick test_pqueue_peek_clear;
+    Alcotest.test_case "perfcount span exception-safe" `Quick
+      test_perfcount_span_exception_safe;
+    Alcotest.test_case "perfcount stop is total" `Quick test_perfcount_stop_without_start;
     Alcotest.test_case "tablefmt" `Quick test_tablefmt;
   ]
   @ Tu.qtests

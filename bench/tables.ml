@@ -246,9 +246,11 @@ let faults ctx =
   in
   let report = Pipeline.Compile.run_suite fault_config ctx.report.Pipeline.Compile.suite in
   let rows =
-    Pipeline.Report.degradation_table report @ [ Pipeline.Report.degradation_total report ]
+    Pipeline.Report.degradation_table report @ Pipeline.Report.degradation_total report
   in
   let label (r : Pipeline.Report.degradation_row) =
+    r.Pipeline.Report.d_backend ^ "/"
+    ^
     if r.Pipeline.Report.d_category < 0 then "all" else category_label r.Pipeline.Report.d_category
   in
   let col f = List.map (fun (r : Pipeline.Report.degradation_row) -> f r) rows in
@@ -292,6 +294,73 @@ let perf ctx =
        ]);
   print_newline ()
 
+let backends ctx =
+  (* Race every product backend over each kernel's hot region and compare
+     the schedules they ship: one compile per region with the race
+     dispatch, so all backends start from the same setup and the best
+     product wins the region (occupancy first, then length). *)
+  let names = [ "seq"; "par"; "weighted" ] in
+  let race_config =
+    {
+      ctx.config with
+      Pipeline.Compile.dispatch = Engine.Dispatch.Race names;
+      run_sequential = false;
+    }
+  in
+  let reports =
+    List.map
+      (fun (k : Workload.Suite.kernel) ->
+        let i =
+          max 0 (min (List.length k.Workload.Suite.regions - 1) k.Workload.Suite.hot_index)
+        in
+        Pipeline.Compile.run_region race_config
+          ~name:(k.Workload.Suite.kernel_name ^ "/hot")
+          (List.nth k.Workload.Suite.regions i))
+      ctx.report.Pipeline.Compile.suite.Workload.Suite.kernels
+  in
+  let row name =
+    let runs = List.filter_map (fun r -> Pipeline.Compile.find_run r name) reports in
+    let wins =
+      List.length
+        (List.filter
+           (fun (r : Pipeline.Compile.region_report) ->
+             String.equal r.Pipeline.Compile.product_backend name)
+           reports)
+    in
+    let sum f = List.fold_left (fun acc run -> acc + f run) 0 runs in
+    let cost (run : Pipeline.Compile.backend_run) = run.Pipeline.Compile.result.Engine.Types.cost in
+    let degraded =
+      sum (fun run ->
+          if run.Pipeline.Compile.run_degradation <> Pipeline.Robust.Clean then 1 else 0)
+    in
+    let time_ms =
+      List.fold_left
+        (fun acc (run : Pipeline.Compile.backend_run) ->
+          acc +. run.Pipeline.Compile.run_pass1_time_ns +. run.Pipeline.Compile.run_pass2_time_ns)
+        0.0 runs
+      /. 1e6
+    in
+    [
+      name;
+      T.int (List.length runs);
+      T.int wins;
+      T.int (sum (fun run -> (cost run).Sched.Cost.rp.Sched.Cost.occupancy));
+      T.int (sum (fun run -> (cost run).Sched.Cost.length));
+      T.int degraded;
+      Printf.sprintf "%.2f" time_ms;
+    ]
+  in
+  print_string
+    (T.render
+       ~title:
+         "BACKENDS — PRODUCT COMPARISON OVER HOT REGIONS (race dispatch, best schedule \
+          ships)"
+       ~header:
+         [ "Backend"; "Regions"; "Regions won"; "Total occupancy"; "Total length";
+           "Degraded"; "Modeled time (ms)" ]
+       (List.map row names));
+  print_newline ()
+
 let convergence ctx =
   (* Convergence telemetry of the product compile: per-pass best-cost
      trajectories. Rows that improved past their seed schedule come
@@ -332,5 +401,6 @@ let all =
     ("objective", objective);
     ("faults", faults);
     ("perf", perf);
+    ("backends", backends);
     ("convergence", convergence);
   ]

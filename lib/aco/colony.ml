@@ -1,0 +1,112 @@
+(* The sequential colony loop, shared by every CPU backend (the two-pass
+   [Seq_aco] and the weighted-sum [Weighted_aco]): iterate ants until the
+   lower bound is reached or [termination] improvement-free iterations
+   pass. Generic in the cost (RP scalar in pass 1, length in pass 2, the
+   weighted sum in the single-pass backend) and in the artifact kept for
+   the best solution (order in pass 1, schedule in pass 2).
+
+   The loop body is the byte-identity anchor of the engine refactor: it
+   is the historical [Seq_aco.run_pass] verbatim (plus the
+   [allow_optional_stalls] parameter the weighted colony sets to false),
+   so RNG draws, work accounting and the measured minor-words window are
+   exactly those of the pre-engine driver. *)
+let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
+    ~(artifact_of_ant : Ant.t -> a) ~allow_optional_stalls ~budget_work ~metrics ~pass_label
+    ~initial_cost ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination
+    : a * int * Engine.Types.pass_stats =
+  let open Params in
+  Pheromone.reset pheromone ~initial:params.initial_pheromone;
+  (* The initial (heuristic) schedule is the global best at the start:
+     bias the table toward it. *)
+  Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+  (* Telemetry scratch sits before the minor-words snapshot so the
+     reported allocation stays byte-identical with metering off. *)
+  let metering = Obs.Metrics.enabled metrics in
+  let m_best = if metering then pass_label ^ ".best_cost" else "" in
+  let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
+  (* Convergence series: entry 0 is the initial cost, entry [k] the best
+     cost after the [k]th iteration. *)
+  let bc_buf = Array.make (1 + params.max_iterations) initial_cost in
+  let bc_len = ref 1 in
+  (* Pre-bind the ant launcher so the per-iteration closure below
+     captures exactly the free variables the historical driver's did
+     ([allow_optional_stalls] was a literal there, not a capture): the
+     closure is allocated inside the measured window once per iteration,
+     so an extra captured word would show up in [minor_words]. *)
+  let start_ant ant ~rng mode =
+    Ant.start ant ~rng ~heuristic:params.heuristic ~allow_optional_stalls mode
+  in
+  let minor_before = Support.Perfcount.minor_words () in
+  let best_cost = ref initial_cost in
+  let best = ref initial_artifact in
+  let improved = ref false in
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  let work = ref 0 in
+  let ants_total = ref 0 in
+  let n = Pheromone.size pheromone in
+  (* The compile budget is expressed in abstract work units — the same
+     currency {!Ant.work} charges — so the sequential driver stays free
+     of any wall-clock notion; the pipeline converts nanoseconds to work
+     via its CPU cost model. *)
+  while
+    !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations
+    && !work < budget_work
+  do
+    incr iterations;
+    let iter_best_cost = ref max_int in
+    let iter_best = ref None in
+    Array.iter
+      (fun ant ->
+        start_ant ant ~rng:(Support.Rng.split rng) mode;
+        Ant.run_to_completion ant ~pheromone;
+        ants_total := !ants_total + 1;
+        work := !work + Ant.work ant;
+        if Ant.status ant = Ant.Finished then begin
+          let c = cost_of_ant ant in
+          if c < !iter_best_cost then begin
+            iter_best_cost := c;
+            iter_best := Some (Ant.order ant, artifact_of_ant ant)
+          end
+        end)
+      ants;
+    (* Table upkeep: full decay plus the winner deposit. *)
+    work := !work + (((n + 1) * n) / 8) + n;
+    Pheromone.decay pheromone params.decay;
+    (match !iter_best with
+    | Some (order, art) ->
+        Pheromone.deposit_path pheromone order
+          (params.deposit /. float_of_int (1 + !iter_best_cost));
+        if !iter_best_cost < !best_cost then begin
+          best_cost := !iter_best_cost;
+          best := art;
+          improved := true;
+          no_improve := 0
+        end
+        else incr no_improve
+    | None -> incr no_improve);
+    bc_buf.(!bc_len) <- !best_cost;
+    incr bc_len;
+    if metering then begin
+      Obs.Metrics.push metrics m_best (float_of_int !best_cost);
+      Obs.Metrics.push metrics m_entropy (Pheromone.row_entropy pheromone)
+    end
+  done;
+  (* [minor_delta] first: the series copy must stay outside the measured
+     window so the stat is byte-identical with metering off. *)
+  let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let best_costs = Array.sub bc_buf 0 !bc_len in
+  ( !best,
+    !best_cost,
+    {
+      Engine.Types.no_pass with
+      Engine.Types.invoked = true;
+      iterations = !iterations;
+      ants_simulated = !ants_total;
+      work = !work;
+      improved = !improved;
+      hit_lower_bound = !best_cost <= lb_cost;
+      aborted_budget = budget_work < max_int && !work >= budget_work;
+      best_costs;
+      minor_words = minor_delta;
+    } )

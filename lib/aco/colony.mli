@@ -1,0 +1,29 @@
+(** One sequential ACO pass over a prepared colony — the CPU execution
+    substrate shared by the [seq] and [weighted] backends. The GPU-model
+    backend has its own lockstep loop in [Gpusim.Par_aco]. *)
+
+val run_pass :
+  params:Params.t ->
+  rng:Support.Rng.t ->
+  ants:Ant.t array ->
+  pheromone:Pheromone.t ->
+  mode:Ant.mode ->
+  cost_of_ant:(Ant.t -> int) ->
+  artifact_of_ant:(Ant.t -> 'a) ->
+  allow_optional_stalls:bool ->
+  budget_work:int ->
+  metrics:Obs.Metrics.t ->
+  pass_label:string ->
+  initial_cost:int ->
+  initial_order:int array ->
+  initial_artifact:'a ->
+  lb_cost:int ->
+  termination:int ->
+  'a * int * Engine.Types.pass_stats
+(** Returns (best artifact, its cost, stats). The stats fill only the
+    fields a CPU colony can measure — work units, iteration counts, the
+    convergence series and minor words; the GPU-only fields stay at
+    {!Engine.Types.no_pass}'s zeros. [budget_work] is a compile budget
+    in abstract work units; a pass that exhausts it stops after the
+    current iteration, keeps its best-so-far, and reports
+    [aborted_budget]. *)

@@ -1,29 +1,27 @@
-type pass_stats = {
+type pass_stats = Engine.Types.pass_stats = {
   invoked : bool;
   iterations : int;
   ants_simulated : int;
   work : int;
+  time_ns : float;
   improved : bool;
   hit_lower_bound : bool;
-  aborted_budget : bool;
+  serialized_ops : int;
+  single_path_ops : int;
+  lockstep_steps : int;
+  ant_steps : int;
+  selections : int;
   best_costs : int array;
   minor_words : float;
+  retries : int;
+  aborted_budget : bool;
+  aborted_faults : bool;
+  fault_counts : Engine.Types.fault_counts;
 }
 
-let no_pass =
-  {
-    invoked = false;
-    iterations = 0;
-    ants_simulated = 0;
-    work = 0;
-    improved = false;
-    hit_lower_bound = false;
-    aborted_budget = false;
-    best_costs = [||];
-    minor_words = 0.0;
-  }
+let no_pass = Engine.Types.no_pass
 
-type result = {
+type result = Engine.Types.result = {
   schedule : Sched.Schedule.t;
   cost : Sched.Cost.t;
   heuristic_schedule : Sched.Schedule.t;
@@ -34,163 +32,119 @@ type result = {
   pass2 : pass_stats;
 }
 
-(* One ACO pass: iterate ants until the lower bound is reached or
-   [termination] improvement-free iterations pass. Generic in the cost
-   (RP scalar in pass 1, length in pass 2) and in the artifact kept for
-   the best solution (order in pass 1, schedule in pass 2). *)
-let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
-    ~(artifact_of_ant : Ant.t -> a) ~budget_work ~metrics ~pass_label ~initial_cost
-    ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination =
-  let open Params in
-  Pheromone.reset pheromone ~initial:params.initial_pheromone;
-  (* The initial (heuristic) schedule is the global best at the start:
-     bias the table toward it. *)
-  Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
-  (* Telemetry scratch sits before the minor-words snapshot so the
-     reported allocation stays byte-identical with metering off. *)
-  let metering = Obs.Metrics.enabled metrics in
-  let m_best = if metering then pass_label ^ ".best_cost" else "" in
-  let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
-  (* Convergence series: entry 0 is the initial cost, entry [k] the best
-     cost after the [k]th iteration. *)
-  let bc_buf = Array.make (1 + params.max_iterations) initial_cost in
-  let bc_len = ref 1 in
-  let minor_before = Support.Perfcount.minor_words () in
-  let best_cost = ref initial_cost in
-  let best = ref initial_artifact in
-  let improved = ref false in
-  let iterations = ref 0 in
-  let no_improve = ref 0 in
-  let work = ref 0 in
-  let ants_total = ref 0 in
-  let n = Pheromone.size pheromone in
-  (* The compile budget is expressed in abstract work units — the same
-     currency {!Ant.work} charges — so the sequential driver stays free
-     of any wall-clock notion; the pipeline converts nanoseconds to work
-     via its CPU cost model. *)
-  while
-    !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations
-    && !work < budget_work
-  do
-    incr iterations;
-    let iter_best_cost = ref max_int in
-    let iter_best = ref None in
-    Array.iter
-      (fun ant ->
-        Ant.start ant ~rng:(Support.Rng.split rng) ~heuristic:params.heuristic
-          ~allow_optional_stalls:true mode;
-        Ant.run_to_completion ant ~pheromone;
-        ants_total := !ants_total + 1;
-        work := !work + Ant.work ant;
-        if Ant.status ant = Ant.Finished then begin
-          let c = cost_of_ant ant in
-          if c < !iter_best_cost then begin
-            iter_best_cost := c;
-            iter_best := Some (Ant.order ant, artifact_of_ant ant)
-          end
-        end)
-      ants;
-    (* Table upkeep: full decay plus the winner deposit. *)
-    work := !work + (((n + 1) * n) / 8) + n;
-    Pheromone.decay pheromone params.decay;
-    (match !iter_best with
-    | Some (order, art) ->
-        Pheromone.deposit_path pheromone order
-          (params.deposit /. float_of_int (1 + !iter_best_cost));
-        if !iter_best_cost < !best_cost then begin
-          best_cost := !iter_best_cost;
-          best := art;
-          improved := true;
-          no_improve := 0
-        end
-        else incr no_improve
-    | None -> incr no_improve);
-    bc_buf.(!bc_len) <- !best_cost;
-    incr bc_len;
-    if metering then begin
-      Obs.Metrics.push metrics m_best (float_of_int !best_cost);
-      Obs.Metrics.push metrics m_entropy (Pheromone.row_entropy pheromone)
-    end
-  done;
-  (* [minor_delta] first: the series copy must stay outside the measured
-     window so the stat is byte-identical with metering off. *)
-  let minor_delta = Support.Perfcount.minor_words () -. minor_before in
-  let best_costs = Array.sub bc_buf 0 !bc_len in
-  ( !best,
-    !best_cost,
-    {
-      invoked = true;
-      iterations = !iterations;
-      ants_simulated = !ants_total;
-      work = !work;
-      improved = !improved;
-      hit_lower_bound = !best_cost <= lb_cost;
-      aborted_budget = budget_work < max_int && !work >= budget_work;
-      best_costs;
-      minor_words = minor_delta;
-    } )
+type state = {
+  params : Params.t;
+  rng : Support.Rng.t;
+  ants : Ant.t array;
+  pheromone : Pheromone.t;
+  termination : int;
+  metrics : Obs.Metrics.t;
+  rp_scalar_of_ant : Ant.t -> int;
+}
 
-let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)
-    ?(metrics = Obs.Metrics.null) ?(label = "") (setup : Setup.t) =
-  let graph = setup.graph in
-  let occ = setup.occ in
-  let n = graph.Ddg.Graph.n in
-  let rng = Support.Rng.create seed in
-  (* One set of region analyses and one SoA arena back the whole colony. *)
-  let shared = Ant.prepare_shared graph in
-  let ints, floats = Ant.arena_demand shared in
-  let lanes = params.Params.ants_per_iteration in
-  let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
-  let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
-  let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
-  let termination = Params.termination_condition n in
-  let rp_scalar_of_ant ant =
-    let v, s = Ant.rp_peaks ant in
-    Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
-  in
-  (* Pass 1: minimize RP, latencies ignored. *)
-  let best_order, _, pass1 =
-    if setup.pass1_needed then
-      run_pass ~params ~rng ~ants ~pheromone ~mode:Ant.Rp_pass ~cost_of_ant:rp_scalar_of_ant
-        ~artifact_of_ant:Ant.order ~budget_work ~metrics ~pass_label:(label ^ "pass1")
-        ~initial_cost:(Sched.Cost.rp_scalar setup.pass1_initial_rp)
-        ~initial_order:setup.pass1_initial_order ~initial_artifact:setup.pass1_initial_order
-        ~lb_cost:(Sched.Cost.rp_scalar setup.rp_lb) ~termination
-    else (setup.pass1_initial_order, Sched.Cost.rp_scalar setup.pass1_initial_rp, no_pass)
-  in
-  let rp_target = Setup.rp_of_order occ graph best_order in
-  let target_vgpr, target_sgpr = Setup.targets_of_rp rp_target in
-  (* Pass 2: minimize length under the pass-1 RP target. *)
-  let initial_schedule = Setup.pass2_initial setup ~best_pass1_order:best_order in
-  let initial_length = Sched.Schedule.length initial_schedule in
-  (* Pass 2 inherits whatever budget pass 1 left unspent. *)
-  let budget2_work =
-    if budget_work = max_int then max_int else max 0 (budget_work - pass1.work)
-  in
-  let schedule, _, pass2 =
-    if initial_length - setup.length_lb >= max 1 params.Params.pass2_cycle_threshold then
-      run_pass ~params ~rng ~ants ~pheromone
-        ~mode:(Ant.Ilp_pass { target_vgpr; target_sgpr })
-        ~cost_of_ant:Ant.length ~budget_work:budget2_work ~metrics
-        ~pass_label:(label ^ "pass2")
+(* The sequential colony meters abstract work units, never wall time, so
+   its budget currency is [Work]; the pipeline converts nanoseconds to
+   work through its CPU cost model before handing a budget down. *)
+let work_of_budget = function
+  | Engine.Types.Unlimited -> max_int
+  | Engine.Types.Work w -> w
+  | Engine.Types.Time_ns _ ->
+      invalid_arg "Seq_aco: nanosecond budgets require a time-model backend"
+
+module Backend_impl = struct
+  let name = "seq"
+
+  let caps =
+    { Engine.Types.rp_pass = true; faults = false; trace = false; time_model = false }
+
+  type nonrec state = state
+
+  let prepare (ctx : Engine.Backend.ctx) (setup : Setup.t) =
+    let graph = setup.Setup.graph in
+    let occ = setup.Setup.occ in
+    let n = graph.Ddg.Graph.n in
+    let params = ctx.Engine.Backend.params in
+    let rng = Support.Rng.create ctx.Engine.Backend.seed in
+    (* One set of region analyses and one SoA arena back the whole colony. *)
+    let shared = Ant.prepare_shared graph in
+    let ints, floats = Ant.arena_demand shared in
+    let lanes = params.Params.ants_per_iteration in
+    let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+    let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
+    let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
+    let termination = Params.termination_condition n in
+    let rp_scalar_of_ant ant =
+      let v, s = Ant.rp_peaks ant in
+      Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
+    in
+    {
+      params;
+      rng;
+      ants;
+      pheromone;
+      termination;
+      metrics = ctx.Engine.Backend.metrics;
+      rp_scalar_of_ant;
+    }
+
+  let run_order_pass st (req : Engine.Backend.order_request) =
+    let order, _, stats =
+      Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
+        ~mode:Ant.Rp_pass ~cost_of_ant:st.rp_scalar_of_ant ~artifact_of_ant:Ant.order
+        ~allow_optional_stalls:true
+        ~budget_work:(work_of_budget req.Engine.Backend.o_budget)
+        ~metrics:st.metrics ~pass_label:req.Engine.Backend.o_label
+        ~initial_cost:req.Engine.Backend.o_initial_cost
+        ~initial_order:req.Engine.Backend.o_initial_order
+        ~initial_artifact:req.Engine.Backend.o_initial_order
+        ~lb_cost:req.Engine.Backend.o_lb_cost ~termination:st.termination
+    in
+    (order, stats)
+
+  let run_schedule_pass st (req : Engine.Backend.schedule_request) =
+    let schedule, _, stats =
+      Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
+        ~mode:
+          (Ant.Ilp_pass
+             {
+               target_vgpr = req.Engine.Backend.s_target_vgpr;
+               target_sgpr = req.Engine.Backend.s_target_sgpr;
+             })
+        ~cost_of_ant:Ant.length
         ~artifact_of_ant:(fun ant ->
           match Ant.schedule ant with
           | Some s -> s
           | None -> invalid_arg "Seq_aco: finished ant produced invalid schedule")
-        ~initial_cost:initial_length
-        ~initial_order:(Sched.Schedule.order initial_schedule)
-        ~initial_artifact:initial_schedule ~lb_cost:setup.length_lb ~termination
-    else (initial_schedule, initial_length, no_pass)
-  in
-  {
-    schedule;
-    cost = Sched.Cost.of_schedule occ schedule;
-    heuristic_schedule = setup.amd_schedule;
-    heuristic_cost = setup.amd_cost;
-    rp_target;
-    pass2_initial = initial_schedule;
-    pass1;
-    pass2;
-  }
+        ~allow_optional_stalls:true
+        ~budget_work:(work_of_budget req.Engine.Backend.s_budget)
+        ~metrics:st.metrics ~pass_label:req.Engine.Backend.s_label
+        ~initial_cost:req.Engine.Backend.s_initial_length
+        ~initial_order:(Sched.Schedule.order req.Engine.Backend.s_initial)
+        ~initial_artifact:req.Engine.Backend.s_initial
+        ~lb_cost:req.Engine.Backend.s_length_lb ~termination:st.termination
+    in
+    (schedule, stats)
+
+  let teardown _ = ()
+end
+
+let backend : Engine.Backend.t = (module Backend_impl)
+let register () = Engine.Registry.register backend
+
+let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)
+    ?(metrics = Obs.Metrics.null) ?(label = "") (setup : Setup.t) =
+  Engine.Two_pass.run backend
+    {
+      Engine.Backend.params;
+      seed;
+      budget =
+        (if budget_work = max_int then Engine.Types.Unlimited
+         else Engine.Types.Work budget_work);
+      trace = Obs.Trace.null;
+      metrics;
+      label;
+      ext = [];
+    }
+    setup
 
 let run ?params ?seed occ graph = run_from_setup ?params ?seed (Setup.prepare occ graph)

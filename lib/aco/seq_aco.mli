@@ -1,44 +1,65 @@
 (** The sequential two-pass ACO scheduler of Shobaki et al. (reference
     [11] of the paper) — the CPU baseline that the GPU parallelization is
-    measured against in Tables 3.a/3.b and 5.
+    measured against in Tables 3.a/3.b and 5, re-expressed as the
+    ["seq"] backend of the {!Engine} layer.
 
     Pass 1 searches for a minimum-RP order while ignoring latencies;
     pass 2 treats the best pass-1 RP as a constraint and searches for the
     shortest latency-feasible schedule (Section IV-A). Each pass stops
     when its lower bound is reached or after
-    [Params.termination_condition] improvement-free iterations. *)
+    [Params.termination_condition] improvement-free iterations. The pass
+    sequencing itself lives in {!Engine.Two_pass}; this module supplies
+    the CPU colony it drives. *)
 
-type pass_stats = {
-  invoked : bool;  (** false when the initial schedule was already at the bound *)
+type pass_stats = Engine.Types.pass_stats = {
+  invoked : bool;
   iterations : int;
   ants_simulated : int;
   work : int;  (** abstract work units (see {!Ant.work}) plus table upkeep *)
-  improved : bool;  (** beat the pass's initial schedule *)
+  time_ns : float;  (** always 0: the CPU colony has no time model *)
+  improved : bool;
   hit_lower_bound : bool;
-  aborted_budget : bool;
-      (** the pass exhausted its work budget and kept its best-so-far *)
+  serialized_ops : int;  (** always 0 (GPU-model counters) *)
+  single_path_ops : int;
+  lockstep_steps : int;
+  ant_steps : int;
+  selections : int;
   best_costs : int array;
       (** convergence series: entry 0 is the initial cost, entry [k] the
-          best cost after the [k]th iteration *)
+          best cost after the [k]th attempted iteration (this colony
+          never retries, so attempted = completed) *)
   minor_words : float;  (** host minor-heap words allocated during the pass *)
+  retries : int;  (** always 0: no fault model *)
+  aborted_budget : bool;
+      (** the pass exhausted its work budget and kept its best-so-far *)
+  aborted_faults : bool;  (** always false *)
+  fault_counts : Engine.Types.fault_counts;  (** always zero *)
 }
+(** The engine's unified statistics record (see {!Engine.Types}); the
+    equality keeps historical [r.Aco.Seq_aco.pass1.work]-style accesses
+    compiling. *)
 
 val no_pass : pass_stats
 (** Stats of a pass that never ran. *)
 
-type result = {
-  schedule : Sched.Schedule.t;  (** final latency-valid schedule *)
+type result = Engine.Types.result = {
+  schedule : Sched.Schedule.t;
   cost : Sched.Cost.t;
-  heuristic_schedule : Sched.Schedule.t;  (** the AMD baseline schedule *)
+  heuristic_schedule : Sched.Schedule.t;
   heuristic_cost : Sched.Cost.t;
-  rp_target : Sched.Cost.rp;  (** pass-1 outcome, pass-2 constraint *)
+  rp_target : Sched.Cost.rp;
   pass2_initial : Sched.Schedule.t;
-      (** pass 2's input schedule: the latency-padded pass-1 winner. Kept
-          so the pipeline can synthesize what the compiler would emit if
-          the cycle-threshold filter skipped pass 2. *)
   pass1 : pass_stats;
   pass2 : pass_stats;
 }
+
+val backend : Engine.Backend.t
+(** The ["seq"] backend: RP pass, no faults, no trace, no time model.
+    Its budget currency is [Work]; handing it a [Time_ns] budget raises
+    [Invalid_argument]. *)
+
+val register : unit -> unit
+(** Install {!backend} in {!Engine.Registry} (idempotent). *)
 
 val run : ?params:Params.t -> ?seed:int -> Machine.Occupancy.t -> Ddg.Graph.t -> result
 (** Schedule a region. Deterministic for a fixed seed. *)
@@ -52,8 +73,8 @@ val run_from_setup :
   Setup.t ->
   result
 (** Same, reusing an already-prepared {!Setup.t} (the pipeline prepares
-    one setup and feeds it to both the sequential and parallel
-    drivers so they race from identical starting points).
+    one setup and feeds it to every backend so they race from identical
+    starting points).
 
     [budget_work] (default unlimited) is a compile budget in abstract
     work units shared across both passes: a pass that exhausts it stops

@@ -1,58 +1,4 @@
-type t = {
-  graph : Ddg.Graph.t;
-  occ : Machine.Occupancy.t;
-  amd_schedule : Sched.Schedule.t;
-  amd_cost : Sched.Cost.t;
-  pass1_initial_order : int array;
-  pass1_initial_rp : Sched.Cost.rp;
-  rp_lb : Sched.Cost.rp;
-  length_lb : int;
-  pass1_needed : bool;
-}
-
-let rp_of_order occ graph order =
-  let tracker = Sched.Rp_tracker.create graph in
-  Array.iter (fun i -> Sched.Rp_tracker.schedule tracker i) order;
-  Sched.Cost.rp_of_tracker occ tracker
-
-let targets_of_rp (rp : Sched.Cost.rp) = (rp.aprp_vgpr, rp.aprp_sgpr)
-
-let prepare occ graph =
-  let amd_schedule = Sched.Amd_scheduler.run occ graph in
-  let amd_cost = Sched.Cost.of_schedule occ amd_schedule in
-  let amd_order = Sched.Schedule.order amd_schedule in
-  let luc_order = Sched.List_scheduler.run_order graph Sched.Heuristic.Last_use_count in
-  let amd_rp = rp_of_order occ graph amd_order in
-  let luc_rp = rp_of_order occ graph luc_order in
-  let pass1_initial_order, pass1_initial_rp =
-    if Sched.Cost.compare_rp luc_rp amd_rp < 0 then (luc_order, luc_rp) else (amd_order, amd_rp)
-  in
-  let rp_lb =
-    Sched.Cost.rp_of_peaks occ
-      ~vgpr:(Ddg.Lower_bounds.register_pressure graph Ir.Reg.Vgpr)
-      ~sgpr:(Ddg.Lower_bounds.register_pressure graph Ir.Reg.Sgpr)
-  in
-  let length_lb = Ddg.Lower_bounds.schedule_length graph in
-  {
-    graph;
-    occ;
-    amd_schedule;
-    amd_cost;
-    pass1_initial_order;
-    pass1_initial_rp;
-    rp_lb;
-    length_lb;
-    pass1_needed = Sched.Cost.compare_rp pass1_initial_rp rp_lb > 0;
-  }
-
-(* Pass 2's input: stalls added to the best-RP order of pass 1
-   (Section IV-C), improved upon when the RP-constrained greedy scheduler
-   finds a shorter schedule that meets the same target. Both candidates
-   respect the pass-1 RP outcome, so either is a sound fallback when
-   pass 2 is filtered out or finds no improvement. *)
-let pass2_initial t ~best_pass1_order =
-  let padded = Sched.Schedule.latency_pad t.graph best_pass1_order in
-  let target_vgpr, target_sgpr = targets_of_rp (rp_of_order t.occ t.graph best_pass1_order) in
-  match Sched.Constrained_scheduler.run t.graph ~target_vgpr ~target_sgpr with
-  | Some greedy when Sched.Schedule.length greedy < Sched.Schedule.length padded -> greedy
-  | Some _ | None -> padded
+(* Re-export: region preparation moved into the engine layer (it is
+   backend-agnostic); [Aco.Setup] keeps the historical path and type
+   equality for existing callers. *)
+include Engine.Setup

@@ -6,6 +6,8 @@ type result = {
   work : int;
 }
 
+type Engine.Backend.ext += Rp_weight of int
+
 let scalar occ ~rp_weight ~length ~peaks:(v, s) =
   length + (rp_weight * Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s))
 
@@ -78,3 +80,112 @@ let run ?(params = Params.default) ?(seed = 1) ?(rp_weight = 1) occ graph =
     iterations = !iterations;
     work = !work;
   }
+
+(* --- the "weighted" engine backend -------------------------------------- *)
+
+type state = {
+  params : Params.t;
+  rng : Support.Rng.t;
+  ants : Ant.t array;
+  pheromone : Pheromone.t;
+  termination : int;
+  metrics : Obs.Metrics.t;
+  occ : Machine.Occupancy.t;
+  graph : Ddg.Graph.t;
+  rp_weight : int;
+}
+
+let work_of_budget = function
+  | Engine.Types.Unlimited -> max_int
+  | Engine.Types.Work w -> w
+  | Engine.Types.Time_ns _ ->
+      invalid_arg "Weighted_aco: nanosecond budgets require a time-model backend"
+
+module Backend_impl = struct
+  let name = "weighted"
+
+  (* No RP pass: the weighted formulation folds RP into the single
+     objective, so the engine goes straight to the schedule pass. *)
+  let caps =
+    { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
+
+  type nonrec state = state
+
+  let prepare (ctx : Engine.Backend.ctx) (setup : Setup.t) =
+    let graph = setup.Setup.graph in
+    let n = graph.Ddg.Graph.n in
+    let params = ctx.Engine.Backend.params in
+    let rp_weight =
+      List.fold_left
+        (fun acc e -> match e with Rp_weight w -> w | _ -> acc)
+        1 ctx.Engine.Backend.ext
+    in
+    let rng = Support.Rng.create ctx.Engine.Backend.seed in
+    let shared = Ant.prepare_shared graph in
+    let ints, floats = Ant.arena_demand shared in
+    let lanes = params.Params.ants_per_iteration in
+    let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+    let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
+    let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
+    let termination = Params.termination_condition n in
+    {
+      params;
+      rng;
+      ants;
+      pheromone;
+      termination;
+      metrics = ctx.Engine.Backend.metrics;
+      occ = setup.Setup.occ;
+      graph;
+      rp_weight;
+    }
+
+  let run_order_pass _ (_ : Engine.Backend.order_request) =
+    invalid_arg "Weighted_aco: the weighted backend has no RP pass"
+
+  (* One weighted-sum pass. The RP target of the request is deliberately
+     ignored: this formulation trades RP against length inside one
+     objective instead of constraining it, which is exactly the design
+     choice the paper measured and rejected (Section II-A). The reported
+     [best_costs] series therefore carries weighted costs, not lengths. *)
+  let run_schedule_pass st (req : Engine.Backend.schedule_request) =
+    let cost_of_ant ant =
+      scalar st.occ ~rp_weight:st.rp_weight ~length:(Ant.length ant)
+        ~peaks:(Ant.rp_peaks ant)
+    in
+    let initial_cost =
+      scalar st.occ ~rp_weight:st.rp_weight ~length:req.Engine.Backend.s_initial_length
+        ~peaks:
+          (let p =
+             Sched.Rp_tracker.naive_peaks st.graph
+               (Sched.Schedule.order req.Engine.Backend.s_initial)
+           in
+           (p Ir.Reg.Vgpr, p Ir.Reg.Sgpr))
+    in
+    let lb_cost =
+      scalar st.occ ~rp_weight:st.rp_weight ~length:req.Engine.Backend.s_length_lb
+        ~peaks:
+          ( Ddg.Lower_bounds.register_pressure st.graph Ir.Reg.Vgpr,
+            Ddg.Lower_bounds.register_pressure st.graph Ir.Reg.Sgpr )
+    in
+    let schedule, _, stats =
+      Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
+        ~mode:(Ant.Ilp_pass { target_vgpr = 100000; target_sgpr = 100000 })
+        ~cost_of_ant
+        ~artifact_of_ant:(fun ant ->
+          match Ant.schedule ant with
+          | Some s -> s
+          | None -> invalid_arg "Weighted_aco: finished ant produced invalid schedule")
+        ~allow_optional_stalls:false
+        ~budget_work:(work_of_budget req.Engine.Backend.s_budget)
+        ~metrics:st.metrics ~pass_label:req.Engine.Backend.s_label ~initial_cost
+        ~initial_order:(Sched.Schedule.order req.Engine.Backend.s_initial)
+        ~initial_artifact:req.Engine.Backend.s_initial ~lb_cost ~termination:st.termination
+    in
+    (schedule, stats)
+
+  let teardown _ = ()
+end
+
+let backend : Engine.Backend.t = (module Backend_impl)
+let register () = Engine.Registry.register backend

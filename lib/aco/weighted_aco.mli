@@ -27,3 +27,15 @@ val run :
 (** Minimize [length + rp_weight * rp_scalar] with unconstrained
     latency-aware ants in a single pass. [rp_weight] defaults to 1 (the
     RP scalar already dominates through its occupancy term). *)
+
+type Engine.Backend.ext += Rp_weight of int
+(** Context extension overriding the backend's RP weight (default 1). *)
+
+val backend : Engine.Backend.t
+(** The ["weighted"] backend: no RP pass (the engine skips straight to
+    the schedule pass), no faults, no trace, no time model. The pass
+    runs the weighted-sum search and ignores the request's RP targets —
+    its [best_costs] series carries weighted costs, not lengths. *)
+
+val register : unit -> unit
+(** Install {!backend} in {!Engine.Registry} (idempotent). *)

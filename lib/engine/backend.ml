@@ -1,0 +1,57 @@
+type ext = ..
+
+type ctx = {
+  params : Params.t;
+  seed : int;
+  budget : Types.budget;
+  trace : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+  label : string;
+  ext : ext list;
+}
+
+let null_ctx =
+  {
+    params = Params.default;
+    seed = 1;
+    budget = Types.Unlimited;
+    trace = Obs.Trace.null;
+    metrics = Obs.Metrics.null;
+    label = "";
+    ext = [];
+  }
+
+type order_request = {
+  o_label : string;
+  o_budget : Types.budget;
+  o_initial_cost : int;
+  o_initial_order : int array;
+  o_lb_cost : int;
+}
+
+type schedule_request = {
+  s_label : string;
+  s_budget : Types.budget;
+  s_target_vgpr : int;
+  s_target_sgpr : int;
+  s_initial : Sched.Schedule.t;
+  s_initial_length : int;
+  s_length_lb : int;
+}
+
+module type S = sig
+  val name : string
+  val caps : Types.caps
+
+  type state
+
+  val prepare : ctx -> Setup.t -> state
+  val run_order_pass : state -> order_request -> int array * Types.pass_stats
+  val run_schedule_pass : state -> schedule_request -> Sched.Schedule.t * Types.pass_stats
+  val teardown : state -> unit
+end
+
+type t = (module S)
+
+let name (module B : S) = B.name
+let caps (module B : S) = B.caps

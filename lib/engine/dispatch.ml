@@ -1,0 +1,36 @@
+type policy =
+  | Fixed of string
+  | Size_threshold of { small : string; large : string; threshold : int }
+  | Race of string list
+
+let default = Fixed "par"
+
+let candidates policy ~n =
+  match policy with
+  | Fixed b -> [ b ]
+  | Size_threshold { small; large; threshold } -> [ (if n < threshold then small else large) ]
+  | Race bs -> bs
+
+let split_on_comma s = String.split_on_char ',' s |> List.map String.trim
+
+let of_string ?(auto_threshold = 50) s =
+  match String.trim s with
+  | "" -> invalid_arg "Engine.Dispatch.of_string: empty backend spec"
+  | "auto" -> Size_threshold { small = "seq"; large = "par"; threshold = auto_threshold }
+  | s when String.contains s ',' -> (
+      match List.filter (fun b -> b <> "") (split_on_comma s) with
+      | [] -> invalid_arg "Engine.Dispatch.of_string: empty backend race"
+      | [ b ] -> Fixed b
+      | bs -> Race bs)
+  | s -> Fixed s
+
+let to_string = function
+  | Fixed b -> b
+  | Size_threshold { small; large; threshold } ->
+      Printf.sprintf "auto(<%d:%s,>=%d:%s)" threshold small threshold large
+  | Race bs -> String.concat "," bs
+
+let backend_names = function
+  | Fixed b -> [ b ]
+  | Size_threshold { small; large; _ } -> if small = large then [ small ] else [ small; large ]
+  | Race bs -> List.sort_uniq String.compare bs

@@ -1,0 +1,32 @@
+(** Per-region backend choice for the product compiler.
+
+    The pipeline asks the policy which backends should compile a region;
+    with more than one candidate (a {!Race}) every candidate runs and
+    the best schedule ships. *)
+
+type policy =
+  | Fixed of string  (** one backend for every region *)
+  | Size_threshold of { small : string; large : string; threshold : int }
+      (** regions below [threshold] instructions use [small], the rest
+          [large] — the ["auto"] CLI policy (small regions do not
+          amortize the GPU launch overhead) *)
+  | Race of string list
+      (** portfolio: run every backend, ship the best schedule *)
+
+val default : policy
+(** [Fixed "par"] — the paper's product compiler. *)
+
+val candidates : policy -> n:int -> string list
+(** Backends to run for a region of [n] instructions, in run order. *)
+
+val backend_names : policy -> string list
+(** Every backend the policy can name (for upfront validation). *)
+
+val of_string : ?auto_threshold:int -> string -> policy
+(** Parse a CLI spec: a backend name is {!Fixed}, ["auto"] is
+    {!Size_threshold} with seq below [auto_threshold] (default 50) and
+    par above, and a comma-separated list is {!Race}. Does not check
+    the names against the registry.
+    @raise Invalid_argument on an empty spec. *)
+
+val to_string : policy -> string

@@ -1,0 +1,23 @@
+let table : (string, Backend.t) Hashtbl.t = Hashtbl.create 8
+
+(* Registration order, kept separately so [names] lists backends in the
+   order they were installed (re-registering a name keeps its slot). *)
+let order : string list ref = ref []
+
+let register (b : Backend.t) =
+  let name = Backend.name b in
+  if not (Hashtbl.mem table name) then order := !order @ [ name ];
+  Hashtbl.replace table name b
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine.Registry: unknown backend %S (registered: %s)" name
+           (String.concat ", " !order))
+
+let names () = !order
+let mem name = Hashtbl.mem table name

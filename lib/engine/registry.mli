@@ -1,0 +1,17 @@
+(** Backend registry: backends register themselves by name, the
+    pipeline and the CLI resolve names to backends.
+
+    Registration is explicit and idempotent — each backend module
+    exposes a [register] function the pipeline calls at configuration
+    time; re-registering a name replaces the backend but keeps its
+    position in {!names}. *)
+
+val register : Backend.t -> unit
+val find : string -> Backend.t option
+val find_exn : string -> Backend.t
+(** @raise Invalid_argument naming the unknown backend and the
+    registered alternatives. *)
+
+val mem : string -> bool
+val names : unit -> string list
+(** Registered names, in registration order. *)

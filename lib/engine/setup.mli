@@ -1,6 +1,6 @@
-(** Shared preparation for the two-pass search, used by both the
-    sequential driver ({!Seq_aco}) and the GPU-parallel driver
-    ([Gpusim.Par_aco]).
+(** Shared preparation for the two-pass search, used by every engine
+    backend (the sequential driver [Aco.Seq_aco], the GPU-parallel
+    driver [Gpusim.Par_aco], and anything else in [Registry]).
 
     Mirrors the compile flow of Section VI-A: the region is first
     scheduled by the AMD heuristic; lower bounds decide whether each ACO

@@ -1,0 +1,65 @@
+(* The orchestrator both historical drivers contained a private copy of:
+   pass-1/pass-2 sequencing, lower-bound gating, the RP-target handoff
+   and budget threading, now written once against the backend interface.
+
+   Byte-identity note: everything here runs outside any backend's
+   measured window (the minor-words snapshots live inside the backends'
+   pass loops), and no randomness is drawn, so routing a driver through
+   this module leaves its schedules, RNG streams and reported stats
+   exactly as before. *)
+
+let run (backend : Backend.t) (ctx : Backend.ctx) (setup : Setup.t) : Types.result =
+  let module B = (val backend : Backend.S) in
+  let occ = setup.Setup.occ in
+  let graph = setup.Setup.graph in
+  let state = B.prepare ctx setup in
+  Fun.protect ~finally:(fun () -> B.teardown state) @@ fun () ->
+  (* Pass 1: minimize RP, latencies ignored. Skipped when the initial
+     order already meets the RP bound, or when the backend has no RP
+     pass (single-pass cost formulations go straight to pass 2). *)
+  let best_order, pass1 =
+    if setup.Setup.pass1_needed && B.caps.Types.rp_pass then
+      B.run_order_pass state
+        {
+          Backend.o_label = ctx.Backend.label ^ "pass1";
+          o_budget = ctx.Backend.budget;
+          o_initial_cost = Sched.Cost.rp_scalar setup.Setup.pass1_initial_rp;
+          o_initial_order = setup.Setup.pass1_initial_order;
+          o_lb_cost = Sched.Cost.rp_scalar setup.Setup.rp_lb;
+        }
+    else (setup.Setup.pass1_initial_order, Types.no_pass)
+  in
+  let rp_target = Setup.rp_of_order occ graph best_order in
+  let target_vgpr, target_sgpr = Setup.targets_of_rp rp_target in
+  (* Pass 2: minimize length under the pass-1 RP target, from the padded
+     pass-1 winner, on whatever budget pass 1 left unspent. *)
+  let initial_schedule = Setup.pass2_initial setup ~best_pass1_order:best_order in
+  let initial_length = Sched.Schedule.length initial_schedule in
+  let budget2 = Types.budget_minus ctx.Backend.budget pass1 in
+  let schedule, pass2 =
+    if
+      initial_length - setup.Setup.length_lb
+      >= max 1 ctx.Backend.params.Params.pass2_cycle_threshold
+    then
+      B.run_schedule_pass state
+        {
+          Backend.s_label = ctx.Backend.label ^ "pass2";
+          s_budget = budget2;
+          s_target_vgpr = target_vgpr;
+          s_target_sgpr = target_sgpr;
+          s_initial = initial_schedule;
+          s_initial_length = initial_length;
+          s_length_lb = setup.Setup.length_lb;
+        }
+    else (initial_schedule, Types.no_pass)
+  in
+  {
+    Types.schedule;
+    cost = Sched.Cost.of_schedule occ schedule;
+    heuristic_schedule = setup.Setup.amd_schedule;
+    heuristic_cost = setup.Setup.amd_cost;
+    rp_target;
+    pass2_initial = initial_schedule;
+    pass1;
+    pass2;
+  }

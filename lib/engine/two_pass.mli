@@ -1,0 +1,10 @@
+(** The two-pass orchestrator of Section IV-A, written once for every
+    backend: pass 1 searches for a minimum-RP order (skipped when the
+    initial order is already at the RP bound or the backend lacks an RP
+    pass), its winner becomes pass 2's RP target and — latency-padded —
+    pass 2's initial schedule, and pass 2 searches for the shortest
+    latency-feasible schedule on whatever budget pass 1 left. *)
+
+val run : Backend.t -> Backend.ctx -> Setup.t -> Types.result
+(** Prepare the backend, run the gated passes, tear it down (also on
+    exceptions). Deterministic for a fixed context. *)

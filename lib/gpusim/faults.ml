@@ -1,11 +1,14 @@
-type counts = {
+(* The tally record lives in the engine layer (every backend's pass
+   stats carry one); the equality keeps field accesses and literals in
+   this library compiling unchanged. *)
+type counts = Engine.Types.fault_counts = {
   lane_faults : int;
   wavefront_hangs : int;
   reduction_drops : int;
   mem_faults : int;
 }
 
-let zero = { lane_faults = 0; wavefront_hangs = 0; reduction_drops = 0; mem_faults = 0 }
+let zero = Engine.Types.fault_counts_zero
 
 let add a b =
   {

@@ -21,12 +21,14 @@
     configuration with {!Config.no_faults} is byte-identical to one
     without the fault model. *)
 
-type counts = {
+type counts = Engine.Types.fault_counts = {
   lane_faults : int;
   wavefront_hangs : int;
   reduction_drops : int;
   mem_faults : int;
 }
+(** Equal to the engine's {!Engine.Types.fault_counts}, so every
+    backend's pass stats carry the same tally type. *)
 
 val zero : counts
 val add : counts -> counts -> counts

@@ -1,4 +1,4 @@
-type pass_stats = {
+type pass_stats = Engine.Types.pass_stats = {
   invoked : bool;
   iterations : int;
   ants_simulated : int;
@@ -19,29 +19,9 @@ type pass_stats = {
   fault_counts : Faults.counts;
 }
 
-let no_pass =
-  {
-    invoked = false;
-    iterations = 0;
-    ants_simulated = 0;
-    work = 0;
-    time_ns = 0.0;
-    improved = false;
-    hit_lower_bound = false;
-    serialized_ops = 0;
-    single_path_ops = 0;
-    lockstep_steps = 0;
-    ant_steps = 0;
-    selections = 0;
-    best_costs = [||];
-    minor_words = 0.0;
-    retries = 0;
-    aborted_budget = false;
-    aborted_faults = false;
-    fault_counts = Faults.zero;
-  }
+let no_pass = Engine.Types.no_pass
 
-type result = {
+type result = Engine.Types.result = {
   schedule : Sched.Schedule.t;
   cost : Sched.Cost.t;
   heuristic_schedule : Sched.Schedule.t;
@@ -51,6 +31,11 @@ type result = {
   pass1 : pass_stats;
   pass2 : pass_stats;
 }
+
+type Engine.Backend.ext +=
+  | Gpu_config of Config.t
+  | Fault_injector of Faults.t
+  | Watchdog of { iteration_deadline_ns : float; max_retries : int }
 
 (* Wavefront role assignment (Section V-B): when per-wavefront heuristics
    are on, half the wavefronts use the aggressive Critical-Path
@@ -364,115 +349,211 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       fault_counts;
     } )
 
-let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_ns = infinity)
-    ?(iteration_deadline_ns = infinity) ?(max_retries = 2) ?(trace = Obs.Trace.null)
-    ?(metrics = Obs.Metrics.null) ?(label = "") (config : Config.t)
-    (setup : Aco.Setup.t) =
-  let graph = setup.Aco.Setup.graph in
-  let occ = setup.Aco.Setup.occ in
-  let n = graph.Ddg.Graph.n in
-  let faults =
-    match faults with
-    | Some f -> f
-    | None ->
-        if Config.faults_enabled config.Config.faults then
-          (* Mix the region size and driver seed into the injector seed so
-             different regions see different — but replayable — fault
-             patterns. *)
-          Faults.create config.Config.faults
-            ~seed:(config.Config.fault_seed lxor (n * 0x9e3779b1) lxor (seed * 0x85ebca77))
-        else Faults.disabled
-  in
-  let rng = Support.Rng.create seed in
-  (* One set of region analyses (critical path, register layout, closure
-     ready-list bound) feeds every wavefront of the colony. *)
-  let shared = Aco.Ant.prepare_shared graph in
-  let wavefronts = make_wavefronts ~shared config graph params in
-  (* Track layout: 0 = driver, 1 = kernel stages, 2.. = one per
-     wavefront. Hooks are attached here, outside any measured window, so
-     the per-iteration calls need no optional-argument wrapping. *)
-  let simds = Machine.Target.total_simds config.Config.target in
-  (* Driver-owned simulated-time cursors, shared with every wavefront:
-     [obs_cursor].(0) is the driver cursor, (1) the current iteration's
-     start; [simd_cursor].(s) sums the construction time of the
-     wavefronts already run on SIMD unit [s] this iteration. *)
-  let obs_cursor = Array.make 2 0.0 in
-  let simd_cursor = Array.make (max 1 simds) 0.0 in
-  if Obs.Trace.enabled trace || Obs.Metrics.enabled metrics then begin
-    Obs.Trace.name_track trace 0 "driver";
-    Obs.Trace.name_track trace 1 "kernel: reduce + pheromone";
-    Array.iteri
-      (fun w wf ->
-        Obs.Trace.name_track trace (2 + w) (Printf.sprintf "wavefront %d" w);
-        Wavefront.set_obs wf ~trace ~metrics ~track:(2 + w) ~obs_cursor ~simd_cursor
-          ~simd:(w mod simds))
-      wavefronts
-  end;
-  let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
-  let termination = Aco.Params.termination_condition n in
-  let ready_ub = Aco.Ant.shared_ready_ub shared in
-  let rp_scalar_of_ant ant =
-    let v, s = Aco.Ant.rp_peaks ant in
-    Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
-  in
-  let best_order, _, pass1 =
-    if setup.Aco.Setup.pass1_needed then
-      run_pass ~params ~config ~rng ~wavefronts ~pheromone ~mode:Aco.Ant.Rp_pass
-        ~cost_of_ant:rp_scalar_of_ant ~artifact_of_ant:Aco.Ant.order
-        ~validate_artifact:(fun order -> Result.is_ok (Sched.Schedule.of_order graph order))
-        ~faults ~budget_ns ~iteration_deadline_ns ~max_retries ~trace ~metrics
-        ~pass_label:(label ^ "pass1") ~obs_cursor ~simd_cursor
-        ~initial_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp)
-        ~initial_order:setup.Aco.Setup.pass1_initial_order
-        ~initial_artifact:setup.Aco.Setup.pass1_initial_order
-        ~lb_cost:(Sched.Cost.rp_scalar setup.Aco.Setup.rp_lb)
-        ~termination ~n ~ready_ub
-    else
-      ( setup.Aco.Setup.pass1_initial_order,
-        Sched.Cost.rp_scalar setup.Aco.Setup.pass1_initial_rp,
-        no_pass )
-  in
-  let rp_target = Aco.Setup.rp_of_order occ graph best_order in
-  let target_vgpr, target_sgpr = Aco.Setup.targets_of_rp rp_target in
-  let initial_schedule = Aco.Setup.pass2_initial setup ~best_pass1_order:best_order in
-  let initial_length = Sched.Schedule.length initial_schedule in
-  (* The region's compile budget spans both passes: pass 2 inherits
-     whatever pass 1 left. *)
-  let budget2_ns =
-    if budget_ns = infinity then infinity
-    else Float.max 0.0 (budget_ns -. pass1.time_ns)
-  in
-  let schedule, _, pass2 =
-    if
-      initial_length - setup.Aco.Setup.length_lb
-      >= max 1 params.Aco.Params.pass2_cycle_threshold
-    then
-      run_pass ~params ~config ~rng ~wavefronts ~pheromone
-        ~mode:(Aco.Ant.Ilp_pass { target_vgpr; target_sgpr })
+type state = {
+  params : Aco.Params.t;
+  config : Config.t;
+  rng : Support.Rng.t;
+  wavefronts : Wavefront.t array;
+  pheromone : Aco.Pheromone.t;
+  faults : Faults.t;
+  iteration_deadline_ns : float;
+  max_retries : int;
+  trace : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+  obs_cursor : float array;
+  simd_cursor : float array;
+  termination : int;
+  n : int;
+  ready_ub : int;
+  graph : Ddg.Graph.t;
+  rp_scalar_of_ant : Aco.Ant.t -> int;
+}
+
+(* The GPU model meters simulated nanoseconds, so its budget currency is
+   [Time_ns]; a [Work] budget indicates a pipeline wiring bug. *)
+let ns_of_budget = function
+  | Engine.Types.Unlimited -> infinity
+  | Engine.Types.Time_ns t -> t
+  | Engine.Types.Work _ ->
+      invalid_arg "Par_aco: work budgets belong to backends without a time model"
+
+module Backend_impl = struct
+  let name = "par"
+
+  let caps = { Engine.Types.rp_pass = true; faults = true; trace = true; time_model = true }
+
+  type nonrec state = state
+
+  let prepare (ctx : Engine.Backend.ctx) (setup : Aco.Setup.t) =
+    let graph = setup.Aco.Setup.graph in
+    let occ = setup.Aco.Setup.occ in
+    let n = graph.Ddg.Graph.n in
+    let params = ctx.Engine.Backend.params in
+    let trace = ctx.Engine.Backend.trace in
+    let metrics = ctx.Engine.Backend.metrics in
+    (* Backend-specific context: launch geometry, fault injector and
+       watchdog arrive as extensions; unknown extensions are ignored. *)
+    let config =
+      List.fold_left
+        (fun acc e -> match e with Gpu_config c -> c | _ -> acc)
+        Config.bench ctx.Engine.Backend.ext
+    in
+    let iteration_deadline_ns, max_retries =
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Watchdog { iteration_deadline_ns; max_retries } ->
+              (iteration_deadline_ns, max_retries)
+          | _ -> acc)
+        (infinity, 2) ctx.Engine.Backend.ext
+    in
+    let injector =
+      List.fold_left
+        (fun acc e -> match e with Fault_injector f -> Some f | _ -> acc)
+        None ctx.Engine.Backend.ext
+    in
+    let seed = ctx.Engine.Backend.seed in
+    let faults =
+      match injector with
+      | Some f -> f
+      | None ->
+          if Config.faults_enabled config.Config.faults then
+            (* Mix the region size and driver seed into the injector seed so
+               different regions see different — but replayable — fault
+               patterns. *)
+            Faults.create config.Config.faults
+              ~seed:(config.Config.fault_seed lxor (n * 0x9e3779b1) lxor (seed * 0x85ebca77))
+          else Faults.disabled
+    in
+    let rng = Support.Rng.create seed in
+    (* One set of region analyses (critical path, register layout, closure
+       ready-list bound) feeds every wavefront of the colony. *)
+    let shared = Aco.Ant.prepare_shared graph in
+    let wavefronts = make_wavefronts ~shared config graph params in
+    (* Track layout: 0 = driver, 1 = kernel stages, 2.. = one per
+       wavefront. Hooks are attached here, outside any measured window, so
+       the per-iteration calls need no optional-argument wrapping. *)
+    let simds = Machine.Target.total_simds config.Config.target in
+    (* Driver-owned simulated-time cursors, shared with every wavefront:
+       [obs_cursor].(0) is the driver cursor, (1) the current iteration's
+       start; [simd_cursor].(s) sums the construction time of the
+       wavefronts already run on SIMD unit [s] this iteration. *)
+    let obs_cursor = Array.make 2 0.0 in
+    let simd_cursor = Array.make (max 1 simds) 0.0 in
+    if Obs.Trace.enabled trace || Obs.Metrics.enabled metrics then begin
+      Obs.Trace.name_track trace 0 "driver";
+      Obs.Trace.name_track trace 1 "kernel: reduce + pheromone";
+      Array.iteri
+        (fun w wf ->
+          Obs.Trace.name_track trace (2 + w) (Printf.sprintf "wavefront %d" w);
+          Wavefront.set_obs wf ~trace ~metrics ~track:(2 + w) ~obs_cursor ~simd_cursor
+            ~simd:(w mod simds))
+        wavefronts
+    end;
+    let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
+    let termination = Aco.Params.termination_condition n in
+    let ready_ub = Aco.Ant.shared_ready_ub shared in
+    let rp_scalar_of_ant ant =
+      let v, s = Aco.Ant.rp_peaks ant in
+      Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
+    in
+    {
+      params;
+      config;
+      rng;
+      wavefronts;
+      pheromone;
+      faults;
+      iteration_deadline_ns;
+      max_retries;
+      trace;
+      metrics;
+      obs_cursor;
+      simd_cursor;
+      termination;
+      n;
+      ready_ub;
+      graph;
+      rp_scalar_of_ant;
+    }
+
+  let run_order_pass st (req : Engine.Backend.order_request) =
+    let order, _, stats =
+      run_pass ~params:st.params ~config:st.config ~rng:st.rng ~wavefronts:st.wavefronts
+        ~pheromone:st.pheromone ~mode:Aco.Ant.Rp_pass ~cost_of_ant:st.rp_scalar_of_ant
+        ~artifact_of_ant:Aco.Ant.order
+        ~validate_artifact:(fun order ->
+          Result.is_ok (Sched.Schedule.of_order st.graph order))
+        ~faults:st.faults
+        ~budget_ns:(ns_of_budget req.Engine.Backend.o_budget)
+        ~iteration_deadline_ns:st.iteration_deadline_ns ~max_retries:st.max_retries
+        ~trace:st.trace ~metrics:st.metrics ~pass_label:req.Engine.Backend.o_label
+        ~obs_cursor:st.obs_cursor ~simd_cursor:st.simd_cursor
+        ~initial_cost:req.Engine.Backend.o_initial_cost
+        ~initial_order:req.Engine.Backend.o_initial_order
+        ~initial_artifact:req.Engine.Backend.o_initial_order
+        ~lb_cost:req.Engine.Backend.o_lb_cost ~termination:st.termination ~n:st.n
+        ~ready_ub:st.ready_ub
+    in
+    (order, stats)
+
+  let run_schedule_pass st (req : Engine.Backend.schedule_request) =
+    let schedule, _, stats =
+      run_pass ~params:st.params ~config:st.config ~rng:st.rng ~wavefronts:st.wavefronts
+        ~pheromone:st.pheromone
+        ~mode:
+          (Aco.Ant.Ilp_pass
+             {
+               target_vgpr = req.Engine.Backend.s_target_vgpr;
+               target_sgpr = req.Engine.Backend.s_target_sgpr;
+             })
         ~cost_of_ant:Aco.Ant.length
         ~artifact_of_ant:(fun ant ->
           match Aco.Ant.schedule ant with
           | Some s -> s
           | None -> invalid_arg "Par_aco: finished ant produced invalid schedule")
         ~validate_artifact:(fun s -> Sched.Schedule.is_valid s ~latency_aware:true)
-        ~faults ~budget_ns:budget2_ns ~iteration_deadline_ns ~max_retries ~trace ~metrics
-        ~pass_label:(label ^ "pass2") ~obs_cursor ~simd_cursor
-        ~initial_cost:initial_length
-        ~initial_order:(Sched.Schedule.order initial_schedule)
-        ~initial_artifact:initial_schedule ~lb_cost:setup.Aco.Setup.length_lb ~termination ~n
-        ~ready_ub
-    else (initial_schedule, initial_length, no_pass)
+        ~faults:st.faults
+        ~budget_ns:(ns_of_budget req.Engine.Backend.s_budget)
+        ~iteration_deadline_ns:st.iteration_deadline_ns ~max_retries:st.max_retries
+        ~trace:st.trace ~metrics:st.metrics ~pass_label:req.Engine.Backend.s_label
+        ~obs_cursor:st.obs_cursor ~simd_cursor:st.simd_cursor
+        ~initial_cost:req.Engine.Backend.s_initial_length
+        ~initial_order:(Sched.Schedule.order req.Engine.Backend.s_initial)
+        ~initial_artifact:req.Engine.Backend.s_initial
+        ~lb_cost:req.Engine.Backend.s_length_lb ~termination:st.termination ~n:st.n
+        ~ready_ub:st.ready_ub
+    in
+    (schedule, stats)
+
+  let teardown _ = ()
+end
+
+let backend : Engine.Backend.t = (module Backend_impl)
+let register () = Engine.Registry.register backend
+
+let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_ns = infinity)
+    ?(iteration_deadline_ns = infinity) ?(max_retries = 2) ?(trace = Obs.Trace.null)
+    ?(metrics = Obs.Metrics.null) ?(label = "") (config : Config.t)
+    (setup : Aco.Setup.t) =
+  let ext =
+    Gpu_config config
+    :: Watchdog { iteration_deadline_ns; max_retries }
+    :: (match faults with Some f -> [ Fault_injector f ] | None -> [])
   in
-  {
-    schedule;
-    cost = Sched.Cost.of_schedule occ schedule;
-    heuristic_schedule = setup.Aco.Setup.amd_schedule;
-    heuristic_cost = setup.Aco.Setup.amd_cost;
-    rp_target;
-    pass2_initial = initial_schedule;
-    pass1;
-    pass2;
-  }
+  Engine.Two_pass.run backend
+    {
+      Engine.Backend.params;
+      seed;
+      budget =
+        (if budget_ns = infinity then Engine.Types.Unlimited
+         else Engine.Types.Time_ns budget_ns);
+      trace;
+      metrics;
+      label;
+      ext;
+    }
+    setup
 
 let run ?params ?seed config occ graph =
   run_from_setup ?params ?seed config (Aco.Setup.prepare occ graph)

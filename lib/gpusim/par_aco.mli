@@ -9,7 +9,7 @@
     {!Divergence} and {!Mem_model} under the configuration's
     optimization toggles. *)
 
-type pass_stats = {
+type pass_stats = Engine.Types.pass_stats = {
   invoked : bool;
   iterations : int;
   ants_simulated : int;
@@ -40,10 +40,12 @@ type pass_stats = {
           degraded to its best-so-far *)
   fault_counts : Faults.counts;  (** faults injected during this pass *)
 }
+(** The engine's unified statistics record (see {!Engine.Types}); this
+    backend fills every field. *)
 
 val no_pass : pass_stats
 
-type result = {
+type result = Engine.Types.result = {
   schedule : Sched.Schedule.t;
   cost : Sched.Cost.t;
   heuristic_schedule : Sched.Schedule.t;
@@ -54,6 +56,24 @@ type result = {
   pass1 : pass_stats;
   pass2 : pass_stats;
 }
+
+type Engine.Backend.ext +=
+  | Gpu_config of Config.t
+      (** launch geometry and optimization toggles (default {!Config.bench}) *)
+  | Fault_injector of Faults.t
+      (** explicit injector; when absent one is derived from the
+          configuration's fault rates and seed *)
+  | Watchdog of { iteration_deadline_ns : float; max_retries : int }
+      (** per-iteration watchdog deadline and the consecutive-failure
+          retry allowance (defaults: no deadline, 2 retries) *)
+(** Context extensions the ["par"] backend reads in [prepare]. *)
+
+val backend : Engine.Backend.t
+(** The ["par"] backend: RP pass, fault injection, flight-recorder
+    tracing and a simulated-time model ([Time_ns] budgets). *)
+
+val register : unit -> unit
+(** Install {!backend} in {!Engine.Registry} (idempotent). *)
 
 val run :
   ?params:Aco.Params.t -> ?seed:int -> Config.t -> Machine.Occupancy.t -> Ddg.Graph.t -> result

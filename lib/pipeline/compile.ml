@@ -4,13 +4,23 @@ type config = {
   params : Aco.Params.t;
   filters : Filters.config;
   robust : Robust.config;
+  dispatch : Engine.Dispatch.policy;
   seq_seed : int;
   par_seed : int;
   run_sequential : bool;
 }
 
+(* The product backends ship with the pipeline; anything else (bench
+   probes, test stubs) registers itself before compiling. Idempotent, so
+   calling it once per region is free. *)
+let ensure_backends () =
+  Aco.Seq_aco.register ();
+  Gpusim.Par_aco.register ();
+  Aco.Weighted_aco.register ()
+
 let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default)
-    ?(robust = Robust.default) ?fault_rate ?fault_seed ?compile_budget_ms ?max_retries () =
+    ?(robust = Robust.default) ?fault_rate ?fault_seed ?compile_budget_ms ?max_retries
+    ?(dispatch = Engine.Dispatch.default) () =
   let params =
     {
       Aco.Params.default with
@@ -45,10 +55,22 @@ let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default)
     params;
     filters;
     robust;
+    dispatch;
     seq_seed = 101;
     par_seed = 202;
     run_sequential = true;
   }
+
+type backend_run = {
+  backend : string;
+  caps : Engine.Types.caps;
+  result : Engine.Types.result;
+  run_pass1_time_ns : float;
+  run_pass2_time_ns : float;
+  run_degradation : Robust.degradation;
+  run_retries : int;
+  run_fault_counts : Engine.Types.fault_counts;
+}
 
 type region_report = {
   region_name : string;
@@ -65,14 +87,8 @@ type region_report = {
   aco_order : int array;
   pass1_only_cost : Sched.Cost.t;
   pass1_only_order : int array;
-  seq_pass1 : Aco.Seq_aco.pass_stats option;
-  seq_pass2 : Aco.Seq_aco.pass_stats option;
-  par_pass1 : Gpusim.Par_aco.pass_stats;
-  par_pass2 : Gpusim.Par_aco.pass_stats;
-  seq_pass1_time_ns : float;
-  seq_pass2_time_ns : float;
-  par_pass1_time_ns : float;
-  par_pass2_time_ns : float;
+  product_backend : string;
+  runs : backend_run list;
   degradation : Robust.degradation;
   retries : int;
   fault_counts : Gpusim.Faults.counts;
@@ -86,85 +102,183 @@ type suite_report = {
   kernels : kernel_report list;
 }
 
+(* --- per-backend compat accessors --------------------------------------- *)
+
+let find_run r name = List.find_opt (fun run -> String.equal run.backend name) r.runs
+
+let product_run r =
+  match find_run r r.product_backend with
+  | Some run -> run
+  | None -> invalid_arg "Compile.product_run: report lost its product run"
+
+let seq_pass1 r = Option.map (fun run -> run.result.Engine.Types.pass1) (find_run r "seq")
+let seq_pass2 r = Option.map (fun run -> run.result.Engine.Types.pass2) (find_run r "seq")
+
+let par_pass1 r =
+  match find_run r "par" with
+  | Some run -> run.result.Engine.Types.pass1
+  | None -> Engine.Types.no_pass
+
+let par_pass2 r =
+  match find_run r "par" with
+  | Some run -> run.result.Engine.Types.pass2
+  | None -> Engine.Types.no_pass
+
+let run_time_ns ~pass r name =
+  match find_run r name with
+  | Some run -> ( match pass with `One -> run.run_pass1_time_ns | `Two -> run.run_pass2_time_ns)
+  | None -> 0.0
+
+let seq_pass1_time_ns r = run_time_ns ~pass:`One r "seq"
+let seq_pass2_time_ns r = run_time_ns ~pass:`Two r "seq"
+let par_pass1_time_ns r = run_time_ns ~pass:`One r "par"
+let par_pass2_time_ns r = run_time_ns ~pass:`Two r "par"
+
 (* Worst-case product: the AMD heuristic schedule dressed up as an ACO
-   result. This is what the driver ships when the parallel driver itself
-   trapped — the schedule is valid by construction, so compilation always
+   result. This is what the driver ships when a backend itself trapped —
+   the schedule is valid by construction, so compilation always
    completes. *)
-let heuristic_fallback (setup : Aco.Setup.t) : Gpusim.Par_aco.result =
+let heuristic_fallback (setup : Aco.Setup.t) : Engine.Types.result =
   {
-    Gpusim.Par_aco.schedule = setup.Aco.Setup.amd_schedule;
+    Engine.Types.schedule = setup.Aco.Setup.amd_schedule;
     cost = setup.Aco.Setup.amd_cost;
     heuristic_schedule = setup.Aco.Setup.amd_schedule;
     heuristic_cost = setup.Aco.Setup.amd_cost;
     rp_target = setup.Aco.Setup.amd_cost.Sched.Cost.rp;
     pass2_initial = setup.Aco.Setup.amd_schedule;
-    pass1 = Gpusim.Par_aco.no_pass;
-    pass2 = Gpusim.Par_aco.no_pass;
+    pass1 = Engine.Types.no_pass;
+    pass2 = Engine.Types.no_pass;
   }
 
-let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name region =
-  let graph = Ddg.Graph.build region in
-  let setup = Aco.Setup.prepare config.occ graph in
-  let budget_ns = Robust.budget_for config.robust ~n:graph.Ddg.Graph.n in
-  let region_t0 = Obs.Trace.now trace in
-  let par, par_trapped =
-    match
-      Gpusim.Par_aco.run_from_setup ~params:config.params ~seed:config.par_seed
-        ~budget_ns ~iteration_deadline_ns:config.robust.Robust.iteration_deadline_ns
-        ~max_retries:config.robust.Robust.max_retries ~trace ~metrics
-        ~label:(name ^ ".par.") config.gpu setup
-    with
-    | par -> (par, false)
+(* Compile one region with one backend: resolve it, pick its budget
+   currency from its capabilities, trap exceptions into the heuristic
+   fallback, guard the emitted schedule, and classify the run's ledger
+   entry. Returns the run and whether the backend trapped. *)
+let run_backend ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name
+    ~budget_ns (setup : Aco.Setup.t) bname =
+  let backend = Engine.Registry.find_exn bname in
+  let caps = Engine.Backend.caps backend in
+  let budget =
+    if caps.Engine.Types.time_model then
+      if budget_ns = infinity then Engine.Types.Unlimited else Engine.Types.Time_ns budget_ns
+    else
+      let w = Robust.budget_work_of_ns config.gpu budget_ns in
+      if w = max_int then Engine.Types.Unlimited else Engine.Types.Work w
+  in
+  let ctx =
+    {
+      Engine.Backend.params = config.params;
+      seed = (if String.equal bname "seq" then config.seq_seed else config.par_seed);
+      budget;
+      trace = (if caps.Engine.Types.trace then trace else Obs.Trace.null);
+      metrics;
+      label = name ^ "." ^ bname ^ ".";
+      ext =
+        [
+          Gpusim.Par_aco.Gpu_config config.gpu;
+          Gpusim.Par_aco.Watchdog
+            {
+              iteration_deadline_ns = config.robust.Robust.iteration_deadline_ns;
+              max_retries = config.robust.Robust.max_retries;
+            };
+        ];
+    }
+  in
+  let result, trapped =
+    match Engine.Two_pass.run backend ctx setup with
+    | r -> (r, false)
     | exception _ -> (heuristic_fallback setup, true)
   in
-  (* Last line of defence: whatever the driver went through above, the
-     region emits a schedule that validates. *)
+  (* Last line of defence: whatever the backend went through above, the
+     run emits a schedule that validates. *)
   let guarded_schedule, guard_fired =
-    Sched.Schedule.guard par.Gpusim.Par_aco.schedule ~latency_aware:true
+    Sched.Schedule.guard result.Engine.Types.schedule ~latency_aware:true
       ~fallback:setup.Aco.Setup.amd_schedule
   in
-  let par =
+  let result =
     if guard_fired then
-      { par with Gpusim.Par_aco.schedule = guarded_schedule; cost = setup.Aco.Setup.amd_cost }
-    else par
+      { result with Engine.Types.schedule = guarded_schedule; cost = setup.Aco.Setup.amd_cost }
+    else result
   in
+  let pass1 = result.Engine.Types.pass1 and pass2 = result.Engine.Types.pass2 in
+  let retries = pass1.Engine.Types.retries + pass2.Engine.Types.retries in
   let degradation =
     Robust.classify
-      ~fell_back:(par_trapped || guard_fired)
-      ~aborted_faults:
-        (par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.aborted_faults
-        || par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.aborted_faults)
-      ~aborted_budget:
-        (par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.aborted_budget
-        || par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.aborted_budget)
-      ~retries:(Gpusim.Par_aco.total_retries par)
+      ~fell_back:(trapped || guard_fired)
+      ~aborted_faults:(pass1.Engine.Types.aborted_faults || pass2.Engine.Types.aborted_faults)
+      ~aborted_budget:(pass1.Engine.Types.aborted_budget || pass2.Engine.Types.aborted_budget)
+      ~retries
   in
+  let time_of (stats : Engine.Types.pass_stats) =
+    if caps.Engine.Types.time_model then stats.Engine.Types.time_ns
+    else Gpusim.Cpu_model.pass_time_ns config.gpu ~work:stats.Engine.Types.work
+  in
+  ( {
+      backend = bname;
+      caps;
+      result;
+      run_pass1_time_ns = time_of pass1;
+      run_pass2_time_ns = time_of pass2;
+      run_degradation = degradation;
+      run_retries = retries;
+      run_fault_counts =
+        Engine.Types.fault_counts_add pass1.Engine.Types.fault_counts
+          pass2.Engine.Types.fault_counts;
+    },
+    trapped )
+
+(* Portfolio selection: best RP (occupancy first) then shortest length;
+   the earlier candidate wins ties, so a single-backend dispatch is the
+   identity. *)
+let pick_product = function
+  | [] -> invalid_arg "Compile.run_region: dispatch produced no backends"
+  | first :: rest ->
+      List.fold_left
+        (fun acc run ->
+          if
+            Sched.Cost.better_rp_then_length run.result.Engine.Types.cost
+              acc.result.Engine.Types.cost
+          then run
+          else acc)
+        first rest
+
+let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name region =
+  ensure_backends ();
+  let graph = Ddg.Graph.build region in
+  let setup = Aco.Setup.prepare config.occ graph in
+  let n = graph.Ddg.Graph.n in
+  let budget_ns = Robust.budget_for config.robust ~n in
+  let region_t0 = Obs.Trace.now trace in
+  let candidates = Engine.Dispatch.candidates config.dispatch ~n in
+  let runs =
+    List.map
+      (fun bname -> fst (run_backend ~trace ~metrics config ~name ~budget_ns setup bname))
+      candidates
+  in
+  let product = pick_product runs in
   (* The pass-level set_now calls left the trace clock at the end of the
-     parallel compile, so the region span covers both its passes. *)
+     traced backends' compiles, so the region span covers their passes. *)
   if Obs.Trace.enabled trace then
     Obs.Trace.span_arg trace ~track:0 ~name:("region " ^ name) ~ts:region_t0
       ~dur:(Obs.Trace.now trace -. region_t0)
       ~key:"n"
       ~value:(float_of_int graph.Ddg.Graph.n);
-  Robust.observe trace metrics ~region:name degradation;
-  let seq =
-    if config.run_sequential then
-      let budget_work = Robust.budget_work_of_ns config.gpu budget_ns in
-      match
-        Aco.Seq_aco.run_from_setup ~params:config.params ~seed:config.seq_seed ~budget_work
-          ~metrics ~label:(name ^ ".seq.") setup
-      with
-      | r -> Some r
-      | exception _ -> None
-    else None
+  Robust.observe trace metrics ~region:name product.run_degradation;
+  (* The CPU timing baseline of Tables 3.a/3.b rides along unless the
+     dispatch already ran it as a product candidate. A baseline that
+     traps is dropped (the product does not depend on it). *)
+  let runs =
+    if config.run_sequential && not (List.mem "seq" candidates) then
+      match run_backend ~metrics config ~name ~budget_ns setup "seq" with
+      | run, false -> runs @ [ run ]
+      | _, true -> runs
+      | exception _ -> runs
+    else runs
   in
   let cp_schedule = Sched.List_scheduler.run graph Sched.Heuristic.Critical_path in
-  let pass2_initial_cost = Sched.Cost.of_schedule config.occ par.Gpusim.Par_aco.pass2_initial in
-  let seq_time stats =
-    match stats with
-    | Some (s : Aco.Seq_aco.pass_stats) ->
-        Gpusim.Cpu_model.pass_time_ns config.gpu ~work:s.Aco.Seq_aco.work
-    | None -> 0.0
+  let presult = product.result in
+  let pass2_initial_cost =
+    Sched.Cost.of_schedule config.occ presult.Engine.Types.pass2_initial
   in
   {
     region_name = name;
@@ -174,24 +288,18 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~n
     heuristic_cost = setup.Aco.Setup.amd_cost;
     heuristic_order = Sched.Schedule.order setup.Aco.Setup.amd_schedule;
     cp_cost = Sched.Cost.of_schedule config.occ cp_schedule;
-    pass1_invoked = par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.invoked;
-    pass2_invoked = par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.invoked;
+    pass1_invoked = presult.Engine.Types.pass1.Engine.Types.invoked;
+    pass2_invoked = presult.Engine.Types.pass2.Engine.Types.invoked;
     pass2_gap = setup.Aco.Setup.amd_cost.Sched.Cost.length - setup.Aco.Setup.length_lb;
-    aco_cost = par.Gpusim.Par_aco.cost;
-    aco_order = Sched.Schedule.order par.Gpusim.Par_aco.schedule;
+    aco_cost = presult.Engine.Types.cost;
+    aco_order = Sched.Schedule.order presult.Engine.Types.schedule;
     pass1_only_cost = pass2_initial_cost;
-    pass1_only_order = Sched.Schedule.order par.Gpusim.Par_aco.pass2_initial;
-    seq_pass1 = Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass1) seq;
-    seq_pass2 = Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass2) seq;
-    par_pass1 = par.Gpusim.Par_aco.pass1;
-    par_pass2 = par.Gpusim.Par_aco.pass2;
-    seq_pass1_time_ns = seq_time (Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass1) seq);
-    seq_pass2_time_ns = seq_time (Option.map (fun (r : Aco.Seq_aco.result) -> r.Aco.Seq_aco.pass2) seq);
-    par_pass1_time_ns = par.Gpusim.Par_aco.pass1.Gpusim.Par_aco.time_ns;
-    par_pass2_time_ns = par.Gpusim.Par_aco.pass2.Gpusim.Par_aco.time_ns;
-    degradation;
-    retries = Gpusim.Par_aco.total_retries par;
-    fault_counts = Gpusim.Par_aco.total_faults par;
+    pass1_only_order = Sched.Schedule.order presult.Engine.Types.pass2_initial;
+    product_backend = product.backend;
+    runs;
+    degradation = product.run_degradation;
+    retries = product.run_retries;
+    fault_counts = product.run_fault_counts;
   }
 
 let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)

@@ -2,10 +2,12 @@
 
     Every region is scheduled by the AMD heuristic; when the heuristic
     schedule is not provably optimal (its RP cost or length is above the
-    lower bound), the ACO scheduler is invoked. The suite is compiled
-    once with the parallel ACO (the product compiler) and once with the
-    sequential ACO from the same starting points (the timing baseline of
-    Tables 3.a/3.b and 5).
+    lower bound), the ACO scheduler is invoked. Which ACO — a backend
+    registered in {!Engine.Registry} — is chosen per region by the
+    configured {!Engine.Dispatch} policy; the default compiles with the
+    parallel GPU-model backend (the product compiler) and rides the
+    sequential backend along from the same starting points (the timing
+    baseline of Tables 3.a/3.b and 5).
 
     ACO is run *ungated* here while each region's gap — heuristic
     schedule length minus the length lower bound — is recorded.
@@ -21,10 +23,18 @@ type config = {
   params : Aco.Params.t;
   filters : Filters.config;
   robust : Robust.config;  (** budgets, watchdog deadline, retry allowance *)
+  dispatch : Engine.Dispatch.policy;  (** which backend(s) compile each region *)
   seq_seed : int;
-  par_seed : int;
-  run_sequential : bool;  (** also time the CPU baseline *)
+  par_seed : int;  (** seed for every non-["seq"] backend *)
+  run_sequential : bool;
+      (** also time the CPU baseline (skipped when the dispatch already
+          runs ["seq"] as a product candidate) *)
 }
+
+val ensure_backends : unit -> unit
+(** Register the product backends (["seq"], ["par"], ["weighted"]) in
+    {!Engine.Registry}. Idempotent; {!run_region} calls it, so callers
+    only need it to enumerate backends before compiling. *)
 
 val make_config :
   ?gpu:Gpusim.Config.t ->
@@ -34,17 +44,33 @@ val make_config :
   ?fault_seed:int ->
   ?compile_budget_ms:float ->
   ?max_retries:int ->
+  ?dispatch:Engine.Dispatch.policy ->
   unit ->
   config
 (** Consistent defaults: the sequential ant count equals the parallel
     thread count (the paper compares equal colonies), the ILP pass is
-    ungated for later synthesis.
+    ungated for later synthesis, and [dispatch] is
+    {!Engine.Dispatch.default} (the parallel backend everywhere).
 
     Robustness knobs layer on top of [robust] (default {!Robust.default},
     i.e. fault-free and unbounded): [fault_rate] installs
     {!Gpusim.Config.uniform_faults} on [gpu] (seeded by [fault_seed]),
     [compile_budget_ms] installs {!Robust.budgets_of_ms}, and
     [max_retries] overrides the retry allowance. *)
+
+type backend_run = {
+  backend : string;  (** registry name *)
+  caps : Engine.Types.caps;
+  result : Engine.Types.result;  (** guarded: [result.schedule] is valid *)
+  run_pass1_time_ns : float;
+      (** simulated pass time — the backend's own clock when it has a
+          time model, {!Gpusim.Cpu_model} over its work counter
+          otherwise *)
+  run_pass2_time_ns : float;
+  run_degradation : Robust.degradation;  (** this run's own ledger entry *)
+  run_retries : int;  (** faulted iterations re-run across both passes *)
+  run_fault_counts : Engine.Types.fault_counts;
+}
 
 type region_report = {
   region_name : string;
@@ -54,27 +80,25 @@ type region_report = {
   heuristic_cost : Sched.Cost.t;
   heuristic_order : int array;
   cp_cost : Sched.Cost.t;  (** Critical-Path schedule (sensitivity check) *)
-  pass1_invoked : bool;
-  pass2_invoked : bool;
+  pass1_invoked : bool;  (** of the product run *)
+  pass2_invoked : bool;  (** of the product run *)
   pass2_gap : int;
       (** heuristic schedule length minus the length lower bound — the
           quantity the cycle-threshold filter gates ACO on (known before
           any ACO work is spent on the region) *)
-  aco_cost : Sched.Cost.t;  (** parallel-ACO product, before filtering *)
+  aco_cost : Sched.Cost.t;  (** the product backend's result, before filtering *)
   aco_order : int array;
   pass1_only_cost : Sched.Cost.t;  (** product if pass 2 were skipped *)
   pass1_only_order : int array;
-  seq_pass1 : Aco.Seq_aco.pass_stats option;
-  seq_pass2 : Aco.Seq_aco.pass_stats option;
-  par_pass1 : Gpusim.Par_aco.pass_stats;
-  par_pass2 : Gpusim.Par_aco.pass_stats;
-  seq_pass1_time_ns : float;
-  seq_pass2_time_ns : float;
-  par_pass1_time_ns : float;
-  par_pass2_time_ns : float;
-  degradation : Robust.degradation;  (** the region's ledger entry *)
-  retries : int;  (** faulted iterations re-run across both passes *)
-  fault_counts : Gpusim.Faults.counts;  (** faults injected while compiling *)
+  product_backend : string;
+      (** the backend whose schedule ships — the dispatch winner *)
+  runs : backend_run list;
+      (** every backend that compiled this region, dispatch candidates
+          first (in candidate order), then the ride-along sequential
+          baseline when [run_sequential] added one *)
+  degradation : Robust.degradation;  (** the product run's ledger entry *)
+  retries : int;  (** of the product run *)
+  fault_counts : Gpusim.Faults.counts;  (** of the product run *)
 }
 
 type kernel_report = {
@@ -88,6 +112,31 @@ type suite_report = {
   kernels : kernel_report list;
 }
 
+(** {2 Per-backend accessors}
+
+    [runs] is keyed by backend name; these wrap the common lookups. The
+    [seq_*]/[par_*] accessors keep the shape of the pre-engine report:
+    an absent ["par"] run reads as {!Engine.Types.no_pass} / [0.0], an
+    absent ["seq"] run as [None] / [0.0]. *)
+
+val find_run : region_report -> string -> backend_run option
+
+val product_run : region_report -> backend_run
+(** The run behind [product_backend] (always present). *)
+
+val seq_pass1 : region_report -> Aco.Seq_aco.pass_stats option
+val seq_pass2 : region_report -> Aco.Seq_aco.pass_stats option
+val par_pass1 : region_report -> Gpusim.Par_aco.pass_stats
+val par_pass2 : region_report -> Gpusim.Par_aco.pass_stats
+val seq_pass1_time_ns : region_report -> float
+val seq_pass2_time_ns : region_report -> float
+val par_pass1_time_ns : region_report -> float
+val par_pass2_time_ns : region_report -> float
+
+val heuristic_fallback : Aco.Setup.t -> Engine.Types.result
+(** The AMD heuristic schedule dressed up as an ACO result — what a
+    backend that trapped is replaced by. *)
+
 val run_region :
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
@@ -97,15 +146,18 @@ val run_region :
   region_report
 (** Total: always yields a report whose [aco_order] reconstructs into a
     valid schedule. Faults are retried, over-budget passes keep their
-    best-so-far, and a driver that traps (or emits an invalid schedule)
+    best-so-far, and a backend that traps (or emits an invalid schedule)
     is replaced by the AMD heuristic schedule — the failure mode is
-    recorded in [degradation], never raised.
+    recorded in the run's [run_degradation], never raised. When the
+    dispatch races several backends, the product is the best cost
+    (occupancy first, then length; the earlier candidate wins ties).
 
     [trace] / [metrics] (default disabled, a true no-op) attach the
     flight recorder: the region becomes a span on the driver track
-    enclosing its parallel-ACO passes, degradations become instants via
-    {!Robust.observe}, and both drivers' per-iteration series are
-    recorded under ["<name>.par."] / ["<name>.seq."] prefixes. *)
+    enclosing the traced backends' passes, the product's degradation
+    becomes an instant via {!Robust.observe}, and every backend's
+    per-iteration series is recorded under a ["<name>.<backend>."]
+    prefix. *)
 
 val run_suite :
   ?progress:(string -> unit) ->
@@ -115,8 +167,9 @@ val run_suite :
   Workload.Suite.t ->
   suite_report
 (** Compile every kernel of the suite (kernels shared between benchmarks
-    are compiled once). [progress] receives one message per kernel;
-    [trace] / [metrics] are threaded to every {!run_region}. *)
+    are compiled once — and once per backend the dispatch runs).
+    [progress] receives one message per kernel; [trace] / [metrics] are
+    threaded to every {!run_region}. *)
 
 val hot_region : kernel_report -> region_report
 (** The region backing the kernel's hot loop. Total for any [hot_index]:

@@ -133,20 +133,20 @@ type speedup_row = {
 let region_speedup ~pass (r : Compile.region_report) =
   match pass with
   | `One -> (
-      match r.Compile.seq_pass1 with
+      match Compile.seq_pass1 r with
       | Some s
         when s.Aco.Seq_aco.invoked && r.Compile.pass1_invoked
-             && s.Aco.Seq_aco.iterations = r.Compile.par_pass1.Gpusim.Par_aco.iterations
-             && r.Compile.par_pass1_time_ns > 0.0 ->
-          Some (r.Compile.seq_pass1_time_ns /. r.Compile.par_pass1_time_ns)
+             && s.Aco.Seq_aco.iterations = (Compile.par_pass1 r).Gpusim.Par_aco.iterations
+             && Compile.par_pass1_time_ns r > 0.0 ->
+          Some (Compile.seq_pass1_time_ns r /. Compile.par_pass1_time_ns r)
       | Some _ | None -> None)
   | `Two -> (
-      match r.Compile.seq_pass2 with
+      match Compile.seq_pass2 r with
       | Some s
         when s.Aco.Seq_aco.invoked && r.Compile.pass2_invoked
-             && s.Aco.Seq_aco.iterations = r.Compile.par_pass2.Gpusim.Par_aco.iterations
-             && r.Compile.par_pass2_time_ns > 0.0 ->
-          Some (r.Compile.seq_pass2_time_ns /. r.Compile.par_pass2_time_ns)
+             && s.Aco.Seq_aco.iterations = (Compile.par_pass2 r).Gpusim.Par_aco.iterations
+             && Compile.par_pass2_time_ns r > 0.0 ->
+          Some (Compile.seq_pass2_time_ns r /. Compile.par_pass2_time_ns r)
       | Some _ | None -> None)
 
 let processed_for_pass ~pass filters (r : Compile.region_report) =
@@ -265,6 +265,7 @@ let table7 ~thresholds report =
     thresholds
 
 type degradation_row = {
+  d_backend : string;
   d_category : int;
   d_tally : Robust.tally;
   d_faults : Gpusim.Faults.counts;
@@ -275,28 +276,56 @@ type degradation_row = {
 let compiled_regions (report : Compile.suite_report) =
   List.concat_map (fun (kr : Compile.kernel_report) -> kr.Compile.regions) report.Compile.kernels
 
-let degradation_row_of regions cat =
+(* Backends in first-encounter order over the compiled regions, so the
+   dispatch's product backends lead and ride-along baselines follow. *)
+let degradation_backends (report : Compile.suite_report) =
+  List.fold_left
+    (fun acc (r : Compile.region_report) ->
+      List.fold_left
+        (fun acc (run : Compile.backend_run) ->
+          if List.mem run.Compile.backend acc then acc else acc @ [ run.Compile.backend ])
+        acc r.Compile.runs)
+    [] (compiled_regions report)
+
+(* Each backend is attributed its own run's ledger entry: a region where
+   the parallel backend degraded but the sequential baseline finished
+   clean tallies under "par" only. *)
+let degradation_row_of ~backend regions cat =
+  let runs =
+    List.filter_map (fun (r : Compile.region_report) -> Compile.find_run r backend) regions
+  in
   {
+    d_backend = backend;
     d_category = cat;
     d_tally =
       Robust.tally_of_list
-        (List.map (fun (r : Compile.region_report) -> r.Compile.degradation) regions);
+        (List.map (fun (run : Compile.backend_run) -> run.Compile.run_degradation) runs);
     d_faults =
       List.fold_left
-        (fun acc (r : Compile.region_report) -> Gpusim.Faults.add acc r.Compile.fault_counts)
-        Gpusim.Faults.zero regions;
+        (fun acc (run : Compile.backend_run) ->
+          Gpusim.Faults.add acc run.Compile.run_fault_counts)
+        Gpusim.Faults.zero runs;
   }
 
 let degradation_table report =
   let regions = compiled_regions report in
-  List.map
-    (fun cat ->
-      degradation_row_of
-        (List.filter (fun (r : Compile.region_report) -> r.Compile.size_category = cat) regions)
-        cat)
-    [ 0; 1; 2 ]
+  List.concat_map
+    (fun backend ->
+      List.map
+        (fun cat ->
+          degradation_row_of ~backend
+            (List.filter
+               (fun (r : Compile.region_report) -> r.Compile.size_category = cat)
+               regions)
+            cat)
+        [ 0; 1; 2 ])
+    (degradation_backends report)
 
-let degradation_total report = degradation_row_of (compiled_regions report) (-1)
+let degradation_total report =
+  let regions = compiled_regions report in
+  List.map
+    (fun backend -> degradation_row_of ~backend regions (-1))
+    (degradation_backends report)
 
 type perf_row = {
   p_category : int;
@@ -316,13 +345,13 @@ let perf_row_of regions cat =
   let add f =
     List.fold_left
       (fun acc (r : Compile.region_report) ->
-        acc + f r.Compile.par_pass1 + f r.Compile.par_pass2)
+        acc + f (Compile.par_pass1 r) + f (Compile.par_pass2 r))
       0 regions
   in
   let addf f =
     List.fold_left
       (fun acc (r : Compile.region_report) ->
-        acc +. f r.Compile.par_pass1 +. f r.Compile.par_pass2)
+        acc +. f (Compile.par_pass1 r) +. f (Compile.par_pass2 r))
       0.0 regions
   in
   let steps = add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.ant_steps) in
@@ -353,15 +382,17 @@ let perf_total report = perf_row_of (compiled_regions report) (-1)
 
 type convergence_row = {
   c_region : string;
+  c_backend : string;
   c_pass : string;
   c_iterations : int;
+  c_retries : int;
   c_initial : int;
   c_final : int;
   c_first_improvement : int;
   c_series : int array;
 }
 
-let convergence_row ~region ~pass (series : int array) =
+let convergence_row ~region ~backend ~pass ~retries (series : int array) =
   let len = Array.length series in
   if len = 0 then None
   else begin
@@ -377,8 +408,10 @@ let convergence_row ~region ~pass (series : int array) =
     Some
       {
         c_region = region;
+        c_backend = backend;
         c_pass = pass;
         c_iterations = len - 1;
+        c_retries = retries;
         c_initial = series.(0);
         c_final = series.(len - 1);
         c_first_improvement = !first;
@@ -388,21 +421,18 @@ let convergence_row ~region ~pass (series : int array) =
 
 let convergence_rows_of_region (r : Compile.region_report) =
   let name = r.Compile.region_name in
-  let par (p : Gpusim.Par_aco.pass_stats) pass =
-    convergence_row ~region:name ~pass p.Gpusim.Par_aco.best_costs
-  in
-  let seq (p : Aco.Seq_aco.pass_stats option) pass =
-    match p with
-    | Some p -> convergence_row ~region:name ~pass p.Aco.Seq_aco.best_costs
-    | None -> None
-  in
-  List.filter_map Fun.id
-    [
-      par r.Compile.par_pass1 "par pass1";
-      par r.Compile.par_pass2 "par pass2";
-      seq r.Compile.seq_pass1 "seq pass1";
-      seq r.Compile.seq_pass2 "seq pass2";
-    ]
+  List.concat_map
+    (fun (run : Compile.backend_run) ->
+      let of_pass pass (p : Engine.Types.pass_stats) =
+        convergence_row ~region:name ~backend:run.Compile.backend ~pass
+          ~retries:p.Engine.Types.retries p.Engine.Types.best_costs
+      in
+      List.filter_map Fun.id
+        [
+          of_pass "pass1" run.Compile.result.Engine.Types.pass1;
+          of_pass "pass2" run.Compile.result.Engine.Types.pass2;
+        ])
+    r.Compile.runs
 
 let convergence_table report =
   List.concat_map convergence_rows_of_region (compiled_regions report)
@@ -434,15 +464,19 @@ let render_convergence rows =
     else float_of_int (r.c_initial - r.c_final) /. float_of_int r.c_initial *. 100.0
   in
   Support.Tablefmt.render ~title:"Convergence (best cost per iteration)"
-    ~header:[ "region"; "pass"; "iters"; "initial"; "final"; "gain"; "first imp"; "series" ]
+    ~header:
+      [ "region"; "backend"; "pass"; "iters"; "retries"; "initial"; "final"; "gain";
+        "first imp"; "series" ]
     ~aligns:
-      Support.Tablefmt.[ Left; Left; Right; Right; Right; Right; Right; Left ]
+      Support.Tablefmt.[ Left; Left; Left; Right; Right; Right; Right; Right; Right; Left ]
     (List.map
        (fun r ->
          [
            r.c_region;
+           r.c_backend;
            r.c_pass;
            string_of_int r.c_iterations;
+           string_of_int r.c_retries;
            string_of_int r.c_initial;
            string_of_int r.c_final;
            Support.Tablefmt.pctf (improvement r);
@@ -453,13 +487,13 @@ let render_convergence rows =
 
 let convergence_csv rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "region,pass,iteration,best_cost\n";
+  Buffer.add_string buf "region,backend,pass,iteration,best_cost\n";
   List.iter
     (fun r ->
       Array.iteri
         (fun k v ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%s,%d,%d\n" r.c_region r.c_pass k v))
+            (Printf.sprintf "%s,%s,%s,%d,%d\n" r.c_region r.c_backend r.c_pass k v))
         r.c_series)
     rows;
   Buffer.contents buf

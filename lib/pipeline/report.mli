@@ -79,18 +79,26 @@ val table7 : thresholds:int list -> Compile.suite_report -> table7_row list
 val sensitive_benchmarks : Compile.suite_report -> Workload.Suite.benchmark list
 
 type degradation_row = {
+  d_backend : string;  (** backend whose runs this row tallies *)
   d_category : int;  (** {!Aco.Params.size_category}, or [-1] for the total row *)
   d_tally : Robust.tally;
   d_faults : Gpusim.Faults.counts;
 }
 
+val degradation_backends : Compile.suite_report -> string list
+(** Backends that ran anywhere in the compile, first-encounter order
+    (product backends lead, ride-along baselines follow). *)
+
 val degradation_table : Compile.suite_report -> degradation_row list
 (** Degradation statistics of the fault-tolerant driver, one row per
-    size category over the compiled kernels (each kernel compiled once).
-    With faults off and budgets unbounded every region tallies as
-    clean. *)
+    region size category {e per backend} over the compiled kernels (each
+    kernel compiled once). Every backend is attributed its own run's
+    ledger entry — a region where the parallel backend degraded but the
+    sequential baseline finished clean tallies under ["par"] only. With
+    faults off and budgets unbounded every run tallies as clean. *)
 
-val degradation_total : Compile.suite_report -> degradation_row
+val degradation_total : Compile.suite_report -> degradation_row list
+(** One all-categories total row ([d_category = -1]) per backend. *)
 
 type perf_row = {
   p_category : int;  (** {!Aco.Params.size_category}, or [-1] for the total row *)
@@ -113,8 +121,13 @@ val perf_total : Compile.suite_report -> perf_row
 
 type convergence_row = {
   c_region : string;
-  c_pass : string;  (** ["par pass1"], ["par pass2"], ["seq pass1"] or ["seq pass2"] *)
-  c_iterations : int;  (** attempted iterations (retries included) *)
+  c_backend : string;  (** backend name, e.g. ["par"], ["seq"], ["weighted"] *)
+  c_pass : string;  (** ["pass1"] or ["pass2"] *)
+  c_iterations : int;
+      (** attempted iterations — the engine-wide convention: every
+          started iteration counts, including faulted ones that were
+          retried (see {!Engine.Types.pass_stats.best_costs}) *)
+  c_retries : int;  (** faulted iterations that were retried within the pass *)
   c_initial : int;  (** cost of the pass's initial (heuristic) schedule *)
   c_final : int;  (** best cost when the pass stopped *)
   c_first_improvement : int;
@@ -124,8 +137,9 @@ type convergence_row = {
 }
 
 val convergence_rows_of_region : Compile.region_report -> convergence_row list
-(** One row per pass that ran (empty series are dropped — a pass that was
-    never invoked contributes nothing). *)
+(** One row per backend run and pass that ran, in the report's run order
+    (empty series are dropped — a pass that was never invoked contributes
+    nothing). *)
 
 val convergence_table : Compile.suite_report -> convergence_row list
 (** Convergence telemetry over the compiled kernels, region by region:
@@ -137,5 +151,5 @@ val render_convergence : convergence_row list -> string
     then five unchanged iterations). *)
 
 val convergence_csv : convergence_row list -> string
-(** Long-format CSV ([region,pass,iteration,best_cost]) for external
-    plotting. *)
+(** Long-format CSV ([region,backend,pass,iteration,best_cost]) for
+    external plotting. *)

@@ -32,12 +32,12 @@ let compile_totals ~threshold (report : Compile.suite_report) =
               base := !base +. region_base_ns r;
               seq :=
                 !seq
-                +. region_aco_ns ~threshold ~pass1:r.Compile.seq_pass1_time_ns
-                     ~pass2:r.Compile.seq_pass2_time_ns r;
+                +. region_aco_ns ~threshold ~pass1:(Compile.seq_pass1_time_ns r)
+                     ~pass2:(Compile.seq_pass2_time_ns r) r;
               par :=
                 !par
-                +. region_aco_ns ~threshold ~pass1:r.Compile.par_pass1_time_ns
-                     ~pass2:r.Compile.par_pass2_time_ns r)
+                +. region_aco_ns ~threshold ~pass1:(Compile.par_pass1_time_ns r)
+                     ~pass2:(Compile.par_pass2_time_ns r) r)
             kr.Compile.regions)
     report.Compile.suite.Workload.Suite.benchmarks;
   { base_ns = !base; seq_ns = !base +. !seq; par_ns = !base +. !par }

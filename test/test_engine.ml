@@ -1,0 +1,386 @@
+(* The engine layer: registry/dispatch/budget unit tests, the
+   prepare-once contract of the pipeline, and the byte-identity
+   differentials pinning the refactored backends to the frozen
+   pre-engine drivers in Two_pass_ref. *)
+
+module Ref = Two_pass_ref
+
+let params = Tu.test_params
+let gpu = Tu.test_gpu
+
+(* --- registry ------------------------------------------------------------ *)
+
+let test_registry () =
+  Pipeline.Compile.ensure_backends ();
+  List.iter
+    (fun b -> Alcotest.(check bool) (b ^ " registered") true (Engine.Registry.mem b))
+    [ "seq"; "par"; "weighted" ];
+  Alcotest.(check string) "find_exn resolves" "par"
+    (Engine.Backend.name (Engine.Registry.find_exn "par"));
+  Alcotest.(check bool) "find on unknown" true (Engine.Registry.find "no-such" = None);
+  (match Engine.Registry.find_exn "no-such" with
+  | _ -> Alcotest.fail "find_exn accepted an unknown backend"
+  | exception Invalid_argument _ -> ());
+  (* Re-registration is idempotent: same names, same order. *)
+  let before = Engine.Registry.names () in
+  Pipeline.Compile.ensure_backends ();
+  Alcotest.(check (list string)) "stable registration order" before (Engine.Registry.names ())
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+let test_dispatch () =
+  let open Engine.Dispatch in
+  Alcotest.(check (list string)) "fixed" [ "par" ] (candidates default ~n:10);
+  let auto = of_string ~auto_threshold:50 "auto" in
+  Alcotest.(check (list string)) "auto small" [ "seq" ] (candidates auto ~n:49);
+  Alcotest.(check (list string)) "auto large" [ "par" ] (candidates auto ~n:50);
+  let auto9 = of_string ~auto_threshold:9 "auto" in
+  Alcotest.(check (list string)) "auto threshold is configurable" [ "par" ]
+    (candidates auto9 ~n:9);
+  (match of_string "seq,par" with
+  | Race [ "seq"; "par" ] -> ()
+  | p -> Alcotest.failf "race parse: %s" (to_string p));
+  (match of_string "par" with
+  | Fixed "par" -> ()
+  | p -> Alcotest.failf "fixed parse: %s" (to_string p));
+  (match of_string "par," with
+  | Fixed "par" -> ()
+  | p -> Alcotest.failf "singleton race collapses: %s" (to_string p));
+  (match of_string "" with
+  | _ -> Alcotest.fail "empty spec accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list string)) "backend_names dedups" [ "par"; "seq" ]
+    (backend_names (Race [ "seq"; "par"; "seq" ]))
+
+(* --- budget arithmetic --------------------------------------------------- *)
+
+let test_budget_minus () =
+  let spent work time_ns = { Engine.Types.no_pass with Engine.Types.work; time_ns } in
+  Alcotest.(check bool) "unlimited stays" true
+    (Engine.Types.budget_minus Engine.Types.Unlimited (spent 1000 1e9) = Engine.Types.Unlimited);
+  Alcotest.(check bool) "work deducts" true
+    (Engine.Types.budget_minus (Engine.Types.Work 100) (spent 30 0.0) = Engine.Types.Work 70);
+  Alcotest.(check bool) "work clamps at zero" true
+    (Engine.Types.budget_minus (Engine.Types.Work 10) (spent 30 0.0) = Engine.Types.Work 0);
+  Alcotest.(check bool) "time deducts" true
+    (Engine.Types.budget_minus (Engine.Types.Time_ns 100.0) (spent 0 40.0)
+    = Engine.Types.Time_ns 60.0);
+  Alcotest.(check bool) "time clamps at zero" true
+    (Engine.Types.budget_minus (Engine.Types.Time_ns 10.0) (spent 0 40.0)
+    = Engine.Types.Time_ns 0.0)
+
+(* --- prepare-once contract ----------------------------------------------- *)
+
+(* A stub backend that counts [prepare] calls and ships the initial
+   schedule untouched: run_suite must prepare each backend exactly once
+   per compiled region — shared kernels are compiled once, not once per
+   benchmark. *)
+let prepare_count = ref 0
+
+module Counting_backend = struct
+  let name = "counting"
+  let caps = { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
+
+  type state = unit
+
+  let prepare _ctx _setup = incr prepare_count
+
+  let run_order_pass () (_ : Engine.Backend.order_request) =
+    invalid_arg "counting backend has no RP pass"
+
+  let run_schedule_pass () (req : Engine.Backend.schedule_request) =
+    (req.Engine.Backend.s_initial, { Engine.Types.no_pass with Engine.Types.invoked = true })
+
+  let teardown () = ()
+end
+
+let test_prepare_once () =
+  Engine.Registry.register (module Counting_backend : Engine.Backend.S);
+  let suite = Workload.Suite.generate Workload.Suite.test_scale in
+  let total_regions =
+    List.fold_left
+      (fun acc (k : Workload.Suite.kernel) -> acc + List.length k.Workload.Suite.regions)
+      0 suite.Workload.Suite.kernels
+  in
+  let instances =
+    List.length suite.Workload.Suite.benchmarks
+  in
+  Alcotest.(check bool) "suite shares kernels across benchmarks" true
+    (instances > List.length suite.Workload.Suite.kernels);
+  let config =
+    {
+      (Pipeline.Compile.make_config ~gpu ()) with
+      Pipeline.Compile.params;
+      dispatch = Engine.Dispatch.Fixed "counting";
+      run_sequential = false;
+    }
+  in
+  prepare_count := 0;
+  let report = Pipeline.Compile.run_suite config suite in
+  Alcotest.(check int) "one prepare per compiled region" total_regions !prepare_count;
+  (* and the reports indeed carry the counting backend's runs *)
+  List.iter
+    (fun (kr : Pipeline.Compile.kernel_report) ->
+      List.iter
+        (fun (r : Pipeline.Compile.region_report) ->
+          Alcotest.(check string) "product backend" "counting"
+            r.Pipeline.Compile.product_backend)
+        kr.Pipeline.Compile.regions)
+    report.Pipeline.Compile.kernels
+
+(* --- dispatch policies through the pipeline ------------------------------ *)
+
+let small_compile_config dispatch =
+  {
+    (Pipeline.Compile.make_config ~gpu ()) with
+    Pipeline.Compile.params;
+    dispatch;
+    run_sequential = false;
+  }
+
+let test_weighted_product () =
+  let region = Tu.random_region ~max_size:30 7 in
+  let r =
+    Pipeline.Compile.run_region
+      (small_compile_config (Engine.Dispatch.Fixed "weighted"))
+      ~name:"w" region
+  in
+  Alcotest.(check string) "weighted wins its own dispatch" "weighted"
+    r.Pipeline.Compile.product_backend;
+  Alcotest.(check bool) "weighted skips the RP pass" false r.Pipeline.Compile.pass1_invoked;
+  Alcotest.(check int) "one run" 1 (List.length r.Pipeline.Compile.runs);
+  (* the guard holds: the shipped order reconstructs into a valid
+     schedule (dependency order; [of_order] drops the stall padding) *)
+  let graph = Ddg.Graph.build region in
+  match Sched.Schedule.of_order graph r.Pipeline.Compile.aco_order with
+  | Ok s -> ignore (Tu.check_valid ~latency_aware:false s)
+  | Error v -> Alcotest.failf "invalid product: %s" (Sched.Schedule.violation_to_string v)
+
+let test_auto_dispatch () =
+  let region = Tu.random_region ~max_size:20 3 in
+  let n = Ir.Region.size region in
+  let below =
+    Pipeline.Compile.run_region
+      (small_compile_config (Engine.Dispatch.of_string ~auto_threshold:(n + 1) "auto"))
+      ~name:"a" region
+  in
+  Alcotest.(check string) "below threshold -> seq" "seq" below.Pipeline.Compile.product_backend;
+  let above =
+    Pipeline.Compile.run_region
+      (small_compile_config (Engine.Dispatch.of_string ~auto_threshold:n "auto"))
+      ~name:"a" region
+  in
+  Alcotest.(check string) "at threshold -> par" "par" above.Pipeline.Compile.product_backend
+
+let race_picks_best =
+  QCheck.Test.make ~count:6 ~name:"race dispatch ships the best schedule of the portfolio"
+    (Tu.arb_region ~max_size:30 ())
+    (fun region ->
+      let r =
+        Pipeline.Compile.run_region
+          (small_compile_config (Engine.Dispatch.Race [ "par"; "seq"; "weighted" ]))
+          ~name:"race" region
+      in
+      Alcotest.(check int) "all candidates ran" 3 (List.length r.Pipeline.Compile.runs);
+      let product = Pipeline.Compile.product_run r in
+      List.iter
+        (fun (run : Pipeline.Compile.backend_run) ->
+          if
+            Sched.Cost.better_rp_then_length run.Pipeline.Compile.result.Engine.Types.cost
+              product.Pipeline.Compile.result.Engine.Types.cost
+          then
+            Alcotest.failf "run %s beats the product %s" run.Pipeline.Compile.backend
+              r.Pipeline.Compile.product_backend)
+        r.Pipeline.Compile.runs;
+      true)
+
+(* --- byte-identity differentials ----------------------------------------- *)
+
+(* Warm up both code paths once so one-time lazy allocations (library
+   initialization and the like) cannot land inside exactly one side's
+   measured minor-words window. *)
+let warmup =
+  lazy
+    (let graph = Ddg.Graph.build (Tu.diamond_region ()) in
+     let setup = Aco.Setup.prepare Tu.occ graph in
+     ignore (Ref.Seq_ref.run_from_setup ~params setup);
+     ignore (Aco.Seq_aco.run_from_setup ~params setup);
+     ignore (Ref.Par_ref.run_from_setup ~params gpu setup);
+     ignore (Gpusim.Par_aco.run_from_setup ~params gpu setup))
+
+let check_seq_stats label (g : Ref.Seq_ref.pass_stats) (e : Engine.Types.pass_stats) =
+  let gt =
+    ( ( g.Ref.Seq_ref.invoked,
+        g.Ref.Seq_ref.iterations,
+        g.Ref.Seq_ref.ants_simulated,
+        g.Ref.Seq_ref.work,
+        g.Ref.Seq_ref.improved ),
+      ( g.Ref.Seq_ref.hit_lower_bound,
+        g.Ref.Seq_ref.aborted_budget,
+        Array.to_list g.Ref.Seq_ref.best_costs,
+        g.Ref.Seq_ref.minor_words ) )
+  in
+  let et =
+    ( ( e.Engine.Types.invoked,
+        e.Engine.Types.iterations,
+        e.Engine.Types.ants_simulated,
+        e.Engine.Types.work,
+        e.Engine.Types.improved ),
+      ( e.Engine.Types.hit_lower_bound,
+        e.Engine.Types.aborted_budget,
+        Array.to_list e.Engine.Types.best_costs,
+        e.Engine.Types.minor_words ) )
+  in
+  if gt <> et then
+    Alcotest.failf
+      "%s: pass stats diverged from the frozen driver (golden: it=%d ants=%d work=%d imp=%b \
+       hit=%b ab=%b mw=%.0f bc=%d | engine: it=%d ants=%d work=%d imp=%b hit=%b ab=%b mw=%.0f \
+       bc=%d)"
+      label g.Ref.Seq_ref.iterations g.Ref.Seq_ref.ants_simulated g.Ref.Seq_ref.work
+      g.Ref.Seq_ref.improved g.Ref.Seq_ref.hit_lower_bound g.Ref.Seq_ref.aborted_budget
+      g.Ref.Seq_ref.minor_words
+      (Array.length g.Ref.Seq_ref.best_costs)
+      e.Engine.Types.iterations e.Engine.Types.ants_simulated e.Engine.Types.work
+      e.Engine.Types.improved e.Engine.Types.hit_lower_bound e.Engine.Types.aborted_budget
+      e.Engine.Types.minor_words
+      (Array.length e.Engine.Types.best_costs);
+  (* fields the sequential colony never touches stay at their defaults *)
+  if
+    e.Engine.Types.time_ns <> 0.0 || e.Engine.Types.retries <> 0
+    || e.Engine.Types.aborted_faults
+    || e.Engine.Types.fault_counts <> Engine.Types.fault_counts_zero
+  then Alcotest.failf "%s: sequential pass carries parallel-only stats" label
+
+let check_par_stats label (g : Ref.Par_ref.pass_stats) (e : Engine.Types.pass_stats) =
+  let gt =
+    ( ( g.Ref.Par_ref.invoked,
+        g.Ref.Par_ref.iterations,
+        g.Ref.Par_ref.ants_simulated,
+        g.Ref.Par_ref.work,
+        g.Ref.Par_ref.time_ns,
+        g.Ref.Par_ref.improved ),
+      ( g.Ref.Par_ref.hit_lower_bound,
+        g.Ref.Par_ref.serialized_ops,
+        g.Ref.Par_ref.single_path_ops,
+        g.Ref.Par_ref.lockstep_steps,
+        g.Ref.Par_ref.ant_steps,
+        g.Ref.Par_ref.selections ),
+      ( Array.to_list g.Ref.Par_ref.best_costs,
+        g.Ref.Par_ref.minor_words,
+        g.Ref.Par_ref.retries,
+        g.Ref.Par_ref.aborted_budget,
+        g.Ref.Par_ref.aborted_faults,
+        g.Ref.Par_ref.fault_counts ) )
+  in
+  let et =
+    ( ( e.Engine.Types.invoked,
+        e.Engine.Types.iterations,
+        e.Engine.Types.ants_simulated,
+        e.Engine.Types.work,
+        e.Engine.Types.time_ns,
+        e.Engine.Types.improved ),
+      ( e.Engine.Types.hit_lower_bound,
+        e.Engine.Types.serialized_ops,
+        e.Engine.Types.single_path_ops,
+        e.Engine.Types.lockstep_steps,
+        e.Engine.Types.ant_steps,
+        e.Engine.Types.selections ),
+      ( Array.to_list e.Engine.Types.best_costs,
+        e.Engine.Types.minor_words,
+        e.Engine.Types.retries,
+        e.Engine.Types.aborted_budget,
+        e.Engine.Types.aborted_faults,
+        e.Engine.Types.fault_counts ) )
+  in
+  if gt <> et then Alcotest.failf "%s: pass stats diverged from the frozen driver" label
+
+let seq_differential =
+  QCheck.Test.make ~count:10
+    ~name:"seq backend through the engine replays the frozen driver byte for byte"
+    (QCheck.pair (Tu.arb_region ~max_size:40 ()) QCheck.small_int)
+    (fun (region, seed) ->
+      Lazy.force warmup;
+      let graph = Ddg.Graph.build region in
+      let setup = Aco.Setup.prepare Tu.occ graph in
+      List.iter
+        (fun budget_work ->
+          let label = Printf.sprintf "seq seed=%d budget=%d" seed budget_work in
+          let g = Ref.Seq_ref.run_from_setup ~params ~seed ~budget_work setup in
+          let e = Aco.Seq_aco.run_from_setup ~params ~seed ~budget_work setup in
+          if
+            Sched.Schedule.order g.Ref.Seq_ref.schedule
+            <> Sched.Schedule.order e.Engine.Types.schedule
+          then Alcotest.failf "%s: schedules diverged" label;
+          if g.Ref.Seq_ref.cost <> e.Engine.Types.cost then
+            Alcotest.failf "%s: costs diverged" label;
+          if g.Ref.Seq_ref.rp_target <> e.Engine.Types.rp_target then
+            Alcotest.failf "%s: RP targets diverged" label;
+          if
+            Sched.Schedule.order g.Ref.Seq_ref.pass2_initial
+            <> Sched.Schedule.order e.Engine.Types.pass2_initial
+          then Alcotest.failf "%s: pass-2 seeds diverged" label;
+          check_seq_stats (label ^ " pass1") g.Ref.Seq_ref.pass1 e.Engine.Types.pass1;
+          check_seq_stats (label ^ " pass2") g.Ref.Seq_ref.pass2 e.Engine.Types.pass2)
+        [ max_int; 40_000; 500 ];
+      true)
+
+let par_differential =
+  QCheck.Test.make ~count:8
+    ~name:"par backend through the engine replays the frozen driver byte for byte"
+    (QCheck.pair (Tu.arb_region ~max_size:40 ()) QCheck.small_int)
+    (fun (region, seed) ->
+      Lazy.force warmup;
+      let graph = Ddg.Graph.build region in
+      let setup = Aco.Setup.prepare Tu.occ graph in
+      List.iter
+        (fun (fault_rate, budget_ns, iteration_deadline_ns, max_retries) ->
+          let label =
+            Printf.sprintf "par seed=%d rate=%.2f budget=%.0f" seed fault_rate budget_ns
+          in
+          let config =
+            if fault_rate > 0.0 then
+              Gpusim.Config.with_faults ~seed:(seed + 13) gpu
+                (Gpusim.Config.uniform_faults fault_rate)
+            else gpu
+          in
+          let g =
+            Ref.Par_ref.run_from_setup ~params ~seed ~budget_ns ~iteration_deadline_ns
+              ~max_retries config setup
+          in
+          let e =
+            Gpusim.Par_aco.run_from_setup ~params ~seed ~budget_ns ~iteration_deadline_ns
+              ~max_retries config setup
+          in
+          if
+            Sched.Schedule.order g.Ref.Par_ref.schedule
+            <> Sched.Schedule.order e.Engine.Types.schedule
+          then Alcotest.failf "%s: schedules diverged" label;
+          if g.Ref.Par_ref.cost <> e.Engine.Types.cost then
+            Alcotest.failf "%s: costs diverged" label;
+          if g.Ref.Par_ref.rp_target <> e.Engine.Types.rp_target then
+            Alcotest.failf "%s: RP targets diverged" label;
+          if
+            Sched.Schedule.order g.Ref.Par_ref.pass2_initial
+            <> Sched.Schedule.order e.Engine.Types.pass2_initial
+          then Alcotest.failf "%s: pass-2 seeds diverged" label;
+          check_par_stats (label ^ " pass1") g.Ref.Par_ref.pass1 e.Engine.Types.pass1;
+          check_par_stats (label ^ " pass2") g.Ref.Par_ref.pass2 e.Engine.Types.pass2)
+        [
+          (0.0, infinity, infinity, 2);
+          (0.2, infinity, infinity, 2);
+          (0.5, 2e6, infinity, 1);
+          (0.0, 1e5, infinity, 2);
+          (0.9, infinity, 1e4, 3);
+        ];
+      true)
+
+let suite =
+  [
+    ("backend registry", `Quick, test_registry);
+    ("dispatch policies", `Quick, test_dispatch);
+    ("budget arithmetic", `Quick, test_budget_minus);
+    ("run_suite prepares each backend once per region", `Quick, test_prepare_once);
+    ("weighted backend ships a valid product", `Quick, test_weighted_product);
+    ("auto dispatch follows the size threshold", `Quick, test_auto_dispatch);
+  ]
+  @ Tu.qtests [ race_picks_best; seq_differential; par_differential ]

@@ -8,6 +8,7 @@ let () =
       ("sched", Test_sched.suite);
       ("aco", Test_aco.suite);
       ("gpusim", Test_gpusim.suite);
+      ("engine", Test_engine.suite);
       ("arena", Test_arena.suite);
       ("workload", Test_workload.suite);
       ("pipeline", Test_pipeline.suite);

@@ -203,19 +203,19 @@ let region_signature (r : Pipeline.Compile.region_report) =
       r.Pipeline.Compile.aco_cost,
       r.Pipeline.Compile.degradation,
       r.Pipeline.Compile.retries ),
-    ( par_signature r.Pipeline.Compile.par_pass1,
-      par_signature r.Pipeline.Compile.par_pass2,
-      r.Pipeline.Compile.par_pass1_time_ns,
-      r.Pipeline.Compile.par_pass2_time_ns,
+    ( par_signature (Pipeline.Compile.par_pass1 r),
+      par_signature (Pipeline.Compile.par_pass2 r),
+      Pipeline.Compile.par_pass1_time_ns r,
+      Pipeline.Compile.par_pass2_time_ns r,
       Gpusim.Faults.total r.Pipeline.Compile.fault_counts ),
     ( Option.map
         (fun (s : Aco.Seq_aco.pass_stats) -> Array.to_list s.Aco.Seq_aco.best_costs)
-        r.Pipeline.Compile.seq_pass1,
+        (Pipeline.Compile.seq_pass1 r),
       Option.map
         (fun (s : Aco.Seq_aco.pass_stats) -> Array.to_list s.Aco.Seq_aco.best_costs)
-        r.Pipeline.Compile.seq_pass2,
-      r.Pipeline.Compile.seq_pass1_time_ns,
-      r.Pipeline.Compile.seq_pass2_time_ns ) )
+        (Pipeline.Compile.seq_pass2 r),
+      Pipeline.Compile.seq_pass1_time_ns r,
+      Pipeline.Compile.seq_pass2_time_ns r ) )
 
 let tracing_is_inert =
   QCheck.Test.make ~count:8 ~name:"live recorders never perturb the compile"
@@ -245,7 +245,7 @@ let tracing_is_inert =
           (match Obs.Metrics.get metrics "r.par.pass2.best_cost" with
           | Some m ->
               let pushed = Array.map int_of_float (Obs.Metrics.series m) in
-              let stats = on.Pipeline.Compile.par_pass2.Gpusim.Par_aco.best_costs in
+              let stats = (Pipeline.Compile.par_pass2 on).Gpusim.Par_aco.best_costs in
               (* the registry sees one push per attempted iteration:
                  the series drops the initial-cost entry 0 *)
               Alcotest.(check (array int)) "metrics series matches pass stats"

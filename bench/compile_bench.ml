@@ -1,0 +1,185 @@
+(* The compile-service benchmark and its CI gates.
+
+   [run] times the same suite compile four ways — cold cache, warm
+   cache, cache off, and multi-domain — checks that all four reports
+   agree canonically, and writes BENCH_compile.json. [cache_gate]
+   asserts the two service invariants on a duplicate-heavy suite: the
+   analysis-cache hit rate stays above one half, and (under a race
+   dispatch plus the ride-along baseline, i.e. several consumers per
+   region) the closure analysis runs exactly once per distinct region. *)
+
+type row = {
+  label : string;
+  wall_s : float;
+  stats : Pipeline.Analysis.stats option;
+  digest : string;
+}
+
+let default_jobs =
+  let d = Domain.recommended_domain_count () in
+  if d >= 4 then 4 else max 2 d
+
+(* The compile work itself is identical across rows; keep it modest so
+   the benchmark is about analysis and orchestration, not ACO search. *)
+let config () =
+  let c = Pipeline.Compile.make_config ~gpu:Gpusim.Config.bench () in
+  { c with Pipeline.Compile.run_sequential = false }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let compile_row ~label ~jobs ~cache config suite =
+  let wall_s, report =
+    timed (fun () -> Pipeline.Executor.run_suite ~jobs ?cache config suite)
+  in
+  {
+    label;
+    wall_s;
+    stats = Option.map Pipeline.Analysis.stats cache;
+    digest = Pipeline.Report_digest.digest report;
+  }
+
+let write_json ~file ~jobs rows =
+  let oc = open_out file in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"jobs\": ";
+  Buffer.add_string buf (string_of_int jobs);
+  Buffer.add_string buf ",\n  \"rows\": [\n";
+  let cold = (List.hd rows).wall_s in
+  List.iteri
+    (fun i r ->
+      let stats_json =
+        match r.stats with
+        | None -> "null"
+        | Some s ->
+            Printf.sprintf
+              "{\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"computed\": %d, \
+               \"hit_rate\": %.3f}"
+              s.Pipeline.Analysis.hits s.Pipeline.Analysis.misses
+              s.Pipeline.Analysis.evictions s.Pipeline.Analysis.computed
+              (Pipeline.Analysis.hit_rate s)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_s\": %.4f, \"speedup_vs_cold\": %s, \"cache\": %s, \
+            \"digest\": %S}%s\n"
+           r.label r.wall_s
+           (if r.wall_s > 0.0 then Printf.sprintf "%.2f" (cold /. r.wall_s) else "null")
+           stats_json r.digest
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "# wrote %s\n%!" file
+
+let run ~small () =
+  let scale = if small then Workload.Suite.test_scale else Workload.Suite.bench_scale in
+  (* Two copies of every kernel: the duplicate-heavy workload the cache
+     exists for (shared kernels and template instantiations). *)
+  let suite = Workload.Suite.replicate ~copies:2 (Workload.Suite.generate scale) in
+  let config = config () in
+  let jobs = default_jobs in
+  let warm_cache = Pipeline.Analysis.create () in
+  (* Bind each row in sequence: the warm row must reuse the cache the
+     cold row just filled (a list literal would evaluate right to left). *)
+  let cold =
+    compile_row ~label:"compile/cold-cache" ~jobs:1 ~cache:(Some warm_cache) config suite
+  in
+  let warm =
+    compile_row ~label:"compile/warm-cache" ~jobs:1 ~cache:(Some warm_cache) config suite
+  in
+  let off = compile_row ~label:"compile/cache-off" ~jobs:1 ~cache:None config suite in
+  let fanned =
+    compile_row
+      ~label:(Printf.sprintf "compile/jobs-%d" jobs)
+      ~jobs
+      ~cache:(Some (Pipeline.Analysis.create ()))
+      config suite
+  in
+  let rows = [ cold; warm; off; fanned ] in
+  let reference = (List.hd rows).digest in
+  List.iter
+    (fun r ->
+      if not (String.equal r.digest reference) then begin
+        Printf.eprintf "compile bench: FAIL — %s diverged from cold-cache report\n"
+          r.label;
+        exit 1
+      end)
+    rows;
+  print_string "COMPILE SERVICE — COLD/WARM CACHE AND MULTI-DOMAIN WALL CLOCK\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-22s %8.3f s%s\n" r.label r.wall_s
+        (match r.stats with
+        | None -> ""
+        | Some s ->
+            Printf.sprintf "  (%d hits / %d misses, %.0f%% hit rate)"
+              s.Pipeline.Analysis.hits s.Pipeline.Analysis.misses
+              (100.0 *. Pipeline.Analysis.hit_rate s)))
+    rows;
+  Printf.printf "  reports: canonically identical across all %d configurations\n\n"
+    (List.length rows);
+  write_json ~file:"BENCH_compile.json" ~jobs rows
+
+let cache_gate () =
+  let suite =
+    Workload.Suite.replicate ~copies:2
+      (Workload.Suite.generate Workload.Suite.test_scale)
+  in
+  let distinct =
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun region ->
+        Hashtbl.replace seen (Engine.Region_ctx.fingerprint_of_region region) ())
+      (List.concat_map
+         (fun (k : Workload.Suite.kernel) -> k.Workload.Suite.regions)
+         suite.Workload.Suite.kernels);
+    Hashtbl.length seen
+  in
+  (* Race dispatch plus the ride-along baseline: every region has four
+     analysis consumers, the hostile case for the once-per-region
+     invariant. *)
+  let config =
+    {
+      (Pipeline.Compile.make_config
+         ~dispatch:(Engine.Dispatch.Race [ "par"; "weighted" ])
+         ())
+      with
+      Pipeline.Compile.run_sequential = true;
+    }
+  in
+  let cache = Pipeline.Analysis.create () in
+  let c0 = Ddg.Closure.compute_count () in
+  let report = Pipeline.Executor.run_suite ~jobs:1 ~cache config suite in
+  let closures = Ddg.Closure.compute_count () - c0 in
+  let s = Pipeline.Analysis.stats cache in
+  let hit_rate = Pipeline.Analysis.hit_rate s in
+  Printf.printf
+    "cache-gate: %d regions (%d distinct), %d hits / %d misses (%.0f%% hit rate), %d \
+     closure analyses\n"
+    (List.length
+       (List.concat_map
+          (fun (kr : Pipeline.Compile.kernel_report) -> kr.Pipeline.Compile.regions)
+          report.Pipeline.Compile.kernels))
+    distinct s.Pipeline.Analysis.hits s.Pipeline.Analysis.misses (100.0 *. hit_rate)
+    closures;
+  let fail msg =
+    Printf.eprintf "cache-gate: FAIL — %s\n" msg;
+    exit 1
+  in
+  if hit_rate < 0.5 then
+    fail
+      (Printf.sprintf "hit rate %.2f below 0.5 on a duplicate-region suite" hit_rate);
+  if s.Pipeline.Analysis.computed <> distinct then
+    fail
+      (Printf.sprintf "%d analyses for %d distinct regions" s.Pipeline.Analysis.computed
+         distinct);
+  if closures <> distinct then
+    fail
+      (Printf.sprintf
+         "%d closure computations for %d distinct regions under race dispatch" closures
+         distinct);
+  print_endline "cache-gate: OK"

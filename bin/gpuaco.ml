@@ -171,6 +171,33 @@ let auto_threshold_arg =
   in
   Arg.(value & opt int 50 & info [ "auto-threshold" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of OCaml domains compiling suite regions in parallel (with $(b,--suite)). \
+     The report is identical for every value; a single region always compiles on one \
+     domain."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Analysis-cache mode: $(b,on) shares region analyses between structurally \
+     identical regions, $(b,off) recomputes them per region, $(b,stats) is $(b,on) \
+     plus a hit/miss/eviction summary after the compile. The emitted schedules are \
+     identical in every mode."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("on", `On); ("off", `Off); ("stats", `Stats) ]) `On
+    & info [ "cache" ] ~docv:"MODE" ~doc)
+
+let suite_arg =
+  let doc =
+    "Compile the generated benchmark suite (at test scale, seeded by $(b,--seed)) \
+     through the multi-domain executor instead of a single $(b,--shape) region."
+  in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
 (* Exit status mirrors the degradation ledger so scripts can tell a clean
    compile from a degraded one without parsing the output. *)
 let degradation_exit = function
@@ -199,9 +226,55 @@ let write_metrics metrics file =
   if Filename.check_suffix file ".json" then Obs.Metrics.write_json metrics file
   else Obs.Metrics.write_csv metrics file
 
+let print_cache_stats cache =
+  Format.printf "%a@." Pipeline.Analysis.pp_stats (Pipeline.Analysis.stats cache)
+
+let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out =
+  let scale = { Workload.Suite.test_scale with Workload.Suite.seed } in
+  let suite = Workload.Suite.generate scale in
+  let stats = Workload.Suite.stats suite in
+  let cache =
+    match cache_mode with
+    | `Off -> Pipeline.Analysis.disabled ()
+    | `On | `Stats -> Pipeline.Analysis.create ~metrics ()
+  in
+  let report = Pipeline.Executor.run_suite ~jobs ~metrics ~cache config suite in
+  let regions =
+    List.concat_map
+      (fun (kr : Pipeline.Compile.kernel_report) -> kr.Pipeline.Compile.regions)
+      report.Pipeline.Compile.kernels
+  in
+  Printf.printf "suite: %d kernels, %d regions compiled on %d domain%s\n"
+    stats.Workload.Suite.num_kernels (List.length regions) (max 1 jobs)
+    (if max 1 jobs = 1 then "" else "s");
+  let tally =
+    Pipeline.Robust.tally_of_list
+      (List.map (fun (r : Pipeline.Compile.region_report) -> r.Pipeline.Compile.degradation) regions)
+  in
+  Printf.printf "ledger: %d clean, %d retried, %d budget-exceeded, %d fallback\n"
+    tally.Pipeline.Robust.clean tally.Pipeline.Robust.retried
+    tally.Pipeline.Robust.budget_exceeded tally.Pipeline.Robust.faulted_fallback;
+  Printf.printf "report digest: %s\n" (Pipeline.Report_digest.digest report);
+  if cache_mode = `Stats then print_cache_stats cache;
+  (match metrics_out with
+  | Some file ->
+      write_metrics metrics file;
+      Printf.printf "metrics: written to %s\n" file
+  | None -> ());
+  let worst =
+    List.fold_left
+      (fun acc (r : Pipeline.Compile.region_report) ->
+        if
+          Pipeline.Robust.severity r.Pipeline.Compile.degradation
+          > Pipeline.Robust.severity acc
+        then r.Pipeline.Compile.degradation
+        else acc)
+      Pipeline.Robust.Clean regions
+  in
+  degradation_exit worst
+
 let run_compile shape size seed fault_rate fault_seed budget_ms max_retries backend
-    auto_threshold trace_out metrics_out convergence =
-  let region = build_shape shape ~size ~seed in
+    auto_threshold jobs cache_mode suite trace_out metrics_out convergence =
   let dispatch = Engine.Dispatch.of_string ~auto_threshold backend in
   let config =
     Pipeline.Compile.make_config
@@ -209,13 +282,22 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
       ?fault_seed ?compile_budget_ms:budget_ms ~max_retries ~dispatch ()
   in
   let config = { config with Pipeline.Compile.run_sequential = false } in
-  let trace =
-    match trace_out with Some _ -> Obs.Trace.create () | None -> Obs.Trace.null
-  in
   let metrics =
     match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
   in
-  let r = Pipeline.Compile.run_region ~trace ~metrics config ~name:shape region in
+  if suite then run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out
+  else begin
+  let region = build_shape shape ~size ~seed in
+  let trace =
+    match trace_out with Some _ -> Obs.Trace.create () | None -> Obs.Trace.null
+  in
+  let cache =
+    match cache_mode with
+    | `Off -> Pipeline.Analysis.disabled ()
+    | `On | `Stats -> Pipeline.Analysis.create ~metrics ()
+  in
+  let ctx = Pipeline.Analysis.get cache config.Pipeline.Compile.occ region in
+  let r = Pipeline.Compile.run_region ~trace ~metrics ~ctx config ~name:shape region in
   Printf.printf "region %s: %d instructions (size category %s)\n" shape r.Pipeline.Compile.n
     (Aco.Params.size_category_label r.Pipeline.Compile.size_category);
   Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Pipeline.Compile.heuristic_cost);
@@ -247,6 +329,7 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
   if convergence then
     print_string
       (Pipeline.Report.render_convergence (Pipeline.Report.convergence_rows_of_region r));
+  if cache_mode = `Stats then print_cache_stats cache;
   (match trace_out with
   | Some file ->
       Obs.Trace.write_chrome_json trace file;
@@ -260,6 +343,7 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
       Printf.printf "metrics: written to %s\n" file
   | None -> ());
   degradation_exit r.Pipeline.Compile.degradation
+  end
 
 let compile_cmd =
   let info =
@@ -273,8 +357,8 @@ let compile_cmd =
   Cmd.v info
     Term.(
       const run_compile $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
-      $ budget_arg $ retries_arg $ backend_arg $ auto_threshold_arg $ trace_out_arg
-      $ metrics_out_arg $ convergence_arg)
+      $ budget_arg $ retries_arg $ backend_arg $ auto_threshold_arg $ jobs_arg $ cache_arg
+      $ suite_arg $ trace_out_arg $ metrics_out_arg $ convergence_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 

@@ -1,7 +1,10 @@
 (* Compile pipeline: push a small synthetic suite through the full
    compile flow — AMD heuristic, lower-bound gating, two-pass parallel
    ACO on the simulated GPU, both Section VI-D filters — and report the
-   per-kernel outcome plus the modeled execution-time effect.
+   per-kernel outcome plus the modeled execution-time effect. The suite
+   goes through the region executor with a shared analysis cache, so the
+   run also prints what the compile service did: how many region
+   analyses were computed versus served from the cache.
 
    Run with: dune exec examples/compile_pipeline.exe *)
 
@@ -11,10 +14,14 @@ let () =
   in
   let suite = Workload.Suite.generate scale in
   let config = Pipeline.Compile.make_config ~gpu:{ Gpusim.Config.bench with num_wavefronts = 4 } () in
-  Printf.printf "compiling %d kernels / %d benchmarks...\n%!"
+  let jobs = min 2 (Domain.recommended_domain_count ()) in
+  Printf.printf "compiling %d kernels / %d benchmarks (%d domains)...\n%!"
     (List.length suite.Workload.Suite.kernels)
-    (List.length suite.Workload.Suite.benchmarks);
-  let report = Pipeline.Compile.run_suite config suite in
+    (List.length suite.Workload.Suite.benchmarks)
+    jobs;
+  let cache = Pipeline.Analysis.create () in
+  let report = Pipeline.Executor.run_suite ~jobs ~cache config suite in
+  Format.printf "%a@." Pipeline.Analysis.pp_stats (Pipeline.Analysis.stats cache);
   let filters = Pipeline.Filters.default in
   List.iter
     (fun (kr : Pipeline.Compile.kernel_report) ->

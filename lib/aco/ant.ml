@@ -22,13 +22,25 @@ type shared = {
   s_ready_ub : int;
 }
 
-let prepare_shared graph =
+let prepare_shared ?cp ?layout ?ready_ub graph =
   {
     s_graph = graph;
-    s_cp = Ddg.Critpath.compute graph;
-    s_layout = Sched.Rp_tracker.layout_of_graph graph;
-    s_ready_ub = Ddg.Closure.ready_list_upper_bound (Ddg.Closure.compute graph);
+    s_cp = (match cp with Some c -> c | None -> Ddg.Critpath.compute graph);
+    s_layout =
+      (match layout with Some l -> l | None -> Sched.Rp_tracker.layout_of_graph graph);
+    s_ready_ub =
+      (match ready_ub with
+      | Some ub -> ub
+      | None -> Ddg.Closure.ready_list_upper_bound (Ddg.Closure.compute graph));
   }
+
+(* The engine hands backends a [Region_ctx] whose analyses are exactly
+   the ones a colony shares; reusing them keeps a dispatch race at one
+   analysis pass per region instead of one per backend. *)
+let shared_of_region_ctx (rc : Engine.Region_ctx.t) =
+  prepare_shared ~cp:rc.Engine.Region_ctx.critpath ~layout:rc.Engine.Region_ctx.rp_layout
+    ~ready_ub:rc.Engine.Region_ctx.ready_ub
+    (Engine.Region_ctx.graph rc)
 
 let shared_ready_ub shared = shared.s_ready_ub
 
@@ -41,6 +53,13 @@ type t = {
   ctx : Sched.Heuristic.ctx;
   cand : int array;  (* scratch: candidate slice, ready order *)
   vals : float array;  (* scratch: eta then tau^a * eta^b per candidate *)
+  (* Roulette-wheel accumulators, carved from the colony arena's float
+     bank: stores into a float array are unboxed, so the summation loop
+     never allocates (a local [ref] may or may not be unboxed depending
+     on the compiler). Per-ant, like [Rp_tracker]'s effects scratch, so
+     colonies on different domains never share them. *)
+  fbuf : float array;
+  facc_base : int;
   (* eta^beta per instruction for the construction-state-independent
      heuristics (critical path and source order depend only on the
      region), precomputed at [create] so the selection loop is a table
@@ -72,7 +91,7 @@ let arena_demand shared =
     (2 * Sched.Ready_list.int_demand shared.s_graph)
     + Sched.Rp_tracker.int_demand shared.s_layout
   in
-  (ints, 0)
+  (ints, 2 (* roulette-wheel accumulators *))
 
 let pow_fast x e =
   (* The defaults (alpha = 1, beta = 2) are on the hot path; [Float.pow]
@@ -107,6 +126,7 @@ let create ?shared ?arena graph params =
   in
   let n = graph.Ddg.Graph.n in
   let ub = max 1 shared.s_ready_ub in
+  let facc_base = Support.Arena.alloc_floats arena 2 in
   let rp = Sched.Rp_tracker.create_in arena shared.s_layout in
   let ctx = Sched.Heuristic.make_ctx ~cp:shared.s_cp graph rp in
   let beta = params.Params.beta in
@@ -120,6 +140,8 @@ let create ?shared ?arena graph params =
     ctx;
     cand = Array.make ub 0;
     vals = Array.make ub 0.0;
+    fbuf = Support.Arena.floats arena;
+    facc_base;
     eta_pow_cp = eta_pow Sched.Heuristic.Critical_path;
     eta_pow_so = eta_pow Sched.Heuristic.Source_order;
     rng = Support.Rng.create 0;
@@ -173,12 +195,6 @@ let effective_heuristic t =
    tau^alpha * eta^beta), otherwise explore (roulette wheel over the same
    values). *)
 
-(* Float accumulators for the roulette wheel: stores into a float array
-   are unboxed, so the summation loop never allocates (a local [ref]
-   may or may not be unboxed depending on the compiler). Single-threaded,
-   like [Rp_tracker]'s effects scratch. *)
-let facc = Array.make 2 0.0
-
 (* Selection over the candidate slice [t.cand.(0 .. m-1)]: fill
    [t.vals] with eta, combine with the pheromone row of [t.last], then
    exploit (argmax, first maximum wins) or explore (roulette wheel). The
@@ -219,23 +235,24 @@ let select_slice t ~pheromone ~explored m =
           t.vals.(k) <- pow_fast tau alpha *. pow_fast t.vals.(k) beta
         done);
     if explored then begin
-      facc.(0) <- 0.0;
+      let fbuf = t.fbuf and fb = t.facc_base in
+      fbuf.(fb) <- 0.0;
       for k = 0 to m - 1 do
-        facc.(0) <- facc.(0) +. t.vals.(k)
+        fbuf.(fb) <- fbuf.(fb) +. t.vals.(k)
       done;
-      let total = facc.(0) in
+      let total = fbuf.(fb) in
       let u = Support.Rng.float t.rng in
       if total > 0.0 then begin
         (* Roulette wheel; like the seed's fold, the last candidate wins
            by default without a comparison (guarding against the
            accumulated sum falling short of [target] through rounding). *)
         let target = u *. total in
-        facc.(1) <- 0.0;
+        fbuf.(fb + 1) <- 0.0;
         let chosen = ref (m - 1) in
         let k = ref 0 in
         while !chosen = m - 1 && !k < m - 1 do
-          facc.(1) <- facc.(1) +. t.vals.(!k);
-          if facc.(1) >= target then chosen := !k else incr k
+          fbuf.(fb + 1) <- fbuf.(fb + 1) +. t.vals.(!k);
+          if fbuf.(fb + 1) >= target then chosen := !k else incr k
         done;
         t.cand.(!chosen)
       end

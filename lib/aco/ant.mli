@@ -37,7 +37,19 @@ type shared
 (** Region-wide analyses shared by every ant of a colony: critical path,
     register layout, transitive-closure ready-list bound. *)
 
-val prepare_shared : Ddg.Graph.t -> shared
+val prepare_shared :
+  ?cp:Ddg.Critpath.t ->
+  ?layout:Sched.Rp_tracker.layout ->
+  ?ready_ub:int ->
+  Ddg.Graph.t ->
+  shared
+(** Omitted analyses are computed from the graph; passing them reuses
+    work already done elsewhere (notably a shared
+    {!Engine.Region_ctx.t}). *)
+
+val shared_of_region_ctx : Engine.Region_ctx.t -> shared
+(** [prepare_shared] fed entirely from the region context's precomputed
+    analyses — no graph traversal, no closure recomputation. *)
 
 val shared_ready_ub : shared -> int
 (** The transitive-closure ready-list bound, for drivers that also size

@@ -59,14 +59,16 @@ module Backend_impl = struct
 
   type nonrec state = state
 
-  let prepare (ctx : Engine.Backend.ctx) (setup : Setup.t) =
+  let prepare (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
+    let setup = rc.Engine.Region_ctx.setup in
     let graph = setup.Setup.graph in
     let occ = setup.Setup.occ in
     let n = graph.Ddg.Graph.n in
     let params = ctx.Engine.Backend.params in
     let rng = Support.Rng.create ctx.Engine.Backend.seed in
-    (* One set of region analyses and one SoA arena back the whole colony. *)
-    let shared = Ant.prepare_shared graph in
+    (* The region context's analyses and one SoA arena back the whole
+       colony; nothing region-derived is recomputed here. *)
+    let shared = Ant.shared_of_region_ctx rc in
     let ints, floats = Ant.arena_demand shared in
     let lanes = params.Params.ants_per_iteration in
     let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
@@ -145,6 +147,6 @@ let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_in
       label;
       ext = [];
     }
-    setup
+    (Engine.Region_ctx.of_setup setup)
 
 let run ?params ?seed occ graph = run_from_setup ?params ?seed (Setup.prepare occ graph)

@@ -111,7 +111,8 @@ module Backend_impl = struct
 
   type nonrec state = state
 
-  let prepare (ctx : Engine.Backend.ctx) (setup : Setup.t) =
+  let prepare (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
+    let setup = rc.Engine.Region_ctx.setup in
     let graph = setup.Setup.graph in
     let n = graph.Ddg.Graph.n in
     let params = ctx.Engine.Backend.params in
@@ -121,7 +122,7 @@ module Backend_impl = struct
         1 ctx.Engine.Backend.ext
     in
     let rng = Support.Rng.create ctx.Engine.Backend.seed in
-    let shared = Ant.prepare_shared graph in
+    let shared = Ant.shared_of_region_ctx rc in
     let ints, floats = Ant.arena_demand shared in
     let lanes = params.Params.ants_per_iteration in
     let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in

@@ -1,6 +1,14 @@
 type t = { n : int; desc : Support.Bitset.t array; anc : Support.Bitset.t array }
 
+(* Closure construction is the most expensive region analysis, so the
+   compile service's "analysis runs once per distinct region" gate counts
+   invocations here. Atomic: region jobs run on multiple domains. *)
+let computations = Atomic.make 0
+
+let compute_count () = Atomic.get computations
+
 let compute (g : Graph.t) =
+  Atomic.incr computations;
   let n = g.n in
   let desc = Array.init n (fun _ -> Support.Bitset.create n) in
   let anc = Array.init n (fun _ -> Support.Bitset.create n) in

@@ -12,6 +12,12 @@ type t
 val compute : Graph.t -> t
 (** Bitset-based closure: O(V * E / word_size). *)
 
+val compute_count : unit -> int
+(** Process-wide number of {!compute} invocations (domain-safe,
+    monotonic). The compile pipeline's analysis cache asserts on deltas
+    of this counter to prove each distinct region is analysed exactly
+    once. *)
+
 val reaches : t -> int -> int -> bool
 (** [reaches c i j] is true when there is a (non-empty) dependence path
     from [i] to [j]. *)

@@ -45,7 +45,7 @@ module type S = sig
 
   type state
 
-  val prepare : ctx -> Setup.t -> state
+  val prepare : ctx -> Region_ctx.t -> state
   val run_order_pass : state -> order_request -> int array * Types.pass_stats
   val run_schedule_pass : state -> schedule_request -> Sched.Schedule.t * Types.pass_stats
   val teardown : state -> unit

@@ -57,7 +57,12 @@ module type S = sig
       built once and shared by both passes — RNG continuity across the
       passes is part of the byte-identity contract. *)
 
-  val prepare : ctx -> Setup.t -> state
+  val prepare : ctx -> Region_ctx.t -> state
+  (** Build the working set from the shared region-analysis context.
+      Backends must consume the context's precomputed analyses
+      (closure bound, critical path, RP layout) rather than re-deriving
+      them — a race of N backends does the analysis work once. *)
+
   val run_order_pass : state -> order_request -> int array * Types.pass_stats
   val run_schedule_pass : state -> schedule_request -> Sched.Schedule.t * Types.pass_stats
 

@@ -1,0 +1,83 @@
+(* The immutable analysis bundle of one scheduling region: everything a
+   backend or the compile pipeline derives from the region alone, computed
+   once and shared by every consumer — the two-pass orchestrator, each
+   backend of a dispatch race, the ride-along sequential baseline, and
+   the report synthesis. Nothing here is mutated after construction, so a
+   value can be shared freely across domains and cached by content. *)
+
+type t = {
+  setup : Setup.t;
+  closure : Ddg.Closure.t;
+  critpath : Ddg.Critpath.t;
+  ready_ub : int;
+  rp_layout : Sched.Rp_tracker.layout;
+  cp_schedule : Sched.Schedule.t;
+  cp_cost : Sched.Cost.t;
+  fingerprint : string;
+}
+
+let graph t = t.setup.Setup.graph
+let occ t = t.setup.Setup.occ
+let size t = (graph t).Ddg.Graph.n
+
+(* --- content addressing --------------------------------------------------- *)
+
+(* Structural codes; instruction and region *names* are deliberately
+   excluded — two regions that differ only in labels schedule
+   identically, so they must share one cache entry. *)
+let kind_code = function
+  | Ir.Opcode.Valu -> 0
+  | Ir.Opcode.Valu_trans -> 1
+  | Ir.Opcode.Salu -> 2
+  | Ir.Opcode.Vmem_load -> 3
+  | Ir.Opcode.Vmem_store -> 4
+  | Ir.Opcode.Smem_load -> 5
+  | Ir.Opcode.Lds -> 6
+  | Ir.Opcode.Branch -> 7
+  | Ir.Opcode.Export -> 8
+
+let add_reg buf (r : Ir.Reg.t) =
+  Buffer.add_char buf (match r.Ir.Reg.cls with Ir.Reg.Vgpr -> 'v' | Ir.Reg.Sgpr -> 's');
+  Buffer.add_string buf (string_of_int r.Ir.Reg.id)
+
+let fingerprint_of_region (region : Ir.Region.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (string_of_int (Ir.Region.size region));
+  Array.iter
+    (fun (i : Ir.Instr.t) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int (kind_code i.Ir.Instr.kind));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int i.Ir.Instr.latency);
+      Buffer.add_char buf 'd';
+      List.iter (add_reg buf) i.Ir.Instr.defs;
+      Buffer.add_char buf 'u';
+      List.iter (add_reg buf) i.Ir.Instr.uses)
+    region.Ir.Region.instrs;
+  Buffer.add_char buf 'o';
+  List.iter (add_reg buf) region.Ir.Region.live_out;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- construction --------------------------------------------------------- *)
+
+let of_setup ?fingerprint (setup : Setup.t) =
+  let graph = setup.Setup.graph in
+  let closure = Ddg.Closure.compute graph in
+  let cp_schedule = Sched.List_scheduler.run graph Sched.Heuristic.Critical_path in
+  {
+    setup;
+    closure;
+    critpath = Ddg.Critpath.compute graph;
+    ready_ub = Ddg.Closure.ready_list_upper_bound closure;
+    rp_layout = Sched.Rp_tracker.layout_of_graph graph;
+    cp_schedule;
+    cp_cost = Sched.Cost.of_schedule setup.Setup.occ cp_schedule;
+    fingerprint =
+      (match fingerprint with
+      | Some f -> f
+      | None -> fingerprint_of_region graph.Ddg.Graph.region);
+  }
+
+let of_graph ?fingerprint occ graph = of_setup ?fingerprint (Setup.prepare occ graph)
+
+let of_region ?fingerprint occ region = of_graph ?fingerprint occ (Ddg.Graph.build region)

@@ -1,0 +1,49 @@
+(** Shared region-analysis context.
+
+    Everything the compile service derives from a scheduling region
+    alone — the DDG with its transitive closure, critical path, lower
+    bounds and ready-list bound, the AMD-heuristic baseline, the
+    register-pressure layout and the Critical-Path reference schedule —
+    bundled into one immutable value that is computed once per distinct
+    region and consumed by the orchestrator, by every backend of a
+    dispatch race, and by the report layer.
+
+    The bundle is content-addressed: {!fingerprint_of_region} hashes the
+    region's instruction/latency/register structure (names excluded), so
+    structurally identical regions share one context in
+    [Pipeline.Analysis]'s cache. Values are immutable and safe to share
+    across domains. *)
+
+type t = {
+  setup : Setup.t;
+      (** heuristic baseline, pass-1 starting points, RP/length lower
+          bounds and the pass-1 gating decision *)
+  closure : Ddg.Closure.t;  (** transitive closure of the DDG *)
+  critpath : Ddg.Critpath.t;  (** latency-weighted critical paths *)
+  ready_ub : int;
+      (** {!Ddg.Closure.ready_list_upper_bound} — sizes every per-ant
+          scratch array and the simulated memory model *)
+  rp_layout : Sched.Rp_tracker.layout;
+      (** interned register layout backing every colony's RP trackers *)
+  cp_schedule : Sched.Schedule.t;
+      (** Critical-Path list schedule (the report's sensitivity check) *)
+  cp_cost : Sched.Cost.t;
+  fingerprint : string;  (** content address (hex digest) *)
+}
+
+val graph : t -> Ddg.Graph.t
+val occ : t -> Machine.Occupancy.t
+val size : t -> int
+
+val fingerprint_of_region : Ir.Region.t -> string
+(** Hash of the region's structure: instruction kinds, latencies, def/use
+    register lists and live-out set, in order. Instruction and region
+    names are excluded — label-only variants address the same context. *)
+
+val of_setup : ?fingerprint:string -> Setup.t -> t
+(** Derive the remaining analyses from an already-prepared setup.
+    [fingerprint] avoids re-hashing when the caller (the analysis cache)
+    already computed the content address. *)
+
+val of_graph : ?fingerprint:string -> Machine.Occupancy.t -> Ddg.Graph.t -> t
+val of_region : ?fingerprint:string -> Machine.Occupancy.t -> Ir.Region.t -> t

@@ -1,3 +1,15 @@
+(* Name-keyed backend table. All operations take one mutex so
+   registration and lookup are safe from concurrent domain workers (the
+   executor's region jobs call [Pipeline.Compile.ensure_backends] and
+   [find_exn] from every domain). The lock is uncontended outside the
+   executor and never held across backend code. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let table : (string, Backend.t) Hashtbl.t = Hashtbl.create 8
 
 (* Registration order, kept separately so [names] lists backends in the
@@ -6,10 +18,11 @@ let order : string list ref = ref []
 
 let register (b : Backend.t) =
   let name = Backend.name b in
-  if not (Hashtbl.mem table name) then order := !order @ [ name ];
-  Hashtbl.replace table name b
+  locked (fun () ->
+      if not (Hashtbl.mem table name) then order := !order @ [ name ];
+      Hashtbl.replace table name b)
 
-let find name = Hashtbl.find_opt table name
+let find name = locked (fun () -> Hashtbl.find_opt table name)
 
 let find_exn name =
   match find name with
@@ -17,7 +30,7 @@ let find_exn name =
   | None ->
       invalid_arg
         (Printf.sprintf "Engine.Registry: unknown backend %S (registered: %s)" name
-           (String.concat ", " !order))
+           (String.concat ", " (locked (fun () -> !order))))
 
-let names () = !order
-let mem name = Hashtbl.mem table name
+let names () = locked (fun () -> !order)
+let mem name = locked (fun () -> Hashtbl.mem table name)

@@ -4,7 +4,12 @@
     Registration is explicit and idempotent — each backend module
     exposes a [register] function the pipeline calls at configuration
     time; re-registering a name replaces the backend but keeps its
-    position in {!names}. *)
+    position in {!names}.
+
+    Every operation is mutex-protected, so concurrent registration and
+    lookup from executor domain workers are safe: registering the same
+    backend from several domains at once still yields one entry in one
+    position. *)
 
 val register : Backend.t -> unit
 val find : string -> Backend.t option

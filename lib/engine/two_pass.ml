@@ -8,11 +8,12 @@
    this module leaves its schedules, RNG streams and reported stats
    exactly as before. *)
 
-let run (backend : Backend.t) (ctx : Backend.ctx) (setup : Setup.t) : Types.result =
+let run (backend : Backend.t) (ctx : Backend.ctx) (rc : Region_ctx.t) : Types.result =
   let module B = (val backend : Backend.S) in
+  let setup = rc.Region_ctx.setup in
   let occ = setup.Setup.occ in
   let graph = setup.Setup.graph in
-  let state = B.prepare ctx setup in
+  let state = B.prepare ctx rc in
   Fun.protect ~finally:(fun () -> B.teardown state) @@ fun () ->
   (* Pass 1: minimize RP, latencies ignored. Skipped when the initial
      order already meets the RP bound, or when the backend has no RP

@@ -5,6 +5,7 @@
     pass 2's initial schedule, and pass 2 searches for the shortest
     latency-feasible schedule on whatever budget pass 1 left. *)
 
-val run : Backend.t -> Backend.ctx -> Setup.t -> Types.result
-(** Prepare the backend, run the gated passes, tear it down (also on
-    exceptions). Deterministic for a fixed context. *)
+val run : Backend.t -> Backend.ctx -> Region_ctx.t -> Types.result
+(** Prepare the backend from the shared region-analysis context, run the
+    gated passes, tear it down (also on exceptions). Deterministic for a
+    fixed context. *)

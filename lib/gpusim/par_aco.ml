@@ -384,7 +384,8 @@ module Backend_impl = struct
 
   type nonrec state = state
 
-  let prepare (ctx : Engine.Backend.ctx) (setup : Aco.Setup.t) =
+  let prepare (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
+    let setup = rc.Engine.Region_ctx.setup in
     let graph = setup.Aco.Setup.graph in
     let occ = setup.Aco.Setup.occ in
     let n = graph.Ddg.Graph.n in
@@ -426,9 +427,9 @@ module Backend_impl = struct
           else Faults.disabled
     in
     let rng = Support.Rng.create seed in
-    (* One set of region analyses (critical path, register layout, closure
-       ready-list bound) feeds every wavefront of the colony. *)
-    let shared = Aco.Ant.prepare_shared graph in
+    (* The region context's analyses (critical path, register layout,
+       closure ready-list bound) feed every wavefront of the colony. *)
+    let shared = Aco.Ant.shared_of_region_ctx rc in
     let wavefronts = make_wavefronts ~shared config graph params in
     (* Track layout: 0 = driver, 1 = kernel stages, 2.. = one per
        wavefront. Hooks are attached here, outside any measured window, so
@@ -553,7 +554,7 @@ let run_from_setup ?(params = Aco.Params.default) ?(seed = 1) ?faults ?(budget_n
       label;
       ext;
     }
-    setup
+    (Engine.Region_ctx.of_setup setup)
 
 let run ?params ?seed config occ graph =
   run_from_setup ?params ?seed config (Aco.Setup.prepare occ graph)

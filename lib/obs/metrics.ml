@@ -28,13 +28,22 @@ type metric = {
 
 type t = {
   on : bool;
+  lock : Mutex.t;
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list; (* reversed insertion order *)
 }
 
-let create () = { on = true; tbl = Hashtbl.create 64; order = [] }
-let null = { on = false; tbl = Hashtbl.create 1; order = [] }
+let create () = { on = true; lock = Mutex.create (); tbl = Hashtbl.create 64; order = [] }
+let null = { on = false; lock = Mutex.create (); tbl = Hashtbl.create 1; order = [] }
 let[@inline] enabled t = t.on
+
+(* Every mutation and registry read takes [t.lock], so one registry can
+   be shared by the executor's domain workers. Write paths branch on
+   [t.on] before locking, so the disabled registry stays a no-op that
+   never touches the mutex. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let find t name kind =
   match Hashtbl.find_opt t.tbl name with
@@ -70,34 +79,34 @@ let update m v =
   m.m_last <- v
 
 let add t name by =
-  if t.on then begin
-    let m = find t name Counter in
-    m.m_count <- m.m_count + 1;
-    m.m_sum <- m.m_sum +. float_of_int by
-  end
+  if t.on then
+    locked t (fun () ->
+        let m = find t name Counter in
+        m.m_count <- m.m_count + 1;
+        m.m_sum <- m.m_sum +. float_of_int by)
 
 let incr t name = add t name 1
 
-let set t name v = if t.on then update (find t name Gauge) v
+let set t name v = if t.on then locked t (fun () -> update (find t name Gauge) v)
 
-let observe t name v = if t.on then update (find t name Histogram) v
+let observe t name v = if t.on then locked t (fun () -> update (find t name Histogram) v)
 
 let push t name v =
-  if t.on then begin
-    let m = find t name Series in
-    if m.m_len = Array.length m.m_series then begin
-      let grown = Array.make (2 * m.m_len) 0.0 in
-      Array.blit m.m_series 0 grown 0 m.m_len;
-      m.m_series <- grown
-    end;
-    m.m_series.(m.m_len) <- v;
-    m.m_len <- m.m_len + 1;
-    update m v
-  end
+  if t.on then
+    locked t (fun () ->
+        let m = find t name Series in
+        if m.m_len = Array.length m.m_series then begin
+          let grown = Array.make (2 * m.m_len) 0.0 in
+          Array.blit m.m_series 0 grown 0 m.m_len;
+          m.m_series <- grown
+        end;
+        m.m_series.(m.m_len) <- v;
+        m.m_len <- m.m_len + 1;
+        update m v)
 
-let names t = List.rev t.order
+let names t = locked t (fun () -> List.rev t.order)
 
-let get t name = Hashtbl.find_opt t.tbl name
+let get t name = locked t (fun () -> Hashtbl.find_opt t.tbl name)
 
 let kind_of m = m.m_kind
 let count m = m.m_count

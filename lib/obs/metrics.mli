@@ -3,7 +3,11 @@
 
     {!null} is the disabled registry: every operation on it is a single
     branch on an immutable bool, so instrumentation guarded by it adds
-    no allocation and no writes. *)
+    no allocation and no writes.
+
+    An enabled registry is domain-safe: every mutation and registry read
+    takes an internal mutex, so the executor's domain workers may share
+    one registry. The disabled registry never touches the mutex. *)
 
 type t
 

@@ -1,0 +1,136 @@
+(* Content-addressed cache of region-analysis contexts.
+
+   The key is the region's structural fingerprint (instruction kinds,
+   latencies, register defs/uses and live-outs — names excluded, see
+   [Engine.Region_ctx.fingerprint_of_region]) salted with the occupancy
+   model, so two regions that compile identically share one analysis no
+   matter which kernel they came from.
+
+   All operations take one mutex. A miss computes the context *under the
+   lock*: concurrent domain workers asking for the same fingerprint must
+   never both analyse it — the compile service's invariant is exactly one
+   analysis per distinct region, and the cache is where it is enforced.
+   Analysis is cheap next to the ACO passes that follow, so the
+   serialization is invisible in practice. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  computed : int;
+  entries : int;
+  capacity : int;
+}
+
+type entry = { e_ctx : Engine.Region_ctx.t; mutable e_used : int }
+
+type t = {
+  capacity : int;
+  metrics : Obs.Metrics.t;
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable computed : int;
+}
+
+let default_capacity = 512
+
+let create ?(metrics = Obs.Metrics.null) ?(capacity = default_capacity) () =
+  {
+    capacity = max 0 capacity;
+    metrics;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    computed = 0;
+  }
+
+let disabled () = create ~capacity:0 ()
+
+let caching t = t.capacity > 0
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Occupancy is part of the analysis (heuristic costs, RP bounds), so it
+   salts the key; [Occupancy.t] is plain data, so Marshal is a faithful
+   rendering. *)
+let key_of occ region =
+  let fingerprint = Engine.Region_ctx.fingerprint_of_region region in
+  (Digest.to_hex (Digest.string (Marshal.to_string occ [])) ^ ":" ^ fingerprint, fingerprint)
+
+(* Lock held. Linear scan over the table: capacities are small (hundreds)
+   and eviction only happens on a miss that also ran a full analysis. *)
+let evict_if_full t =
+  if Hashtbl.length t.tbl >= t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best <= e.e_used -> acc
+          | _ -> Some (k, e.e_used))
+        t.tbl None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1;
+        Obs.Metrics.incr t.metrics "analysis.cache.evictions"
+    | None -> ()
+  end
+
+let miss t key ~fingerprint occ region =
+  t.misses <- t.misses + 1;
+  t.computed <- t.computed + 1;
+  Obs.Metrics.incr t.metrics "analysis.cache.misses";
+  Obs.Metrics.incr t.metrics "analysis.cache.computed";
+  let rc = Engine.Region_ctx.of_region ~fingerprint occ region in
+  if t.capacity > 0 then begin
+    evict_if_full t;
+    Hashtbl.add t.tbl key { e_ctx = rc; e_used = t.tick }
+  end;
+  rc
+
+let get t occ region =
+  let key, fingerprint = key_of occ region in
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      if t.capacity = 0 then miss t key ~fingerprint occ region
+      else
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+            e.e_used <- t.tick;
+            t.hits <- t.hits + 1;
+            Obs.Metrics.incr t.metrics "analysis.cache.hits";
+            e.e_ctx
+        | None -> miss t key ~fingerprint occ region)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        computed = t.computed;
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "analysis cache: %d hits, %d misses (%.0f%% hit rate), %d computed, %d evicted, \
+     %d/%d entries"
+    s.hits s.misses
+    (100.0 *. hit_rate s)
+    s.computed s.evictions s.entries s.capacity

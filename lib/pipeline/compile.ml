@@ -155,7 +155,8 @@ let heuristic_fallback (setup : Aco.Setup.t) : Engine.Types.result =
    fallback, guard the emitted schedule, and classify the run's ledger
    entry. Returns the run and whether the backend trapped. *)
 let run_backend ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name
-    ~budget_ns (setup : Aco.Setup.t) bname =
+    ~budget_ns (rc : Engine.Region_ctx.t) bname =
+  let setup = rc.Engine.Region_ctx.setup in
   let backend = Engine.Registry.find_exn bname in
   let caps = Engine.Backend.caps backend in
   let budget =
@@ -185,7 +186,7 @@ let run_backend ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~
     }
   in
   let result, trapped =
-    match Engine.Two_pass.run backend ctx setup with
+    match Engine.Two_pass.run backend ctx rc with
     | r -> (r, false)
     | exception _ -> (heuristic_fallback setup, true)
   in
@@ -242,17 +243,28 @@ let pick_product = function
           else acc)
         first rest
 
-let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~name region =
+let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) ?ctx ?budget_ns
+    config ~name region =
   ensure_backends ();
-  let graph = Ddg.Graph.build region in
-  let setup = Aco.Setup.prepare config.occ graph in
+  (* The analysis context is computed here exactly once (or arrives
+     precomputed from the executor's cache); every backend the dispatch
+     races consumes it instead of re-deriving region analyses. *)
+  let rc =
+    match ctx with
+    | Some rc -> rc
+    | None -> Engine.Region_ctx.of_region config.occ region
+  in
+  let setup = rc.Engine.Region_ctx.setup in
+  let graph = setup.Aco.Setup.graph in
   let n = graph.Ddg.Graph.n in
-  let budget_ns = Robust.budget_for config.robust ~n in
+  let budget_ns =
+    match budget_ns with Some b -> b | None -> Robust.budget_for config.robust ~n
+  in
   let region_t0 = Obs.Trace.now trace in
   let candidates = Engine.Dispatch.candidates config.dispatch ~n in
   let runs =
     List.map
-      (fun bname -> fst (run_backend ~trace ~metrics config ~name ~budget_ns setup bname))
+      (fun bname -> fst (run_backend ~trace ~metrics config ~name ~budget_ns rc bname))
       candidates
   in
   let product = pick_product runs in
@@ -269,13 +281,19 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~n
      traps is dropped (the product does not depend on it). *)
   let runs =
     if config.run_sequential && not (List.mem "seq" candidates) then
-      match run_backend ~metrics config ~name ~budget_ns setup "seq" with
-      | run, false -> runs @ [ run ]
+      match run_backend ~metrics config ~name ~budget_ns rc "seq" with
+      | run, false ->
+          (* The baseline must start from the same shared context as the
+             product candidates — identical heuristic schedule, identical
+             lower bounds — or the Tables 3.a/3.b comparison is not
+             apples-to-apples. The context hand-off makes this structural;
+             the assert keeps it that way. *)
+          assert (run.result.Engine.Types.heuristic_cost = setup.Aco.Setup.amd_cost);
+          runs @ [ run ]
       | _, true -> runs
       | exception _ -> runs
     else runs
   in
-  let cp_schedule = Sched.List_scheduler.run graph Sched.Heuristic.Critical_path in
   let presult = product.result in
   let pass2_initial_cost =
     Sched.Cost.of_schedule config.occ presult.Engine.Types.pass2_initial
@@ -287,7 +305,7 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~n
     length_lb = setup.Aco.Setup.length_lb;
     heuristic_cost = setup.Aco.Setup.amd_cost;
     heuristic_order = Sched.Schedule.order setup.Aco.Setup.amd_schedule;
-    cp_cost = Sched.Cost.of_schedule config.occ cp_schedule;
+    cp_cost = rc.Engine.Region_ctx.cp_cost;
     pass1_invoked = presult.Engine.Types.pass1.Engine.Types.invoked;
     pass2_invoked = presult.Engine.Types.pass2.Engine.Types.invoked;
     pass2_gap = setup.Aco.Setup.amd_cost.Sched.Cost.length - setup.Aco.Setup.length_lb;
@@ -303,7 +321,10 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~n
   }
 
 let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
-    ?(metrics = Obs.Metrics.null) config (suite : Workload.Suite.t) =
+    ?(metrics = Obs.Metrics.null) ?cache config (suite : Workload.Suite.t) =
+  let ctx_of region =
+    Option.map (fun cache -> Analysis.get cache config.occ region) cache
+  in
   let kernels =
     List.map
       (fun (k : Workload.Suite.kernel) ->
@@ -312,7 +333,7 @@ let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
           List.mapi
             (fun i region ->
               let name = Printf.sprintf "%s/r%d" k.Workload.Suite.kernel_name i in
-              run_region ~trace ~metrics config ~name region)
+              run_region ~trace ~metrics ?ctx:(ctx_of region) config ~name region)
             k.Workload.Suite.regions
         in
         { kernel = k; regions })

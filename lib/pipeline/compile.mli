@@ -140,6 +140,8 @@ val heuristic_fallback : Aco.Setup.t -> Engine.Types.result
 val run_region :
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?ctx:Engine.Region_ctx.t ->
+  ?budget_ns:float ->
   config ->
   name:string ->
   Ir.Region.t ->
@@ -152,6 +154,14 @@ val run_region :
     dispatch races several backends, the product is the best cost
     (occupancy first, then length; the earlier candidate wins ties).
 
+    [ctx] supplies the region's analysis context (from {!Analysis} or a
+    prior {!Engine.Region_ctx.of_region}); without it one is computed
+    here. Either way the analyses run once and every raced backend and
+    the ride-along baseline consume the same context. [budget_ns]
+    overrides the {!Robust.budget_for} size-class budget — the executor
+    computes it on the job so a region's budget never depends on which
+    domain compiles it.
+
     [trace] / [metrics] (default disabled, a true no-op) attach the
     flight recorder: the region becomes a span on the driver track
     enclosing the traced backends' passes, the product's degradation
@@ -163,13 +173,18 @@ val run_suite :
   ?progress:(string -> unit) ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?cache:Analysis.t ->
   config ->
   Workload.Suite.t ->
   suite_report
 (** Compile every kernel of the suite (kernels shared between benchmarks
     are compiled once — and once per backend the dispatch runs).
     [progress] receives one message per kernel; [trace] / [metrics] are
-    threaded to every {!run_region}. *)
+    threaded to every {!run_region}. [cache] routes analysis contexts
+    through the content-addressed {!Analysis} cache, so structurally
+    repeated regions are analysed once; the report is unchanged by the
+    cache (see {!Report_digest}). Sequential; {!Executor.run_suite} is
+    the multi-domain entry point. *)
 
 val hot_region : kernel_report -> region_report
 (** The region backing the kernel's hot loop. Total for any [hot_index]:

@@ -1,0 +1,114 @@
+(* The execute layer of the compile service: a suite becomes a flat list
+   of independent region jobs, the jobs fan out over OCaml domains, and
+   the reports are merged back by index.
+
+   Determinism comes from the split of responsibilities, not from luck:
+   everything a job's outcome may depend on — its name, its source
+   region, its budget, its backend seeds, its (optional) precomputed
+   analysis context — is fixed on the job record before any domain
+   starts, and [Compile.run_region] is a pure function of those inputs.
+   Which domain runs a job, and in which order jobs are claimed, can
+   then only change scheduling, never results; the merge step reassembles
+   kernel reports in suite order, so the suite report is canonically
+   identical to a sequential compile (see [Report_digest]). *)
+
+type job = {
+  j_index : int;
+  j_kernel : int;
+  j_name : string;
+  j_region : Ir.Region.t;
+  j_budget_ns : float;
+  j_seq_seed : int;
+  j_par_seed : int;
+}
+
+let jobs_of_suite (config : Compile.config) (suite : Workload.Suite.t) =
+  let jobs = ref [] in
+  let index = ref 0 in
+  List.iteri
+    (fun ki (k : Workload.Suite.kernel) ->
+      List.iteri
+        (fun ri region ->
+          let n = Ir.Region.size region in
+          jobs :=
+            {
+              j_index = !index;
+              j_kernel = ki;
+              j_name = Printf.sprintf "%s/r%d" k.Workload.Suite.kernel_name ri;
+              j_region = region;
+              j_budget_ns = Robust.budget_for config.Compile.robust ~n;
+              j_seq_seed = config.Compile.seq_seed;
+              j_par_seed = config.Compile.par_seed;
+            }
+            :: !jobs;
+          incr index)
+        k.Workload.Suite.regions)
+    suite.Workload.Suite.kernels;
+  Array.of_list (List.rev !jobs)
+
+let run_job ?trace ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config) job =
+  let ctx =
+    Option.map (fun cache -> Analysis.get cache config.Compile.occ job.j_region) cache
+  in
+  let config =
+    { config with Compile.seq_seed = job.j_seq_seed; par_seed = job.j_par_seed }
+  in
+  Compile.run_region ?trace ~metrics ?ctx ~budget_ns:job.j_budget_ns config
+    ~name:job.j_name job.j_region
+
+let run_suite ?(jobs = 1) ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
+    ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config)
+    (suite : Workload.Suite.t) =
+  let jobs = max 1 jobs in
+  Compile.ensure_backends ();
+  let work = jobs_of_suite config suite in
+  let njobs = Array.length work in
+  let results : Compile.region_report option array = Array.make njobs None in
+  (* The flight-recorder ring buffer is single-writer; with more than one
+     domain the workers run untraced (metrics stay on — the registry is
+     mutex-protected). *)
+  let trace = if jobs > 1 then Obs.Trace.null else trace in
+  let claim = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add claim 1 in
+      if i < njobs then begin
+        results.(i) <- Some (run_job ~trace ~metrics ?cache config work.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (min (jobs - 1) (max 0 (njobs - 1))) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  Array.iter Domain.join helpers;
+  let report_of i =
+    match results.(i) with
+    | Some r -> r
+    | None -> invalid_arg "Executor.run_suite: job finished without a report"
+  in
+  (* Merge by index: [work] was built in suite order, so consecutive
+     indices within one kernel are its regions in order. *)
+  let cursor = ref 0 in
+  let kernels =
+    List.map
+      (fun (k : Workload.Suite.kernel) ->
+        progress k.Workload.Suite.kernel_name;
+        let regions =
+          List.map
+            (fun _ ->
+              let r = report_of !cursor in
+              incr cursor;
+              r)
+            k.Workload.Suite.regions
+        in
+        { Compile.kernel = k; regions })
+      suite.Workload.Suite.kernels
+  in
+  {
+    Compile.suite;
+    compile_config = config;
+    kernels;
+  }

@@ -1,0 +1,55 @@
+(** The execute layer: fan a suite's regions over OCaml domains.
+
+    Scheduling regions are independent compilation problems, so the
+    suite flattens into indexed jobs, each carrying everything its
+    outcome depends on — name, source region, size-class budget, backend
+    seeds, and (through the shared {!Analysis} cache) its analysis
+    context. Jobs are claimed from an atomic counter by [jobs] domains
+    and the reports merged back by index, which makes the suite report
+    canonically identical ({!Report_digest}) to a sequential
+    {!Compile.run_suite} for every jobs count.
+
+    With [jobs > 1] the flight-recorder [trace] is disabled for the
+    workers (the ring buffer is single-writer); [metrics] stays on — the
+    registry is mutex-protected — but the {e registration order} of
+    metric names then depends on scheduling, so exports may list the
+    same values in a different order across runs. *)
+
+type job = {
+  j_index : int;  (** merge key: position in suite order *)
+  j_kernel : int;  (** index into [suite.kernels] *)
+  j_name : string;  (** ["<kernel>/r<i>"], as in sequential compiles *)
+  j_region : Ir.Region.t;
+  j_budget_ns : float;  (** {!Robust.budget_for} of the region's size class *)
+  j_seq_seed : int;
+  j_par_seed : int;
+}
+
+val jobs_of_suite : Compile.config -> Workload.Suite.t -> job array
+(** The suite flattened in suite order ([j_index] = array index). *)
+
+val run_job :
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?cache:Analysis.t ->
+  Compile.config ->
+  job ->
+  Compile.region_report
+(** Compile one job — {!Compile.run_region} on the job's own name,
+    budget and seeds, with the analysis context drawn from [cache] when
+    one is shared. *)
+
+val run_suite :
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?cache:Analysis.t ->
+  Compile.config ->
+  Workload.Suite.t ->
+  Compile.suite_report
+(** Compile the whole suite on [jobs] domains (default 1; values below 1
+    clamp to 1). [progress] fires once per kernel at merge time, in
+    suite order. The report is canonically identical to
+    [Compile.run_suite] with the same configuration, for any [jobs] and
+    any [cache] setting. *)

@@ -31,6 +31,7 @@ type t = {
   live_base : int;  (* 0/1 liveness flags, nregs entries *)
   cur_base : int;  (* current pressure, 2 entries (class rank) *)
   peak_base : int;  (* peak pressure, 2 entries *)
+  eff_base : int;  (* effects scratch, 4 entries (see [compute_effects]) *)
 }
 
 let rank = function Ir.Reg.Vgpr -> 0 | Ir.Reg.Sgpr -> 1
@@ -78,7 +79,7 @@ let layout_of_graph (graph : Ddg.Graph.t) =
   done;
   { graph; cls; use_ids; def_ids; defs_v; defs_s; total_uses; live_out; live_in; nregs }
 
-let int_demand layout = (2 * layout.nregs) + 4
+let int_demand layout = (2 * layout.nregs) + 8
 
 let reset t =
   let l = t.layout in
@@ -107,6 +108,7 @@ let create_in arena layout =
       live_base = base + layout.nregs;
       cur_base = base + (2 * layout.nregs);
       peak_base = base + (2 * layout.nregs) + 2;
+      eff_base = base + (2 * layout.nregs) + 4;
     }
   in
   reset t;
@@ -167,13 +169,15 @@ let peak t cls = t.buf.(t.peak_base + rank cls)
 (* One-pass, allocation-free analysis of scheduling [i]: per class, the
    live ranges it would close and open. Duplicate uses of one register in
    the same instruction are counted by multiplicity with a quadratic scan
-   (Def/Use sets are tiny). Results land in [scratch]. *)
-let scratch = Array.make 4 0 (* closed_v; opened_v; closed_s; opened_s *)
+   (Def/Use sets are tiny). Results land in the tracker's own arena slice
+   at [eff_base] (closed_v; opened_v; closed_s; opened_s) — per-tracker,
+   not module-global, so colonies on different domains never share it. *)
 
 let compute_effects t i =
-  Array.fill scratch 0 4 0;
   let l = t.layout in
   let buf = t.buf in
+  let e = t.eff_base in
+  Array.fill buf e 4 0;
   let uses = l.use_ids.(i) and defs = l.def_ids.(i) in
   let n_uses = Array.length uses in
   for k = 0 to n_uses - 1 do
@@ -192,7 +196,7 @@ let compute_effects t i =
       done;
       if !last_occurrence then
         let c = rank l.cls.(ui) in
-        scratch.(2 * c) <- scratch.(2 * c) + 1
+        buf.(e + (2 * c)) <- buf.(e + (2 * c)) + 1
     end
   done;
   Array.iter
@@ -200,19 +204,22 @@ let compute_effects t i =
       if buf.(t.live_base + di) = 0 then begin
         (* already-opened within this instruction? defs are unique *)
         let c = rank l.cls.(di) in
-        scratch.((2 * c) + 1) <- scratch.((2 * c) + 1) + 1
+        buf.(e + (2 * c) + 1) <- buf.(e + (2 * c) + 1) + 1
       end)
     defs
 
 let delta_if_scheduled t i cls =
   compute_effects t i;
   let c = rank cls in
-  scratch.((2 * c) + 1) - scratch.(2 * c)
+  t.buf.(t.eff_base + (2 * c) + 1) - t.buf.(t.eff_base + (2 * c))
 
 let peak_if_scheduled t i cls =
   compute_effects t i;
   let c = rank cls in
-  max t.buf.(t.peak_base + c) (t.buf.(t.cur_base + c) - scratch.(2 * c) + scratch.((2 * c) + 1))
+  max t.buf.(t.peak_base + c)
+    (t.buf.(t.cur_base + c)
+    - t.buf.(t.eff_base + (2 * c))
+    + t.buf.(t.eff_base + (2 * c) + 1))
 
 let fits_within t i ~target_vgpr ~target_sgpr =
   let l = t.layout in
@@ -228,8 +235,9 @@ let fits_within t i ~target_vgpr ~target_sgpr =
   then true
   else begin
     compute_effects t i;
-    let v = max buf.(t.peak_base) (buf.(t.cur_base) - scratch.(0) + scratch.(1)) in
-    let s = max buf.(t.peak_base + 1) (buf.(t.cur_base + 1) - scratch.(2) + scratch.(3)) in
+    let e = t.eff_base in
+    let v = max buf.(t.peak_base) (buf.(t.cur_base) - buf.(e) + buf.(e + 1)) in
+    let s = max buf.(t.peak_base + 1) (buf.(t.cur_base + 1) - buf.(e + 2) + buf.(e + 3)) in
     v <= target_vgpr && s <= target_sgpr
   end
 
@@ -240,6 +248,7 @@ let fits_within t i ~target_vgpr ~target_sgpr =
 let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
   let l = t.layout in
   let buf = t.buf in
+  let e = t.eff_base in
   let pv = buf.(t.peak_base) and ps = buf.(t.peak_base + 1) in
   let cv = buf.(t.cur_base) and cs = buf.(t.cur_base + 1) in
   if pv > target_vgpr || ps > target_sgpr then 0
@@ -253,8 +262,8 @@ let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
         && cs + Array.unsafe_get l.defs_s i <= target_sgpr)
         ||
         (compute_effects t i;
-         cv - scratch.(0) + scratch.(1) <= target_vgpr
-         && cs - scratch.(2) + scratch.(3) <= target_sgpr)
+         cv - buf.(e) + buf.(e + 1) <= target_vgpr
+         && cs - buf.(e + 2) + buf.(e + 3) <= target_sgpr)
       in
       if fits then begin
         Array.unsafe_set cand !m i;
@@ -266,17 +275,20 @@ let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
 
 let closes_count t i =
   compute_effects t i;
-  scratch.(0) + scratch.(2)
+  let e = t.eff_base in
+  t.buf.(e) + t.buf.(e + 2)
 
 let opens_count t i =
   compute_effects t i;
-  scratch.(1) + scratch.(3)
+  let e = t.eff_base in
+  t.buf.(e + 1) + t.buf.(e + 3)
 
 let closes_minus_opens t i =
   (* One effects pass instead of two; same integer as
      [closes_count t i - opens_count t i]. *)
   compute_effects t i;
-  scratch.(0) + scratch.(2) - scratch.(1) - scratch.(3)
+  let e = t.eff_base in
+  t.buf.(e) + t.buf.(e + 2) - t.buf.(e + 1) - t.buf.(e + 3)
 
 (* Independent reference implementation over live-range intervals; assumes
    single-definition registers (all generated workloads are SSA-like).

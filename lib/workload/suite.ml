@@ -149,6 +149,26 @@ let generate scale =
   in
   { kernels; benchmarks = base_benchmarks @ extras }
 
+(* Compile-side workload replication: each copy re-lists every kernel
+   under a fresh name but shares the region values, the way template
+   instantiation multiplies structurally identical regions across a real
+   suite. Benchmarks are left untouched (they reference the original
+   kernels); replication multiplies compile work, not execution work. *)
+let replicate ~copies t =
+  if copies <= 1 then t
+  else
+    let kernels =
+      List.concat
+        (List.init copies (fun c ->
+             if c = 0 then t.kernels
+             else
+               List.map
+                 (fun k ->
+                   { k with kernel_name = Printf.sprintf "%s~dup%d" k.kernel_name c })
+                 t.kernels))
+    in
+    { t with kernels }
+
 type stats = {
   num_benchmarks : int;
   num_kernels : int;

@@ -45,6 +45,15 @@ val bench_scale : scale
 
 val generate : scale -> t
 
+val replicate : copies:int -> t -> t
+(** The suite with every kernel listed [copies] times (copy 0 keeps the
+    original names, later copies get a ["~dup<c>"] suffix), sharing the
+    same region values — a duplicate-heavy compile workload, the way
+    template instantiation repeats structurally identical regions across
+    a real suite. Every replica region is a guaranteed analysis-cache
+    hit. Benchmarks are untouched (replication multiplies compile work,
+    not execution work); [copies <= 1] is the identity. *)
+
 type stats = {
   num_benchmarks : int;
   num_kernels : int;

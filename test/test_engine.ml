@@ -83,7 +83,7 @@ module Counting_backend = struct
 
   type state = unit
 
-  let prepare _ctx _setup = incr prepare_count
+  let prepare _ctx (_ : Engine.Region_ctx.t) = incr prepare_count
 
   let run_order_pass () (_ : Engine.Backend.order_request) =
     invalid_arg "counting backend has no RP pass"

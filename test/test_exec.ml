@@ -1,0 +1,261 @@
+(* The execute layer of the compile service: registry domain-safety, the
+   content-addressed analysis cache, ride-along baseline sourcing, and
+   the canonical-identity differentials — the suite report must be the
+   same whether the cache is on or off and whether one domain or four
+   compile it, fault injection and tight budgets included. *)
+
+let params = Tu.test_params
+let gpu = Tu.test_gpu
+
+(* --- registry under concurrent registration ------------------------------ *)
+
+let test_registry_domains () =
+  (* Hammer the registry from several domains at once: registrations and
+     [ensure_backends] racing must neither crash nor corrupt the order
+     list (re-registration keeps the first position, every name resolves
+     afterwards). *)
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Pipeline.Compile.ensure_backends ();
+              ignore (Engine.Registry.find "par");
+              ignore (Engine.Registry.names ());
+              ignore (Engine.Registry.mem (if d mod 2 = 0 then "seq" else "weighted"))
+            done))
+  in
+  Array.iter Domain.join domains;
+  List.iter
+    (fun b -> Alcotest.(check bool) (b ^ " registered") true (Engine.Registry.mem b))
+    [ "seq"; "par"; "weighted" ];
+  let names = Engine.Registry.names () in
+  let sorted = List.sort_uniq String.compare names in
+  Alcotest.(check int) "no duplicate registrations" (List.length sorted)
+    (List.length names)
+
+(* --- analysis cache ------------------------------------------------------ *)
+
+(* Structurally equal region under fresh names: [random_region] is
+   deterministic in the seed, so building it twice yields equal graphs
+   whose instruction names differ only by builder counter state. *)
+let test_cache_content_addressing () =
+  let r1 = Tu.random_region ~max_size:25 11 in
+  let r2 = Tu.random_region ~max_size:25 11 in
+  let r3 = Tu.random_region ~max_size:25 12 in
+  Alcotest.(check bool) "same structure, same fingerprint" true
+    (Engine.Region_ctx.fingerprint_of_region r1
+    = Engine.Region_ctx.fingerprint_of_region r2);
+  Alcotest.(check bool) "different structure, different fingerprint" false
+    (Engine.Region_ctx.fingerprint_of_region r1
+    = Engine.Region_ctx.fingerprint_of_region r3);
+  let cache = Pipeline.Analysis.create () in
+  let c1 = Pipeline.Analysis.get cache Tu.occ r1 in
+  let c2 = Pipeline.Analysis.get cache Tu.occ r2 in
+  let _ = Pipeline.Analysis.get cache Tu.occ r3 in
+  Alcotest.(check bool) "structural duplicate shares the context" true (c1 == c2);
+  let s = Pipeline.Analysis.stats cache in
+  Alcotest.(check int) "hits" 1 s.Pipeline.Analysis.hits;
+  Alcotest.(check int) "misses" 2 s.Pipeline.Analysis.misses;
+  Alcotest.(check int) "computed" 2 s.Pipeline.Analysis.computed;
+  Alcotest.(check int) "entries" 2 s.Pipeline.Analysis.entries
+
+let test_cache_lru_eviction () =
+  let cache = Pipeline.Analysis.create ~capacity:2 () in
+  let ra = Tu.random_region ~max_size:20 21 in
+  let rb = Tu.random_region ~max_size:20 22 in
+  let rc = Tu.random_region ~max_size:20 23 in
+  ignore (Pipeline.Analysis.get cache Tu.occ ra);
+  ignore (Pipeline.Analysis.get cache Tu.occ rb);
+  (* touch [ra] so [rb] is the least recently used, then overflow *)
+  ignore (Pipeline.Analysis.get cache Tu.occ ra);
+  ignore (Pipeline.Analysis.get cache Tu.occ rc);
+  let s = Pipeline.Analysis.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Pipeline.Analysis.evictions;
+  Alcotest.(check int) "bounded residency" 2 s.Pipeline.Analysis.entries;
+  (* [ra] survived (recently used), [rb] was evicted and recomputes *)
+  ignore (Pipeline.Analysis.get cache Tu.occ ra);
+  Alcotest.(check int) "victim is the LRU entry"
+    (s.Pipeline.Analysis.computed)
+    (Pipeline.Analysis.stats cache).Pipeline.Analysis.computed;
+  ignore (Pipeline.Analysis.get cache Tu.occ rb);
+  Alcotest.(check int) "evicted entry recomputes"
+    (s.Pipeline.Analysis.computed + 1)
+    (Pipeline.Analysis.stats cache).Pipeline.Analysis.computed
+
+let test_cache_disabled () =
+  let cache = Pipeline.Analysis.disabled () in
+  Alcotest.(check bool) "not caching" false (Pipeline.Analysis.caching cache);
+  let r = Tu.random_region ~max_size:20 31 in
+  ignore (Pipeline.Analysis.get cache Tu.occ r);
+  ignore (Pipeline.Analysis.get cache Tu.occ r);
+  let s = Pipeline.Analysis.stats cache in
+  Alcotest.(check int) "no hits without storage" 0 s.Pipeline.Analysis.hits;
+  Alcotest.(check int) "every lookup computes" 2 s.Pipeline.Analysis.computed;
+  Alcotest.(check int) "nothing retained" 0 s.Pipeline.Analysis.entries
+
+let test_cache_computes_once () =
+  (* The once-per-distinct-region invariant, measured in closure
+     computations: a duplicate-heavy suite compiled under a race dispatch
+     plus the ride-along baseline (four analysis consumers per region)
+     must run one closure analysis per distinct region. *)
+  let suite =
+    Workload.Suite.replicate ~copies:2
+      (Workload.Suite.generate
+         { Workload.Suite.test_scale with Workload.Suite.num_kernels = 2 })
+  in
+  let distinct =
+    let seen = Hashtbl.create 32 in
+    List.iter
+      (fun r -> Hashtbl.replace seen (Engine.Region_ctx.fingerprint_of_region r) ())
+      (Workload.Suite.all_regions suite);
+    Hashtbl.length seen
+  in
+  let config =
+    {
+      (Pipeline.Compile.make_config ~gpu
+         ~dispatch:(Engine.Dispatch.Race [ "par"; "weighted" ])
+         ())
+      with
+      Pipeline.Compile.params;
+      run_sequential = true;
+    }
+  in
+  let cache = Pipeline.Analysis.create () in
+  let c0 = Ddg.Closure.compute_count () in
+  ignore (Pipeline.Executor.run_suite ~jobs:1 ~cache config suite);
+  Alcotest.(check int) "one closure analysis per distinct region" distinct
+    (Ddg.Closure.compute_count () - c0);
+  let s = Pipeline.Analysis.stats cache in
+  Alcotest.(check int) "one cache computation per distinct region" distinct
+    s.Pipeline.Analysis.computed;
+  Alcotest.(check bool) "duplicate suite hits at least half the lookups" true
+    (Pipeline.Analysis.hit_rate s >= 0.5)
+
+(* --- ride-along baseline sourcing ---------------------------------------- *)
+
+let test_ride_along_shares_context () =
+  let region = Tu.random_region ~max_size:30 41 in
+  let config =
+    { (Pipeline.Compile.make_config ~gpu ()) with Pipeline.Compile.params }
+  in
+  let rc = Engine.Region_ctx.of_region config.Pipeline.Compile.occ region in
+  let r = Pipeline.Compile.run_region ~ctx:rc config ~name:"ride" region in
+  (* the ride-along sequential run started from the shared context's
+     heuristic schedule: its recorded heuristic cost is the context's *)
+  (match Pipeline.Compile.find_run r "seq" with
+  | None -> Alcotest.fail "run_sequential did not add a seq baseline run"
+  | Some run ->
+      Alcotest.(check bool) "baseline heuristic cost comes from the shared context"
+        true
+        (run.Pipeline.Compile.result.Engine.Types.heuristic_cost
+        = rc.Engine.Region_ctx.setup.Aco.Setup.amd_cost));
+  Alcotest.(check bool) "report heuristic cost comes from the shared context" true
+    (r.Pipeline.Compile.heuristic_cost = rc.Engine.Region_ctx.setup.Aco.Setup.amd_cost);
+  Alcotest.(check bool) "CP sensitivity cost comes from the shared context" true
+    (r.Pipeline.Compile.cp_cost = rc.Engine.Region_ctx.cp_cost)
+
+(* --- canonical identity of the multi-domain executor --------------------- *)
+
+let small_suite seed =
+  Workload.Suite.generate
+    { Workload.Suite.test_scale with Workload.Suite.seed; num_kernels = 2 }
+
+let digest_of ~jobs ~cache config suite =
+  Pipeline.Report_digest.digest (Pipeline.Executor.run_suite ~jobs ?cache config suite)
+
+let exec_identity =
+  QCheck.Test.make ~count:3
+    ~name:"suite report is canonically identical across cache and domain count"
+    QCheck.small_int
+    (fun seed ->
+      let suite = small_suite seed in
+      let config =
+        { (Pipeline.Compile.make_config ~gpu ()) with Pipeline.Compile.params }
+      in
+      let reference = digest_of ~jobs:1 ~cache:None config suite in
+      let sequential =
+        Pipeline.Report_digest.digest (Pipeline.Compile.run_suite config suite)
+      in
+      Alcotest.(check string) "executor jobs=1 = sequential run_suite" sequential
+        reference;
+      Alcotest.(check string) "cache on = cache off" reference
+        (digest_of ~jobs:1 ~cache:(Some (Pipeline.Analysis.create ())) config suite);
+      Alcotest.(check string) "jobs=4 = jobs=1" reference
+        (digest_of ~jobs:4 ~cache:(Some (Pipeline.Analysis.create ())) config suite);
+      true)
+
+let exec_identity_faulted =
+  QCheck.Test.make ~count:2
+    ~name:"canonical identity holds under injected faults and tight budgets"
+    QCheck.small_int
+    (fun seed ->
+      let suite = small_suite (seed + 1000) in
+      List.iter
+        (fun (fault_rate, budget_ms) ->
+          let config =
+            {
+              (Pipeline.Compile.make_config ~gpu ~fault_rate
+                 ~fault_seed:(seed + 7) ~compile_budget_ms:budget_ms ())
+              with
+              Pipeline.Compile.params;
+            }
+          in
+          let reference = digest_of ~jobs:1 ~cache:None config suite in
+          Alcotest.(check string)
+            (Printf.sprintf "rate=%.1f budget=%.3fms: jobs=4 = jobs=1" fault_rate
+               budget_ms)
+            reference
+            (digest_of ~jobs:4 ~cache:(Some (Pipeline.Analysis.create ())) config suite);
+          Alcotest.(check string)
+            (Printf.sprintf "rate=%.1f budget=%.3fms: cache on = off" fault_rate
+               budget_ms)
+            reference
+            (digest_of ~jobs:1 ~cache:(Some (Pipeline.Analysis.create ())) config suite))
+        [ (0.5, 5.0); (0.9, 0.01) ];
+      true)
+
+let test_degradation_ledger_stable () =
+  (* The degradation ledger (fault tallies and severities) is part of the
+     digest, but assert it directly too: a faulted, tightly budgeted
+     compile tallies identically whether one or four domains ran it. *)
+  let suite = small_suite 77 in
+  let config =
+    {
+      (Pipeline.Compile.make_config ~gpu ~fault_rate:0.7 ~fault_seed:3
+         ~compile_budget_ms:0.05 ())
+      with
+      Pipeline.Compile.params;
+    }
+  in
+  let tally report =
+    Pipeline.Robust.tally_of_list
+      (List.concat_map
+         (fun (kr : Pipeline.Compile.kernel_report) ->
+           List.map
+             (fun (r : Pipeline.Compile.region_report) ->
+               r.Pipeline.Compile.degradation)
+             kr.Pipeline.Compile.regions)
+         report.Pipeline.Compile.kernels)
+  in
+  let t1 = tally (Pipeline.Executor.run_suite ~jobs:1 config suite) in
+  let t4 =
+    tally
+      (Pipeline.Executor.run_suite ~jobs:4
+         ~cache:(Pipeline.Analysis.create ())
+         config suite)
+  in
+  Alcotest.(check bool) "ledgers agree" true (t1 = t4)
+
+let suite =
+  [
+    ("registry survives concurrent registration", `Quick, test_registry_domains);
+    ("analysis cache is content-addressed", `Quick, test_cache_content_addressing);
+    ("analysis cache evicts LRU at capacity", `Quick, test_cache_lru_eviction);
+    ("capacity 0 meters without storing", `Quick, test_cache_disabled);
+    ("analysis runs once per distinct region", `Quick, test_cache_computes_once);
+    ("ride-along baseline shares the region context", `Quick,
+     test_ride_along_shares_context);
+    ("degradation ledger is domain-count independent", `Quick,
+     test_degradation_ledger_stable);
+  ]
+  @ Tu.qtests [ exec_identity; exec_identity_faulted ]

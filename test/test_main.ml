@@ -12,6 +12,7 @@ let () =
       ("arena", Test_arena.suite);
       ("workload", Test_workload.suite);
       ("pipeline", Test_pipeline.suite);
+      ("exec", Test_exec.suite);
       ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
     ]

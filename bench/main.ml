@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- obs-gate     # assert the trace-on overhead budget
      dune exec bench/main.exe -- compile      # time cold/warm cache and multi-domain compiles
      dune exec bench/main.exe -- cache-gate   # assert analysis-cache hit rate + once-per-region analysis
+     dune exec bench/main.exe -- serve        # serving mode: req/s, latency percentiles, warm-cache hit rate
      dune exec bench/main.exe -- --trace=F --metrics=G ...  # flight-record the compile *)
 
 (* Pre-arena reference numbers for the two acceptance benchmarks,
@@ -158,6 +159,7 @@ let () =
   end;
   if List.mem "compile" wanted then Compile_bench.run ~small ();
   if List.mem "cache-gate" wanted then Compile_bench.cache_gate ();
+  if List.mem "serve" wanted then Serve_bench.run ~small ();
   if List.mem "obs-gate" wanted then begin
     let untraced_ns, traced_ns, overhead_pct = Micro.obs_overhead () in
     Printf.printf

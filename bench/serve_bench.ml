@@ -1,0 +1,171 @@
+(* The serving-mode benchmark and its CI gate.
+
+   [run] drives a Pipeline.Serve instance through a duplicate-heavy
+   request stream (every distinct request appears [copies] times, so a
+   working memo must hit on all but the first appearance), measures the
+   sustained request rate in wall-clock time and the simulated-latency
+   percentiles across all compile replies, and checks the two serving
+   invariants the acceptance criteria name:
+
+     - warm-cache hit rate (analysis cache and schedule memo) stays at
+       or above one half on the duplicate-heavy stream;
+     - at fault rate zero, every served digest is byte-identical to a
+       direct Compile.run_region of the same request (memo replays
+       included — a hit replays the original digest).
+
+   Both sides of the digest comparison run with metrics disabled: the
+   report digest covers the passes' GC allocation counters, so identity
+   only holds under identical instrumentation (see DESIGN.md).
+   Results land in BENCH_serve.json for the CI artifact. *)
+
+type spec = { shape : string; size : int; seed : int }
+
+(* Every shape family at a few sizes, each repeated [copies] times and
+   interleaved so hits and misses mix the way a real client stream
+   would (template reinstantiations arriving between fresh kernels). *)
+let stream ~small =
+  let sizes = if small then [ 12; 18 ] else [ 16; 24; 32 ] in
+  let copies = 3 in
+  let distinct =
+    List.concat_map
+      (fun shape ->
+        List.map (fun size -> { shape; size; seed = (size * 131) + 7 }) sizes)
+      Workload.Shapes.spec_names
+  in
+  let round = List.mapi (fun i s -> (i, s)) distinct in
+  (distinct, List.concat (List.init copies (fun _ -> round)))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let write_json ~file ~requests ~distinct ~wall_s ~req_per_s ~p50 ~p99 ~max_ns
+    ~(analysis : Pipeline.Analysis.stats) ~memo_hits ~memo_misses ~memo_entries
+    ~digest_checked =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"requests\": %d,\n\
+    \  \"distinct\": %d,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"sustained_req_per_s\": %.1f,\n\
+    \  \"latency_ns\": {\"p50\": %.0f, \"p99\": %.0f, \"max\": %.0f},\n\
+    \  \"analysis\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f},\n\
+    \  \"memo\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \"hit_rate\": %.3f},\n\
+    \  \"digest_identity\": {\"fault_rate\": 0.0, \"checked\": %d, \"ok\": true}\n\
+     }\n"
+    requests distinct wall_s req_per_s p50 p99 max_ns analysis.Pipeline.Analysis.hits
+    analysis.Pipeline.Analysis.misses
+    (Pipeline.Analysis.hit_rate analysis)
+    memo_hits memo_misses memo_entries
+    (float_of_int memo_hits /. float_of_int (max 1 (memo_hits + memo_misses)))
+    digest_checked;
+  close_out oc;
+  Printf.eprintf "# wrote %s\n%!" file
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "serve bench: FAIL — %s\n" msg;
+      exit 1)
+    fmt
+
+let run ~small () =
+  let distinct, requests = stream ~small in
+  let compile =
+    {
+      (Pipeline.Compile.make_config ~gpu:Gpusim.Config.bench ()) with
+      Pipeline.Compile.run_sequential = false;
+    }
+  in
+  let cfg = Pipeline.Serve.default_config compile in
+  let replies = ref [] in
+  let on_reply = function
+    | Pipeline.Serve.Compiled c -> replies := c :: !replies
+    | Pipeline.Serve.Rejected { rej_id; error } ->
+        fail "request %s rejected: %s" rej_id
+          (Pipeline.Serve.proto_error_message error)
+    | _ -> ()
+  in
+  let srv = Pipeline.Serve.create ~on_reply cfg in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (i, s) ->
+      Pipeline.Serve.handle srv
+        (Printf.sprintf "op=compile id=r%d shape=%s size=%d seed=%d" i s.shape
+           s.size s.seed);
+      (* pump after every frame: the bench measures sustained compile
+         throughput, not admission pressure (that is the drill's job) *)
+      ignore (Pipeline.Serve.process srv))
+    requests;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let replies = List.rev !replies in
+  let n = List.length requests in
+  if List.length replies <> n then
+    fail "%d compile replies for %d requests" (List.length replies) n;
+  let req_per_s = float_of_int n /. wall_s in
+  let latencies =
+    let a =
+      Array.of_list
+        (List.map (fun (r : Pipeline.Serve.compile_reply) -> r.rep_latency_ns) replies)
+    in
+    Array.sort compare a;
+    a
+  in
+  let p50 = percentile latencies 0.50 and p99 = percentile latencies 0.99 in
+  let max_ns = percentile latencies 1.0 in
+  let analysis = Pipeline.Serve.analysis_stats srv in
+  let memo_hits, memo_misses, memo_entries = Pipeline.Serve.memo_stats srv in
+  (* Digest identity: one direct compile per distinct request, compared
+     against every served reply for that request (so memo replays are
+     checked too). Both sides run uninstrumented. *)
+  let direct = Hashtbl.create 64 in
+  List.iteri
+    (fun i s ->
+      let region =
+        match Workload.Shapes.of_spec ~name:s.shape ~size:s.size ~seed:s.seed with
+        | Some r -> r
+        | None -> fail "shape %s vanished from the generator registry" s.shape
+      in
+      let report = Pipeline.Compile.run_region compile ~name:s.shape region in
+      Hashtbl.replace direct i (Pipeline.Report_digest.digest_region report))
+    distinct;
+  let checked = ref 0 in
+  List.iter
+    (fun (r : Pipeline.Serve.compile_reply) ->
+      let i = int_of_string (String.sub r.rep_id 1 (String.length r.rep_id - 1)) in
+      incr checked;
+      match Hashtbl.find_opt direct i with
+      | Some d when String.equal d r.rep_digest -> ()
+      | Some d ->
+          fail "digest divergence on %s (%s): served %s, direct %s" r.rep_id
+            r.rep_region r.rep_digest d
+      | None -> fail "reply id %s matches no request" r.rep_id)
+    replies;
+  let memo_rate =
+    float_of_int memo_hits /. float_of_int (max 1 (memo_hits + memo_misses))
+  in
+  let analysis_rate = Pipeline.Analysis.hit_rate analysis in
+  Printf.printf "SERVING MODE — SUSTAINED RATE, LATENCY, WARM-CACHE HIT RATE\n";
+  Printf.printf "  %-24s %d (%d distinct, x%d duplicate-heavy)\n" "requests" n
+    (List.length distinct)
+    (n / List.length distinct);
+  Printf.printf "  %-24s %.1f req/s (%.3f s wall)\n" "sustained rate" req_per_s wall_s;
+  Printf.printf "  %-24s p50 %.0f ns, p99 %.0f ns, max %.0f ns (simulated)\n"
+    "compile latency" p50 p99 max_ns;
+  Printf.printf "  %-24s %d hits / %d misses (%.0f%% hit rate)\n" "analysis cache"
+    analysis.Pipeline.Analysis.hits analysis.Pipeline.Analysis.misses
+    (100.0 *. analysis_rate);
+  Printf.printf "  %-24s %d hits / %d misses, %d resident (%.0f%% hit rate)\n"
+    "schedule memo" memo_hits memo_misses memo_entries (100.0 *. memo_rate);
+  Printf.printf "  %-24s %d replies vs %d direct compiles, all byte-identical\n\n"
+    "digest identity" !checked (List.length distinct);
+  if memo_rate < 0.5 then
+    fail "memo hit rate %.2f below 0.5 on a duplicate-heavy stream" memo_rate;
+  if analysis_rate < 0.5 then
+    fail "analysis hit rate %.2f below 0.5 on a duplicate-heavy stream" analysis_rate;
+  write_json ~file:"BENCH_serve.json" ~requests:n ~distinct:(List.length distinct)
+    ~wall_s ~req_per_s ~p50 ~p99 ~max_ns ~analysis ~memo_hits ~memo_misses
+    ~memo_entries ~digest_checked:!checked;
+  print_endline "serve bench: OK"

@@ -266,6 +266,9 @@ let faults ctx =
          "Recovered via retries" :: tally (fun t -> t.Pipeline.Robust.retried);
          "Budget exceeded" :: tally (fun t -> t.Pipeline.Robust.budget_exceeded);
          "Heuristic fallback" :: tally (fun t -> t.Pipeline.Robust.faulted_fallback);
+         (* only the serve loop sheds; a direct compile shows zeros here,
+            which is itself the check that the driver never sheds *)
+         "Shed (overload)" :: tally (fun t -> t.Pipeline.Robust.shed_overload);
          "Total retries" :: tally (fun t -> t.Pipeline.Robust.total_retries);
          "Faults injected"
          :: col (fun r -> T.int (Gpusim.Faults.total r.Pipeline.Report.d_faults));

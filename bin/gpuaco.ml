@@ -13,27 +13,12 @@ let occ = Machine.Occupancy.default
 
 (* --- shared shape argument --------------------------------------------- *)
 
-let shape_names =
-  [
-    "reduction"; "scan"; "transform"; "stencil"; "matmul"; "histogram"; "sort";
-    "gather"; "wide-accum"; "scalar";
-  ]
+let shape_names = Workload.Shapes.spec_names
 
 let build_shape name ~size ~seed =
-  let rng = Support.Rng.create seed in
-  let s = max 2 size in
-  match name with
-  | "reduction" -> Workload.Shapes.reduction rng ~items:s
-  | "scan" -> Workload.Shapes.scan rng ~items:s
-  | "transform" -> Workload.Shapes.transform rng ~unroll:(max 2 (s / 5)) ~chain:4
-  | "stencil" -> Workload.Shapes.stencil rng ~outputs:(max 2 (s / 9)) ~radius:4
-  | "matmul" -> Workload.Shapes.matmul_tile rng ~m:(max 2 (s / 8)) ~k:4
-  | "histogram" -> Workload.Shapes.histogram rng ~items:(max 2 (s / 5))
-  | "sort" -> Workload.Shapes.sort_pass rng ~items:(max 2 (s / 8))
-  | "gather" -> Workload.Shapes.gather_compute rng ~lanes:(max 2 (s / 4)) ~chain:2
-  | "wide-accum" -> Workload.Shapes.wide_accum rng ~accumulators:(max 2 (s / 3)) ~rounds:s
-  | "scalar" -> Workload.Shapes.scalar_setup rng ~count:s
-  | other -> invalid_arg ("unknown shape: " ^ other)
+  match Workload.Shapes.of_spec ~name ~size ~seed with
+  | Some region -> region
+  | None -> invalid_arg ("unknown shape: " ^ name)
 
 let shape_arg =
   let doc =
@@ -175,7 +160,8 @@ let jobs_arg =
   let doc =
     "Number of OCaml domains compiling suite regions in parallel (with $(b,--suite)). \
      The report is identical for every value; a single region always compiles on one \
-     domain."
+     domain. The flight recorder is single-writer, so $(b,--trace) with $(b,--jobs) \
+     > 1 is refused (it used to be silently dropped)."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
@@ -205,6 +191,7 @@ let degradation_exit = function
   | Pipeline.Robust.Retried _ -> 10
   | Pipeline.Robust.Budget_exceeded -> 11
   | Pipeline.Robust.Faulted_fallback -> 12
+  | Pipeline.Robust.Shed_overload -> 13
 
 let degradation_exits =
   Cmd.Exit.info 0 ~doc:"The region compiled clean: the full ACO product shipped."
@@ -220,6 +207,11 @@ let degradation_exits =
        ~doc:
          "Degraded: retries were exhausted, validation failed, or the driver \
           trapped; a best-so-far or heuristic fallback schedule shipped."
+  :: Cmd.Exit.info 13
+       ~doc:
+         "Shed: the serve loop answered with the Critical-Path schedule under \
+          admission pressure, skipping ACO entirely (never emitted by a direct \
+          compile)."
   :: Cmd.Exit.defaults
 
 let write_metrics metrics file =
@@ -229,7 +221,7 @@ let write_metrics metrics file =
 let print_cache_stats cache =
   Format.printf "%a@." Pipeline.Analysis.pp_stats (Pipeline.Analysis.stats cache)
 
-let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out =
+let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out =
   let scale = { Workload.Suite.test_scale with Workload.Suite.seed } in
   let suite = Workload.Suite.generate scale in
   let stats = Workload.Suite.stats suite in
@@ -238,7 +230,10 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out =
     | `Off -> Pipeline.Analysis.disabled ()
     | `On | `Stats -> Pipeline.Analysis.create ~metrics ()
   in
-  let report = Pipeline.Executor.run_suite ~jobs ~metrics ~cache config suite in
+  let trace =
+    match trace_out with Some _ -> Obs.Trace.create () | None -> Obs.Trace.null
+  in
+  let report = Pipeline.Executor.run_suite ~jobs ~trace ~metrics ~cache config suite in
   let regions =
     List.concat_map
       (fun (kr : Pipeline.Compile.kernel_report) -> kr.Pipeline.Compile.regions)
@@ -251,11 +246,19 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out =
     Pipeline.Robust.tally_of_list
       (List.map (fun (r : Pipeline.Compile.region_report) -> r.Pipeline.Compile.degradation) regions)
   in
-  Printf.printf "ledger: %d clean, %d retried, %d budget-exceeded, %d fallback\n"
+  Printf.printf "ledger: %d clean, %d retried, %d budget-exceeded, %d fallback, %d shed\n"
     tally.Pipeline.Robust.clean tally.Pipeline.Robust.retried
-    tally.Pipeline.Robust.budget_exceeded tally.Pipeline.Robust.faulted_fallback;
+    tally.Pipeline.Robust.budget_exceeded tally.Pipeline.Robust.faulted_fallback
+    tally.Pipeline.Robust.shed_overload;
   Printf.printf "report digest: %s\n" (Pipeline.Report_digest.digest report);
   if cache_mode = `Stats then print_cache_stats cache;
+  (match trace_out with
+  | Some file ->
+      Obs.Trace.write_chrome_json trace file;
+      Printf.printf "trace: %d events written to %s (%d dropped)\n"
+        (min (Obs.Trace.recorded trace) (Obs.Trace.capacity trace))
+        file (Obs.Trace.dropped trace)
+  | None -> ());
   (match metrics_out with
   | Some file ->
       write_metrics metrics file;
@@ -285,7 +288,16 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
   let metrics =
     match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
   in
-  if suite then run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out
+  (* the flight recorder is single-writer: refuse the combination loudly
+     rather than hand back an empty recording *)
+  if suite && trace_out <> None && jobs > 1 then begin
+    prerr_endline
+      "gpuaco: --trace needs --jobs 1 (the flight recorder is single-writer); \
+       drop one of the two";
+    2
+  end
+  else if suite then
+    run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out
   else begin
   let region = build_shape shape ~size ~seed in
   let trace =
@@ -359,6 +371,286 @@ let compile_cmd =
       const run_compile $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
       $ budget_arg $ retries_arg $ backend_arg $ auto_threshold_arg $ jobs_arg $ cache_arg
       $ suite_arg $ trace_out_arg $ metrics_out_arg $ convergence_arg)
+
+(* --- serve --------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc =
+    "Serve over a Unix domain socket bound at $(docv) instead of stdin/stdout. \
+     Connections are served one at a time; the daemon runs until a shutdown \
+     request or signal drains it."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let queue_capacity_arg =
+  let doc = "Admission queue capacity (compile requests waiting to run)." in
+  Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+
+let in_flight_arg =
+  let doc = "Compile requests processed per pump of the request loop." in
+  Arg.(value & opt int 4 & info [ "max-in-flight" ] ~docv:"N" ~doc)
+
+let shed_threshold_arg =
+  let doc =
+    "Fraction of queue capacity past which compile requests are shed: answered \
+     immediately with the Critical-Path schedule (ledger entry \
+     $(i,shed-overload), no ACO work) instead of being queued."
+  in
+  Arg.(value & opt float 0.75 & info [ "shed-threshold" ] ~docv:"F" ~doc)
+
+let serve_retries_arg =
+  let doc =
+    "Serve-level re-attempts after a degraded compile (faults, budget). Each \
+     retry backs off exponentially and reseeds the fault stream; 0 ships the \
+     first attempt unconditionally."
+  in
+  Arg.(value & opt int 2 & info [ "serve-retries" ] ~docv:"K" ~doc)
+
+let backoff_arg =
+  let doc = "Base retry backoff in simulated nanoseconds (doubles per retry)." in
+  Arg.(value & opt float 50_000.0 & info [ "backoff-ns" ] ~docv:"NS" ~doc)
+
+let slack_arg =
+  let doc =
+    "Request deadline as a multiple of the per-attempt compile budget; retries \
+     stop when the next attempt cannot finish before it."
+  in
+  Arg.(value & opt float 4.0 & info [ "deadline-slack" ] ~docv:"F" ~doc)
+
+let memo_capacity_arg =
+  let doc = "Schedule-memo entries kept (LRU). 0 disables memoisation." in
+  Arg.(value & opt int 512 & info [ "memo-capacity" ] ~docv:"N" ~doc)
+
+let state_dir_arg =
+  let doc =
+    "Persist the analysis cache and schedule memo to $(docv) on drain and reload \
+     them on start. Corrupt, truncated or version-skewed files start cold (with a \
+     metric), never crash."
+  in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let pump_batch_arg =
+  let doc =
+    "Frames read before each processing pump. 1 compiles request-by-request; \
+     larger batches let the admission queue fill, exercising shedding."
+  in
+  Arg.(value & opt int 1 & info [ "pump-batch" ] ~docv:"N" ~doc)
+
+let encode_arg =
+  let doc =
+    "Helper, repeatable: frame $(docv) as a length-prefixed request on stdout and \
+     exit (the sequence $(b,\\\\n) becomes a newline, for inline region text). \
+     Pipe the output into a running $(b,gpuaco serve)."
+  in
+  Arg.(value & opt_all string [] & info [ "encode" ] ~docv:"REQ" ~doc)
+
+let decode_arg =
+  let doc =
+    "Helper: read length-prefixed reply frames from stdin and print one payload \
+     per line."
+  in
+  Arg.(value & flag & info [ "decode" ] ~doc)
+
+let serve_exits =
+  Cmd.Exit.info 0
+    ~doc:
+      "Clean drain: every received frame was answered (some possibly degraded, \
+       shed, or rejected with a typed error) and state was persisted."
+  :: Cmd.Exit.info 14
+       ~doc:
+         "Transport failure: the socket could not be bound, or a stream helper \
+          hit a framing error."
+  :: Cmd.Exit.defaults
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '\\' && s.[!i + 1] = 'n' then begin
+      Buffer.add_char b '\n';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Pump one framed byte stream into the service: read frames, admit them,
+   compile every [batch] frames. A framing error is fatal to the stream
+   (the length prefix is gone) but answered first; EOF flushes the queue
+   so every admitted request is replied to before the stream closes. *)
+let pump_channel srv ~client ~batch ic =
+  let limit = (Pipeline.Serve.config srv).Pipeline.Serve.frame_limit in
+  let rec loop pending =
+    if Pipeline.Serve.state srv = `Drained then ()
+    else
+      match Support.Frame.read ~limit ic with
+      | Ok (Some payload) ->
+          Pipeline.Serve.handle srv ~client payload;
+          let pending = pending + 1 in
+          if pending >= max 1 batch then begin
+            ignore (Pipeline.Serve.process srv);
+            loop 0
+          end
+          else loop pending
+      | Ok None -> ()
+      | Error e -> Pipeline.Serve.handle_frame_error srv ~client e
+  in
+  loop 0;
+  (* stream over: answer everything this stream queued *)
+  while Pipeline.Serve.process srv > 0 do
+    ()
+  done
+
+let graceful_signals () =
+  let quit = Sys.Signal_handle (fun _ -> raise Exit) in
+  (try Sys.set_signal Sys.sigint quit with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let serve_stdio cfg metrics ~batch =
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  (* if the reader goes away mid-reply, keep draining silently — the
+     service still owes its queue a graceful finish and its state a
+     persist *)
+  let broken = ref false in
+  let on_reply reply =
+    if not !broken then
+      try
+        Support.Frame.write stdout (Pipeline.Serve.render_reply reply);
+        flush stdout
+      with Sys_error _ -> broken := true
+  in
+  let srv = Pipeline.Serve.create ~metrics ~on_reply cfg in
+  graceful_signals ();
+  (try pump_channel srv ~client:"stdio" ~batch stdin with Exit -> ());
+  Pipeline.Serve.drain srv;
+  0
+
+let serve_socket path cfg metrics ~batch =
+  match
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 16;
+    sock
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "gpuaco serve: cannot bind %s: %s\n" path (Unix.error_message e);
+      14
+  | sock ->
+      let current_out = ref None in
+      let on_reply reply =
+        match !current_out with
+        | None -> ()
+        | Some oc -> (
+            try
+              Support.Frame.write oc (Pipeline.Serve.render_reply reply);
+              flush oc
+            with Sys_error _ -> current_out := None)
+      in
+      let srv = Pipeline.Serve.create ~metrics ~on_reply cfg in
+      graceful_signals ();
+      Printf.eprintf "gpuaco serve: listening on %s\n%!" path;
+      let conn = ref 0 in
+      (try
+         while Pipeline.Serve.state srv <> `Drained do
+           match Unix.accept sock with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           | fd, _ ->
+               incr conn;
+               let client = Printf.sprintf "conn-%d" !conn in
+               let ic = Unix.in_channel_of_descr fd in
+               current_out := Some (Unix.out_channel_of_descr fd);
+               (try pump_channel srv ~client ~batch ic
+                with Sys_error _ -> () (* peer went away mid-frame *));
+               current_out := None;
+               (try Unix.close fd with Unix.Unix_error _ -> ())
+         done
+       with Exit -> ());
+      Pipeline.Serve.drain srv;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      0
+
+let run_serve socket_path queue_capacity max_in_flight shed_threshold serve_retries
+    backoff_ns slack memo_capacity state_dir pump_batch fault_rate fault_seed budget_ms
+    max_retries metrics_out encode decode =
+  if encode <> [] then begin
+    set_binary_mode_out stdout true;
+    List.iter (fun req -> Support.Frame.write stdout (unescape req)) encode;
+    flush stdout;
+    0
+  end
+  else if decode then begin
+    set_binary_mode_in stdin true;
+    let rec loop () =
+      match Support.Frame.read stdin with
+      | Ok None -> 0
+      | Ok (Some payload) ->
+          print_endline payload;
+          loop ()
+      | Error e ->
+          Printf.eprintf "gpuaco serve --decode: %s\n" (Support.Frame.error_to_string e);
+          14
+    in
+    loop ()
+  end
+  else begin
+    let compile =
+      Pipeline.Compile.make_config
+        ~fault_rate:(Float.max 0.0 (Float.min 1.0 fault_rate))
+        ?fault_seed ?compile_budget_ms:budget_ms ~max_retries ()
+    in
+    let compile = { compile with Pipeline.Compile.run_sequential = false } in
+    let cfg =
+      {
+        (Pipeline.Serve.default_config compile) with
+        Pipeline.Serve.queue_capacity = max 1 queue_capacity;
+        max_in_flight = max 1 max_in_flight;
+        shed_threshold;
+        max_retries = max 0 serve_retries;
+        backoff_base_ns = Float.max 0.0 backoff_ns;
+        deadline_slack = slack;
+        memo_capacity = max 0 memo_capacity;
+        state_dir;
+      }
+    in
+    let metrics =
+      match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
+    in
+    let code =
+      match socket_path with
+      | None -> serve_stdio cfg metrics ~batch:pump_batch
+      | Some path -> serve_socket path cfg metrics ~batch:pump_batch
+    in
+    (match metrics_out with Some file -> write_metrics metrics file | None -> ());
+    code
+  end
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the compile service as a long-lived daemon: length-prefixed compile \
+         requests (generator spec or inline region text) arrive over stdin/stdout \
+         or a Unix socket, pass bounded admission (overload is shed to the \
+         Critical-Path schedule), compile under per-request deadlines with \
+         retry/backoff, and are answered with typed, digest-stamped replies. \
+         $(b,--encode)/$(b,--decode) are client helpers for scripting."
+      ~exits:serve_exits
+  in
+  Cmd.v info
+    Term.(
+      const run_serve $ socket_arg $ queue_capacity_arg $ in_flight_arg
+      $ shed_threshold_arg $ serve_retries_arg $ backoff_arg $ slack_arg
+      $ memo_capacity_arg $ state_dir_arg $ pump_batch_arg $ fault_rate_arg
+      $ fault_seed_arg $ budget_arg $ retries_arg $ metrics_out_arg $ encode_arg
+      $ decode_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -477,4 +769,7 @@ let stats_cmd =
 
 let () =
   let info = Cmd.info "gpuaco" ~doc:"ACO instruction scheduling for the GPU on the (simulated) GPU." in
-  exit (Cmd.eval' (Cmd.group info [ schedule_cmd; compile_cmd; trace_cmd; dot_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ schedule_cmd; compile_cmd; serve_cmd; trace_cmd; dot_cmd; stats_cmd ]))

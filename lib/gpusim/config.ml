@@ -99,6 +99,22 @@ let default =
 
 let with_faults ?(seed = default.fault_seed) t faults = { t with faults; fault_seed = seed }
 
+(* Splitmix-style finalizer over (seed, salt): well-spread derived seeds
+   so consecutive retry attempts draw unrelated fault patterns, yet the
+   whole family is replayable from the request's one seed. *)
+let reseed_faults t ~salt =
+  if salt = 0 then t
+  else
+    let mix z =
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+      Int64.logxor z (Int64.shift_right_logical z 31)
+    in
+    let z =
+      mix (Int64.add (Int64.of_int t.fault_seed) (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int salt)))
+    in
+    { t with fault_seed = Int64.to_int (Int64.logand z 0x3fffffffffffffffL) }
+
 let bench = { default with num_wavefronts = 6 }
 
 let with_opts t opts = { t with opts }

@@ -111,5 +111,12 @@ val with_opts : t -> opts -> t
 
 val with_faults : ?seed:int -> t -> fault_rates -> t
 
+val reseed_faults : t -> salt:int -> t
+(** The same configuration with [fault_seed] replaced by a deterministic
+    mix of the current seed and [salt] — how the serve loop gives each
+    retry attempt a fresh, replayable fault stream ([salt] = attempt
+    number) without touching the ants' RNG streams. [salt = 0] is the
+    identity, so attempt 0 replays the request's own seed. *)
+
 val threads : t -> int
 (** Total ants per launch: wavefronts x wavefront size. *)

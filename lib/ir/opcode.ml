@@ -35,6 +35,8 @@ let equal (a : kind) b = a = b
 
 let all = [ Valu; Valu_trans; Salu; Vmem_load; Vmem_store; Smem_load; Lds; Branch; Export ]
 
+let of_string s = List.find_opt (fun k -> String.equal (to_string k) s) all
+
 let is_memory = function
   | Vmem_load | Vmem_store | Smem_load | Lds -> true
   | Valu | Valu_trans | Salu | Branch | Export -> false

@@ -24,6 +24,11 @@ val default_latency : kind -> int
 (** Cycles between issue and availability of the defined registers. *)
 
 val to_string : kind -> string
+
+val of_string : string -> kind option
+(** Inverse of {!to_string} (the mnemonics are a bijection); [None] for
+    an unknown mnemonic. *)
+
 val equal : kind -> kind -> bool
 val all : kind list
 

@@ -1,0 +1,37 @@
+(** Textual scheduling regions — the compile service's ingest format.
+
+    The grammar is the one {!Region.to_string} prints, extended with an
+    optional [@latency] suffix on the mnemonic so non-default latencies
+    survive a round trip:
+
+    {v
+    region <name> (<n> instrs)          # header optional
+      %0: s_load s0 <-                  # defs before "<-", uses after
+      %1: v_load@12 v0 <- s0            # explicit latency
+      %2: v_store v0 s0                 # no defs: no arrow, all uses
+      live-out: v0 s0                   # optional
+    v}
+
+    Instruction ids must be consecutive from zero (original program
+    order); registers are written [v<n>] / [s<n>]. Blank lines and
+    [#]-comments are ignored. Parsing is total: every malformed input is
+    a typed {!error} naming the offending line, never an exception —
+    this is the validation boundary the serve loop rejects hostile
+    requests at. *)
+
+type error = {
+  line : int;  (** 1-based line number of the offending line *)
+  what : string;  (** human-readable description *)
+}
+
+val error_to_string : error -> string
+
+val region_of_string : string -> (Region.t, error) result
+(** Parse and validate (via {!Region.create}, so id sequencing and
+    live-out consistency are enforced too). *)
+
+val region_to_wire : Region.t -> string
+(** Render a region in the grammar above with every latency explicit —
+    the canonical wire form: [region_of_string (region_to_wire r)]
+    succeeds and reconstructs a structurally identical region (same
+    fingerprint under [Engine.Region_ctx]). *)

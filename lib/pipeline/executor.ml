@@ -64,10 +64,14 @@ let run_suite ?(jobs = 1) ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
   let work = jobs_of_suite config suite in
   let njobs = Array.length work in
   let results : Compile.region_report option array = Array.make njobs None in
-  (* The flight-recorder ring buffer is single-writer; with more than one
-     domain the workers run untraced (metrics stay on — the registry is
-     mutex-protected). *)
-  let trace = if jobs > 1 then Obs.Trace.null else trace in
+  (* The flight-recorder ring buffer is single-writer, so tracing a
+     multi-domain run cannot work. Refusing loudly beats the old
+     behavior (silently dropping the trace): a caller who asked for a
+     flight recording must not discover an empty ring after the run. *)
+  if jobs > 1 && Obs.Trace.enabled trace then
+    invalid_arg
+      "Executor.run_suite: tracing is single-writer; use --jobs 1 (or drop \
+       --trace)";
   let claim = Atomic.make 0 in
   let worker () =
     let rec loop () =

@@ -9,11 +9,12 @@
     canonically identical ({!Report_digest}) to a sequential
     {!Compile.run_suite} for every jobs count.
 
-    With [jobs > 1] the flight-recorder [trace] is disabled for the
-    workers (the ring buffer is single-writer); [metrics] stays on — the
-    registry is mutex-protected — but the {e registration order} of
-    metric names then depends on scheduling, so exports may list the
-    same values in a different order across runs. *)
+    The flight-recorder ring buffer is single-writer, so an enabled
+    [trace] with [jobs > 1] is refused with [Invalid_argument] — loudly,
+    where it used to be silently dropped. [metrics] stays on at any jobs
+    count — the registry is mutex-protected — but the {e registration
+    order} of metric names then depends on scheduling, so exports may
+    list the same values in a different order across runs. *)
 
 type job = {
   j_index : int;  (** merge key: position in suite order *)
@@ -52,4 +53,7 @@ val run_suite :
     clamp to 1). [progress] fires once per kernel at merge time, in
     suite order. The report is canonically identical to
     [Compile.run_suite] with the same configuration, for any [jobs] and
-    any [cache] setting. *)
+    any [cache] setting.
+    @raise Invalid_argument
+      when [jobs > 1] and [trace] is enabled (the recorder is
+      single-writer). *)

@@ -161,3 +161,10 @@ let render (report : Compile.suite_report) =
   Buffer.contents b
 
 let digest report = Digest.to_hex (Digest.string (render report))
+
+let render_region (r : Compile.region_report) =
+  let b = Buffer.create 4096 in
+  region b r;
+  Buffer.contents b
+
+let digest_region r = Digest.to_hex (Digest.string (render_region r))

@@ -20,3 +20,12 @@ val render : Compile.suite_report -> string
 
 val digest : Compile.suite_report -> string
 (** MD5 of {!render}, hex-encoded. *)
+
+val render_region : Compile.region_report -> string
+(** Canonical encoding of one region report — the same encoding a suite
+    render embeds. The serve loop stamps every reply with its digest, so
+    a served compile can be byte-compared against a direct
+    [Compile.run_region] of the same request. *)
+
+val digest_region : Compile.region_report -> string
+(** MD5 of {!render_region}, hex-encoded. *)

@@ -24,19 +24,26 @@ let budget_work_of_ns (gpu : Gpusim.Config.t) ns =
   if ns = infinity then max_int
   else max 0 (int_of_float (Float.min (ns /. gpu.Gpusim.Config.cpu_ns_per_op) 1e15))
 
-type degradation = Clean | Retried of int | Budget_exceeded | Faulted_fallback
+type degradation =
+  | Clean
+  | Retried of int
+  | Budget_exceeded
+  | Faulted_fallback
+  | Shed_overload
 
 let degradation_label = function
   | Clean -> "clean"
   | Retried k -> Printf.sprintf "retried(%d)" k
   | Budget_exceeded -> "budget"
   | Faulted_fallback -> "fallback"
+  | Shed_overload -> "shed"
 
 let severity = function
   | Clean -> 0
   | Retried _ -> 1
   | Budget_exceeded -> 2
   | Faulted_fallback -> 3
+  | Shed_overload -> 4
 
 (* Classification priority (most severe wins): the driver replaced the
    ACO product with the heuristic schedule, or a pass exhausted its
@@ -64,7 +71,8 @@ let observe trace metrics ~region d =
       | Clean -> "regions.clean"
       | Retried _ -> "regions.retried"
       | Budget_exceeded -> "regions.budget_exceeded"
-      | Faulted_fallback -> "regions.faulted_fallback")
+      | Faulted_fallback -> "regions.faulted_fallback"
+      | Shed_overload -> "regions.shed_overload")
 
 type tally = {
   regions : int;
@@ -72,6 +80,7 @@ type tally = {
   retried : int;
   budget_exceeded : int;
   faulted_fallback : int;
+  shed_overload : int;
   total_retries : int;
 }
 
@@ -82,6 +91,7 @@ let empty_tally =
     retried = 0;
     budget_exceeded = 0;
     faulted_fallback = 0;
+    shed_overload = 0;
     total_retries = 0;
   }
 
@@ -92,5 +102,6 @@ let tally_add t d =
   | Retried k -> { t with retried = t.retried + 1; total_retries = t.total_retries + k }
   | Budget_exceeded -> { t with budget_exceeded = t.budget_exceeded + 1 }
   | Faulted_fallback -> { t with faulted_fallback = t.faulted_fallback + 1 }
+  | Shed_overload -> { t with shed_overload = t.shed_overload + 1 }
 
 let tally_of_list ds = List.fold_left tally_add empty_tally ds

@@ -50,11 +50,16 @@ type degradation =
       (** retries were exhausted, the final schedule failed validation,
           or the driver trapped an exception; the emitted schedule is
           the pass's best-so-far or the AMD heuristic *)
+  | Shed_overload
+      (** the compile service shed the request under admission pressure:
+          ACO was never attempted and the Critical-Path schedule from
+          the region's analysis context shipped (see [Serve]) *)
 
 val degradation_label : degradation -> string
 
 val severity : degradation -> int
-(** [Clean] = 0 rising to [Faulted_fallback] = 3. *)
+(** [Clean] = 0 rising to [Faulted_fallback] = 3 and [Shed_overload] =
+    4 (shedding skips ACO entirely, the deepest planned degradation). *)
 
 val classify :
   fell_back:bool -> aborted_faults:bool -> aborted_budget:bool -> retries:int -> degradation
@@ -73,6 +78,7 @@ type tally = {
   retried : int;  (** regions that recovered via retries *)
   budget_exceeded : int;
   faulted_fallback : int;
+  shed_overload : int;  (** requests answered with the heuristic under load *)
   total_retries : int;  (** summed retry counts over retried regions *)
 }
 

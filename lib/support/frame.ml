@@ -1,0 +1,92 @@
+(* Length-prefixed frames: 4-byte big-endian payload length + payload.
+
+   The size limit is enforced on the *header*, before any payload
+   allocation, so a stream advertising a 2 GiB frame costs four bytes of
+   reading and one typed error, not an out-of-memory. *)
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Oversized of { length : int; limit : int }
+
+let error_to_string = function
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated frame: expected %d bytes, stream ended after %d" expected
+        got
+  | Oversized { length; limit } ->
+      Printf.sprintf "oversized frame: %d bytes advertised, limit %d" length limit
+
+let default_limit = 1 lsl 20
+let header_size = 4
+
+let put_header b len =
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff))
+
+let get_header s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let encode payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_size + len) in
+  put_header b len;
+  Bytes.blit_string payload 0 b header_size len;
+  Bytes.unsafe_to_string b
+
+let write oc payload =
+  let b = Bytes.create header_size in
+  put_header b (String.length payload);
+  output_bytes oc b;
+  output_string oc payload
+
+(* Read exactly [n] bytes; short reads report how far they got so the
+   error message can say where the stream died. *)
+let really_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok (Bytes.unsafe_to_string b)
+    else
+      match input ic b off (n - off) with
+      | 0 -> Error off
+      | k -> go (off + k)
+      | exception End_of_file -> Error off
+  in
+  go 0
+
+let read ?(limit = default_limit) ic =
+  match really_read ic header_size with
+  | Error 0 -> Ok None (* clean EOF at a frame boundary *)
+  | Error got -> Error (Truncated { expected = header_size; got })
+  | Ok header -> (
+      let len = get_header header 0 in
+      if len > limit then Error (Oversized { length = len; limit })
+      else
+        match really_read ic len with
+        | Ok payload -> Ok (Some payload)
+        | Error got -> Error (Truncated { expected = len; got }))
+
+let decode ?(limit = default_limit) buf ~pos =
+  let avail = String.length buf - pos in
+  if avail < header_size then Error `Need_more
+  else
+    let len = get_header buf pos in
+    if len > limit then Error (`Error (Oversized { length = len; limit }))
+    else if avail - header_size < len then Error `Need_more
+    else Ok (String.sub buf (pos + header_size) len, pos + header_size + len)
+
+let decode_all ?limit buf =
+  let rec go acc pos =
+    if pos = String.length buf then (List.rev acc, None)
+    else
+      match decode ?limit buf ~pos with
+      | Ok (payload, next) -> go (payload :: acc) next
+      | Error `Need_more ->
+          ( List.rev acc,
+            Some (Truncated { expected = header_size; got = String.length buf - pos }) )
+      | Error (`Error e) -> (List.rev acc, Some e)
+  in
+  go [] 0

@@ -1,0 +1,56 @@
+(** Length-prefixed framing for the compile service's wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload bytes. Framing is deliberately dumb — the interesting
+    structure lives in the payload (see [Pipeline.Serve]) — but it is
+    the layer that must survive hostile input: a stream that lies about
+    its length, runs out mid-frame, or advertises a frame larger than
+    the server is willing to buffer is reported as a typed error, never
+    an exception, and never an unbounded allocation.
+
+    Once a framing error is observed the stream position is unreliable
+    (the reader cannot know where the next frame starts), so transports
+    treat any [Error] as fatal for the connection; payload-level parse
+    errors, by contrast, are recoverable because the frame boundary
+    held. *)
+
+type error =
+  | Truncated of { expected : int; got : int }
+      (** the stream ended inside a header or payload *)
+  | Oversized of { length : int; limit : int }
+      (** the header advertises a payload larger than [limit] — rejected
+          before any allocation *)
+
+val error_to_string : error -> string
+
+val default_limit : int
+(** Default maximum payload size accepted by the readers (1 MiB). *)
+
+val header_size : int
+(** Bytes of the length prefix (4). *)
+
+val encode : string -> string
+(** The frame as bytes: header + payload. *)
+
+val write : out_channel -> string -> unit
+(** [encode] straight onto a channel, without the intermediate copy. *)
+
+val read : ?limit:int -> in_channel -> (string option, error) result
+(** Read one frame. [Ok None] is a clean end of stream (EOF exactly at a
+    frame boundary); EOF anywhere else is [Error (Truncated _)]. *)
+
+(** {2 Pure decoding}
+
+    For transports that hand over raw byte buffers (and for tests that
+    want to cut streams at arbitrary points without a channel). *)
+
+val decode : ?limit:int -> string -> pos:int -> (string * int, [ `Need_more | `Error of error ]) result
+(** [decode buf ~pos] is [Ok (payload, next_pos)] when a complete frame
+    starts at [pos]; [`Need_more] when the buffer holds only a prefix of
+    one (distinguishable from [`Error] because more input could still
+    complete the frame). *)
+
+val decode_all : ?limit:int -> string -> string list * error option
+(** Decode a whole buffer into payloads; a trailing partial frame is
+    reported as [Some (Truncated _)] — buffers fed here are complete
+    streams, so a dangling prefix is a truncation. *)

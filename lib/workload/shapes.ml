@@ -171,3 +171,31 @@ let wide_accum rng ~accumulators ~rounds =
   let total = tree (Array.to_list accs) in
   B.vstore b ~data:[ total ] ~addr:[ base; addr ] ();
   B.finish b
+
+(* The generator-spec surface: one family name plus a single size dial,
+   mapped onto each family's structural parameters. [gpuaco compile
+   --shape] and the serve protocol's [shape=] requests share this
+   mapping, so a served generator request reproduces exactly the region
+   a direct CLI compile of the same spec would schedule. *)
+
+let spec_names =
+  [
+    "reduction"; "scan"; "transform"; "stencil"; "matmul"; "histogram"; "sort";
+    "gather"; "wide-accum"; "scalar";
+  ]
+
+let of_spec ~name ~size ~seed =
+  let rng = Support.Rng.create seed in
+  let s = max 2 size in
+  match name with
+  | "reduction" -> Some (reduction rng ~items:s)
+  | "scan" -> Some (scan rng ~items:s)
+  | "transform" -> Some (transform rng ~unroll:(max 2 (s / 5)) ~chain:4)
+  | "stencil" -> Some (stencil rng ~outputs:(max 2 (s / 9)) ~radius:4)
+  | "matmul" -> Some (matmul_tile rng ~m:(max 2 (s / 8)) ~k:4)
+  | "histogram" -> Some (histogram rng ~items:(max 2 (s / 5)))
+  | "sort" -> Some (sort_pass rng ~items:(max 2 (s / 8)))
+  | "gather" -> Some (gather_compute rng ~lanes:(max 2 (s / 4)) ~chain:2)
+  | "wide-accum" -> Some (wide_accum rng ~accumulators:(max 2 (s / 3)) ~rounds:s)
+  | "scalar" -> Some (scalar_setup rng ~count:s)
+  | _ -> None

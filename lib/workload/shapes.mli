@@ -49,3 +49,14 @@ val wide_accum : Support.Rng.t -> accumulators:int -> rounds:int -> Ir.Region.t
     stay live across [rounds] of streamed loads, giving an inherent
     pressure floor near the occupancy boundaries — the mid-sized pass-1
     regions of Table 1 (average size ~68). *)
+
+val spec_names : string list
+(** Family names accepted by {!of_spec}, in presentation order. *)
+
+val of_spec : name:string -> size:int -> seed:int -> Ir.Region.t option
+(** One region by family name with a single size dial — the generator
+    spec behind [gpuaco compile --shape] and the serve protocol's
+    [shape=] requests. Each family maps [size] onto its own structural
+    parameters (items, unroll, tile edge, ...) so the dial means "about
+    this many instructions worth of work" everywhere. Deterministic in
+    [seed]; [None] for an unknown family name. *)

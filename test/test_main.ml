@@ -14,5 +14,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("exec", Test_exec.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
     ]

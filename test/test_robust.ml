@@ -214,7 +214,9 @@ let prop_any_rate_valid_schedule =
       && (match r.Pipeline.Compile.degradation with
          | Pipeline.Robust.Retried k -> k = r.Pipeline.Compile.retries && k > 0
          | Pipeline.Robust.Clean -> r.Pipeline.Compile.retries = 0
-         | Pipeline.Robust.Budget_exceeded | Pipeline.Robust.Faulted_fallback -> true)
+         | Pipeline.Robust.Budget_exceeded | Pipeline.Robust.Faulted_fallback -> true
+         (* the compile driver itself never sheds — only the serve loop does *)
+         | Pipeline.Robust.Shed_overload -> false)
       && (rate > 0.0
          || Gpusim.Faults.total r.Pipeline.Compile.fault_counts = 0))
 

@@ -1,0 +1,476 @@
+(* The compile service as a daemon: framing, the request protocol,
+   admission and shedding, deadline-bounded retry, the schedule memo and
+   crash-safe persistence. The serve loop's whole contract is "every
+   frame answered exactly once, degraded but never wrong", so most tests
+   drive a real service instance and assert on the replies. *)
+
+let compile_cfg ?fault_rate ?fault_seed ?compile_budget_ms () =
+  {
+    (Pipeline.Compile.make_config ~gpu:Tu.test_gpu ?fault_rate ?fault_seed
+       ?compile_budget_ms ())
+    with
+    Pipeline.Compile.params =
+      {
+        Tu.test_params with
+        Aco.Params.ants_per_iteration = Gpusim.Config.threads Tu.test_gpu;
+        pass2_cycle_threshold = 1;
+      };
+    run_sequential = false;
+  }
+
+let serve_cfg ?(queue = 64) ?(inflight = 4) ?(shed = 0.75) ?(retries = 2)
+    ?(slack = 4.0) ?state_dir compile =
+  {
+    (Pipeline.Serve.default_config compile) with
+    Pipeline.Serve.queue_capacity = queue;
+    max_in_flight = inflight;
+    shed_threshold = shed;
+    max_retries = retries;
+    deadline_slack = slack;
+    state_dir;
+  }
+
+(* A service plus its reply log, in arrival order. *)
+let mk ?metrics cfg =
+  let replies = ref [] in
+  let srv =
+    Pipeline.Serve.create ?metrics ~on_reply:(fun r -> replies := r :: !replies) cfg
+  in
+  (srv, fun () -> List.rev !replies)
+
+let counter metrics name =
+  match Obs.Metrics.get metrics name with
+  | Some m -> Obs.Metrics.count m
+  | None -> 0
+
+let compiled replies =
+  List.filter_map
+    (function Pipeline.Serve.Compiled c -> Some c | _ -> None)
+    replies
+
+let rejections replies =
+  List.filter_map
+    (function
+      | Pipeline.Serve.Rejected { rej_id; error } -> Some (rej_id, error) | _ -> None)
+    replies
+
+let spec_req ?(id = "t0") ?(extra = "") shape size seed =
+  Printf.sprintf "op=compile id=%s shape=%s size=%d seed=%d%s" id shape size seed
+    extra
+
+let tmp_name prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  f
+
+(* --- framing ------------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; String.make 300 'q'; "two\nlines" ] in
+  let file = Filename.temp_file "frame" ".bin" in
+  let oc = open_out_bin file in
+  List.iter (Support.Frame.write oc) payloads;
+  close_out oc;
+  let ic = open_in_bin file in
+  List.iter
+    (fun expected ->
+      match Support.Frame.read ic with
+      | Ok (Some got) -> Alcotest.(check string) "payload" expected got
+      | Ok None -> Alcotest.fail "premature EOF"
+      | Error e -> Alcotest.failf "framing error: %s" (Support.Frame.error_to_string e))
+    payloads;
+  (match Support.Frame.read ic with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "expected clean EOF at the frame boundary");
+  close_in ic;
+  Sys.remove file
+
+let test_frame_truncation_and_limit () =
+  let frame = Support.Frame.encode "hello world" in
+  (* cut mid-payload: a typed Truncated, not an exception or a hang *)
+  let cut = String.sub frame 0 (String.length frame - 4) in
+  let file = Filename.temp_file "frame" ".bin" in
+  let oc = open_out_bin file in
+  output_string oc cut;
+  close_out oc;
+  let ic = open_in_bin file in
+  (match Support.Frame.read ic with
+  | Error (Support.Frame.Truncated _) -> ()
+  | _ -> Alcotest.fail "expected Truncated on a cut stream");
+  close_in ic;
+  Sys.remove file;
+  (* the same cut through the pure decoder is Need_more (a buffer could
+     still grow), while a whole-stream decode calls it truncation *)
+  (match Support.Frame.decode cut ~pos:0 with
+  | Error `Need_more -> ()
+  | _ -> Alcotest.fail "expected Need_more on a partial buffer");
+  (match Support.Frame.decode_all cut with
+  | [], Some (Support.Frame.Truncated _) -> ()
+  | _ -> Alcotest.fail "expected decode_all to report the dangling prefix");
+  (* an advertised length beyond the limit is refused before allocation *)
+  match Support.Frame.decode ~limit:4 frame ~pos:0 with
+  | Error (`Error (Support.Frame.Oversized { length = 11; limit = 4 })) -> ()
+  | _ -> Alcotest.fail "expected Oversized against a 4-byte limit"
+
+(* --- blob files ---------------------------------------------------------- *)
+
+let test_blobfile_roundtrip_and_rejection () =
+  let path = tmp_name "blob" in
+  (match Support.Blobfile.load ~kind:"k" ~version:1 path with
+  | Error Support.Blobfile.Missing -> ()
+  | _ -> Alcotest.fail "expected Missing before any save");
+  let payload = "binary\x00payload\nwith newlines" in
+  Support.Blobfile.save ~kind:"k" ~version:1 path payload;
+  (match Support.Blobfile.load ~kind:"k" ~version:1 path with
+  | Ok got -> Alcotest.(check string) "payload survives" payload got
+  | Error e -> Alcotest.failf "roundtrip failed: %s" (Support.Blobfile.error_to_string e));
+  (match Support.Blobfile.load ~kind:"other" ~version:1 path with
+  | Error (Support.Blobfile.Wrong_kind _) -> ()
+  | _ -> Alcotest.fail "expected Wrong_kind");
+  (match Support.Blobfile.load ~kind:"k" ~version:2 path with
+  | Error (Support.Blobfile.Version_skew { expected = 2; got = 1 }) -> ()
+  | _ -> Alcotest.fail "expected Version_skew");
+  (* flip one payload bit: the checksum must catch it *)
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let mangled = Bytes.of_string raw in
+  let last = Bytes.length mangled - 1 in
+  Bytes.set mangled last (Char.chr (Char.code (Bytes.get mangled last) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc mangled);
+  (match Support.Blobfile.load ~kind:"k" ~version:1 path with
+  | Error (Support.Blobfile.Corrupt _) -> ()
+  | _ -> Alcotest.fail "expected Corrupt on a flipped bit");
+  (* truncate inside the payload *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub raw 0 (String.length raw - 5)));
+  (match Support.Blobfile.load ~kind:"k" ~version:1 path with
+  | Error (Support.Blobfile.Corrupt _) -> ()
+  | _ -> Alcotest.fail "expected Corrupt on truncation");
+  Sys.remove path
+
+(* --- protocol parsing ---------------------------------------------------- *)
+
+let test_parse_commands () =
+  (match Pipeline.Serve.parse_request "op=ping id=p1" with
+  | Ok (Pipeline.Serve.Ping "p1") -> ()
+  | _ -> Alcotest.fail "ping");
+  (match Pipeline.Serve.parse_request "op=stats" with
+  | Ok (Pipeline.Serve.Stats "-") -> ()
+  | _ -> Alcotest.fail "stats defaults its id to -");
+  (match Pipeline.Serve.parse_request "op=shutdown id=z" with
+  | Ok (Pipeline.Serve.Shutdown "z") -> ()
+  | _ -> Alcotest.fail "shutdown");
+  match
+    Pipeline.Serve.parse_request
+      "op=compile id=c1 shape=transform size=24 seed=3 fault-rate=0.25 budget-ms=2 \
+       backend=par"
+  with
+  | Ok (Pipeline.Serve.Compile r) ->
+      Alcotest.(check string) "id" "c1" r.Pipeline.Serve.req_id;
+      (match r.Pipeline.Serve.source with
+      | Pipeline.Serve.Generated { shape = "transform"; size = 24; seed = 3 } -> ()
+      | _ -> Alcotest.fail "generated source");
+      Alcotest.(check (option (float 1e-9))) "fault rate" (Some 0.25)
+        r.Pipeline.Serve.fault_rate;
+      Alcotest.(check (option (float 1e-9))) "budget" (Some 2.0)
+        r.Pipeline.Serve.budget_ms
+  | _ -> Alcotest.fail "well-formed compile spec"
+
+let test_parse_typed_errors () =
+  let code payload =
+    match Pipeline.Serve.parse_request payload with
+    | Error (_, e) -> Pipeline.Serve.proto_error_code e
+    | Ok _ -> Alcotest.failf "accepted hostile payload %S" payload
+  in
+  Alcotest.(check string) "unknown key" "bad-request" (code "op=compile id=x blorp=1");
+  Alcotest.(check string) "duplicate key" "bad-request"
+    (code "op=compile id=x id=y shape=scan size=8 seed=1");
+  Alcotest.(check string) "no source" "bad-request" (code "op=compile id=x");
+  Alcotest.(check string) "both sources" "bad-request"
+    (code "op=compile id=x shape=scan size=8 seed=1\nregion r (1 instrs)");
+  Alcotest.(check string) "bad value" "bad-request"
+    (code "op=compile id=x shape=scan size=banana seed=1");
+  Alcotest.(check string) "unknown backend" "unknown-backend"
+    (code "op=compile id=x shape=scan size=8 seed=1 backend=nonesuch");
+  Alcotest.(check string) "inline region parse error" "bad-region"
+    (code "op=compile id=x\nregion broken (1 instrs)\n  %0: not_an_opcode v0 <-");
+  (* the error reply still carries the id that could be salvaged *)
+  match Pipeline.Serve.parse_request "op=compile id=salvaged blorp=1" with
+  | Error (id, _) -> Alcotest.(check string) "salvaged id" "salvaged" id
+  | Ok _ -> Alcotest.fail "accepted"
+
+(* --- serve/memo behaviour ------------------------------------------------- *)
+
+let test_serve_and_memo_hit () =
+  let srv, replies = mk (serve_cfg (compile_cfg ())) in
+  Pipeline.Serve.handle srv (spec_req ~id:"a" "transform" 24 3);
+  Pipeline.Serve.handle srv (spec_req ~id:"b" "transform" 24 3);
+  ignore (Pipeline.Serve.process srv);
+  match compiled (replies ()) with
+  | [ first; second ] ->
+      Alcotest.(check string) "ids" "a" first.Pipeline.Serve.rep_id;
+      (match first.Pipeline.Serve.rep_memo with
+      | `Miss -> ()
+      | _ -> Alcotest.fail "first compile must miss");
+      (match second.Pipeline.Serve.rep_memo with
+      | `Hit -> ()
+      | _ -> Alcotest.fail "identical request must hit the memo");
+      Alcotest.(check string) "replayed digest" first.Pipeline.Serve.rep_digest
+        second.Pipeline.Serve.rep_digest;
+      Alcotest.(check (float 0.0)) "a hit costs no simulated time" 0.0
+        second.Pipeline.Serve.rep_latency_ns;
+      let hits, misses, entries = Pipeline.Serve.memo_stats srv in
+      Alcotest.(check (list int)) "memo traffic" [ 1; 1; 1 ] [ hits; misses; entries ]
+  | rs -> Alcotest.failf "expected 2 compile replies, got %d" (List.length rs)
+
+let test_retry_zero_ships_first_attempt () =
+  (* max_retries = 0: even a heavily degraded attempt ships as-is *)
+  let metrics = Obs.Metrics.create () in
+  let srv, replies =
+    mk ~metrics (serve_cfg ~retries:0 (compile_cfg ~fault_rate:0.9 ~fault_seed:5 ()))
+  in
+  Pipeline.Serve.handle srv (spec_req "stencil" 20 7);
+  ignore (Pipeline.Serve.process srv);
+  match compiled (replies ()) with
+  | [ r ] ->
+      Alcotest.(check int) "exactly one attempt" 1 r.Pipeline.Serve.rep_attempts;
+      Alcotest.(check int) "no serve retries counted" 0 (counter metrics "serve.retries")
+  | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs)
+
+let test_deadline_expires_mid_retry () =
+  (* A tight budget with slack 1.0 leaves no room for backoff: after a
+     degraded first attempt the retry cannot fit the deadline, the
+     deadline_exceeded counter ticks, and the best attempt still ships
+     a valid order. *)
+  let metrics = Obs.Metrics.create () in
+  let srv, replies =
+    mk ~metrics
+      (serve_cfg ~retries:5 ~slack:1.0
+         (compile_cfg ~fault_rate:1.0 ~fault_seed:3 ~compile_budget_ms:0.01 ()))
+  in
+  Pipeline.Serve.handle srv (spec_req "scan" 20 2);
+  ignore (Pipeline.Serve.process srv);
+  match compiled (replies ()) with
+  | [ r ] ->
+      Alcotest.(check bool) "deadline was hit" true
+        (counter metrics "serve.deadline_exceeded" >= 1);
+      Alcotest.(check bool) "fewer attempts than the allowance" true
+        (r.Pipeline.Serve.rep_attempts < 6);
+      (match Pipeline.Robust.severity r.Pipeline.Serve.rep_outcome with
+      | 0 -> Alcotest.fail "a fault-storm compile cannot be clean"
+      | _ -> ());
+      let region =
+        match Workload.Shapes.of_spec ~name:"scan" ~size:20 ~seed:2 with
+        | Some r -> r
+        | None -> Alcotest.fail "scan shape missing"
+      in
+      (match
+         Sched.Schedule.of_order (Ddg.Graph.build region) r.Pipeline.Serve.rep_order
+       with
+      | Ok _ -> ()
+      | Error v ->
+          Alcotest.failf "shipped order invalid: %s"
+            (Sched.Schedule.violation_to_string v))
+  | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs)
+
+let test_shed_past_threshold () =
+  let metrics = Obs.Metrics.create () in
+  let srv, replies = mk ~metrics (serve_cfg ~queue:4 ~shed:0.5 (compile_cfg ())) in
+  Alcotest.(check int) "shed point" 2 (Pipeline.Serve.shed_point srv);
+  for i = 0 to 5 do
+    Pipeline.Serve.handle srv (spec_req ~id:(Printf.sprintf "s%d" i) "gather" 16 i)
+  done;
+  (* the first shed_point requests queued; the rest were answered at
+     admission with the Critical-Path schedule *)
+  let shed, queued =
+    List.partition
+      (fun (r : Pipeline.Serve.compile_reply) -> r.Pipeline.Serve.rep_memo = `Shed)
+      (compiled (replies ()))
+  in
+  Alcotest.(check int) "requests past the threshold shed" 4 (List.length shed);
+  Alcotest.(check int) "nothing compiled yet" 0 (List.length queued);
+  List.iter
+    (fun (r : Pipeline.Serve.compile_reply) ->
+      Alcotest.(check string) "shed replies carry no digest" "-"
+        r.Pipeline.Serve.rep_digest;
+      (match r.Pipeline.Serve.rep_outcome with
+      | Pipeline.Robust.Shed_overload -> ()
+      | _ -> Alcotest.fail "shed reply must ledger as Shed_overload");
+      let i = int_of_string (String.sub r.Pipeline.Serve.rep_id 1 1) in
+      let region = Option.get (Workload.Shapes.of_spec ~name:"gather" ~size:16 ~seed:i) in
+      match
+        Sched.Schedule.of_order (Ddg.Graph.build region) r.Pipeline.Serve.rep_order
+      with
+      | Ok _ -> ()
+      | Error v ->
+          Alcotest.failf "shed order invalid: %s" (Sched.Schedule.violation_to_string v))
+    shed;
+  Pipeline.Serve.drain srv;
+  let tally = Pipeline.Serve.tally srv in
+  Alcotest.(check int) "ledger sheds" 4 tally.Pipeline.Robust.shed_overload;
+  Alcotest.(check int) "metric sheds" 4 (counter metrics "serve.shed_overload");
+  Alcotest.(check int) "every request answered" 6
+    (List.length (compiled (replies ())))
+
+let test_drain_refuses_then_stays_quiet () =
+  let srv, replies = mk (serve_cfg (compile_cfg ())) in
+  Pipeline.Serve.handle srv (spec_req "reduction" 16 1);
+  Pipeline.Serve.drain srv;
+  (match Pipeline.Serve.state srv with
+  | `Drained -> ()
+  | _ -> Alcotest.fail "drain must finish the queue and land in Drained");
+  (* a late compile is refused with a typed reply; liveness probes
+     still answer so a client can see the state *)
+  Pipeline.Serve.handle srv (spec_req ~id:"late" "reduction" 16 1);
+  Pipeline.Serve.handle srv "op=ping id=still-here";
+  Pipeline.Serve.drain srv;
+  let rs = replies () in
+  (match rejections rs with
+  | [ ("late", Pipeline.Serve.Shutting_down) ] -> ()
+  | _ -> Alcotest.fail "late request must be refused as shutting-down");
+  let byes =
+    List.length
+      (List.filter (function Pipeline.Serve.Drained _ -> true | _ -> false) rs)
+  in
+  Alcotest.(check int) "drain is idempotent: one bye" 1 byes;
+  Alcotest.(check int) "queued request was served before the bye" 1
+    (List.length (compiled rs));
+  match List.filter (function Pipeline.Serve.Pong _ -> true | _ -> false) rs with
+  | [ Pipeline.Serve.Pong { png_id = "still-here" } ] -> ()
+  | _ -> Alcotest.fail "ping must answer even after drain"
+
+(* --- persistence --------------------------------------------------------- *)
+
+let with_state_dir f =
+  let dir = Filename.temp_file "serve_state" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let test_persistence_roundtrip () =
+  with_state_dir (fun dir ->
+      let cfg = serve_cfg ~state_dir:dir (compile_cfg ()) in
+      let srv1, replies1 = mk cfg in
+      Pipeline.Serve.handle srv1 (spec_req "matmul" 18 4);
+      ignore (Pipeline.Serve.process srv1);
+      Pipeline.Serve.drain srv1;
+      let original =
+        match compiled (replies1 ()) with
+        | [ r ] -> r
+        | _ -> Alcotest.fail "expected one reply"
+      in
+      (* a fresh process over the same state dir serves the same request
+         from the reloaded memo, digest included *)
+      let metrics = Obs.Metrics.create () in
+      let srv2, replies2 = mk ~metrics cfg in
+      Alcotest.(check bool) "memo entries reloaded" true
+        (counter metrics "serve.persist.memo_loaded" >= 1);
+      Pipeline.Serve.handle srv2 (spec_req "matmul" 18 4);
+      ignore (Pipeline.Serve.process srv2);
+      match compiled (replies2 ()) with
+      | [ r ] ->
+          (match r.Pipeline.Serve.rep_memo with
+          | `Hit -> ()
+          | _ -> Alcotest.fail "warm restart must hit the persisted memo");
+          Alcotest.(check string) "digest survives the restart"
+            original.Pipeline.Serve.rep_digest r.Pipeline.Serve.rep_digest
+      | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs))
+
+let test_persistence_corruption_starts_cold () =
+  with_state_dir (fun dir ->
+      let cfg = serve_cfg ~state_dir:dir (compile_cfg ()) in
+      let srv1, _ = mk cfg in
+      Pipeline.Serve.handle srv1 (spec_req "histogram" 16 9);
+      ignore (Pipeline.Serve.process srv1);
+      Pipeline.Serve.drain srv1;
+      (* truncate one blob and version-skew the other: a restart must
+         count the failures and start cold, never raise *)
+      let memo = Filename.concat dir "memo.blob" in
+      let raw = In_channel.with_open_bin memo In_channel.input_all in
+      Out_channel.with_open_bin memo (fun oc ->
+          Out_channel.output_string oc (String.sub raw 0 (String.length raw / 2)));
+      Support.Blobfile.save ~kind:"serve-analysis" ~version:999
+        (Filename.concat dir "analysis.blob")
+        "stale payload from some future build";
+      let metrics = Obs.Metrics.create () in
+      let srv2, replies2 = mk ~metrics cfg in
+      Alcotest.(check bool) "failures counted" true
+        (counter metrics "serve.persist.load_failed" >= 2);
+      Pipeline.Serve.handle srv2 (spec_req "histogram" 16 9);
+      ignore (Pipeline.Serve.process srv2);
+      match compiled (replies2 ()) with
+      | [ r ] -> (
+          match r.Pipeline.Serve.rep_memo with
+          | `Miss -> ()
+          | _ -> Alcotest.fail "corrupt state must mean a cold compile")
+      | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs))
+
+(* --- executor trace guard (satellite: fail loudly, not silently) ---------- *)
+
+let test_executor_refuses_trace_with_jobs () =
+  let suite = Workload.Suite.generate Workload.Suite.test_scale in
+  let trace = Obs.Trace.create ~capacity:64 () in
+  let config = compile_cfg () in
+  Alcotest.check_raises "trace + jobs>1 is refused"
+    (Invalid_argument
+       "Executor.run_suite: tracing is single-writer; use --jobs 1 (or drop \
+        --trace)") (fun () ->
+      ignore (Pipeline.Executor.run_suite ~jobs:2 ~trace config suite))
+
+(* --- property: serving changes nothing ------------------------------------ *)
+
+(* At fault rate zero a served reply is byte-identical — same report
+   digest — to a direct Compile.run_region of the same region. Both
+   sides run uninstrumented: the digest covers the passes' GC counters,
+   so identity requires identical instrumentation (see DESIGN.md). *)
+let prop_zero_fault_serve_is_direct =
+  QCheck.Test.make ~count:15
+    ~name:"zero-fault serve reply is byte-identical to a direct compile"
+    (Tu.arb_region ~max_size:25 ())
+    (fun region ->
+      let compile = compile_cfg () in
+      let srv, replies = mk (serve_cfg compile) in
+      Pipeline.Serve.handle srv
+        ("op=compile id=p\n" ^ Ir.Parse.region_to_wire region);
+      ignore (Pipeline.Serve.process srv);
+      match compiled (replies ()) with
+      | [ r ] ->
+          let direct =
+            Pipeline.Compile.run_region compile
+              ~name:region.Ir.Region.name region
+          in
+          String.equal r.Pipeline.Serve.rep_digest
+            (Pipeline.Report_digest.digest_region direct)
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame truncation and limit" `Quick
+      test_frame_truncation_and_limit;
+    Alcotest.test_case "blobfile roundtrip and rejection" `Quick
+      test_blobfile_roundtrip_and_rejection;
+    Alcotest.test_case "protocol: commands parse" `Quick test_parse_commands;
+    Alcotest.test_case "protocol: hostile payloads are typed errors" `Quick
+      test_parse_typed_errors;
+    Alcotest.test_case "serve + memo hit replays the digest" `Quick
+      test_serve_and_memo_hit;
+    Alcotest.test_case "max_retries=0 ships the first attempt" `Quick
+      test_retry_zero_ships_first_attempt;
+    Alcotest.test_case "deadline expires mid-retry" `Quick
+      test_deadline_expires_mid_retry;
+    Alcotest.test_case "overload sheds to the Critical-Path schedule" `Quick
+      test_shed_past_threshold;
+    Alcotest.test_case "drain refuses late work, answers probes" `Quick
+      test_drain_refuses_then_stays_quiet;
+    Alcotest.test_case "persistence roundtrip across restart" `Quick
+      test_persistence_roundtrip;
+    Alcotest.test_case "corrupt/skewed state starts cold" `Quick
+      test_persistence_corruption_starts_cold;
+    Alcotest.test_case "executor refuses trace with jobs>1" `Quick
+      test_executor_refuses_trace_with_jobs;
+  ]
+  @ Tu.qtests [ prop_zero_fault_serve_is_direct ]

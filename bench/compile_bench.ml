@@ -2,11 +2,14 @@
 
    [run] times the same suite compile four ways — cold cache, warm
    cache, cache off, and multi-domain — checks that all four reports
-   agree canonically, and writes BENCH_compile.json. [cache_gate]
-   asserts the two service invariants on a duplicate-heavy suite: the
-   analysis-cache hit rate stays above one half, and (under a race
-   dispatch plus the ride-along baseline, i.e. several consumers per
-   region) the closure analysis runs exactly once per distinct region. *)
+   agree canonically, sweeps a skewed suite over jobs 1/2/4 (the
+   [scaling] series of BENCH_compile.json), and writes the file.
+   [cache_gate] asserts the two service invariants on a duplicate-heavy
+   suite: the analysis-cache hit rate stays above one half, and (under a
+   race dispatch plus the ride-along baseline, i.e. several consumers
+   per region) the closure analysis runs exactly once per distinct
+   region. [scaling_gate] asserts the multi-domain executor actually
+   wins on multicore hosts (and at least does no harm on small ones). *)
 
 type row = {
   label : string;
@@ -41,7 +44,7 @@ let compile_row ~label ~jobs ~cache config suite =
     digest = Pipeline.Report_digest.digest report;
   }
 
-let write_json ~file ~jobs rows =
+let write_json ~file ~jobs rows ~scaling =
   let oc = open_out file in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n  \"jobs\": ";
@@ -70,6 +73,19 @@ let write_json ~file ~jobs rows =
            stats_json r.digest
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string buf "  ],\n  \"scaling\": [\n";
+  let base = match scaling with r :: _ -> r.wall_s | [] -> 0.0 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_s\": %.4f, \"speedup_vs_jobs1\": %s, \"digest\": \
+            %S}%s\n"
+           r.label r.wall_s
+           (if r.wall_s > 0.0 then Printf.sprintf "%.2f" (base /. r.wall_s) else "null")
+           r.digest
+           (if i = List.length scaling - 1 then "" else ",")))
+    scaling;
   Buffer.add_string buf "  ]\n}\n";
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -122,7 +138,94 @@ let run ~small () =
     rows;
   Printf.printf "  reports: canonically identical across all %d configurations\n\n"
     (List.length rows);
-  write_json ~file:"BENCH_compile.json" ~jobs rows
+  (* Jobs sweep on the skewed suite — the workload work stealing exists
+     for. Fresh cache per row so every row pays the same analysis bill. *)
+  let skew =
+    if small then Workload.Suite.skewed ~giants:2 ~tiny:16 ()
+    else Workload.Suite.skewed ()
+  in
+  let scaling =
+    List.map
+      (fun jobs ->
+        compile_row
+          ~label:(Printf.sprintf "scaling/jobs-%d" jobs)
+          ~jobs
+          ~cache:(Some (Pipeline.Analysis.create ()))
+          config skew)
+      [ 1; 2; 4 ]
+  in
+  let sref = (List.hd scaling).digest in
+  List.iter
+    (fun r ->
+      if not (String.equal r.digest sref) then begin
+        Printf.eprintf "compile bench: FAIL — %s diverged from jobs-1 report\n" r.label;
+        exit 1
+      end)
+    scaling;
+  print_string "COMPILE SERVICE — JOBS SWEEP (SKEWED SUITE)\n";
+  let base = (List.hd scaling).wall_s in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-22s %8.3f s  (%.2fx vs jobs-1)\n" r.label r.wall_s
+        (if r.wall_s > 0.0 then base /. r.wall_s else 0.0))
+    scaling;
+  Printf.printf "  reports: byte-identical digests across the sweep\n\n";
+  write_json ~file:"BENCH_compile.json" ~jobs rows ~scaling
+
+(* CI gate: the parallel executor must pay for itself. On a >= 4-core
+   host, jobs-4 must beat jobs-1 by 1.5x on the skewed suite; on 2-3
+   cores it must at least break even; on a single core it may cost at
+   most 10% (pool + deal + merge overhead, with every worker index
+   multiplexed onto one domain). Trials interleave jobs-1 and jobs-4
+   (three each, best per side) so wall-clock drift on a shared runner
+   hits both sides alike; digests must match in every trial. *)
+let scaling_gate () =
+  let cores = Domain.recommended_domain_count () in
+  let threshold = if cores >= 4 then 1.5 else if cores >= 2 then 1.0 else 0.9 in
+  let suite = Workload.Suite.skewed ~giants:2 ~tiny:24 () in
+  let config = config () in
+  let one ~jobs =
+    compile_row
+      ~label:(Printf.sprintf "scaling-gate/jobs-%d" jobs)
+      ~jobs
+      ~cache:(Some (Pipeline.Analysis.create ()))
+      config suite
+  in
+  let best rows =
+    let r = List.hd rows in
+    List.iter
+      (fun (r' : row) ->
+        if not (String.equal r'.digest r.digest) then begin
+          Printf.eprintf "scaling-gate: FAIL — %s digest unstable across trials\n"
+            r'.label;
+          exit 1
+        end)
+      rows;
+    List.fold_left (fun acc (r' : row) -> if r'.wall_s < acc.wall_s then r' else acc) r rows
+  in
+  let trials =
+    List.init 3 (fun _ ->
+        let s = one ~jobs:1 in
+        let p = one ~jobs:4 in
+        (s, p))
+  in
+  let seq = best (List.map fst trials) in
+  let par = best (List.map snd trials) in
+  if not (String.equal seq.digest par.digest) then begin
+    Printf.eprintf "scaling-gate: FAIL — jobs-4 report diverged from jobs-1\n";
+    exit 1
+  end;
+  let speedup = if par.wall_s > 0.0 then seq.wall_s /. par.wall_s else 0.0 in
+  Printf.printf
+    "scaling-gate: %d cores, jobs-1 %.3f s, jobs-4 %.3f s, speedup %.2fx (floor %.2fx), \
+     digests identical\n"
+    cores seq.wall_s par.wall_s speedup threshold;
+  if speedup < threshold then begin
+    Printf.eprintf "scaling-gate: FAIL — speedup %.2fx below the %.2fx floor\n" speedup
+      threshold;
+    exit 1
+  end;
+  print_endline "scaling-gate: OK"
 
 let cache_gate () =
   let suite =

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- obs-gate     # assert the trace-on overhead budget
      dune exec bench/main.exe -- compile      # time cold/warm cache and multi-domain compiles
      dune exec bench/main.exe -- cache-gate   # assert analysis-cache hit rate + once-per-region analysis
+     dune exec bench/main.exe -- scaling-gate # assert the jobs-4 executor speedup floor (nproc-aware)
      dune exec bench/main.exe -- serve        # serving mode: req/s, latency percentiles, warm-cache hit rate
      dune exec bench/main.exe -- --trace=F --metrics=G ...  # flight-record the compile *)
 
@@ -159,6 +160,7 @@ let () =
   end;
   if List.mem "compile" wanted then Compile_bench.run ~small ();
   if List.mem "cache-gate" wanted then Compile_bench.cache_gate ();
+  if List.mem "scaling-gate" wanted then Compile_bench.scaling_gate ();
   if List.mem "serve" wanted then Serve_bench.run ~small ();
   if List.mem "obs-gate" wanted then begin
     let untraced_ns, traced_ns, overhead_pct = Micro.obs_overhead () in

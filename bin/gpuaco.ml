@@ -158,10 +158,11 @@ let auto_threshold_arg =
 
 let jobs_arg =
   let doc =
-    "Number of OCaml domains compiling suite regions in parallel (with $(b,--suite)). \
-     The report is identical for every value; a single region always compiles on one \
-     domain. The flight recorder is single-writer, so $(b,--trace) with $(b,--jobs) \
-     > 1 is refused (it used to be silently dropped)."
+    "Number of workers compiling suite regions in parallel (with $(b,--suite)), on a \
+     persistent domain pool with work stealing. The report is identical for every \
+     value; a single region always compiles on one domain. $(b,--trace) works at any \
+     jobs count: each worker records into a private ring and the rings merge on the \
+     simulated timeline at join."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
@@ -288,15 +289,7 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
   let metrics =
     match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
   in
-  (* the flight recorder is single-writer: refuse the combination loudly
-     rather than hand back an empty recording *)
-  if suite && trace_out <> None && jobs > 1 then begin
-    prerr_endline
-      "gpuaco: --trace needs --jobs 1 (the flight recorder is single-writer); \
-       drop one of the two";
-    2
-  end
-  else if suite then
+  if suite then
     run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out
   else begin
   let region = build_shape shape ~size ~seed in
@@ -525,7 +518,9 @@ let serve_stdio cfg metrics ~batch =
         flush stdout
       with Sys_error _ -> broken := true
   in
-  let srv = Pipeline.Serve.create ~metrics ~on_reply cfg in
+  let srv =
+    Pipeline.Serve.create ~metrics ~pool:(Support.Domain_pool.global ()) ~on_reply cfg
+  in
   graceful_signals ();
   (try pump_channel srv ~client:"stdio" ~batch stdin with Exit -> ());
   Pipeline.Serve.drain srv;
@@ -553,7 +548,9 @@ let serve_socket path cfg metrics ~batch =
               flush oc
             with Sys_error _ -> current_out := None)
       in
-      let srv = Pipeline.Serve.create ~metrics ~on_reply cfg in
+      let srv =
+    Pipeline.Serve.create ~metrics ~pool:(Support.Domain_pool.global ()) ~on_reply cfg
+  in
       graceful_signals ();
       Printf.eprintf "gpuaco serve: listening on %s\n%!" path;
       let conn = ref 0 in

@@ -36,6 +36,7 @@ type state = {
   params : Params.t;
   rng : Support.Rng.t;
   ants : Ant.t array;
+  arena : Support.Arena.t;
   pheromone : Pheromone.t;
   termination : int;
   metrics : Obs.Metrics.t;
@@ -71,7 +72,7 @@ module Backend_impl = struct
     let shared = Ant.shared_of_region_ctx rc in
     let ints, floats = Ant.arena_demand shared in
     let lanes = params.Params.ants_per_iteration in
-    let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+    let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
     let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
     let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
     let termination = Params.termination_condition n in
@@ -83,6 +84,7 @@ module Backend_impl = struct
       params;
       rng;
       ants;
+      arena;
       pheromone;
       termination;
       metrics = ctx.Engine.Backend.metrics;
@@ -127,7 +129,11 @@ module Backend_impl = struct
     in
     (schedule, stats)
 
-  let teardown _ = ()
+  (* Two_pass runs teardown even on raise; returning the arena here lets
+     the next region job on this domain reuse the backing arrays. The
+     ants' slices are dead by now — results were extracted during the
+     passes. *)
+  let teardown st = Support.Arena.give st.arena
 end
 
 let backend : Engine.Backend.t = (module Backend_impl)

@@ -87,6 +87,7 @@ type state = {
   params : Params.t;
   rng : Support.Rng.t;
   ants : Ant.t array;
+  arena : Support.Arena.t;
   pheromone : Pheromone.t;
   termination : int;
   metrics : Obs.Metrics.t;
@@ -125,7 +126,7 @@ module Backend_impl = struct
     let shared = Ant.shared_of_region_ctx rc in
     let ints, floats = Ant.arena_demand shared in
     let lanes = params.Params.ants_per_iteration in
-    let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+    let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
     let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
     let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
     let termination = Params.termination_condition n in
@@ -133,6 +134,7 @@ module Backend_impl = struct
       params;
       rng;
       ants;
+      arena;
       pheromone;
       termination;
       metrics = ctx.Engine.Backend.metrics;
@@ -185,7 +187,7 @@ module Backend_impl = struct
     in
     (schedule, stats)
 
-  let teardown _ = ()
+  let teardown st = Support.Arena.give st.arena
 end
 
 let backend : Engine.Backend.t = (module Backend_impl)

@@ -527,7 +527,7 @@ module Backend_impl = struct
     in
     (schedule, stats)
 
-  let teardown _ = ()
+  let teardown st = Array.iter Wavefront.retire st.wavefronts
 end
 
 let backend : Engine.Backend.t = (module Backend_impl)

@@ -4,6 +4,7 @@ type t = {
   params : Aco.Params.t;
   heuristic : Sched.Heuristic.kind;
   allow_optional : bool;
+  arena : Support.Arena.t;
   arena_words : int;
   fault_at : int array;  (* per-lane injected fault step, -1 = none *)
   maxima : int array;  (* per-path-rank max op cost of one lockstep step *)
@@ -30,13 +31,14 @@ let create ?shared config graph params ~heuristic ~allow_optional_stalls =
   let lanes = config.Config.target.Machine.Target.wavefront_size in
   let shared = match shared with Some s -> s | None -> Aco.Ant.prepare_shared graph in
   let ints, floats = Aco.Ant.arena_demand shared in
-  let arena = Support.Arena.create ~ints:(lanes * ints) ~floats:(lanes * floats) in
+  let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
   {
     config;
     ants = Array.init lanes (fun _ -> Aco.Ant.create ~shared ~arena graph params);
     params;
     heuristic;
     allow_optional = allow_optional_stalls;
+    arena;
     arena_words = Support.Arena.words arena;
     fault_at = Array.make lanes (-1);
     maxima = Array.make 5 0;
@@ -53,6 +55,11 @@ let create ?shared config graph params ~heuristic ~allow_optional_stalls =
 let lanes t = Array.length t.ants
 
 let arena_words t = t.arena_words
+
+(* Returns the arena to the domain-local pool. The wavefront must not run
+   again afterwards — the par_aco backend retires at teardown, after the
+   best schedule has been copied out of the lanes. *)
+let retire t = Support.Arena.give t.arena
 
 let set_obs t ~trace ~metrics ~track ~obs_cursor ~simd_cursor ~simd =
   t.trace <- trace;

@@ -29,6 +29,12 @@ val lanes : t -> int
 val arena_words : t -> int
 (** Size of this wavefront's colony arena in words. *)
 
+val retire : t -> unit
+(** Return the colony arena to the domain-local pool
+    ({!Support.Arena.give}). The wavefront must not run again after
+    retirement; drivers call this once at backend teardown, after the
+    best schedule has been copied out of the lanes. *)
+
 val set_obs :
   t ->
   trace:Obs.Trace.t ->

@@ -104,6 +104,44 @@ let push t name v =
         m.m_len <- m.m_len + 1;
         update m v)
 
+(* Shard merge for the executor: each worker domain accumulates into a
+   private registry (no contention), and the shards fold into the
+   caller's registry at join — the only point that takes the
+   destination's mutex. The source must be quiescent (its workers
+   joined); only [into]'s lock is taken, so there is no lock-order
+   hazard. Metrics registered in both keep [into]'s position; new names
+   append in the source's registration order. *)
+let merge_into src ~into =
+  if src.on && into.on then
+    locked into (fun () ->
+        List.iter
+          (fun name ->
+            let sm = Hashtbl.find src.tbl name in
+            let m = find into name sm.m_kind in
+            match sm.m_kind with
+            | Counter ->
+                m.m_count <- m.m_count + sm.m_count;
+                m.m_sum <- m.m_sum +. sm.m_sum
+            | Gauge | Histogram ->
+                m.m_count <- m.m_count + sm.m_count;
+                m.m_sum <- m.m_sum +. sm.m_sum;
+                if sm.m_min < m.m_min then m.m_min <- sm.m_min;
+                if sm.m_max > m.m_max then m.m_max <- sm.m_max;
+                if sm.m_count > 0 then m.m_last <- sm.m_last
+            | Series ->
+                let need = m.m_len + sm.m_len in
+                if need > Array.length m.m_series then begin
+                  let grown = Array.make (max need (2 * max 1 m.m_len)) 0.0 in
+                  Array.blit m.m_series 0 grown 0 m.m_len;
+                  m.m_series <- grown
+                end;
+                Array.blit sm.m_series 0 m.m_series m.m_len sm.m_len;
+                m.m_len <- need;
+                for i = 0 to sm.m_len - 1 do
+                  update m sm.m_series.(i)
+                done)
+          (List.rev src.order))
+
 let names t = locked t (fun () -> List.rev t.order)
 
 let get t name = locked t (fun () -> Hashtbl.find_opt t.tbl name)

@@ -31,6 +31,14 @@ val push : t -> string -> float -> unit
 (** Append to a series: like {!observe} but the individual values are
     kept in order and exported (convergence curves). *)
 
+val merge_into : t -> into:t -> unit
+(** Fold every metric of the source registry into [into]: counters add,
+    gauges and histograms combine count/sum/min/max (the source's last
+    value wins when it saw any), series append their points. The
+    executor's per-domain shards merge through this at join — the source
+    must be quiescent; only [into]'s mutex is taken. No-op when either
+    registry is disabled. *)
+
 (** {2 Reading back} *)
 
 type metric

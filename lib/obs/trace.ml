@@ -121,6 +121,33 @@ let instant t ~track ~name ~ts =
 let instant_arg t ~track ~name ~ts ~key ~value =
   if t.on then record t 1 ~track ~name ~ts ~dur:0.0 ~akey:(Some key) ~aval:value
 
+(* Segment replay for the multi-domain executor: each worker records
+   into a private ring on its own clock, and bookkeeping per job
+   remembers which slice of which ring the job produced ([recorded]
+   before/after) and where the worker's clock stood. At join the caller
+   replays the slices in job-index order, shifting each by [dt] so the
+   merged timeline is the one a sequential run would have produced —
+   every timestamp inside a job is its worker's clock-at-entry plus
+   simulated deltas, so a linear shift relocates the job exactly. *)
+let append_range src ~into ~first ~last ~dt =
+  if src.on && into.on then begin
+    List.iter
+      (fun (track, label) -> name_track into track label)
+      (List.rev src.track_names);
+    (* events before [count - cap] were lost to ring wrap-around *)
+    let lo = max first (src.count - src.cap) in
+    for j = lo to min last src.count - 1 do
+      let i = j mod src.cap in
+      record into
+        (Char.code (Bytes.get src.kind i))
+        ~track:src.track.(i)
+        ~name:src.names.(src.name.(i))
+        ~ts:(src.ts.(i) +. dt) ~dur:src.dur.(i)
+        ~akey:(if src.akey.(i) < 0 then None else Some src.names.(src.akey.(i)))
+        ~aval:src.aval.(i)
+    done
+  end
+
 type event = {
   e_kind : [ `Span | `Instant ];
   e_name : string;

@@ -62,6 +62,20 @@ val span_arg :
 val instant : t -> track:int -> name:string -> ts:float -> unit
 val instant_arg : t -> track:int -> name:string -> ts:float -> key:string -> value:float -> unit
 
+(** {2 Merging}
+
+    The multi-domain executor gives each worker a private ring on its
+    own simulated clock and merges at join: for every job it remembers
+    the worker's {!recorded} count and {!now} before and after, then
+    replays the slices in job order with a per-slice shift. *)
+
+val append_range : t -> into:t -> first:int -> last:int -> dt:float -> unit
+(** Replay the source events numbered [first] (inclusive) to [last]
+    (exclusive) — indices as counted by {!recorded} — into [into],
+    shifting every timestamp by [dt]. Track labels are carried over
+    (first label wins). Events already lost to the source ring's
+    wrap-around are skipped. No-op when either recorder is disabled. *)
+
 (** {2 Reading back} *)
 
 type event = {

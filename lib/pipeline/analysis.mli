@@ -11,11 +11,16 @@
     salted with the occupancy model.
 
     The cache is domain-safe (one internal mutex) and computes misses
-    under the lock, which enforces the compile-service invariant that a
-    distinct region is analysed exactly once no matter how many domains
-    or racing backends want its context. Eviction is LRU with a bounded
-    entry count; all traffic is counted and mirrored into the registry's
-    [analysis.cache.*] counters when one is attached. *)
+    {e outside} the lock through a per-key once-cell: the first
+    requester installs the cell, analyses, and wakes any waiters;
+    concurrent requesters of the same key block on the cell instead of
+    re-analysing. The compile-service invariant — a distinct region is
+    analysed exactly once no matter how many domains or racing backends
+    want its context — holds, while domains missing on {e different}
+    regions analyse concurrently. Eviction is LRU with a bounded entry
+    count (in-flight cells are never evicted); all traffic is counted
+    and mirrored into the registry's [analysis.cache.*] counters when
+    one is attached. *)
 
 type t
 
@@ -43,10 +48,12 @@ val caching : t -> bool
 
 val get : t -> Machine.Occupancy.t -> Ir.Region.t -> Engine.Region_ctx.t
 (** The region's analysis context, from cache when a structurally equal
-    region was analysed before. Note that a hit returns the context of
-    the {e first} structurally-equal region seen: instruction names may
-    differ from the requester's (everything the compiler emits — orders,
-    slots, costs, stats — is name-independent). *)
+    region was analysed before. A lookup that finds another domain's
+    analysis still in flight waits for it (and counts as a hit). Note
+    that a hit returns the context of the {e first} structurally-equal
+    region seen: instruction names may differ from the requester's
+    (everything the compiler emits — orders, slots, costs, stats — is
+    name-independent). *)
 
 val stats : t -> stats
 

@@ -1,6 +1,6 @@
 (* The execute layer of the compile service: a suite becomes a flat list
-   of independent region jobs, the jobs fan out over OCaml domains, and
-   the reports are merged back by index.
+   of independent region jobs, the jobs fan out over a persistent domain
+   pool with work stealing, and the reports are merged back by index.
 
    Determinism comes from the split of responsibilities, not from luck:
    everything a job's outcome may depend on — its name, its source
@@ -10,7 +10,23 @@
    Which domain runs a job, and in which order jobs are claimed, can
    then only change scheduling, never results; the merge step reassembles
    kernel reports in suite order, so the suite report is canonically
-   identical to a sequential compile (see [Report_digest]). *)
+   identical to a sequential compile (see [Report_digest]).
+
+   Scheduling is dynamic LPT: job indices are dealt round-robin into
+   per-worker deques in descending size order, each owner pops its own
+   biggest job first, and an idle worker steals the *smallest* job from
+   a victim's other end — big jobs stay with their owner (locality of
+   the analysis-cache line they warmed), small jobs level the tail.
+
+   The shared mutable state of a sequential compile — the metrics
+   registry, the flight-recorder ring, the allocation arenas — is
+   sharded per worker and merged at join, so the hot loop takes no locks
+   beyond the analysis cache's (which itself computes misses outside its
+   mutex). Traces merge on the simulated timeline: each job records into
+   its worker's private ring, the executor remembers the ring slice and
+   clock interval per job, and replays the slices in job-index order
+   with a per-slice shift — exactly the timeline a sequential compile
+   would have laid down, modulo float rounding of the shifts. *)
 
 type job = {
   j_index : int;
@@ -56,7 +72,25 @@ let run_job ?trace ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config
   Compile.run_region ?trace ~metrics ?ctx ~budget_ns:job.j_budget_ns config
     ~name:job.j_name job.j_region
 
-let run_suite ?(jobs = 1) ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
+(* Deal job indices into [k] deques, round-robin in descending size
+   order (ties broken by index so the deal is deterministic). Each deque
+   is built by *prepending*, so its array ends up ascending by size:
+   the owner pops from the high end (its biggest remaining job), thieves
+   steal from the low end (the victim's smallest). *)
+let deal_deques work k =
+  let njobs = Array.length work in
+  let order = Array.init njobs (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let sa = Ir.Region.size work.(a).j_region
+      and sb = Ir.Region.size work.(b).j_region in
+      if sa <> sb then compare sb sa else compare a b)
+    order;
+  let lists = Array.make k [] in
+  Array.iteri (fun pos i -> lists.(pos mod k) <- i :: lists.(pos mod k)) order;
+  Array.map (fun l -> Support.Ws_deque.create (Array.of_list l)) lists
+
+let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
     ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config)
     (suite : Workload.Suite.t) =
   let jobs = max 1 jobs in
@@ -64,30 +98,102 @@ let run_suite ?(jobs = 1) ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
   let work = jobs_of_suite config suite in
   let njobs = Array.length work in
   let results : Compile.region_report option array = Array.make njobs None in
-  (* The flight-recorder ring buffer is single-writer, so tracing a
-     multi-domain run cannot work. Refusing loudly beats the old
-     behavior (silently dropping the trace): a caller who asked for a
-     flight recording must not discover an empty ring after the run. *)
-  if jobs > 1 && Obs.Trace.enabled trace then
-    invalid_arg
-      "Executor.run_suite: tracing is single-writer; use --jobs 1 (or drop \
-       --trace)";
-  let claim = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add claim 1 in
-      if i < njobs then begin
-        results.(i) <- Some (run_job ~trace ~metrics ?cache config work.(i));
-        loop ()
-      end
+  let k = min jobs njobs in
+  if k <= 1 then
+    (* Sequential: record straight into the caller's trace and metrics —
+       the byte-exact path every parallel run is measured against. *)
+    for i = 0 to njobs - 1 do
+      results.(i) <- Some (run_job ~trace ~metrics ?cache config work.(i))
+    done
+  else begin
+    let pool =
+      match pool with Some p -> p | None -> Support.Domain_pool.global ()
     in
-    loop ()
-  in
-  let helpers =
-    Array.init (min (jobs - 1) (max 0 (njobs - 1))) (fun _ -> Domain.spawn worker)
-  in
-  worker ();
-  Array.iter Domain.join helpers;
+    let k = min k (Support.Domain_pool.size pool + 1) in
+    let deques = deal_deques work k in
+    let tracing = Obs.Trace.enabled trace in
+    let metering = Obs.Metrics.enabled metrics in
+    let rings =
+      Array.init k (fun _ ->
+          if tracing then Obs.Trace.create ~capacity:(Obs.Trace.capacity trace) ()
+          else Obs.Trace.null)
+    in
+    let shards =
+      Array.init k (fun _ -> if metering then Obs.Metrics.create () else Obs.Metrics.null)
+    in
+    (* Per-job trace-merge bookkeeping: which ring holds the job's
+       events, the event-count slice, and the simulated-clock interval. *)
+    let seg_worker = Array.make njobs 0 in
+    let seg_c0 = Array.make njobs 0 in
+    let seg_c1 = Array.make njobs 0 in
+    let seg_t0 = Array.make njobs 0.0 in
+    let seg_t1 = Array.make njobs 0.0 in
+    let steals = Array.make k 0 in
+    let empty_polls = Array.make k 0 in
+    let run_one w i =
+      let ring = rings.(w) in
+      seg_worker.(i) <- w;
+      seg_c0.(i) <- Obs.Trace.recorded ring;
+      seg_t0.(i) <- Obs.Trace.now ring;
+      results.(i) <- Some (run_job ~trace:ring ~metrics:shards.(w) ?cache config work.(i));
+      seg_c1.(i) <- Obs.Trace.recorded ring;
+      seg_t1.(i) <- Obs.Trace.now ring
+    in
+    let worker w =
+      let own = deques.(w) in
+      let rec drain () =
+        match Support.Ws_deque.take own with
+        | Some i ->
+            run_one w i;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      (* Steal sweep: visit the other deques round-robin from our right
+         neighbour; a [Lost] race retries the sweep (someone still has
+         work), a sweep of nothing but [Empty] means the suite is done. *)
+      let rec sweep d saw_work =
+        if d >= k then begin if saw_work then sweep 1 false end
+        else
+          match Support.Ws_deque.steal deques.((w + d) mod k) with
+          | Support.Ws_deque.Stolen i ->
+              steals.(w) <- steals.(w) + 1;
+              run_one w i;
+              drain ();
+              sweep d true
+          | Support.Ws_deque.Lost -> sweep d true
+          | Support.Ws_deque.Empty ->
+              empty_polls.(w) <- empty_polls.(w) + 1;
+              sweep (d + 1) saw_work
+      in
+      sweep 1 false
+    in
+    Support.Domain_pool.run pool ~workers:k worker;
+    (* Merge, all on the caller. Metrics shards fold in worker order;
+       note that *registration order* of names in the merged registry
+       follows first-touch across shards, so exports may list the same
+       values in a different order than a sequential run. *)
+    for w = 0 to k - 1 do
+      Obs.Metrics.merge_into shards.(w) ~into:metrics;
+      if metering then begin
+        Obs.Metrics.add metrics "compile.steal.count" steals.(w);
+        Obs.Metrics.add metrics "compile.steal.empty_polls" empty_polls.(w)
+      end
+    done;
+    (* Trace slices replay in job-index order: job [i]'s events shift by
+       (merged clock so far - the clock its ring showed when it started),
+       which lands them exactly where a sequential compile would have. *)
+    if tracing then begin
+      let off = ref (Obs.Trace.now trace) in
+      for i = 0 to njobs - 1 do
+        let w = seg_worker.(i) in
+        Obs.Trace.append_range rings.(w) ~into:trace ~first:seg_c0.(i) ~last:seg_c1.(i)
+          ~dt:(!off -. seg_t0.(i));
+        off := !off +. (seg_t1.(i) -. seg_t0.(i))
+      done;
+      Obs.Trace.set_now trace !off
+    end
+  end;
   let report_of i =
     match results.(i) with
     | Some r -> r

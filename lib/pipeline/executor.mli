@@ -1,20 +1,26 @@
-(** The execute layer: fan a suite's regions over OCaml domains.
+(** The execute layer: fan a suite's regions over a persistent domain
+    pool with work stealing.
 
     Scheduling regions are independent compilation problems, so the
     suite flattens into indexed jobs, each carrying everything its
     outcome depends on — name, source region, size-class budget, backend
     seeds, and (through the shared {!Analysis} cache) its analysis
-    context. Jobs are claimed from an atomic counter by [jobs] domains
-    and the reports merged back by index, which makes the suite report
-    canonically identical ({!Report_digest}) to a sequential
-    {!Compile.run_suite} for every jobs count.
+    context. Job indices are dealt into per-worker deques in descending
+    size order; each worker pops its own biggest job first and, when its
+    deque runs dry, steals the smallest job from a neighbour — dynamic
+    LPT without a central queue. The reports merge back by index, which
+    makes the suite report canonically identical ({!Report_digest}) to a
+    sequential {!Compile.run_suite} for every jobs count.
 
-    The flight-recorder ring buffer is single-writer, so an enabled
-    [trace] with [jobs > 1] is refused with [Invalid_argument] — loudly,
-    where it used to be silently dropped. [metrics] stays on at any jobs
-    count — the registry is mutex-protected — but the {e registration
-    order} of metric names then depends on scheduling, so exports may
-    list the same values in a different order across runs. *)
+    Observability is sharded: each worker records into a private metrics
+    registry and a private flight-recorder ring, both merged on the
+    caller at join. Tracing therefore works at {e any} jobs count — the
+    per-job ring slices replay in job-index order on the simulated
+    timeline, reconstructing the sequential trace up to float rounding
+    of the per-slice shifts. Merged-registry caveat: the {e registration
+    order} of metric names follows first-touch across shards, so exports
+    may list the same values in a different order than a sequential
+    run. *)
 
 type job = {
   j_index : int;  (** merge key: position in suite order *)
@@ -42,6 +48,7 @@ val run_job :
 
 val run_suite :
   ?jobs:int ->
+  ?pool:Support.Domain_pool.t ->
   ?progress:(string -> unit) ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
@@ -49,11 +56,14 @@ val run_suite :
   Compile.config ->
   Workload.Suite.t ->
   Compile.suite_report
-(** Compile the whole suite on [jobs] domains (default 1; values below 1
-    clamp to 1). [progress] fires once per kernel at merge time, in
-    suite order. The report is canonically identical to
-    [Compile.run_suite] with the same configuration, for any [jobs] and
-    any [cache] setting.
-    @raise Invalid_argument
-      when [jobs > 1] and [trace] is enabled (the recorder is
-      single-writer). *)
+(** Compile the whole suite on [jobs] workers (default 1; values below 1
+    clamp to 1). [jobs = 1] compiles sequentially on the caller,
+    recording straight into [trace] and [metrics]; [jobs > 1] runs on
+    [pool] (default {!Support.Domain_pool.global}, spawned once per
+    process and reused across calls), clamped to the pool's size plus
+    the calling domain. [progress] fires once per kernel at merge time,
+    in suite order. The report is canonically identical to
+    [Compile.run_suite] with the same configuration, for any [jobs],
+    [pool] and [cache] setting. When [metrics] is enabled, a parallel
+    run also reports [compile.steal.count] and
+    [compile.steal.empty_polls]. *)

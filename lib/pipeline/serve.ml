@@ -313,6 +313,7 @@ type memo_entry = {
 type t = {
   cfg : config;
   metrics : Obs.Metrics.t;
+  pool : Support.Domain_pool.t option;
   on_reply : reply -> unit;
   cache : Analysis.t;
   memo : (string, memo_entry) Hashtbl.t;
@@ -459,12 +460,13 @@ let load_state t =
         t.persist_info <-
           Printf.sprintf "warm(%d-regions,%d-memo)" !regions_loaded !memo_loaded
 
-let create ?(metrics = Obs.Metrics.null) ?(on_reply = fun _ -> ()) cfg =
+let create ?(metrics = Obs.Metrics.null) ?pool ?(on_reply = fun _ -> ()) cfg =
   Compile.ensure_backends ();
   let t =
     {
       cfg;
       metrics;
+      pool;
       on_reply;
       cache = Analysis.create ~metrics ();
       memo = Hashtbl.create 64;
@@ -598,102 +600,104 @@ let better_report (a : Compile.region_report) (b : Compile.region_report) =
   if sa <> sb then sa < sb
   else Sched.Cost.better_rp_then_length a.Compile.aco_cost b.Compile.aco_cost
 
-let compile_reply t (req : request) region name =
-  let cfg = effective_config t req in
-  let rc = Analysis.get t.cache cfg.Compile.occ region in
-  record_region t rc region;
-  let key = memo_key cfg ~name rc.Engine.Region_ctx.fingerprint in
-  match memo_find t key with
-  | Some e ->
-      t.memo_hits <- t.memo_hits + 1;
-      Obs.Metrics.incr t.metrics "serve.memo.hits";
-      t.tally <- Robust.tally_add t.tally e.memo_outcome;
-      Robust.observe Obs.Trace.null t.metrics ~region:name e.memo_outcome;
-      Compiled
-        {
-          rep_id = req.req_id;
-          rep_region = name;
-          rep_outcome = e.memo_outcome;
-          rep_cost = e.memo_cost;
-          rep_order = e.memo_order;
-          rep_digest = e.memo_digest;
-          rep_attempts = 0;
-          rep_retries = e.memo_retries;
-          (* a hit costs no simulated compile time; the recorded latency
-             is what the original compile spent *)
-          rep_latency_ns = 0.0;
-          rep_memo = `Hit;
-        }
-  | None ->
-      t.memo_misses <- t.memo_misses + 1;
-      Obs.Metrics.incr t.metrics "serve.memo.misses";
-      let n = Ir.Region.size region in
-      let base = Robust.budget_for cfg.Compile.robust ~n in
-      let deadline =
-        deadline_of_budget cfg.Compile.gpu ~slack:t.cfg.deadline_slack
-          (budget_of_ns base)
-      in
-      (* Deadline-bounded attempt loop. Each retry reseeds the fault
-         stream (attempt 0 is the identity reseed, so a fault-free serve
-         compile is bit-for-bit the direct compile) and charges
-         exponential backoff against the deadline before it may run. *)
-      let rec go attempt spent best =
-        let budget_ns = Float.max 0.0 (Float.min base (deadline -. spent)) in
-        let cfg_a =
-          { cfg with Compile.gpu = Gpusim.Config.reseed_faults cfg.Compile.gpu ~salt:attempt }
-        in
-        let report =
-          Compile.run_region ~metrics:t.metrics ~ctx:rc ~budget_ns cfg_a ~name region
-        in
-        let p = Compile.product_run report in
-        let spent =
-          spent +. p.Compile.run_pass1_time_ns +. p.Compile.run_pass2_time_ns
-        in
-        let best =
-          match best with
-          | Some b when not (better_report report b) -> b
-          | _ -> report
-        in
-        let attempts = attempt + 1 in
-        if Robust.severity report.Compile.degradation = 0 then (best, attempts, spent)
-        else if attempt >= t.cfg.max_retries then (best, attempts, spent)
-        else begin
-          let backoff = t.cfg.backoff_base_ns *. Float.pow 2.0 (float_of_int attempt) in
-          if spent +. backoff >= deadline then begin
-            Obs.Metrics.incr t.metrics "serve.deadline_exceeded";
-            (best, attempts, spent)
-          end
-          else begin
-            Obs.Metrics.incr t.metrics "serve.retries";
-            go (attempt + 1) (spent +. backoff) (Some best)
-          end
-        end
-      in
-      let best, attempts, spent = go 0 0.0 None in
-      let digest = Report_digest.digest_region best in
-      memo_store t key
-        {
-          memo_outcome = best.Compile.degradation;
-          memo_cost = best.Compile.aco_cost;
-          memo_order = best.Compile.aco_order;
-          memo_digest = digest;
-          memo_retries = best.Compile.retries;
-          memo_latency_ns = spent;
-        };
-      t.tally <- Robust.tally_add t.tally best.Compile.degradation;
-      Compiled
-        {
-          rep_id = req.req_id;
-          rep_region = name;
-          rep_outcome = best.Compile.degradation;
-          rep_cost = best.Compile.aco_cost;
-          rep_order = best.Compile.aco_order;
-          rep_digest = digest;
-          rep_attempts = attempts;
-          rep_retries = best.Compile.retries;
-          rep_latency_ns = spent;
-          rep_memo = `Miss;
-        }
+let hit_reply t (req : request) name (e : memo_entry) =
+  t.memo_hits <- t.memo_hits + 1;
+  Obs.Metrics.incr t.metrics "serve.memo.hits";
+  t.tally <- Robust.tally_add t.tally e.memo_outcome;
+  Robust.observe Obs.Trace.null t.metrics ~region:name e.memo_outcome;
+  Compiled
+    {
+      rep_id = req.req_id;
+      rep_region = name;
+      rep_outcome = e.memo_outcome;
+      rep_cost = e.memo_cost;
+      rep_order = e.memo_order;
+      rep_digest = e.memo_digest;
+      rep_attempts = 0;
+      rep_retries = e.memo_retries;
+      (* a hit costs no simulated compile time; the recorded latency
+         is what the original compile spent *)
+      rep_latency_ns = 0.0;
+      rep_memo = `Hit;
+    }
+
+(* The attempt loop of a memo miss. Deadline-bounded: each retry reseeds
+   the fault stream (attempt 0 is the identity reseed, so a fault-free
+   serve compile is bit-for-bit the direct compile) and charges
+   exponential backoff against the deadline before it may run.
+
+   Deterministic in its inputs and touching only [t.metrics] (its
+   registry carries its own mutex) and the domain-safe analysis cache —
+   the batched pump runs several of these on the domain pool at once. *)
+let compute_miss t (cfg : Compile.config) rc name region =
+  let n = Ir.Region.size region in
+  let base = Robust.budget_for cfg.Compile.robust ~n in
+  let deadline =
+    deadline_of_budget cfg.Compile.gpu ~slack:t.cfg.deadline_slack
+      (budget_of_ns base)
+  in
+  let rec go attempt spent best =
+    let budget_ns = Float.max 0.0 (Float.min base (deadline -. spent)) in
+    let cfg_a =
+      { cfg with Compile.gpu = Gpusim.Config.reseed_faults cfg.Compile.gpu ~salt:attempt }
+    in
+    let report =
+      Compile.run_region ~metrics:t.metrics ~ctx:rc ~budget_ns cfg_a ~name region
+    in
+    let p = Compile.product_run report in
+    let spent =
+      spent +. p.Compile.run_pass1_time_ns +. p.Compile.run_pass2_time_ns
+    in
+    let best =
+      match best with
+      | Some b when not (better_report report b) -> b
+      | _ -> report
+    in
+    let attempts = attempt + 1 in
+    if Robust.severity report.Compile.degradation = 0 then (best, attempts, spent)
+    else if attempt >= t.cfg.max_retries then (best, attempts, spent)
+    else begin
+      let backoff = t.cfg.backoff_base_ns *. Float.pow 2.0 (float_of_int attempt) in
+      if spent +. backoff >= deadline then begin
+        Obs.Metrics.incr t.metrics "serve.deadline_exceeded";
+        (best, attempts, spent)
+      end
+      else begin
+        Obs.Metrics.incr t.metrics "serve.retries";
+        go (attempt + 1) (spent +. backoff) (Some best)
+      end
+    end
+  in
+  go 0 0.0 None
+
+(* Sequential epilogue of a miss: counters, memo, tally, reply. *)
+let miss_reply t (req : request) name key (best, attempts, spent) =
+  t.memo_misses <- t.memo_misses + 1;
+  Obs.Metrics.incr t.metrics "serve.memo.misses";
+  let digest = Report_digest.digest_region best in
+  memo_store t key
+    {
+      memo_outcome = best.Compile.degradation;
+      memo_cost = best.Compile.aco_cost;
+      memo_order = best.Compile.aco_order;
+      memo_digest = digest;
+      memo_retries = best.Compile.retries;
+      memo_latency_ns = spent;
+    };
+  t.tally <- Robust.tally_add t.tally best.Compile.degradation;
+  Compiled
+    {
+      rep_id = req.req_id;
+      rep_region = name;
+      rep_outcome = best.Compile.degradation;
+      rep_cost = best.Compile.aco_cost;
+      rep_order = best.Compile.aco_order;
+      rep_digest = digest;
+      rep_attempts = attempts;
+      rep_retries = best.Compile.retries;
+      rep_latency_ns = spent;
+      rep_memo = `Miss;
+    }
 
 (* Shedding answers from analysis alone: the Critical-Path schedule is
    already in the region context, so the reply costs no ACO work at
@@ -763,15 +767,95 @@ let region_of_source = function
       | Some region -> Ok (region, shape)
       | None -> Error (Unknown_shape shape))
 
-let process t =
+(* Batched pump over the domain pool. Three phases per batch:
+
+     1. pop (in order) and classify: memo hit / first-in-batch miss /
+        in-batch duplicate of a miss. Classification probes the memo
+        without bumping its LRU clock — the bump happens in phase 3, in
+        pop order, exactly where the sequential pump would have bumped.
+     2. run the distinct misses' attempt loops on the pool. Each is
+        deterministic in its inputs, so which domain runs it cannot
+        change its reply.
+     3. reply in pop order: hits and duplicates go through the memo
+        (an in-batch duplicate replies [memo=hit], as it would have
+        sequentially — the first occurrence stored its entry in this
+        same phase); computed misses store, tally, reply. A memo entry
+        evicted between probe and phase 3 downgrades to an inline
+        sequential compute — correctness over throughput on that rare
+        path. *)
+let process_batch t pool ~limit =
+  let items = ref [] in
   let n = ref 0 in
-  while !n < t.cfg.max_in_flight && not (Queue.is_empty t.queue) do
+  while (limit < 0 || !n < limit) && not (Queue.is_empty t.queue) do
     let req, region, name = Queue.pop t.queue in
     gauge_queue t;
-    send t (compile_reply t req region name);
+    let cfg = effective_config t req in
+    let rc = Analysis.get t.cache cfg.Compile.occ region in
+    record_region t rc region;
+    let key = memo_key cfg ~name rc.Engine.Region_ctx.fingerprint in
+    items := (req, region, name, cfg, rc, key) :: !items;
     incr n
   done;
-  !n
+  let items = Array.of_list (List.rev !items) in
+  let ni = Array.length items in
+  let seen = Hashtbl.create 16 in
+  let classes =
+    Array.map
+      (fun (_, _, _, _, _, key) ->
+        if Hashtbl.mem t.memo key then `Hit
+        else if t.cfg.memo_capacity > 0 && Hashtbl.mem seen key then `Dup
+        else begin
+          Hashtbl.replace seen key ();
+          `Compute
+        end)
+      items
+  in
+  let todo =
+    Array.of_list
+      (List.filter (fun i -> classes.(i) = `Compute) (List.init ni (fun i -> i)))
+  in
+  let results = Array.make ni None in
+  let compute i =
+    let _, region, name, cfg, rc, _ = items.(i) in
+    results.(i) <- Some (compute_miss t cfg rc name region)
+  in
+  (match pool with
+  | Some pool when Array.length todo > 1 ->
+      let lanes = Support.Domain_pool.size pool + 1 in
+      let workers = min lanes (Array.length todo) in
+      Obs.Metrics.set t.metrics "serve.pool.busy" (float_of_int workers);
+      Obs.Metrics.set t.metrics "serve.pool.idle" (float_of_int (lanes - workers));
+      let claim = Atomic.make 0 in
+      Support.Domain_pool.run pool ~workers (fun _ ->
+          let rec loop () =
+            let j = Atomic.fetch_and_add claim 1 in
+            if j < Array.length todo then begin
+              compute todo.(j);
+              loop ()
+            end
+          in
+          loop ());
+      Obs.Metrics.set t.metrics "serve.pool.busy" 0.0;
+      Obs.Metrics.set t.metrics "serve.pool.idle" (float_of_int lanes)
+  | _ -> Array.iter compute todo);
+  Array.iteri
+    (fun i (req, region, name, cfg, rc, key) ->
+      let reply =
+        match classes.(i) with
+        | `Compute -> (
+            match results.(i) with
+            | Some r -> miss_reply t req name key r
+            | None -> miss_reply t req name key (compute_miss t cfg rc name region))
+        | `Hit | `Dup -> (
+            match memo_find t key with
+            | Some e -> hit_reply t req name e
+            | None -> miss_reply t req name key (compute_miss t cfg rc name region))
+      in
+      send t reply)
+    items;
+  ni
+
+let process t = process_batch t t.pool ~limit:t.cfg.max_in_flight
 
 let drain t =
   match t.state with
@@ -780,9 +864,7 @@ let drain t =
       t.state <- `Draining;
       (* finish everything in flight, ignoring the per-pump cap *)
       while not (Queue.is_empty t.queue) do
-        let req, region, name = Queue.pop t.queue in
-        gauge_queue t;
-        send t (compile_reply t req region name)
+        ignore (process_batch t t.pool ~limit:(-1))
       done;
       persist t;
       t.state <- `Drained;

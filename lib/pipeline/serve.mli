@@ -162,11 +162,26 @@ val deadline_of_budget :
 
 type t
 
-val create : ?metrics:Obs.Metrics.t -> ?on_reply:(reply -> unit) -> config -> t
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?pool:Support.Domain_pool.t ->
+  ?on_reply:(reply -> unit) ->
+  config ->
+  t
 (** A fresh service. With a [state_dir], previously persisted analysis
     regions and memo entries are reloaded (failures count
     [serve.persist.load_failed] and start cold). [on_reply] receives
-    every reply, in order; default ignores them. *)
+    every reply, in order; default ignores them.
+
+    With a [pool], each {!process} batch runs its distinct memo misses
+    in parallel on the pool's domains (the pool persists across batches
+    and requests — typically {!Support.Domain_pool.global}), while
+    admission, memoisation and replies stay sequential in pop order;
+    replies are identical to the poolless service because each miss's
+    attempt loop is deterministic in its inputs. The gauges
+    [serve.pool.busy] / [serve.pool.idle] report occupancy around each
+    compute phase. Without a [pool], misses compute inline on the
+    caller. *)
 
 val config : t -> config
 
@@ -182,8 +197,11 @@ val handle_frame_error : t -> ?client:string -> Support.Frame.error -> unit
     Framing errors are fatal to a connection but not to the service. *)
 
 val process : t -> int
-(** Compile up to [max_in_flight] queued requests; the pump calls this
-    between reads. Returns the number compiled. *)
+(** Compile up to [max_in_flight] queued requests (one batch, parallel
+    across distinct misses when the service has a pool); the pump calls
+    this between reads. Returns the number compiled. Replies go out in
+    pop order; an in-batch duplicate of a miss replies [memo=hit], just
+    as it would have sequentially. *)
 
 val drain : t -> unit
 (** Finish every queued request (ignoring [max_in_flight]), persist

@@ -40,3 +40,34 @@ val float_used : t -> int
 val words : t -> int
 (** Total backing-store size in words — the batched-allocation
     footprint surfaced by the perf counters. *)
+
+(** {2 Per-domain arena pool}
+
+    Backends create their colony arena in [prepare] and drop it in
+    [teardown] — one multi-kilobyte allocation pair per region job under
+    the executor. {!take}/{!give} route those through a small
+    domain-local free list so consecutive jobs on one domain reuse the
+    backing arrays. {!give} {!reset}s the arena (bump pointers rewound,
+    used prefixes zero-filled), so a reused arena is indistinguishable
+    from a fresh one; its capacities may exceed the request. *)
+
+val reset : t -> unit
+(** Rewind both bump pointers and zero-fill the previously used
+    prefixes, restoring the as-created state. Existing base offsets
+    become dangling — only call between consumers. *)
+
+val take : ints:int -> floats:int -> t
+(** A zeroed arena with {e at least} the given capacities: a pooled one
+    when this domain's free list has a fit, else a fresh allocation. *)
+
+val give : t -> unit
+(** Reset the arena and park it on this domain's free list (bounded; the
+    smallest resident is dropped on overflow). The caller must not touch
+    the arena afterwards. *)
+
+val takes : unit -> int
+(** Process-wide {!take} count (all domains). *)
+
+val reuses : unit -> int
+(** Process-wide count of {!take}s served from a free list — the
+    observable for "arenas are pooled, not re-created". *)

@@ -1,0 +1,188 @@
+(* Persistent pool of worker domains.
+
+   Domain.spawn costs hundreds of microseconds — paid per [run] it
+   erased the multi-domain executor's whole win on suite-sized compiles
+   (BENCH_compile.json showed --jobs 2 at 0.61x sequential). The pool
+   spawns each helper domain once, lazily, and parks it on a condition
+   variable between jobs, so the steady-state cost of fanning out is two
+   mutex handoffs per helper.
+
+   Protocol (per helper): the submitting domain stores a closure in
+   [task] and signals; the helper runs it, clears [task] and signals
+   back. [task = None] means idle. The caller of [run] is itself worker
+   0, so a pool of size [s] yields up to [s + 1] ways of parallelism.
+
+   [run] is not reentrant: a task must not call [run] on the pool that
+   is running it. Nested or concurrent [run] calls detect the busy pool
+   and degrade to running every worker function on the caller — safe,
+   just sequential. *)
+
+type helper = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  size : int;
+  helpers : helper array;
+  lock : Mutex.t; (* guards spawning, [spawned] and [busy] *)
+  mutable spawned : int;
+  mutable busy : bool;
+}
+
+(* Helpers default to the hardware: [recommended_domain_count - 1] plus
+   the calling domain saturates the cores. Never more — OCaml's minor
+   collections stop the world across every running domain, so
+   oversubscribing domains beyond cores turns each GC into a cascade of
+   context switches and loses badly (measured 0.4x on one core). A
+   caller who wants oversubscription anyway can size a pool explicitly. *)
+let default_size () = max 0 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let size = max 0 (match size with Some s -> s | None -> default_size ()) in
+  {
+    size;
+    helpers =
+      Array.init size (fun _ ->
+          {
+            m = Mutex.create ();
+            cv = Condition.create ();
+            task = None;
+            failure = None;
+            stop = false;
+            domain = None;
+          });
+    lock = Mutex.create ();
+    spawned = 0;
+    busy = false;
+  }
+
+let size t = t.size
+let spawned t = Mutex.protect t.lock (fun () -> t.spawned)
+
+let helper_loop h =
+  let rec loop () =
+    Mutex.lock h.m;
+    while h.task = None && not h.stop do
+      Condition.wait h.cv h.m
+    done;
+    if h.stop then Mutex.unlock h.m
+    else begin
+      let f = Option.get h.task in
+      Mutex.unlock h.m;
+      let failure = match f () with () -> None | exception e -> Some e in
+      Mutex.lock h.m;
+      h.failure <- failure;
+      h.task <- None;
+      Condition.broadcast h.cv;
+      Mutex.unlock h.m;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Lock held by caller. *)
+let ensure_spawned t k =
+  for i = t.spawned to min k t.size - 1 do
+    let h = t.helpers.(i) in
+    h.domain <- Some (Domain.spawn (fun () -> helper_loop h));
+    t.spawned <- i + 1
+  done
+
+let submit h f =
+  Mutex.lock h.m;
+  h.task <- Some f;
+  h.failure <- None;
+  Condition.broadcast h.cv;
+  Mutex.unlock h.m
+
+let await h =
+  Mutex.lock h.m;
+  while h.task <> None do
+    Condition.wait h.cv h.m
+  done;
+  let failure = h.failure in
+  h.failure <- None;
+  Mutex.unlock h.m;
+  failure
+
+let run t ~workers f =
+  let workers = max 1 workers in
+  let acquired =
+    workers > 1 && t.size > 0
+    && Mutex.protect t.lock (fun () ->
+           if t.busy then false
+           else begin
+             t.busy <- true;
+             ensure_spawned t (workers - 1);
+             true
+           end)
+  in
+  if not acquired then
+    (* size-0 pool, single worker, or a nested run: everything on the
+       caller, in worker order — same results, no parallelism *)
+    for w = 0 to workers - 1 do
+      f w
+    done
+  else begin
+    let k = min workers (t.size + 1) in
+    Fun.protect
+      ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.busy <- false))
+      (fun () ->
+        for w = 1 to k - 1 do
+          submit t.helpers.(w - 1) (fun () -> f w)
+        done;
+        let failure = ref None in
+        let on_caller w =
+          if !failure = None then
+            match f w with () -> () | exception e -> failure := Some e
+        in
+        on_caller 0;
+        (* the clamp [k <= size + 1] can strand worker indices past the
+           pool; run them on the caller so every index executes *)
+        for w = k to workers - 1 do
+          on_caller w
+        done;
+        for w = 1 to k - 1 do
+          match await t.helpers.(w - 1) with
+          | Some e when !failure = None -> failure := Some e
+          | _ -> ()
+        done;
+        match !failure with Some e -> raise e | None -> ())
+  end
+
+let shutdown t =
+  Mutex.protect t.lock (fun () ->
+      for i = 0 to t.spawned - 1 do
+        let h = t.helpers.(i) in
+        Mutex.lock h.m;
+        h.stop <- true;
+        Condition.broadcast h.cv;
+        Mutex.unlock h.m
+      done;
+      for i = 0 to t.spawned - 1 do
+        let h = t.helpers.(i) in
+        (match h.domain with Some d -> Domain.join d | None -> ());
+        h.domain <- None
+      done;
+      t.spawned <- 0)
+
+(* The process-wide pool: created on first use, shared by every suite
+   compile and serve request, shut down at exit so domains do not
+   outlive main. *)
+let global_pool = ref None
+let global_lock = Mutex.create ()
+
+let global () =
+  Mutex.protect global_lock (fun () ->
+      match !global_pool with
+      | Some p -> p
+      | None ->
+          let p = create () in
+          global_pool := Some p;
+          at_exit (fun () -> shutdown p);
+          p)

@@ -1,0 +1,48 @@
+(** Persistent pool of worker domains.
+
+    [Domain.spawn] costs hundreds of microseconds; paid per suite
+    compile it erased the multi-domain executor's win. The pool spawns
+    each helper domain once — lazily, on the first {!run} that needs
+    it — and parks it on a condition variable between jobs, so fanning
+    out costs two mutex handoffs per helper in steady state.
+
+    The caller of {!run} acts as worker 0, so a pool of [size] helpers
+    provides up to [size + 1] ways of parallelism. {!global} is the
+    process-wide pool shared by suite compiles and the serve loop; it is
+    shut down via [at_exit]. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** A pool of up to [size] helper domains (default
+    [Domain.recommended_domain_count () - 1]: helpers plus the calling
+    domain saturate the cores, and never oversubscribe them — OCaml's
+    stop-the-world minor collections make domains beyond cores a steep
+    loss). Nothing is spawned until a {!run} needs it; [size = 0] makes
+    every {!run} sequential. *)
+
+val size : t -> int
+(** Maximum helper count (the creation bound, not what is spawned). *)
+
+val spawned : t -> int
+(** Helper domains spawned so far — monotone over the pool's life; the
+    observable for "domains are spawned once, not per compile". *)
+
+val run : t -> workers:int -> (int -> unit) -> unit
+(** [run t ~workers f] executes [f 0 .. f (workers - 1)], [f 0] on the
+    calling domain and the rest on pool helpers, and returns when all
+    have finished. If [workers] exceeds [size + 1], the overflow indices
+    run on the caller after [f 0]. If any [f w] raises, the first
+    failure is re-raised after every worker has stopped.
+
+    Not reentrant: a worker function must not call [run] on its own
+    pool. A nested or concurrent [run] detects the busy pool and runs
+    every index on the caller — correct, just sequential. *)
+
+val shutdown : t -> unit
+(** Stop and join every spawned helper. The pool may be used again
+    afterwards (helpers respawn lazily, counting into {!spawned}). *)
+
+val global : unit -> t
+(** The process-wide pool, created on first call with the default size
+    and registered for [at_exit] shutdown. *)

@@ -1,0 +1,53 @@
+(* Fixed-population Chase-Lev work-stealing deque over int items.
+
+   The executor's use is deliberately narrower than a general deque: the
+   whole population is loaded at [create] and nothing is ever pushed
+   afterwards, so there is no growth path and no bottom-publication race
+   on the buffer — the buffer is immutable once workers start. The only
+   contended state is the two cursors:
+
+     top    — advanced by thieves (CAS) and by the owner when it races a
+              thief for the last element
+     bottom — decremented by the owner only
+
+   OCaml atomics are sequentially consistent, so the classic Chase-Lev
+   fence discipline is implied rather than spelled out. The owner pops
+   from the bottom (the high indices) and thieves steal from the top
+   (the low indices); the executor loads each deque in ascending job
+   size, so the owner always works on its biggest remaining job while
+   thieves relieve it of its smallest — dynamic LPT, the antidote to one
+   giant region stalling a statically chunked domain. *)
+
+type t = { buf : int array; top : int Atomic.t; bottom : int Atomic.t }
+
+type steal = Stolen of int | Lost | Empty
+
+let create items =
+  { buf = Array.copy items; top = Atomic.make 0; bottom = Atomic.make (Array.length items) }
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let take t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* deque was already empty; undo the decrement *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then Some t.buf.(b)
+  else begin
+    (* last element: race any thief for it through [top] *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some t.buf.(b) else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b <= tp then Empty
+  else
+    let x = t.buf.(tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Stolen x else Lost

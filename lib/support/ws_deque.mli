@@ -1,0 +1,33 @@
+(** Fixed-population work-stealing deque (Chase-Lev) over int items.
+
+    The whole population is loaded at {!create}; nothing can be pushed
+    afterwards, so the buffer is immutable once shared and only the two
+    cursors are contended. One domain — the owner — calls {!take}; any
+    other domain calls {!steal}. The owner pops from the high end of the
+    buffer, thieves from the low end. OCaml atomics are sequentially
+    consistent, which subsumes the fences of the original algorithm.
+
+    The executor loads each deque in ascending job size, making the
+    discipline dynamic LPT: the owner always holds its biggest remaining
+    job, and an idle worker relieves a loaded one of its smallest. *)
+
+type t
+
+type steal =
+  | Stolen of int  (** an item was stolen *)
+  | Lost  (** lost a race with another thief or the owner — retry *)
+  | Empty  (** nothing left to steal *)
+
+val create : int array -> t
+(** A deque holding the items (copied); index 0 is the steal end, the
+    last index the owner's end. *)
+
+val take : t -> int option
+(** Owner only: pop from the owner's end. [None] when empty. *)
+
+val steal : t -> steal
+(** Any domain: steal from the opposite end. {!Lost} means contention,
+    not emptiness — the caller decides whether to retry. *)
+
+val length : t -> int
+(** Racy snapshot of the remaining population (diagnostics only). *)

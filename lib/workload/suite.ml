@@ -149,6 +149,36 @@ let generate scale =
   in
   { kernels; benchmarks = base_benchmarks @ extras }
 
+(* A deliberately unbalanced compile workload: a handful of giant
+   matmul-tile regions next to a long tail of tiny ones. A static
+   round-robin of such a suite strands whoever drew the giants; it is
+   the adversarial input for the executor's work stealing (the stolen
+   jobs are the tail) and the shape the scaling benchmark sweeps. *)
+let skewed ?(seed = 4242) ?(giants = 3) ?(tiny = 48) () =
+  let rng = Support.Rng.create seed in
+  let giant_kernels =
+    List.init (max 0 giants) (fun i ->
+        let rng = Support.Rng.split rng in
+        let hot = Shapes.matmul_tile rng ~m:(24 + (4 * i)) ~k:(6 + i) in
+        {
+          kernel_name = Printf.sprintf "skew_giant_%d" i;
+          regions = [ hot ];
+          hot_index = 0;
+          mem_ratio = 0.35;
+        })
+  in
+  let tiny_kernels =
+    List.init (max 0 tiny) (fun i ->
+        let rng = Support.Rng.split rng in
+        {
+          kernel_name = Printf.sprintf "skew_tiny_%d" i;
+          regions = [ small_region rng ];
+          hot_index = 0;
+          mem_ratio = 0.7;
+        })
+  in
+  { kernels = giant_kernels @ tiny_kernels; benchmarks = [] }
+
 (* Compile-side workload replication: each copy re-lists every kernel
    under a fresh name but shares the region values, the way template
    instantiation multiplies structurally identical regions across a real

@@ -45,6 +45,14 @@ val bench_scale : scale
 
 val generate : scale -> t
 
+val skewed : ?seed:int -> ?giants:int -> ?tiny:int -> unit -> t
+(** A deliberately unbalanced compile workload: [giants] (default 3)
+    growing matmul-tile regions next to [tiny] (default 48) small ones,
+    one region per kernel, no benchmarks. The adversarial input for the
+    executor's work stealing — a static deal strands whoever drew the
+    giants — and the shape the scaling benchmark sweeps. Deterministic
+    in [seed] (default 4242). *)
+
 val replicate : copies:int -> t -> t
 (** The suite with every kernel listed [copies] times (copy 0 keeps the
     original names, later copies get a ["~dup<c>"] suffix), sharing the

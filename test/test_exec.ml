@@ -246,9 +246,188 @@ let test_degradation_ledger_stable () =
   in
   Alcotest.(check bool) "ledgers agree" true (t1 = t4)
 
+(* --- work-stealing deque -------------------------------------------------- *)
+
+let test_ws_deque () =
+  let d = Support.Ws_deque.create [| 10; 20; 30 |] in
+  Alcotest.(check int) "length" 3 (Support.Ws_deque.length d);
+  Alcotest.(check (option int)) "owner pops the high end" (Some 30)
+    (Support.Ws_deque.take d);
+  (match Support.Ws_deque.steal d with
+  | Support.Ws_deque.Stolen v -> Alcotest.(check int) "thief steals the low end" 10 v
+  | _ -> Alcotest.fail "steal of a non-empty deque should succeed");
+  Alcotest.(check (option int)) "owner keeps popping" (Some 20)
+    (Support.Ws_deque.take d);
+  Alcotest.(check (option int)) "drained" None (Support.Ws_deque.take d);
+  match Support.Ws_deque.steal d with
+  | Support.Ws_deque.Empty -> ()
+  | _ -> Alcotest.fail "steal of a drained deque is Empty"
+
+let test_ws_deque_race () =
+  (* an owner and three thieves drain 2000 elements concurrently; the
+     fixed-population deque must hand out each exactly once *)
+  let n = 2000 in
+  let d = Support.Ws_deque.create (Array.init n (fun i -> i)) in
+  let thief () =
+    let rec go acc =
+      match Support.Ws_deque.steal d with
+      | Support.Ws_deque.Stolen v -> go (v :: acc)
+      | Support.Ws_deque.Lost -> go acc
+      | Support.Ws_deque.Empty -> acc
+    in
+    go []
+  in
+  let thieves = Array.init 3 (fun _ -> Domain.spawn thief) in
+  let rec own acc =
+    match Support.Ws_deque.take d with Some v -> own (v :: acc) | None -> acc
+  in
+  let mine = own [] in
+  let stolen = Array.fold_left (fun acc t -> Domain.join t @ acc) [] thieves in
+  Alcotest.(check (list int)) "every element claimed exactly once"
+    (List.init n Fun.id)
+    (List.sort compare (mine @ stolen))
+
+(* --- persistent domain pool ----------------------------------------------- *)
+
+let test_pool_spawns_once () =
+  let pool = Support.Domain_pool.create ~size:3 () in
+  Alcotest.(check int) "lazy: nothing spawned at create" 0
+    (Support.Domain_pool.spawned pool);
+  let config =
+    { (Pipeline.Compile.make_config ~gpu ()) with Pipeline.Compile.params }
+  in
+  let suite = Workload.Suite.skewed ~giants:1 ~tiny:6 () in
+  let reference = digest_of ~jobs:1 ~cache:None config suite in
+  Fun.protect
+    ~finally:(fun () -> Support.Domain_pool.shutdown pool)
+    (fun () ->
+      ignore (Pipeline.Executor.run_suite ~jobs:4 ~pool config suite);
+      let after_first = Support.Domain_pool.spawned pool in
+      Alcotest.(check bool) "helpers spawned on first parallel run" true
+        (after_first > 0 && after_first <= 3);
+      for _ = 1 to 3 do
+        Alcotest.(check string) "digest stable across pooled runs" reference
+          (Pipeline.Report_digest.digest
+             (Pipeline.Executor.run_suite ~jobs:4 ~pool config suite))
+      done;
+      Alcotest.(check int) "domains spawned once across consecutive suite runs"
+        after_first
+        (Support.Domain_pool.spawned pool))
+
+(* --- metrics shard merging ------------------------------------------------ *)
+
+let test_metrics_merge () =
+  let into = Obs.Metrics.create () in
+  let src = Obs.Metrics.create () in
+  Obs.Metrics.add into "c" 2;
+  Obs.Metrics.add src "c" 3;
+  Obs.Metrics.set src "g" 2.5;
+  Obs.Metrics.observe into "h" 1.0;
+  Obs.Metrics.observe src "h" 3.0;
+  Obs.Metrics.push into "s" 1.0;
+  Obs.Metrics.push src "s" 2.0;
+  Obs.Metrics.push src "s" 3.0;
+  Obs.Metrics.merge_into src ~into;
+  let m name = Option.get (Obs.Metrics.get into name) in
+  Alcotest.(check int) "counter events add" 2 (Obs.Metrics.count (m "c"));
+  Alcotest.(check (float 1e-9)) "counter totals add" 5.0 (Obs.Metrics.sum (m "c"));
+  Alcotest.(check (float 1e-9)) "gauge carried over" 2.5 (Obs.Metrics.last (m "g"));
+  Alcotest.(check int) "histogram counts add" 2 (Obs.Metrics.count (m "h"));
+  Alcotest.(check (float 1e-9)) "histogram sums add" 4.0 (Obs.Metrics.sum (m "h"));
+  Alcotest.(check int) "series appends" 3 (Obs.Metrics.count (m "s"));
+  Alcotest.(check (array (float 1e-9))) "series points in order" [| 1.0; 2.0; 3.0 |]
+    (Obs.Metrics.series (m "s"))
+
+(* --- arena pooling -------------------------------------------------------- *)
+
+let test_arena_pooling () =
+  let config =
+    { (Pipeline.Compile.make_config ~gpu ()) with Pipeline.Compile.params }
+  in
+  let suite = small_suite 5 in
+  let r0 = Support.Arena.reuses () in
+  ignore (Pipeline.Executor.run_suite ~jobs:1 config suite);
+  Alcotest.(check bool) "arenas are pooled across region jobs, not re-created" true
+    (Support.Arena.reuses () > r0)
+
+(* --- skewed suites on a shared pool, under faults ------------------------- *)
+
+let exec_identity_skewed =
+  QCheck.Test.make ~count:2
+    ~name:"skewed suites: canonical identity under faults on a shared pool"
+    QCheck.small_int
+    (fun seed ->
+      let suite = Workload.Suite.skewed ~seed ~giants:1 ~tiny:8 () in
+      let pool = Support.Domain_pool.create ~size:3 () in
+      Fun.protect
+        ~finally:(fun () -> Support.Domain_pool.shutdown pool)
+        (fun () ->
+          let config =
+            {
+              (Pipeline.Compile.make_config ~gpu ~fault_rate:0.6
+                 ~fault_seed:(seed + 5) ~compile_budget_ms:0.05 ())
+              with
+              Pipeline.Compile.params;
+            }
+          in
+          let reference = digest_of ~jobs:1 ~cache:None config suite in
+          Alcotest.(check string) "jobs=4 on the pool = jobs=1" reference
+            (Pipeline.Report_digest.digest
+               (Pipeline.Executor.run_suite ~jobs:4 ~pool
+                  ~cache:(Pipeline.Analysis.create ())
+                  config suite)));
+      true)
+
+(* --- trace merge ---------------------------------------------------------- *)
+
+let test_trace_merge () =
+  (* A four-worker trace is the jobs=1 trace re-laid on the simulated
+     timeline: same event population (counts per span name), and the
+     merged document still passes the structural lint. Timestamps are
+     not byte-compared — per-slice shifts round differently than the
+     sequential clock walk. *)
+  let suite = Workload.Suite.skewed ~giants:1 ~tiny:6 () in
+  let config =
+    { (Pipeline.Compile.make_config ~gpu ()) with Pipeline.Compile.params }
+  in
+  let t1 = Obs.Trace.create () in
+  ignore
+    (Pipeline.Executor.run_suite ~jobs:1 ~trace:t1
+       ~cache:(Pipeline.Analysis.create ())
+       config suite);
+  let t4 = Obs.Trace.create () in
+  let pool = Support.Domain_pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Support.Domain_pool.shutdown pool)
+    (fun () ->
+      ignore
+        (Pipeline.Executor.run_suite ~jobs:4 ~pool ~trace:t4
+           ~cache:(Pipeline.Analysis.create ())
+           config suite));
+  Alcotest.(check bool) "traced something" true (Obs.Trace.recorded t1 > 0);
+  Alcotest.(check int) "same number of events" (Obs.Trace.recorded t1)
+    (Obs.Trace.recorded t4);
+  let counts t =
+    List.sort compare (List.map (fun (n, _, c) -> (n, c)) (Obs.Trace.span_totals t))
+  in
+  Alcotest.(check (list (pair string int))) "same span counts per name" (counts t1)
+    (counts t4);
+  List.iter
+    (fun t ->
+      let r = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json t) in
+      if not (Obs.Trace_check.ok r) then
+        Alcotest.failf "trace fails lint: %s" (Obs.Trace_check.report_to_string r))
+    [ t1; t4 ]
+
 let suite =
   [
     ("registry survives concurrent registration", `Quick, test_registry_domains);
+    ("work-stealing deque: owner and thief ends", `Quick, test_ws_deque);
+    ("work-stealing deque: concurrent drain", `Quick, test_ws_deque_race);
+    ("domain pool spawns once, reused across runs", `Quick, test_pool_spawns_once);
+    ("metrics shards merge", `Quick, test_metrics_merge);
+    ("arenas pool across region jobs", `Quick, test_arena_pooling);
+    ("parallel trace merges onto the simulated timeline", `Quick, test_trace_merge);
     ("analysis cache is content-addressed", `Quick, test_cache_content_addressing);
     ("analysis cache evicts LRU at capacity", `Quick, test_cache_lru_eviction);
     ("capacity 0 meters without storing", `Quick, test_cache_disabled);
@@ -258,4 +437,4 @@ let suite =
     ("degradation ledger is domain-count independent", `Quick,
      test_degradation_ledger_stable);
   ]
-  @ Tu.qtests [ exec_identity; exec_identity_faulted ]
+  @ Tu.qtests [ exec_identity; exec_identity_faulted; exec_identity_skewed ]

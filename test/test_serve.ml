@@ -222,6 +222,42 @@ let test_serve_and_memo_hit () =
       Alcotest.(check (list int)) "memo traffic" [ 1; 1; 1 ] [ hits; misses; entries ]
   | rs -> Alcotest.failf "expected 2 compile replies, got %d" (List.length rs)
 
+let test_pool_replies_match_sequential () =
+  (* The pooled batch path must be reply-for-reply identical to the
+     sequential service: same order, same digests, same memo verdicts —
+     including in-batch duplicates, which reply memo=hit either way. *)
+  let run pool =
+    let replies = ref [] in
+    let srv =
+      Pipeline.Serve.create ?pool
+        ~on_reply:(fun r -> replies := Pipeline.Serve.render_reply r :: !replies)
+        (serve_cfg ~inflight:8 (compile_cfg ()))
+    in
+    List.iteri
+      (fun i (shape, size, seed) ->
+        Pipeline.Serve.handle srv
+          (spec_req ~id:(Printf.sprintf "r%d" i) shape size seed))
+      [
+        ("transform", 30, 1);
+        ("reduction", 24, 2);
+        ("transform", 30, 1);
+        ("scan", 20, 3);
+        ("transform", 30, 1);
+      ];
+    ignore (Pipeline.Serve.process srv);
+    List.rev !replies
+  in
+  let sequential = run None in
+  let pool = Support.Domain_pool.create ~size:3 () in
+  let pooled =
+    Fun.protect
+      ~finally:(fun () -> Support.Domain_pool.shutdown pool)
+      (fun () -> run (Some pool))
+  in
+  Alcotest.(check bool) "got replies" true (List.length sequential > 0);
+  Alcotest.(check (list string)) "pooled replies byte-identical to sequential"
+    sequential pooled
+
 let test_retry_zero_ships_first_attempt () =
   (* max_retries = 0: even a heavily degraded attempt ships as-is *)
   let metrics = Obs.Metrics.create () in
@@ -408,18 +444,6 @@ let test_persistence_corruption_starts_cold () =
           | _ -> Alcotest.fail "corrupt state must mean a cold compile")
       | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs))
 
-(* --- executor trace guard (satellite: fail loudly, not silently) ---------- *)
-
-let test_executor_refuses_trace_with_jobs () =
-  let suite = Workload.Suite.generate Workload.Suite.test_scale in
-  let trace = Obs.Trace.create ~capacity:64 () in
-  let config = compile_cfg () in
-  Alcotest.check_raises "trace + jobs>1 is refused"
-    (Invalid_argument
-       "Executor.run_suite: tracing is single-writer; use --jobs 1 (or drop \
-        --trace)") (fun () ->
-      ignore (Pipeline.Executor.run_suite ~jobs:2 ~trace config suite))
-
 (* --- property: serving changes nothing ------------------------------------ *)
 
 (* At fault rate zero a served reply is byte-identical — same report
@@ -458,6 +482,8 @@ let suite =
       test_parse_typed_errors;
     Alcotest.test_case "serve + memo hit replays the digest" `Quick
       test_serve_and_memo_hit;
+    Alcotest.test_case "pooled batch replies match sequential byte-for-byte" `Quick
+      test_pool_replies_match_sequential;
     Alcotest.test_case "max_retries=0 ships the first attempt" `Quick
       test_retry_zero_ships_first_attempt;
     Alcotest.test_case "deadline expires mid-retry" `Quick
@@ -470,7 +496,5 @@ let suite =
       test_persistence_roundtrip;
     Alcotest.test_case "corrupt/skewed state starts cold" `Quick
       test_persistence_corruption_starts_cold;
-    Alcotest.test_case "executor refuses trace with jobs>1" `Quick
-      test_executor_refuses_trace_with_jobs;
   ]
   @ Tu.qtests [ prop_zero_fault_serve_is_direct ]

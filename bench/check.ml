@@ -1,0 +1,176 @@
+(* bench check: the regression sentinel. Compares a fresh measurement
+   of the cheap, stable gates against the committed BENCH_*.json history
+   and exits nonzero on regression, so CI catches a performance slide in
+   the same run that introduced it.
+
+   Two tolerance classes, because the series are not equally noisy:
+
+   - deterministic series (allocation per ant step — a count, not a
+     time) must stay within DET_TOLERANCE of the committed value;
+   - wall-clock series (ns per iteration, cycles per scheduled
+     instruction, traced overhead) get WALL_TOLERANCE, generous enough
+     that a cold CI container does not cry wolf but tight enough that a
+     real algorithmic regression (the kind that costs an order of
+     magnitude) still trips.
+
+   Ceilings recorded in the history files (alloc ceiling, obs ceiling)
+   are re-asserted against the fresh run too: the committed file is the
+   contract, the fresh run the evidence. BENCH_compile.json is checked
+   structurally — every row of a digest-stamped experiment must carry
+   the same digest, or determinism broke. *)
+
+let det_tolerance = 1.25
+let wall_tolerance = 4.0
+
+(* --- reading the committed history (Trace_check's JSON reader) ------- *)
+
+let parse_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let s = really_input_string ic (in_channel_length ic) in
+      Obs.Trace_check.parse_json s)
+
+let obj_field j key =
+  match j with
+  | Obs.Trace_check.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let num_field j key =
+  match obj_field j key with Some (Obs.Trace_check.Num v) -> Some v | _ -> None
+
+let str_field j key =
+  match obj_field j key with Some (Obs.Trace_check.Str s) -> Some s | _ -> None
+
+let list_field j key =
+  match obj_field j key with Some (Obs.Trace_check.List l) -> Some l | _ -> None
+
+(* --- the check ------------------------------------------------------- *)
+
+type verdict = Ok_v | Regressed | Missing
+
+let run () =
+  let failures = ref 0 in
+  let rows = ref [] in
+  let record name ~committed ~fresh ~tolerance verdict =
+    rows := (name, committed, fresh, tolerance, verdict) :: !rows;
+    match verdict with Ok_v -> () | Regressed | Missing -> incr failures
+  in
+  (* A series regresses only in the slow/bigger direction; getting
+     faster than history is not a failure. *)
+  let check_series name ~committed ~fresh ~tolerance =
+    let verdict =
+      match committed with
+      | None -> Missing
+      | Some c when c > 0.0 && fresh > c *. tolerance -> Regressed
+      | Some _ -> Ok_v
+    in
+    record name ~committed ~fresh ~tolerance verdict
+  in
+
+  (* Fresh measurements: the cheap deterministic gate plus the two
+     wall-clock hot-loop gauges. *)
+  let alloc_per_step, _, _ = Micro.alloc_gate () in
+  let hot_per_step, hot_per_iter, _ = Micro.hot_loop () in
+  let untraced_ns, traced_ns, overhead_pct = Micro.obs_overhead () in
+  ignore untraced_ns;
+  ignore traced_ns;
+
+  (* BENCH_arena.json: allocation budget + hot-loop series. *)
+  (match parse_file "BENCH_arena.json" with
+  | exception Sys_error m ->
+      Printf.eprintf "bench check: BENCH_arena.json unreadable: %s\n" m;
+      incr failures
+  | exception Obs.Trace_check.Parse_error m ->
+      Printf.eprintf "bench check: BENCH_arena.json malformed: %s\n" m;
+      incr failures
+  | arena ->
+      let gate = obj_field arena "alloc_gate" in
+      let committed_alloc = Option.bind gate (fun g -> num_field g "minor_words_per_ant_step") in
+      check_series "alloc/minor_words_per_ant_step" ~committed:committed_alloc
+        ~fresh:alloc_per_step ~tolerance:det_tolerance;
+      (* the ceiling in the file is the contract; re-assert it fresh *)
+      (match Option.bind gate (fun g -> num_field g "ceiling") with
+      | Some ceiling when alloc_per_step > ceiling ->
+          record "alloc/ceiling" ~committed:(Some ceiling) ~fresh:alloc_per_step
+            ~tolerance:1.0 Regressed
+      | Some ceiling ->
+          record "alloc/ceiling" ~committed:(Some ceiling) ~fresh:alloc_per_step
+            ~tolerance:1.0 Ok_v
+      | None -> record "alloc/ceiling" ~committed:None ~fresh:alloc_per_step ~tolerance:1.0 Missing);
+      let hot = obj_field arena "hot_loop" in
+      check_series "hot_loop/cycles_per_scheduled_instruction"
+        ~committed:(Option.bind hot (fun h -> num_field h "cycles_per_scheduled_instruction"))
+        ~fresh:hot_per_step ~tolerance:wall_tolerance;
+      check_series "hot_loop/ns_per_iteration"
+        ~committed:(Option.bind hot (fun h -> num_field h "ns_per_iteration"))
+        ~fresh:hot_per_iter ~tolerance:wall_tolerance);
+
+  (* BENCH_obs.json: the observability overhead contract. *)
+  (match parse_file "BENCH_obs.json" with
+  | exception Sys_error m ->
+      Printf.eprintf "bench check: BENCH_obs.json unreadable: %s\n" m;
+      incr failures
+  | exception Obs.Trace_check.Parse_error m ->
+      Printf.eprintf "bench check: BENCH_obs.json malformed: %s\n" m;
+      incr failures
+  | obs ->
+      let wf = obj_field obs "wavefront_iteration" in
+      let ceiling =
+        match Option.bind wf (fun w -> num_field w "ceiling_pct") with
+        | Some c -> c
+        | None -> Micro.obs_ceiling_pct
+      in
+      let verdict = if overhead_pct > ceiling then Regressed else Ok_v in
+      record "obs/overhead_pct" ~committed:(Some ceiling) ~fresh:overhead_pct
+        ~tolerance:1.0 verdict);
+
+  (* BENCH_compile.json: structural determinism — all rows of one
+     digest-stamped experiment must agree on the digest. *)
+  (match parse_file "BENCH_compile.json" with
+  | exception Sys_error m ->
+      Printf.eprintf "bench check: BENCH_compile.json unreadable: %s\n" m;
+      incr failures
+  | exception Obs.Trace_check.Parse_error m ->
+      Printf.eprintf "bench check: BENCH_compile.json malformed: %s\n" m;
+      incr failures
+  | compile ->
+      let digests key =
+        match list_field compile key with
+        | None -> []
+        | Some rows -> List.filter_map (fun r -> str_field r "digest") rows
+      in
+      List.iter
+        (fun key ->
+          let ds = digests key in
+          let distinct = List.sort_uniq compare ds in
+          let ok = ds <> [] && List.length distinct = 1 in
+          Printf.printf "  %-44s %s (%d row(s), %d digest(s))\n"
+            ("compile/" ^ key ^ "-digest-identity")
+            (if ok then "OK" else "FAIL")
+            (List.length ds) (List.length distinct);
+          if not ok then incr failures)
+        [ "rows"; "scaling" ]);
+
+  (* The series table, committed vs fresh. *)
+  print_endline "bench check: committed history vs fresh run";
+  List.iter
+    (fun (name, committed, fresh, tolerance, verdict) ->
+      Printf.printf "  %-44s %12s %12.2f  (tol %.2fx)  %s\n" name
+        (match committed with Some c -> Printf.sprintf "%.2f" c | None -> "missing")
+        fresh tolerance
+        (match verdict with
+        | Ok_v -> "OK"
+        | Regressed -> "REGRESSED"
+        | Missing -> "MISSING"))
+    (List.rev !rows);
+  if !failures > 0 then begin
+    Printf.eprintf "bench check: FAIL — %d regression(s) against committed history\n"
+      !failures;
+    1
+  end
+  else begin
+    print_endline "bench check: OK";
+    0
+  end

@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- cache-gate   # assert analysis-cache hit rate + once-per-region analysis
      dune exec bench/main.exe -- scaling-gate # assert the jobs-4 executor speedup floor (nproc-aware)
      dune exec bench/main.exe -- serve        # serving mode: req/s, latency percentiles, warm-cache hit rate
+     dune exec bench/main.exe -- check        # regression sentinel vs committed BENCH_*.json
      dune exec bench/main.exe -- --trace=F --metrics=G ...  # flight-record the compile *)
 
 (* Pre-arena reference numbers for the two acceptance benchmarks,
@@ -21,7 +22,8 @@
 let baseline_ns =
   [ ("core/one_ant_pass2", 107_680.0); ("core/wavefront_iteration", 5_158_500.0) ]
 
-let write_bench_json rows ~alloc_words_per_step ~alloc_steps ~alloc_words =
+let write_bench_json rows ~alloc_words_per_step ~alloc_steps ~alloc_words
+    ~hot_ns_per_step ~hot_ns_per_iter ~hot_steps =
   let file = "BENCH_arena.json" in
   let oc = open_out file in
   let buf = Buffer.create 1024 in
@@ -48,6 +50,17 @@ let write_bench_json rows ~alloc_words_per_step ~alloc_steps ~alloc_words =
   Buffer.add_string buf (Printf.sprintf "    \"ant_steps\": %d,\n" alloc_steps);
   Buffer.add_string buf (Printf.sprintf "    \"minor_words\": %s,\n" (fl alloc_words));
   Buffer.add_string buf (Printf.sprintf "    \"ceiling\": %s\n" (fl Micro.alloc_ceiling));
+  Buffer.add_string buf "  },\n  \"hot_loop\": {\n";
+  (* ns per ant step at the 1 GHz reference clock reads directly as
+     cycles per scheduled instruction (one ant step schedules one
+     instruction) — the series `bench check` tracks. *)
+  Buffer.add_string buf
+    (Printf.sprintf "    \"ns_per_ant_step\": %s,\n" (fl hot_ns_per_step));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"cycles_per_scheduled_instruction\": %s,\n" (fl hot_ns_per_step));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"ns_per_iteration\": %s,\n" (fl hot_ns_per_iter));
+  Buffer.add_string buf (Printf.sprintf "    \"ant_steps_per_iteration_batch\": %d\n" hot_steps);
   Buffer.add_string buf "  }\n}\n";
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -140,10 +153,14 @@ let () =
   if want "micro" then begin
     let rows = Micro.run () in
     let per_step, steps, words = Micro.alloc_gate () in
-    Printf.printf "  %-28s %12.1f mnr-words/ant-step (%d steps, ceiling %.0f)\n\n"
+    Printf.printf "  %-28s %12.1f mnr-words/ant-step (%d steps, ceiling %.0f)\n"
       "alloc_gate" per_step steps Micro.alloc_ceiling;
+    let hot_per_step, hot_per_iter, hot_steps = Micro.hot_loop () in
+    Printf.printf "  %-28s %12.1f cycles/scheduled-instruction (%.0f ns/iteration)\n\n"
+      "hot_loop" hot_per_step hot_per_iter;
     write_bench_json rows ~alloc_words_per_step:per_step ~alloc_steps:steps
-      ~alloc_words:words
+      ~alloc_words:words ~hot_ns_per_step:hot_per_step ~hot_ns_per_iter:hot_per_iter
+      ~hot_steps
   end;
   if List.mem "alloc-gate" wanted then begin
     let per_step, steps, words = Micro.alloc_gate () in
@@ -162,6 +179,10 @@ let () =
   if List.mem "cache-gate" wanted then Compile_bench.cache_gate ();
   if List.mem "scaling-gate" wanted then Compile_bench.scaling_gate ();
   if List.mem "serve" wanted then Serve_bench.run ~small ();
+  if List.mem "check" wanted then begin
+    let rc = Check.run () in
+    if rc <> 0 then exit rc
+  end;
   if List.mem "obs-gate" wanted then begin
     let untraced_ns, traced_ns, overhead_pct = Micro.obs_overhead () in
     Printf.printf

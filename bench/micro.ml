@@ -127,12 +127,53 @@ let alloc_gate () =
   let per_step = if !steps = 0 then 0.0 else words /. float_of_int !steps in
   (per_step, !steps, words)
 
-(* Flight-recorder overhead on the wavefront hot loop: the same batch of
-   run_iteration calls timed with the recorder disabled and enabled,
-   min-of-trials so scheduler noise does not read as overhead. The
-   ceiling is the observability contract: tracing every lockstep round
-   (plus the metrics registry) must cost less than 10% of the loop it
-   instruments. *)
+(* Cycles per scheduled instruction of the wavefront hot loop: the
+   run_iteration batch timed on the monotonic clock and normalized per
+   ant step (one ant step schedules exactly one instruction). At the
+   1 GHz reference clock the cost models already use, nanoseconds read
+   directly as cycles, so the per-step figure *is* the ROADMAP's
+   cycles-per-scheduled-instruction series; `bench check` tracks it
+   against the committed history. Min-of-trials, like the obs gate, so
+   scheduler noise does not read as regression. *)
+let hot_loop () =
+  let g = Lazy.force graph in
+  let config = { Gpusim.Config.bench with Gpusim.Config.num_wavefronts = 1 } in
+  let w =
+    Gpusim.Wavefront.create config g Aco.Params.default
+      ~heuristic:Sched.Heuristic.Critical_path ~allow_optional_stalls:true
+  in
+  let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
+  let rng = Support.Rng.create 4 in
+  (* Warm-up iteration so one-time setup is not charged to the loop. *)
+  ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone);
+  let best_per_step = ref infinity and best_per_iter = ref infinity in
+  let steps_seen = ref 0 in
+  for _ = 1 to 8 do
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 10 do
+      let o = Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone in
+      steps := !steps + o.Gpusim.Wavefront.ant_steps
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if !steps > 0 then begin
+      let per_step = ns /. float_of_int !steps in
+      if per_step < !best_per_step then best_per_step := per_step;
+      let per_iter = ns /. 10.0 in
+      if per_iter < !best_per_iter then best_per_iter := per_iter;
+      steps_seen := !steps
+    end
+  done;
+  let finite v = if v = infinity then 0.0 else v in
+  (finite !best_per_step, finite !best_per_iter, !steps_seen)
+
+(* Observability overhead on the wavefront hot loop: the same batch of
+   run_iteration calls timed with everything off and with the full
+   stack on — flight recorder, metrics registry, a live structured-log
+   entry and a wall-clock span per iteration — min-of-trials so
+   scheduler noise does not read as overhead. The ceiling is the
+   observability contract: the whole stack must cost less than 10% of
+   the loop it instruments. *)
 let obs_ceiling_pct = 10.0
 
 let obs_overhead () =
@@ -143,18 +184,30 @@ let obs_overhead () =
       Gpusim.Wavefront.create config g Aco.Params.default
         ~heuristic:Sched.Heuristic.Critical_path ~allow_optional_stalls:true
     in
+    let trace = if traced then Obs.Trace.create () else Obs.Trace.null in
+    let log = if traced then Obs.Log.create () else Obs.Log.null in
     if traced then
-      Gpusim.Wavefront.set_obs w ~trace:(Obs.Trace.create ())
-        ~metrics:(Obs.Metrics.create ()) ~track:2 ~obs_cursor:(Array.make 2 0.0)
-        ~simd_cursor:(Array.make 1 0.0) ~simd:0;
+      Gpusim.Wavefront.set_obs w ~trace ~metrics:(Obs.Metrics.create ()) ~track:2
+        ~obs_cursor:(Array.make 2 0.0) ~simd_cursor:(Array.make 1 0.0) ~simd:0;
     let pheromone = Aco.Pheromone.create ~n:g.Ddg.Graph.n ~initial:1.0 in
     let rng = Support.Rng.create 4 in
     (* Warm-up iteration so one-time setup is not charged to the loop. *)
     ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone);
     let batch () =
       let t0 = Unix.gettimeofday () in
-      for _ = 1 to 10 do
-        ignore (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone)
+      for i = 1 to 10 do
+        if traced then begin
+          let wt0 = Obs.Trace.wall_now trace in
+          ignore
+            (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone);
+          Obs.Trace.span trace ~track:Obs.Trace.wall_track_base ~name:"iteration"
+            ~ts:wt0
+            ~dur:(Obs.Trace.wall_now trace -. wt0);
+          Obs.Log.debug log "bench.iteration" [ ("i", Obs.Log.Int i) ]
+        end
+        else
+          ignore
+            (Gpusim.Wavefront.run_iteration w ~rng ~mode:Aco.Ant.Rp_pass ~pheromone)
       done;
       (Unix.gettimeofday () -. t0) *. 1e9 /. 10.0
     in

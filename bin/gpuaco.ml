@@ -136,6 +136,22 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let log_out_arg =
+  let doc =
+    "Write the structured event log (leveled JSONL, ring-buffered) to $(docv). \
+     Compiles emit per-backend and per-region entries; the serve daemon adds \
+     admission, shed, reject and drain events with request ids."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let quality_ledger_arg =
+  let doc =
+    "Append one schedule-quality record per compiled region (JSONL: length vs \
+     lower bound, occupancy vs target, iterations-to-best) to $(docv). Summarize \
+     a ledger with $(b,gpuaco report)."
+  in
+  Arg.(value & opt (some string) None & info [ "quality-ledger" ] ~docv:"FILE" ~doc)
+
 let convergence_arg =
   let doc = "Print the per-iteration best-cost convergence table." in
   Arg.(value & flag & info [ "convergence" ] ~doc)
@@ -219,10 +235,40 @@ let write_metrics metrics file =
   if Filename.check_suffix file ".json" then Obs.Metrics.write_json metrics file
   else Obs.Metrics.write_csv metrics file
 
+let write_log ?(err = false) log file =
+  Obs.Log.write_jsonl log file;
+  let note =
+    Printf.sprintf "log: %d entries written to %s (%d dropped)\n"
+      (min (Obs.Log.recorded log) (Obs.Log.capacity log))
+      file (Obs.Log.dropped log)
+  in
+  if err then (output_string stderr note; flush stderr) else print_string note
+
 let print_cache_stats cache =
   Format.printf "%a@." Pipeline.Analysis.pp_stats (Pipeline.Analysis.stats cache)
 
-let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out =
+(* With logging on, the domain pool's lifecycle is observed too: worker
+   spawn/acquire/release events land in the same ring as the serve and
+   compile entries. The observer is process-global, so it is installed
+   around the pooled phase and removed on the way out. *)
+let with_pool_observer log f =
+  if Obs.Log.enabled log then begin
+    Support.Domain_pool.set_observer
+      (Some
+         (fun e ->
+           match e with
+           | Support.Domain_pool.Spawned i ->
+               Obs.Log.info log "pool.spawned" [ ("worker", Obs.Log.Int i) ]
+           | Support.Domain_pool.Acquired i ->
+               Obs.Log.debug log "pool.acquired" [ ("worker", Obs.Log.Int i) ]
+           | Support.Domain_pool.Released i ->
+               Obs.Log.debug log "pool.released" [ ("worker", Obs.Log.Int i) ]));
+    Fun.protect ~finally:(fun () -> Support.Domain_pool.set_observer None) f
+  end
+  else f ()
+
+let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out log
+    log_out quality_ledger =
   let scale = { Workload.Suite.test_scale with Workload.Suite.seed } in
   let suite = Workload.Suite.generate scale in
   let stats = Workload.Suite.stats suite in
@@ -234,7 +280,10 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_o
   let trace =
     match trace_out with Some _ -> Obs.Trace.create () | None -> Obs.Trace.null
   in
-  let report = Pipeline.Executor.run_suite ~jobs ~trace ~metrics ~cache config suite in
+  let report =
+    with_pool_observer log (fun () ->
+        Pipeline.Executor.run_suite ~jobs ~trace ~metrics ~log ~cache config suite)
+  in
   let regions =
     List.concat_map
       (fun (kr : Pipeline.Compile.kernel_report) -> kr.Pipeline.Compile.regions)
@@ -265,6 +314,14 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_o
       write_metrics metrics file;
       Printf.printf "metrics: written to %s\n" file
   | None -> ());
+  (match log_out with Some file -> write_log log file | None -> ());
+  (match quality_ledger with
+  | Some file ->
+      let records = Pipeline.Quality.of_report report in
+      Pipeline.Quality.append ~file records;
+      Printf.printf "quality: %d record(s) appended to %s\n" (List.length records)
+        file
+  | None -> ());
   let worst =
     List.fold_left
       (fun acc (r : Pipeline.Compile.region_report) ->
@@ -278,7 +335,8 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_o
   degradation_exit worst
 
 let run_compile shape size seed fault_rate fault_seed budget_ms max_retries backend
-    auto_threshold jobs cache_mode suite trace_out metrics_out convergence =
+    auto_threshold jobs cache_mode suite trace_out metrics_out log_out quality_ledger
+    convergence =
   let dispatch = Engine.Dispatch.of_string ~auto_threshold backend in
   let config =
     Pipeline.Compile.make_config
@@ -289,8 +347,10 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
   let metrics =
     match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
   in
+  let log = match log_out with Some _ -> Obs.Log.create () | None -> Obs.Log.null in
   if suite then
-    run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out
+    run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_out log
+      log_out quality_ledger
   else begin
   let region = build_shape shape ~size ~seed in
   let trace =
@@ -302,7 +362,9 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
     | `On | `Stats -> Pipeline.Analysis.create ~metrics ()
   in
   let ctx = Pipeline.Analysis.get cache config.Pipeline.Compile.occ region in
-  let r = Pipeline.Compile.run_region ~trace ~metrics ~ctx config ~name:shape region in
+  let r =
+    Pipeline.Compile.run_region ~trace ~metrics ~log ~ctx config ~name:shape region
+  in
   Printf.printf "region %s: %d instructions (size category %s)\n" shape r.Pipeline.Compile.n
     (Aco.Params.size_category_label r.Pipeline.Compile.size_category);
   Printf.printf "heuristic: %s\n" (Sched.Cost.to_string r.Pipeline.Compile.heuristic_cost);
@@ -347,6 +409,12 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
       write_metrics metrics file;
       Printf.printf "metrics: written to %s\n" file
   | None -> ());
+  (match log_out with Some file -> write_log log file | None -> ());
+  (match quality_ledger with
+  | Some file ->
+      Pipeline.Quality.append ~file [ Pipeline.Quality.of_region r ];
+      Printf.printf "quality: 1 record appended to %s\n" file
+  | None -> ());
   degradation_exit r.Pipeline.Compile.degradation
   end
 
@@ -363,7 +431,8 @@ let compile_cmd =
     Term.(
       const run_compile $ shape_arg $ size_arg $ seed_arg $ fault_rate_arg $ fault_seed_arg
       $ budget_arg $ retries_arg $ backend_arg $ auto_threshold_arg $ jobs_arg $ cache_arg
-      $ suite_arg $ trace_out_arg $ metrics_out_arg $ convergence_arg)
+      $ suite_arg $ trace_out_arg $ metrics_out_arg $ log_out_arg $ quality_ledger_arg
+      $ convergence_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 
@@ -504,7 +573,7 @@ let graceful_signals () =
   (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-let serve_stdio cfg metrics ~batch =
+let serve_stdio cfg metrics log ~batch =
   set_binary_mode_in stdin true;
   set_binary_mode_out stdout true;
   (* if the reader goes away mid-reply, keep draining silently — the
@@ -519,14 +588,16 @@ let serve_stdio cfg metrics ~batch =
       with Sys_error _ -> broken := true
   in
   let srv =
-    Pipeline.Serve.create ~metrics ~pool:(Support.Domain_pool.global ()) ~on_reply cfg
+    Pipeline.Serve.create ~metrics ~log ~pool:(Support.Domain_pool.global ())
+      ~on_reply cfg
   in
   graceful_signals ();
-  (try pump_channel srv ~client:"stdio" ~batch stdin with Exit -> ());
-  Pipeline.Serve.drain srv;
+  with_pool_observer log (fun () ->
+      (try pump_channel srv ~client:"stdio" ~batch stdin with Exit -> ());
+      Pipeline.Serve.drain srv);
   0
 
-let serve_socket path cfg metrics ~batch =
+let serve_socket path cfg metrics log ~batch =
   match
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -549,34 +620,36 @@ let serve_socket path cfg metrics ~batch =
             with Sys_error _ -> current_out := None)
       in
       let srv =
-    Pipeline.Serve.create ~metrics ~pool:(Support.Domain_pool.global ()) ~on_reply cfg
-  in
+        Pipeline.Serve.create ~metrics ~log ~pool:(Support.Domain_pool.global ())
+          ~on_reply cfg
+      in
       graceful_signals ();
       Printf.eprintf "gpuaco serve: listening on %s\n%!" path;
       let conn = ref 0 in
-      (try
-         while Pipeline.Serve.state srv <> `Drained do
-           match Unix.accept sock with
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-           | fd, _ ->
-               incr conn;
-               let client = Printf.sprintf "conn-%d" !conn in
-               let ic = Unix.in_channel_of_descr fd in
-               current_out := Some (Unix.out_channel_of_descr fd);
-               (try pump_channel srv ~client ~batch ic
-                with Sys_error _ -> () (* peer went away mid-frame *));
-               current_out := None;
-               (try Unix.close fd with Unix.Unix_error _ -> ())
-         done
-       with Exit -> ());
-      Pipeline.Serve.drain srv;
+      with_pool_observer log (fun () ->
+          (try
+             while Pipeline.Serve.state srv <> `Drained do
+               match Unix.accept sock with
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               | fd, _ ->
+                   incr conn;
+                   let client = Printf.sprintf "conn-%d" !conn in
+                   let ic = Unix.in_channel_of_descr fd in
+                   current_out := Some (Unix.out_channel_of_descr fd);
+                   (try pump_channel srv ~client ~batch ic
+                    with Sys_error _ -> () (* peer went away mid-frame *));
+                   current_out := None;
+                   (try Unix.close fd with Unix.Unix_error _ -> ())
+             done
+           with Exit -> ());
+          Pipeline.Serve.drain srv);
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       0
 
 let run_serve socket_path queue_capacity max_in_flight shed_threshold serve_retries
     backoff_ns slack memo_capacity state_dir pump_batch fault_rate fault_seed budget_ms
-    max_retries metrics_out encode decode =
+    max_retries metrics_out log_out quality_ledger encode decode =
   if encode <> [] then begin
     set_binary_mode_out stdout true;
     List.iter (fun req -> Support.Frame.write stdout (unescape req)) encode;
@@ -615,17 +688,24 @@ let run_serve socket_path queue_capacity max_in_flight shed_threshold serve_retr
         deadline_slack = slack;
         memo_capacity = max 0 memo_capacity;
         state_dir;
+        quality_ledger;
       }
     in
-    let metrics =
-      match metrics_out with Some _ -> Obs.Metrics.create () | None -> Obs.Metrics.null
+    (* The daemon's registry is always live — the [metrics] and [watch]
+       protocol verbs read it on demand; --metrics additionally dumps it
+       to a file on exit. *)
+    let metrics = Obs.Metrics.create () in
+    let log =
+      match log_out with Some _ -> Obs.Log.create () | None -> Obs.Log.null
     in
     let code =
       match socket_path with
-      | None -> serve_stdio cfg metrics ~batch:pump_batch
-      | Some path -> serve_socket path cfg metrics ~batch:pump_batch
+      | None -> serve_stdio cfg metrics log ~batch:pump_batch
+      | Some path -> serve_socket path cfg metrics log ~batch:pump_batch
     in
     (match metrics_out with Some file -> write_metrics metrics file | None -> ());
+    (* the framed reply stream owns stdout in stdio mode *)
+    (match log_out with Some file -> write_log ~err:true log file | None -> ());
     code
   end
 
@@ -646,8 +726,115 @@ let serve_cmd =
       const run_serve $ socket_arg $ queue_capacity_arg $ in_flight_arg
       $ shed_threshold_arg $ serve_retries_arg $ backoff_arg $ slack_arg
       $ memo_capacity_arg $ state_dir_arg $ pump_batch_arg $ fault_rate_arg
-      $ fault_seed_arg $ budget_arg $ retries_arg $ metrics_out_arg $ encode_arg
-      $ decode_arg)
+      $ fault_seed_arg $ budget_arg $ retries_arg $ metrics_out_arg $ log_out_arg
+      $ quality_ledger_arg $ encode_arg $ decode_arg)
+
+(* --- socket clients: request, live stats -------------------------------- *)
+
+(* One connection, one exchange: write every request frame, shut down the
+   send side (the daemon's pump reads to EOF), collect every reply frame.
+   The daemon serves connections one at a time, so a fresh connection per
+   poll is also the natural isolation unit. *)
+let client_exchange path reqs =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (path ^ ": " ^ Unix.error_message e)
+      | () ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match
+                let oc = Unix.out_channel_of_descr fd in
+                let ic = Unix.in_channel_of_descr fd in
+                List.iter (fun r -> Support.Frame.write oc r) reqs;
+                flush oc;
+                Unix.shutdown fd Unix.SHUTDOWN_SEND;
+                let rec collect acc =
+                  match Support.Frame.read ic with
+                  | Ok None -> Ok (List.rev acc)
+                  | Ok (Some payload) -> collect (payload :: acc)
+                  | Error e -> Error (Support.Frame.error_to_string e)
+                in
+                collect []
+              with
+              | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+              | exception Sys_error m -> Error m
+              | r -> r))
+
+let client_socket_arg =
+  let doc = "Unix socket of a running $(b,gpuaco serve --socket) daemon." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let request_args =
+  let doc =
+    "Request payload(s), one frame each (the sequence $(b,\\\\n) becomes a \
+     newline, for inline region text)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"REQ" ~doc)
+
+let run_request socket_path reqs =
+  match socket_path with
+  | None ->
+      Printf.eprintf "gpuaco request: --socket PATH is required\n";
+      2
+  | Some path -> (
+      match client_exchange path (List.map unescape reqs) with
+      | Error m ->
+          Printf.eprintf "gpuaco request: %s\n" m;
+          14
+      | Ok replies ->
+          List.iter print_endline replies;
+          0)
+
+let request_cmd =
+  let info =
+    Cmd.info "request"
+      ~doc:
+        "Send request frames to a running $(b,gpuaco serve --socket) daemon over \
+         one connection and print each reply payload (one per line; the \
+         $(b,metrics) reply is multi-line). Exits 14 on transport failure."
+      ~exits:serve_exits
+  in
+  Cmd.v info Term.(const run_request $ client_socket_arg $ request_args)
+
+(* --- report -------------------------------------------------------------- *)
+
+let ledger_arg =
+  let doc = "Quality-ledger JSONL file to summarize (see $(b,--quality-ledger))." in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let top_arg =
+  let doc = "How many worst-gap regions to list." in
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+
+let run_report ledger top =
+  match ledger with
+  | None ->
+      Printf.eprintf "gpuaco report: --ledger FILE is required\n";
+      2
+  | Some file -> (
+      match Pipeline.Quality.load ~file with
+      | exception Sys_error m ->
+          Printf.eprintf "gpuaco report: %s\n" m;
+          1
+      | records ->
+          print_string (Pipeline.Quality.render_summary ~top records);
+          0)
+
+let report_cmd =
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Summarize a schedule-quality ledger (written by $(b,gpuaco compile \
+         --quality-ledger) or a serving daemon): schedule-length gap to the lower \
+         bound, occupancy-target hit rate, convergence shape, and the worst \
+         regions by gap."
+  in
+  Cmd.v info Term.(const run_report $ ledger_arg $ top_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -750,23 +937,114 @@ let dot_cmd =
 
 (* --- stats --------------------------------------------------------------- *)
 
-let run_stats seed =
-  let scale = { Workload.Suite.bench_scale with Workload.Suite.seed } in
-  let suite = Workload.Suite.generate scale in
-  let stats = Workload.Suite.stats suite in
-  Printf.printf "benchmarks: %d\nkernels: %d\nregions: %d\nmax region size: %d\navg region size: %.1f\n"
-    stats.Workload.Suite.num_benchmarks stats.Workload.Suite.num_kernels
-    stats.Workload.Suite.num_regions stats.Workload.Suite.max_region_size
-    stats.Workload.Suite.avg_region_size;
-  0
+let once_arg =
+  let doc = "Render one snapshot and exit (for scripts and CI)." in
+  Arg.(value & flag & info [ "once" ] ~doc)
+
+let interval_arg =
+  let doc = "Seconds between polls of the daemon (clamped to 0.2s minimum)." in
+  Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+
+(* The watch reply is one line of [key=value] tokens after the
+   [watch id=…] head; split it back into an assoc list for rendering. *)
+let parse_watch_reply line =
+  match String.split_on_char ' ' line with
+  | _kind :: rest ->
+      List.filter_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i ->
+              Some
+                ( String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1) )
+          | None -> None)
+        rest
+  | [] -> []
+
+let render_watch kv =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let v key = Option.value (List.assoc_opt key kv) ~default:"-" in
+  line "GPUACO DAEMON  [%s]  persist=%s" (v "state") (v "persist");
+  line "";
+  line "  admission      queue %s (shed at %s)   in-flight %s" (v "queue-depth")
+    (v "shed-point") (v "in-flight");
+  line "  traffic        received %-6s served %-6s rejected %-6s shed %s"
+    (v "received") (v "served") (v "rejected") (v "shed");
+  line "  ledger         clean %-6s retried %-6s budget %-6s fallback %-6s shed %s"
+    (v "clean") (v "retried") (v "budget-exceeded") (v "faulted-fallback")
+    (v "shed-overload");
+  line "  caches         memo %s (%s entries)   analysis %s" (v "memo-hit-rate")
+    (v "memo-entries") (v "analysis-hit-rate");
+  line "  latency        p50 %s ns   p99 %s ns   deadline-exceeded %s"
+    (v "latency-p50-ns") (v "latency-p99-ns") (v "deadline-exceeded");
+  line "  pool           busy %s   idle %s   steals %s" (v "pool-busy")
+    (v "pool-idle") (v "steals");
+  Buffer.contents buf
+
+let run_stats_daemon path ~once ~interval =
+  graceful_signals ();
+  let rec loop () =
+    match client_exchange path [ "op=watch id=stats" ] with
+    | Error m ->
+        Printf.eprintf "gpuaco stats: %s\n" m;
+        14
+    | Ok replies -> (
+        let watch =
+          List.find_opt
+            (fun l -> String.length l >= 6 && String.sub l 0 6 = "watch ")
+            replies
+        in
+        match watch with
+        | None ->
+            Printf.eprintf "gpuaco stats: daemon sent no watch reply\n";
+            14
+        | Some line ->
+            if not once then print_string "\027[2J\027[H";
+            print_string (render_watch (parse_watch_reply line));
+            flush stdout;
+            if once then 0
+            else begin
+              (try Unix.sleepf (Float.max 0.2 interval)
+               with Unix.Unix_error _ -> ());
+              loop ()
+            end)
+  in
+  (try loop () with Exit -> 0)
+
+let run_stats seed socket_path once interval =
+  match socket_path with
+  | Some path -> run_stats_daemon path ~once ~interval
+  | None ->
+      let scale = { Workload.Suite.bench_scale with Workload.Suite.seed } in
+      let suite = Workload.Suite.generate scale in
+      let stats = Workload.Suite.stats suite in
+      Printf.printf
+        "benchmarks: %d\nkernels: %d\nregions: %d\nmax region size: %d\navg region size: %.1f\n"
+        stats.Workload.Suite.num_benchmarks stats.Workload.Suite.num_kernels
+        stats.Workload.Suite.num_regions stats.Workload.Suite.max_region_size
+        stats.Workload.Suite.avg_region_size;
+      0
 
 let stats_cmd =
-  let info = Cmd.info "stats" ~doc:"Generate the rocPRIM-like suite and print its statistics." in
-  Cmd.v info Term.(const run_stats $ seed_arg)
+  let info =
+    Cmd.info "stats"
+      ~doc:
+        "Without $(b,--socket): generate the rocPRIM-like suite and print its \
+         statistics. With $(b,--socket): poll a running $(b,gpuaco serve) daemon's \
+         $(b,watch) verb and render a live refreshing operational table (queue \
+         depth, in-flight, shed, hit rates, latency quantiles, pool occupancy); \
+         $(b,--once) prints a single snapshot. Exits 14 on transport failure."
+      ~exits:serve_exits
+  in
+  Cmd.v info Term.(const run_stats $ seed_arg $ client_socket_arg $ once_arg $ interval_arg)
 
 let () =
   let info = Cmd.info "gpuaco" ~doc:"ACO instruction scheduling for the GPU on the (simulated) GPU." in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ schedule_cmd; compile_cmd; serve_cmd; trace_cmd; dot_cmd; stats_cmd ]))
+          [
+            schedule_cmd; compile_cmd; serve_cmd; request_cmd; report_cmd; trace_cmd;
+            dot_cmd; stats_cmd;
+          ]))

@@ -14,6 +14,15 @@ let kind_label = function
   | Histogram -> "histogram"
   | Series -> "series"
 
+(* Histogram bucket upper bounds: powers of 4 from 1 — a fixed
+   log-scale ladder wide enough for nanosecond latencies (4^15 ≈ 1.07e9
+   ns ≈ 1 s) with a +Inf overflow bucket at the end. Static bounds keep
+   [observe] allocation-free and make shard merge an elementwise add. *)
+let bucket_bounds =
+  Array.init 16 (fun i -> Float.of_int (1 lsl (2 * i)))
+
+let n_buckets = Array.length bucket_bounds + 1 (* + overflow *)
+
 type metric = {
   m_name : string;
   m_kind : kind;
@@ -24,6 +33,7 @@ type metric = {
   mutable m_last : float;
   mutable m_series : float array;
   mutable m_len : int;
+  m_buckets : int array; (* per-bucket counts; [||] unless Histogram *)
 }
 
 type t = {
@@ -65,6 +75,7 @@ let find t name kind =
           m_last = 0.0;
           m_series = (if kind = Series then Array.make 16 0.0 else [||]);
           m_len = 0;
+          m_buckets = (if kind = Histogram then Array.make n_buckets 0 else [||]);
         }
       in
       Hashtbl.add t.tbl name m;
@@ -89,7 +100,18 @@ let incr t name = add t name 1
 
 let set t name v = if t.on then locked t (fun () -> update (find t name Gauge) v)
 
-let observe t name v = if t.on then locked t (fun () -> update (find t name Histogram) v)
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n then n else if v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t name v =
+  if t.on then
+    locked t (fun () ->
+        let m = find t name Histogram in
+        update m v;
+        let i = bucket_index v in
+        m.m_buckets.(i) <- m.m_buckets.(i) + 1)
 
 let push t name v =
   if t.on then
@@ -122,12 +144,29 @@ let merge_into src ~into =
             | Counter ->
                 m.m_count <- m.m_count + sm.m_count;
                 m.m_sum <- m.m_sum +. sm.m_sum
-            | Gauge | Histogram ->
+            | Gauge ->
                 m.m_count <- m.m_count + sm.m_count;
                 m.m_sum <- m.m_sum +. sm.m_sum;
                 if sm.m_min < m.m_min then m.m_min <- sm.m_min;
                 if sm.m_max > m.m_max then m.m_max <- sm.m_max;
                 if sm.m_count > 0 then m.m_last <- sm.m_last
+            | Histogram ->
+                (* Commutative across shard join order: count/sum/min/max
+                   and the bucket counts are symmetric folds, and [m_last]
+                   — meaningless as "most recent" once shards join in
+                   arbitrary order — is defined as the max over non-empty
+                   shards' lasts. Before the split from the Gauge branch,
+                   merged m_last depended on which worker joined last. *)
+                let had = m.m_count > 0 in
+                m.m_count <- m.m_count + sm.m_count;
+                m.m_sum <- m.m_sum +. sm.m_sum;
+                if sm.m_min < m.m_min then m.m_min <- sm.m_min;
+                if sm.m_max > m.m_max then m.m_max <- sm.m_max;
+                if sm.m_count > 0 then
+                  m.m_last <- (if had then Float.max m.m_last sm.m_last else sm.m_last);
+                Array.iteri
+                  (fun i n -> m.m_buckets.(i) <- m.m_buckets.(i) + n)
+                  sm.m_buckets
             | Series ->
                 let need = m.m_len + sm.m_len in
                 if need > Array.length m.m_series then begin
@@ -156,6 +195,37 @@ let value m =
   match m.m_kind with Counter -> m.m_sum | Gauge -> m.m_last | Histogram | Series -> m.m_sum
 
 let mean m = if m.m_count = 0 then 0.0 else m.m_sum /. float_of_int m.m_count
+
+let buckets m =
+  if m.m_kind <> Histogram then [||]
+  else begin
+    let cum = ref 0 in
+    Array.init n_buckets (fun i ->
+        cum := !cum + m.m_buckets.(i);
+        ( (if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
+          !cum ))
+  end
+
+(* Bucket-resolution quantile estimate: the upper bound of the first
+   bucket whose cumulative count reaches q·count, clamped into
+   [min, max]. Log-scale buckets give a conservative (rounded-up)
+   answer good to a factor of 4 — enough for a live latency table. *)
+let percentile m q =
+  if m.m_kind <> Histogram || m.m_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int m.m_count))) in
+    let n = Array.length bucket_bounds in
+    let rec go i cum =
+      if i >= n_buckets then m.m_max
+      else
+        let cum = cum + m.m_buckets.(i) in
+        if cum >= target then
+          if i >= n then m.m_max else Float.min bucket_bounds.(i) m.m_max
+        else go (i + 1) cum
+    in
+    Float.max m.m_min (go 0 0)
+  end
 
 let fl v =
   if Float.is_nan v || Float.abs v = infinity then "0"
@@ -223,6 +293,118 @@ let to_json t =
     (names t);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* Metric names mangle to [gpuaco_<name>] with every character outside
+   [A-Za-z0-9_] replaced by '_'. The per-client admission counters
+   ([serve.client.<c>.requests]) collapse into one family with the
+   client as a label — client names arrive off the wire, so label
+   values are escaped per the exposition format (backslash, quote,
+   newline). Series metrics are omitted: a growing vector has no
+   Prometheus sample shape; they stay in the CSV/JSON exports. *)
+
+let prom_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "gpuaco_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [serve.client.<c>.requests] -> family + client label; everything
+   else is its own unlabeled family. *)
+let prom_family name =
+  let pre = "serve.client." and suf = ".requests" in
+  let lp = String.length pre and ls = String.length suf and ln = String.length name in
+  if
+    ln > lp + ls
+    && String.equal (String.sub name 0 lp) pre
+    && String.equal (String.sub name (ln - ls) ls) suf
+  then ("gpuaco_serve_client_requests", Some ("client", String.sub name lp (ln - lp - ls)))
+  else (prom_name name, None)
+
+let prom_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v)) kvs)
+      ^ "}"
+
+let to_prometheus t =
+  locked t (fun () ->
+      (* Group samples by family, first-touch order, so all samples of
+         one family are contiguous as the exposition format requires. *)
+      let fams = Hashtbl.create 16 in
+      let order = ref [] in
+      let family fam ty =
+        match Hashtbl.find_opt fams fam with
+        | Some lines -> lines
+        | None ->
+            let lines = ref [ Printf.sprintf "# TYPE %s %s" fam ty ] in
+            Hashtbl.add fams fam lines;
+            order := fam :: !order;
+            lines
+      in
+      List.iter
+        (fun name ->
+          let m = Hashtbl.find t.tbl name in
+          let fam, client = prom_family m.m_name in
+          let lbl extra =
+            prom_labels ((match client with Some kv -> [ kv ] | None -> []) @ extra)
+          in
+          match m.m_kind with
+          | Counter ->
+              let lines = family fam "counter" in
+              lines := Printf.sprintf "%s%s %s" fam (lbl []) (fl m.m_sum) :: !lines
+          | Gauge ->
+              let lines = family fam "gauge" in
+              let v = if m.m_count = 0 then 0.0 else m.m_last in
+              lines := Printf.sprintf "%s%s %s" fam (lbl []) (fl v) :: !lines
+          | Histogram ->
+              let lines = family fam "histogram" in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i n ->
+                  cum := !cum + n;
+                  let le =
+                    if i < Array.length bucket_bounds then fl bucket_bounds.(i)
+                    else "+Inf"
+                  in
+                  lines :=
+                    Printf.sprintf "%s_bucket%s %d" fam (lbl [ ("le", le) ]) !cum
+                    :: !lines)
+                m.m_buckets;
+              lines := Printf.sprintf "%s_sum%s %s" fam (lbl []) (fl m.m_sum) :: !lines;
+              lines := Printf.sprintf "%s_count%s %d" fam (lbl []) m.m_count :: !lines
+          | Series -> ())
+        (List.rev t.order);
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun fam ->
+          List.iter
+            (fun line ->
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n')
+            (List.rev !(Hashtbl.find fams fam)))
+        (List.rev !order);
+      Buffer.contents buf)
 
 let write_csv t file =
   let oc = open_out file in

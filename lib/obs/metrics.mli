@@ -25,19 +25,23 @@ val set : t -> string -> float -> unit
 (** Set a gauge (min/max/mean of the sets are kept too). *)
 
 val observe : t -> string -> float -> unit
-(** Feed a histogram summary (count/sum/min/max/mean). *)
+(** Feed a histogram: count/sum/min/max/mean plus a fixed log-scale
+    bucket ladder (powers of 4, +Inf overflow) for quantile estimates
+    and Prometheus exposition. *)
 
 val push : t -> string -> float -> unit
 (** Append to a series: like {!observe} but the individual values are
     kept in order and exported (convergence curves). *)
 
 val merge_into : t -> into:t -> unit
-(** Fold every metric of the source registry into [into]: counters add,
-    gauges and histograms combine count/sum/min/max (the source's last
-    value wins when it saw any), series append their points. The
-    executor's per-domain shards merge through this at join — the source
-    must be quiescent; only [into]'s mutex is taken. No-op when either
-    registry is disabled. *)
+(** Fold every metric of the source registry into [into]: counters add;
+    gauges combine count/sum/min/max with the source's last winning
+    when it saw any; histograms combine count/sum/min/max/buckets
+    {e commutatively} (the merged last is the max over non-empty
+    shards, so the result is independent of worker join order); series
+    append their points. The executor's per-domain shards merge through
+    this at join — the source must be quiescent; only [into]'s mutex is
+    taken. No-op when either registry is disabled. *)
 
 (** {2 Reading back} *)
 
@@ -61,6 +65,16 @@ val value : metric -> float
 val series : metric -> float array
 (** The recorded points of a series (empty for other kinds). *)
 
+val buckets : metric -> (float * int) array
+(** Histogram buckets as [(upper_bound, cumulative_count)] pairs,
+    final bound [infinity]; the cumulative counts are monotone
+    non-decreasing and end at {!count}. Empty for other kinds. *)
+
+val percentile : metric -> float -> float
+(** [percentile m q] for [q] in [0, 1]: a bucket-resolution quantile
+    estimate (conservative to one log-scale bucket), clamped into
+    [[min, max]]. [0.] for empty or non-histogram metrics. *)
+
 (** {2 Export} *)
 
 val to_csv : t -> string
@@ -69,5 +83,16 @@ val to_csv : t -> string
     [point] row per series element. *)
 
 val to_json : t -> string
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: each metric becomes a
+    [gpuaco_]-prefixed family ([# TYPE] line then samples) in
+    registration order. Counters expose their total, gauges their last
+    value, histograms cumulative [_bucket{le="…"}] lines plus [_sum]
+    and [_count]. The per-client admission counters
+    ([serve.client.<c>.requests]) collapse into one
+    [gpuaco_serve_client_requests] family with the client as an
+    escaped label value. Series are omitted (no Prometheus shape). *)
+
 val write_csv : t -> string -> unit
 val write_json : t -> string -> unit

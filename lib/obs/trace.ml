@@ -28,11 +28,21 @@ type t = {
   mutable n_names : int;
   intern_tbl : (string, int) Hashtbl.t;
   clock : float array; (* length 1: simulated-ns cursor (unboxed store) *)
+  wall0 : float; (* monotonic wall-clock origin, Unix seconds *)
   mutable track_names : (int * string) list;
 }
 
-let create ?(capacity = 65536) () =
+(* Tracks at or above this id carry wall-clock (monotonic) nanoseconds
+   instead of simulated nanoseconds. The two families never mix on one
+   track; export puts wall tracks under their own process so a viewer
+   (and the lint) treats the clocks independently. *)
+let wall_track_base = 1024
+
+let create ?(capacity = 65536) ?wall_origin () =
   let cap = max 16 capacity in
+  let wall0 =
+    match wall_origin with Some w -> w | None -> Unix.gettimeofday ()
+  in
   {
     on = true;
     cap;
@@ -48,6 +58,7 @@ let create ?(capacity = 65536) () =
     n_names = 0;
     intern_tbl = Hashtbl.create 64;
     clock = [| 0.0 |];
+    wall0;
     track_names = [];
   }
 
@@ -67,6 +78,7 @@ let null =
     n_names = 0;
     intern_tbl = Hashtbl.create 1;
     clock = [| 0.0 |];
+    wall0 = 0.0;
     track_names = [];
   }
 
@@ -78,6 +90,12 @@ let dropped t = max 0 (t.count - t.cap)
 let[@inline] now t = t.clock.(0)
 let set_now t v = if t.on then t.clock.(0) <- v
 let advance t d = if t.on then t.clock.(0) <- t.clock.(0) +. d
+let wall_origin t = t.wall0
+
+(* Wall-clock ns since the recorder's origin. The disabled recorder
+   returns 0.0 without touching the system clock, so an uninstrumented
+   run makes no syscalls. *)
+let wall_now t = if t.on then (Unix.gettimeofday () -. t.wall0) *. 1e9 else 0.0
 
 let intern t s =
   match Hashtbl.find_opt t.intern_tbl s with
@@ -128,23 +146,51 @@ let instant_arg t ~track ~name ~ts ~key ~value =
    replays the slices in job-index order, shifting each by [dt] so the
    merged timeline is the one a sequential run would have produced —
    every timestamp inside a job is its worker's clock-at-entry plus
-   simulated deltas, so a linear shift relocates the job exactly. *)
+   simulated deltas, so a linear shift relocates the job exactly.
+
+   Wall-clock events (track >= wall_track_base) are excluded: their
+   timestamps are already absolute against a shared origin, so the
+   simulated shift would corrupt them and the per-job slicing would
+   drop any recorded between jobs. [append_wall] carries them over
+   whole-ring, unshifted, at join. *)
 let append_range src ~into ~first ~last ~dt =
   if src.on && into.on then begin
     List.iter
-      (fun (track, label) -> name_track into track label)
+      (fun (track, label) ->
+        if track < wall_track_base then name_track into track label)
       (List.rev src.track_names);
     (* events before [count - cap] were lost to ring wrap-around *)
     let lo = max first (src.count - src.cap) in
     for j = lo to min last src.count - 1 do
       let i = j mod src.cap in
-      record into
-        (Char.code (Bytes.get src.kind i))
-        ~track:src.track.(i)
-        ~name:src.names.(src.name.(i))
-        ~ts:(src.ts.(i) +. dt) ~dur:src.dur.(i)
-        ~akey:(if src.akey.(i) < 0 then None else Some src.names.(src.akey.(i)))
-        ~aval:src.aval.(i)
+      if src.track.(i) < wall_track_base then
+        record into
+          (Char.code (Bytes.get src.kind i))
+          ~track:src.track.(i)
+          ~name:src.names.(src.name.(i))
+          ~ts:(src.ts.(i) +. dt) ~dur:src.dur.(i)
+          ~akey:(if src.akey.(i) < 0 then None else Some src.names.(src.akey.(i)))
+          ~aval:src.aval.(i)
+    done
+  end
+
+let append_wall src ~into =
+  if src.on && into.on then begin
+    List.iter
+      (fun (track, label) ->
+        if track >= wall_track_base then name_track into track label)
+      (List.rev src.track_names);
+    let lo = max 0 (src.count - src.cap) in
+    for j = lo to src.count - 1 do
+      let i = j mod src.cap in
+      if src.track.(i) >= wall_track_base then
+        record into
+          (Char.code (Bytes.get src.kind i))
+          ~track:src.track.(i)
+          ~name:src.names.(src.name.(i))
+          ~ts:src.ts.(i) ~dur:src.dur.(i)
+          ~akey:(if src.akey.(i) < 0 then None else Some src.names.(src.akey.(i)))
+          ~aval:src.aval.(i)
     done
   end
 
@@ -263,6 +309,12 @@ let float_json v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
 
+(* Wall-clock tracks are emitted under pid 1 ("host wall clock") so the
+   simulated and monotonic timelines never interleave on one thread row
+   — the viewer shows two process groups and the lint checks
+   monotonicity per (pid, tid). *)
+let track_pid track = if track >= wall_track_base then 1 else 0
+
 let to_chrome_json t =
   let evs = events t in
   let tracks = List.sort_uniq compare (List.map (fun e -> e.e_track) evs) in
@@ -272,11 +324,16 @@ let to_chrome_json t =
       tracks
   in
   let all = List.stable_sort (fun a b -> compare a.o_ts b.o_ts) per_track in
+  let has_wall =
+    List.exists (fun tr -> tr >= wall_track_base) tracks
+    || List.exists (fun (tr, _) -> tr >= wall_track_base) t.track_names
+  in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"otherData\":{";
   Buffer.add_string buf
-    (Printf.sprintf "\"recorded\":%d,\"dropped\":%d,\"clock\":\"simulated-ns\"" t.count
-       (dropped t));
+    (Printf.sprintf
+       "\"recorded\":%d,\"dropped\":%d,\"clock\":\"simulated-ns\",\"wall_clock\":\"monotonic-ns\""
+       t.count (dropped t));
   Buffer.add_string buf "},\n\"traceEvents\":[\n";
   let first = ref true in
   let emit s =
@@ -286,12 +343,15 @@ let to_chrome_json t =
   in
   emit
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"gpuaco simulated GPU\"}}";
+  if has_wall then
+    emit
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"gpuaco host (wall clock)\"}}";
   List.iter
     (fun (track, label) ->
       emit
         (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"%s\"}}"
-           track (json_escape label)))
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"%s\"}}"
+           (track_pid track) track (json_escape label)))
     (List.sort compare (List.rev t.track_names));
   List.iter
     (fun e ->
@@ -304,8 +364,9 @@ let to_chrome_json t =
       in
       let scope = if e.o_ph = 'i' then ",\"s\":\"t\"" else "" in
       emit
-        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"ts\":%.4f%s%s}"
-           (json_escape e.o_name) e.o_ph e.o_track (e.o_ts /. 1000.0) scope args))
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.4f%s%s}"
+           (json_escape e.o_name) e.o_ph (track_pid e.o_track) e.o_track
+           (e.o_ts /. 1000.0) scope args))
     all;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

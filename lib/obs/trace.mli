@@ -17,9 +17,12 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?wall_origin:float -> unit -> t
 (** An enabled recorder holding the last [capacity] (default 65536,
-    minimum 16) events. *)
+    minimum 16) events. [wall_origin] is the wall-clock zero in Unix
+    seconds (default: creation time); worker rings that merge into a
+    parent recorder must share the parent's {!wall_origin} so their
+    wall-clock timestamps land on one axis. *)
 
 val null : t
 (** The disabled recorder; shared, never records. *)
@@ -44,6 +47,26 @@ val dropped : t -> int
 val now : t -> float
 val set_now : t -> float -> unit
 val advance : t -> float -> unit
+
+(** {2 Wall clock}
+
+    Tracks numbered at or above {!wall_track_base} carry {e monotonic
+    wall-clock} nanoseconds instead of simulated nanoseconds: real
+    worker utilization, steal stalls and merge cost, which the
+    simulated timeline cannot show. The two clock families never share
+    a track, and export places wall tracks under their own process id
+    so per-track lint invariants (monotone, balanced) hold within each
+    clock. *)
+
+val wall_track_base : int
+(** First wall-clock track id (1024). *)
+
+val wall_origin : t -> float
+(** The recorder's wall-clock zero, Unix seconds. *)
+
+val wall_now : t -> float
+(** Wall-clock ns elapsed since {!wall_origin}. The disabled recorder
+    returns [0.] without reading the system clock. *)
 
 (** {2 Recording} *)
 
@@ -74,7 +97,15 @@ val append_range : t -> into:t -> first:int -> last:int -> dt:float -> unit
     (exclusive) — indices as counted by {!recorded} — into [into],
     shifting every timestamp by [dt]. Track labels are carried over
     (first label wins). Events already lost to the source ring's
-    wrap-around are skipped. No-op when either recorder is disabled. *)
+    wrap-around are skipped, as are wall-clock events (their absolute
+    timestamps must not be shifted — use {!append_wall}). No-op when
+    either recorder is disabled. *)
+
+val append_wall : t -> into:t -> unit
+(** Replay every surviving wall-clock event (track >=
+    {!wall_track_base}) into [into] unshifted — both recorders must
+    share a {!wall_origin}. Complements {!append_range}, which carries
+    only the simulated tracks. *)
 
 (** {2 Reading back} *)
 

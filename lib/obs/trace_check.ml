@@ -176,6 +176,7 @@ type report = {
   spans : int;
   instants : int;
   tracks : int;
+  wall_tracks : int; (* tracks under a nonzero pid (the wall-clock process) *)
   errors : string list;
 }
 
@@ -247,38 +248,30 @@ let lint_events events =
       | names -> err "tid %.0f: %d unbalanced B span(s): %s" tid (List.length names)
                    (String.concat ", " names))
     stacks;
+  let wall_tracks =
+    Hashtbl.fold (fun (pid, _) () n -> if pid <> 0.0 then n + 1 else n) tracks 0
+  in
   {
     events = List.length events;
     spans = !spans;
     instants = !instants;
     tracks = Hashtbl.length tracks;
+    wall_tracks;
     errors = List.rev !errors;
   }
 
 let lint_string s =
+  let failed msg =
+    { events = 0; spans = 0; instants = 0; tracks = 0; wall_tracks = 0; errors = [ msg ] }
+  in
   match parse_json s with
-  | exception Parse_error msg ->
-      { events = 0; spans = 0; instants = 0; tracks = 0; errors = [ "JSON: " ^ msg ] }
+  | exception Parse_error msg -> failed ("JSON: " ^ msg)
   | List events -> lint_events events
   | Obj fields -> (
       match field "traceEvents" fields with
       | Some (List events) -> lint_events events
-      | _ ->
-          {
-            events = 0;
-            spans = 0;
-            instants = 0;
-            tracks = 0;
-            errors = [ "no \"traceEvents\" array" ];
-          })
-  | _ ->
-      {
-        events = 0;
-        spans = 0;
-        instants = 0;
-        tracks = 0;
-        errors = [ "top level is neither an object nor an array" ];
-      }
+      | _ -> failed "no \"traceEvents\" array")
+  | _ -> failed "top level is neither an object nor an array"
 
 let lint_file file =
   let ic = open_in_bin file in
@@ -291,8 +284,9 @@ let lint_file file =
 
 let report_to_string r =
   let head =
-    Printf.sprintf "%d events (%d spans, %d instants) on %d track(s)" r.events r.spans
+    Printf.sprintf "%d events (%d spans, %d instants) on %d track(s)%s" r.events r.spans
       r.instants r.tracks
+      (if r.wall_tracks > 0 then Printf.sprintf ", %d wall-clock" r.wall_tracks else "")
   in
   match r.errors with
   | [] -> head ^ ": OK\n"

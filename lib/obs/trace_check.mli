@@ -23,6 +23,12 @@ type report = {
   spans : int;  (** [B] (and [X]) events *)
   instants : int;
   tracks : int;  (** distinct (pid, tid) pairs seen on non-metadata events *)
+  wall_tracks : int;
+      (** the subset of [tracks] under a nonzero pid — the wall-clock
+          process {!Trace.to_chrome_json} emits for tracks at or above
+          {!Trace.wall_track_base}. Monotonicity and balance are
+          checked per (pid, tid), so mixed-clock documents lint each
+          clock independently. *)
   errors : string list;
 }
 

@@ -243,8 +243,8 @@ let pick_product = function
           else acc)
         first rest
 
-let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) ?ctx ?budget_ns
-    config ~name region =
+let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null)
+    ?(log = Obs.Log.null) ?ctx ?budget_ns config ~name region =
   ensure_backends ();
   (* The analysis context is computed here exactly once (or arrives
      precomputed from the executor's cache); every backend the dispatch
@@ -275,7 +275,32 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) ?ctx ?bud
       ~dur:(Obs.Trace.now trace -. region_t0)
       ~key:"n"
       ~value:(float_of_int graph.Ddg.Graph.n);
-  Robust.observe trace metrics ~region:name product.run_degradation;
+  if Obs.Log.enabled log then begin
+    (* One entry per raced candidate (the backend passes the request id
+       threads down to), then the region verdict. *)
+    List.iter2
+      (fun bname (run : backend_run) ->
+        Obs.Log.debug log "compile.backend"
+          [
+            ("region", Obs.Log.Str name);
+            ("backend", Obs.Log.Str bname);
+            ("rung", Obs.Log.Str (Robust.degradation_label run.run_degradation));
+            ("pass1_ns", Obs.Log.Float run.run_pass1_time_ns);
+            ("pass2_ns", Obs.Log.Float run.run_pass2_time_ns);
+            ("length", Obs.Log.Int run.result.Engine.Types.cost.Sched.Cost.length);
+          ])
+      candidates runs;
+    Obs.Log.info log "compile.region"
+      [
+        ("region", Obs.Log.Str name);
+        ("n", Obs.Log.Int n);
+        ("backend", Obs.Log.Str product.backend);
+        ("rung", Obs.Log.Str (Robust.degradation_label product.run_degradation));
+        ("length", Obs.Log.Int product.result.Engine.Types.cost.Sched.Cost.length);
+        ("length_lb", Obs.Log.Int setup.Aco.Setup.length_lb);
+      ]
+  end;
+  Robust.observe ~log trace metrics ~region:name product.run_degradation;
   (* The CPU timing baseline of Tables 3.a/3.b rides along unless the
      dispatch already ran it as a product candidate. A baseline that
      traps is dropped (the product does not depend on it). *)
@@ -321,7 +346,8 @@ let run_region ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) ?ctx ?bud
   }
 
 let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
-    ?(metrics = Obs.Metrics.null) ?cache config (suite : Workload.Suite.t) =
+    ?(metrics = Obs.Metrics.null) ?(log = Obs.Log.null) ?cache config
+    (suite : Workload.Suite.t) =
   let ctx_of region =
     Option.map (fun cache -> Analysis.get cache config.occ region) cache
   in
@@ -333,7 +359,7 @@ let run_suite ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
           List.mapi
             (fun i region ->
               let name = Printf.sprintf "%s/r%d" k.Workload.Suite.kernel_name i in
-              run_region ~trace ~metrics ?ctx:(ctx_of region) config ~name region)
+              run_region ~trace ~metrics ~log ?ctx:(ctx_of region) config ~name region)
             k.Workload.Suite.regions
         in
         { kernel = k; regions })

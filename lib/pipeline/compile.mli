@@ -140,6 +140,7 @@ val heuristic_fallback : Aco.Setup.t -> Engine.Types.result
 val run_region :
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
   ?ctx:Engine.Region_ctx.t ->
   ?budget_ns:float ->
   config ->
@@ -167,12 +168,19 @@ val run_region :
     enclosing the traced backends' passes, the product's degradation
     becomes an instant via {!Robust.observe}, and every backend's
     per-iteration series is recorded under a ["<name>.<backend>."]
-    prefix. *)
+    prefix.
+
+    [log] (default disabled) emits one [compile.backend] debug entry
+    per raced candidate and a [compile.region] info entry for the
+    product; a caller that binds a request id via
+    {!Obs.Log.with_fields} sees it stamped on every backend-pass
+    entry. *)
 
 val run_suite :
   ?progress:(string -> unit) ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
   ?cache:Analysis.t ->
   config ->
   Workload.Suite.t ->

@@ -62,14 +62,15 @@ let jobs_of_suite (config : Compile.config) (suite : Workload.Suite.t) =
     suite.Workload.Suite.kernels;
   Array.of_list (List.rev !jobs)
 
-let run_job ?trace ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config) job =
+let run_job ?trace ?(metrics = Obs.Metrics.null) ?(log = Obs.Log.null) ?cache
+    (config : Compile.config) job =
   let ctx =
     Option.map (fun cache -> Analysis.get cache config.Compile.occ job.j_region) cache
   in
   let config =
     { config with Compile.seq_seed = job.j_seq_seed; par_seed = job.j_par_seed }
   in
-  Compile.run_region ?trace ~metrics ?ctx ~budget_ns:job.j_budget_ns config
+  Compile.run_region ?trace ~metrics ~log ?ctx ~budget_ns:job.j_budget_ns config
     ~name:job.j_name job.j_region
 
 (* Deal job indices into [k] deques, round-robin in descending size
@@ -91,8 +92,8 @@ let deal_deques work k =
   Array.map (fun l -> Support.Ws_deque.create (Array.of_list l)) lists
 
 let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.null)
-    ?(metrics = Obs.Metrics.null) ?cache (config : Compile.config)
-    (suite : Workload.Suite.t) =
+    ?(metrics = Obs.Metrics.null) ?(log = Obs.Log.null) ?cache
+    (config : Compile.config) (suite : Workload.Suite.t) =
   let jobs = max 1 jobs in
   Compile.ensure_backends ();
   let work = jobs_of_suite config suite in
@@ -103,7 +104,7 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
     (* Sequential: record straight into the caller's trace and metrics —
        the byte-exact path every parallel run is measured against. *)
     for i = 0 to njobs - 1 do
-      results.(i) <- Some (run_job ~trace ~metrics ?cache config work.(i))
+      results.(i) <- Some (run_job ~trace ~metrics ~log ?cache config work.(i))
     done
   else begin
     let pool =
@@ -113,11 +114,24 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
     let deques = deal_deques work k in
     let tracing = Obs.Trace.enabled trace in
     let metering = Obs.Metrics.enabled metrics in
+    (* Worker rings share the parent's wall-clock origin so their
+       wall-track events land on one absolute axis and merge unshifted. *)
     let rings =
       Array.init k (fun _ ->
-          if tracing then Obs.Trace.create ~capacity:(Obs.Trace.capacity trace) ()
+          if tracing then
+            Obs.Trace.create ~capacity:(Obs.Trace.capacity trace)
+              ~wall_origin:(Obs.Trace.wall_origin trace) ()
           else Obs.Trace.null)
     in
+    let logs =
+      Array.init k (fun w -> Obs.Log.with_fields log [ ("worker", Obs.Log.Int w) ])
+    in
+    if tracing then
+      for w = 0 to k - 1 do
+        Obs.Trace.name_track rings.(w)
+          (Obs.Trace.wall_track_base + w)
+          (Printf.sprintf "worker %d (wall)" w)
+      done;
     let shards =
       Array.init k (fun _ -> if metering then Obs.Metrics.create () else Obs.Metrics.null)
     in
@@ -132,12 +146,22 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
     let empty_polls = Array.make k 0 in
     let run_one w i =
       let ring = rings.(w) in
+      let wt0 = Obs.Trace.wall_now ring in
       seg_worker.(i) <- w;
       seg_c0.(i) <- Obs.Trace.recorded ring;
       seg_t0.(i) <- Obs.Trace.now ring;
-      results.(i) <- Some (run_job ~trace:ring ~metrics:shards.(w) ?cache config work.(i));
+      results.(i) <-
+        Some (run_job ~trace:ring ~metrics:shards.(w) ~log:logs.(w) ?cache config work.(i));
       seg_c1.(i) <- Obs.Trace.recorded ring;
-      seg_t1.(i) <- Obs.Trace.now ring
+      seg_t1.(i) <- Obs.Trace.now ring;
+      (* The job's real duration on this worker, on the wall track —
+         what the simulated timeline cannot show (utilization, skew). *)
+      if tracing then
+        Obs.Trace.span_arg ring
+          ~track:(Obs.Trace.wall_track_base + w)
+          ~name:("job " ^ work.(i).j_name) ~ts:wt0
+          ~dur:(Obs.Trace.wall_now ring -. wt0)
+          ~key:"job" ~value:(float_of_int i)
     in
     let worker w =
       let own = deques.(w) in
@@ -151,13 +175,25 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
       drain ();
       (* Steal sweep: visit the other deques round-robin from our right
          neighbour; a [Lost] race retries the sweep (someone still has
-         work), a sweep of nothing but [Empty] means the suite is done. *)
+         work), a sweep of nothing but [Empty] means the suite is done.
+         The whole sweep becomes one wall span — stolen jobs nest
+         inside it, so the gap between them is visible steal stall. *)
+      let sw0 = Obs.Trace.wall_now rings.(w) in
       let rec sweep d saw_work =
         if d >= k then begin if saw_work then sweep 1 false end
         else
           match Support.Ws_deque.steal deques.((w + d) mod k) with
           | Support.Ws_deque.Stolen i ->
               steals.(w) <- steals.(w) + 1;
+              if tracing then
+                Obs.Trace.instant_arg rings.(w)
+                  ~track:(Obs.Trace.wall_track_base + w)
+                  ~name:"steal"
+                  ~ts:(Obs.Trace.wall_now rings.(w))
+                  ~key:"job" ~value:(float_of_int i);
+              if Obs.Log.enabled logs.(w) then
+                Obs.Log.debug logs.(w) "exec.steal"
+                  [ ("job", Obs.Log.Int i); ("victim", Obs.Log.Int ((w + d) mod k)) ];
               run_one w i;
               drain ();
               sweep d true
@@ -166,9 +202,16 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
               empty_polls.(w) <- empty_polls.(w) + 1;
               sweep (d + 1) saw_work
       in
-      sweep 1 false
+      sweep 1 false;
+      if tracing then
+        Obs.Trace.span rings.(w)
+          ~track:(Obs.Trace.wall_track_base + w)
+          ~name:"steal sweep" ~ts:sw0
+          ~dur:(Obs.Trace.wall_now rings.(w) -. sw0)
     in
+    let pw0 = Obs.Trace.wall_now trace in
     Support.Domain_pool.run pool ~workers:k worker;
+    let pw1 = Obs.Trace.wall_now trace in
     (* Merge, all on the caller. Metrics shards fold in worker order;
        note that *registration order* of names in the merged registry
        follows first-touch across shards, so exports may list the same
@@ -184,6 +227,7 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
        (merged clock so far - the clock its ring showed when it started),
        which lands them exactly where a sequential compile would have. *)
     if tracing then begin
+      let mw0 = Obs.Trace.wall_now trace in
       let off = ref (Obs.Trace.now trace) in
       for i = 0 to njobs - 1 do
         let w = seg_worker.(i) in
@@ -191,7 +235,18 @@ let run_suite ?(jobs = 1) ?pool ?(progress = fun _ -> ()) ?(trace = Obs.Trace.nu
           ~dt:(!off -. seg_t0.(i));
         off := !off +. (seg_t1.(i) -. seg_t0.(i))
       done;
-      Obs.Trace.set_now trace !off
+      Obs.Trace.set_now trace !off;
+      (* Wall-clock events carry over whole-ring and unshifted: their
+         timestamps are already absolute against the shared origin. *)
+      for w = 0 to k - 1 do
+        Obs.Trace.append_wall rings.(w) ~into:trace
+      done;
+      let caller_track = Obs.Trace.wall_track_base + k in
+      Obs.Trace.name_track trace caller_track "executor (wall)";
+      Obs.Trace.span_arg trace ~track:caller_track ~name:"pool.run" ~ts:pw0
+        ~dur:(pw1 -. pw0) ~key:"workers" ~value:(float_of_int k);
+      Obs.Trace.span trace ~track:caller_track ~name:"merge" ~ts:mw0
+        ~dur:(Obs.Trace.wall_now trace -. mw0)
     end
   end;
   let report_of i =

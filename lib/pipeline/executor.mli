@@ -38,6 +38,7 @@ val jobs_of_suite : Compile.config -> Workload.Suite.t -> job array
 val run_job :
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
   ?cache:Analysis.t ->
   Compile.config ->
   job ->
@@ -52,6 +53,7 @@ val run_suite :
   ?progress:(string -> unit) ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
   ?cache:Analysis.t ->
   Compile.config ->
   Workload.Suite.t ->
@@ -66,4 +68,14 @@ val run_suite :
     [Compile.run_suite] with the same configuration, for any [jobs],
     [pool] and [cache] setting. When [metrics] is enabled, a parallel
     run also reports [compile.steal.count] and
-    [compile.steal.empty_polls]. *)
+    [compile.steal.empty_polls].
+
+    [log] (default disabled) is shared across workers — the ring is
+    mutex-protected — with each worker's entries stamped with its
+    index. A traced parallel run additionally lays down {e wall-clock}
+    tracks (one per worker plus one for the caller, ids from
+    {!Obs.Trace.wall_track_base}): a span per job with real duration,
+    steal instants, the steal sweep (its idle gaps are stall time), and
+    the caller's [pool.run] / [merge] phases. Wall events merge
+    unshifted via {!Obs.Trace.append_wall}; the simulated timeline is
+    untouched. *)

@@ -58,13 +58,22 @@ let classify ~fell_back ~aborted_faults ~aborted_budget ~retries =
 (* Ledger → flight recorder: one instant on the driver track per
    degraded region plus a stable-named counter per rung (the [Retried]
    payload goes in the event arg, not the metric name, so series stay
-   mergeable across runs). *)
-let observe trace metrics ~region d =
+   mergeable across runs), and — when a logger is threaded in — one
+   warn entry per degraded region so the operational stream carries the
+   ladder too. *)
+let observe ?(log = Obs.Log.null) trace metrics ~region d =
   if Obs.Trace.enabled trace && severity d > 0 then
     Obs.Trace.instant_arg trace ~track:0
       ~name:("degraded: " ^ region)
       ~ts:(Obs.Trace.now trace) ~key:"severity"
       ~value:(float_of_int (severity d));
+  if Obs.Log.enabled log && severity d > 0 then
+    Obs.Log.warn log "region.degraded"
+      [
+        ("region", Obs.Log.Str region);
+        ("rung", Obs.Log.Str (degradation_label d));
+        ("severity", Obs.Log.Int (severity d));
+      ];
   if Obs.Metrics.enabled metrics then
     Obs.Metrics.incr metrics
       (match d with

@@ -66,11 +66,13 @@ val classify :
 (** Fold a region's raw robustness signals into its ledger entry, most
     severe signal first. *)
 
-val observe : Obs.Trace.t -> Obs.Metrics.t -> region:string -> degradation -> unit
+val observe :
+  ?log:Obs.Log.t -> Obs.Trace.t -> Obs.Metrics.t -> region:string -> degradation -> unit
 (** Record a region's ledger entry on the flight recorder (an instant on
     the driver track when the region degraded, with the severity as its
-    argument) and bump the matching ["regions.*"] counter. A no-op on
-    disabled recorders. *)
+    argument), bump the matching ["regions.*"] counter, and — when [log]
+    is given — emit a [region.degraded] warn entry. A no-op on disabled
+    recorders. *)
 
 type tally = {
   regions : int;

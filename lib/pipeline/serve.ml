@@ -23,6 +23,7 @@ type config = {
   memo_capacity : int;
   state_dir : string option;
   frame_limit : int;
+  quality_ledger : string option;
 }
 
 let default_config compile =
@@ -37,6 +38,7 @@ let default_config compile =
     memo_capacity = 512;
     state_dir = None;
     frame_limit = Support.Frame.default_limit;
+    quality_ledger = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -87,6 +89,8 @@ type command =
   | Compile of request
   | Ping of string
   | Stats of string
+  | Metrics_dump of string
+  | Watch of string
   | Shutdown of string
 
 let known_keys =
@@ -170,6 +174,8 @@ let parse_request payload =
     match op with
     | "ping" -> control (fun id -> Ping id)
     | "stats" -> control (fun id -> Stats id)
+    | "metrics" -> control (fun id -> Metrics_dump id)
+    | "watch" -> control (fun id -> Watch id)
     | "shutdown" -> control (fun id -> Shutdown id)
     | "compile" ->
         let source =
@@ -251,6 +257,8 @@ type reply =
   | Rejected of { rej_id : string; error : proto_error }
   | Pong of { png_id : string }
   | Stats_reply of { sts_id : string; body : (string * string) list }
+  | Metrics_reply of { met_id : string; body : string }
+  | Watch_reply of { wat_id : string; body : (string * string) list }
   | Drained of { served : int; rejected : int; tally : Robust.tally }
 
 let render_reply = function
@@ -272,6 +280,13 @@ let render_reply = function
   | Pong { png_id } -> Printf.sprintf "pong id=%s" png_id
   | Stats_reply { sts_id; body } ->
       Printf.sprintf "stats id=%s %s" sts_id
+        (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) body))
+  | Metrics_reply { met_id; body } ->
+      (* multi-line: the header names the reply, the Prometheus text
+         exposition follows verbatim *)
+      Printf.sprintf "metrics id=%s\n%s" met_id body
+  | Watch_reply { wat_id; body } ->
+      Printf.sprintf "watch id=%s %s" wat_id
         (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) body))
   | Drained { served; rejected; tally } ->
       Printf.sprintf
@@ -313,6 +328,7 @@ type memo_entry = {
 type t = {
   cfg : config;
   metrics : Obs.Metrics.t;
+  log : Obs.Log.t;
   pool : Support.Domain_pool.t option;
   on_reply : reply -> unit;
   cache : Analysis.t;
@@ -325,6 +341,7 @@ type t = {
   seen_regions : (string, string) Hashtbl.t;
   queue : (request * Ir.Region.t * string) Queue.t;
   mutable state : [ `Serving | `Draining | `Drained ];
+  mutable in_flight : int;  (** misses computing in the current batch *)
   mutable received : int;
   mutable served : int;
   mutable rejected : int;
@@ -336,6 +353,7 @@ type t = {
 let config t = t.cfg
 let state t = t.state
 let queue_depth t = Queue.length t.queue
+let in_flight t = t.in_flight
 let received t = t.received
 let served t = t.served
 let rejected t = t.rejected
@@ -460,12 +478,14 @@ let load_state t =
         t.persist_info <-
           Printf.sprintf "warm(%d-regions,%d-memo)" !regions_loaded !memo_loaded
 
-let create ?(metrics = Obs.Metrics.null) ?pool ?(on_reply = fun _ -> ()) cfg =
+let create ?(metrics = Obs.Metrics.null) ?(log = Obs.Log.null) ?pool
+    ?(on_reply = fun _ -> ()) cfg =
   Compile.ensure_backends ();
   let t =
     {
       cfg;
       metrics;
+      log;
       pool;
       on_reply;
       cache = Analysis.create ~metrics ();
@@ -477,6 +497,7 @@ let create ?(metrics = Obs.Metrics.null) ?pool ?(on_reply = fun _ -> ()) cfg =
       seen_regions = Hashtbl.create 64;
       queue = Queue.create ();
       state = `Serving;
+      in_flight = 0;
       received = 0;
       served = 0;
       rejected = 0;
@@ -486,6 +507,14 @@ let create ?(metrics = Obs.Metrics.null) ?pool ?(on_reply = fun _ -> ()) cfg =
     }
   in
   load_state t;
+  if Obs.Log.enabled log then
+    Obs.Log.info log "serve.start"
+      [
+        ("persist", Obs.Log.Str t.persist_info);
+        ("queue_capacity", Obs.Log.Int cfg.queue_capacity);
+        ("max_in_flight", Obs.Log.Int cfg.max_in_flight);
+        ("pooled", Obs.Log.Bool (pool <> None));
+      ];
   t
 
 (* ---- memo -------------------------------------------------------- *)
@@ -559,11 +588,19 @@ let send t reply =
   | Rejected _ ->
       t.rejected <- t.rejected + 1;
       Obs.Metrics.incr t.metrics "serve.malformed"
-  | Pong _ | Stats_reply _ | Drained _ -> ());
+  | Pong _ | Stats_reply _ | Metrics_reply _ | Watch_reply _ | Drained _ -> ());
   Obs.Metrics.incr t.metrics "serve.replies";
   t.on_reply reply
 
-let reject t id error = send t (Rejected { rej_id = id; error })
+let reject t id error =
+  if Obs.Log.enabled t.log then
+    Obs.Log.warn t.log "serve.reject"
+      [
+        ("req", Obs.Log.Str id);
+        ("code", Obs.Log.Str (proto_error_code error));
+        ("msg", Obs.Log.Str (proto_error_message error));
+      ];
+  send t (Rejected { rej_id = id; error })
 
 (* ---- the compile path -------------------------------------------- *)
 
@@ -629,7 +666,7 @@ let hit_reply t (req : request) name (e : memo_entry) =
    Deterministic in its inputs and touching only [t.metrics] (its
    registry carries its own mutex) and the domain-safe analysis cache —
    the batched pump runs several of these on the domain pool at once. *)
-let compute_miss t (cfg : Compile.config) rc name region =
+let compute_miss t ?(log = Obs.Log.null) (cfg : Compile.config) rc name region =
   let n = Ir.Region.size region in
   let base = Robust.budget_for cfg.Compile.robust ~n in
   let deadline =
@@ -642,7 +679,8 @@ let compute_miss t (cfg : Compile.config) rc name region =
       { cfg with Compile.gpu = Gpusim.Config.reseed_faults cfg.Compile.gpu ~salt:attempt }
     in
     let report =
-      Compile.run_region ~metrics:t.metrics ~ctx:rc ~budget_ns cfg_a ~name region
+      Compile.run_region ~metrics:t.metrics ~log ~ctx:rc ~budget_ns cfg_a ~name
+        region
     in
     let p = Compile.product_run report in
     let spent =
@@ -670,10 +708,20 @@ let compute_miss t (cfg : Compile.config) rc name region =
   in
   go 0 0.0 None
 
-(* Sequential epilogue of a miss: counters, memo, tally, reply. *)
+(* Sequential epilogue of a miss: counters, memo, tally, quality
+   ledger, reply. The ledger append runs on the caller (never a pool
+   domain), and a failing write degrades to a metric — the reply is
+   never blocked on telemetry. *)
 let miss_reply t (req : request) name key (best, attempts, spent) =
   t.memo_misses <- t.memo_misses + 1;
   Obs.Metrics.incr t.metrics "serve.memo.misses";
+  (match t.cfg.quality_ledger with
+  | None -> ()
+  | Some file -> (
+      try
+        Quality.append ~file [ Quality.of_region best ];
+        Obs.Metrics.incr t.metrics "serve.quality.recorded"
+      with Sys_error _ -> Obs.Metrics.incr t.metrics "serve.quality.write_failed"));
   let digest = Report_digest.digest_region best in
   memo_store t key
     {
@@ -709,6 +757,13 @@ let shed_reply t (req : request) region name =
   t.shed <- t.shed + 1;
   Obs.Metrics.incr t.metrics "serve.shed_overload";
   t.tally <- Robust.tally_add t.tally Robust.Shed_overload;
+  if Obs.Log.enabled t.log then
+    Obs.Log.warn t.log "serve.shed"
+      [
+        ("req", Obs.Log.Str req.req_id);
+        ("region", Obs.Log.Str name);
+        ("queue_depth", Obs.Log.Int (Queue.length t.queue));
+      ];
   Robust.observe Obs.Trace.null t.metrics ~region:name Robust.Shed_overload;
   Compiled
     {
@@ -755,6 +810,45 @@ let stats_body t =
     ("analysis-misses", string_of_int astats.Analysis.misses);
     ("persist", t.persist_info);
   ]
+
+(* The [op=watch] body: everything [stats] says plus the operational
+   signals a live dashboard wants — in-flight work, pool occupancy,
+   steal traffic, hit rates and latency quantiles. Quantiles come from
+   the [serve.latency_ns] histogram's bucket ladder, so they cost a
+   16-entry scan, not a recorded-sample sort; with a disabled metrics
+   registry the metric-derived fields read 0 and the body still
+   renders. *)
+let watch_body t =
+  let metric name = Obs.Metrics.get t.metrics name in
+  let lastv name =
+    match metric name with Some m -> Obs.Metrics.last m | None -> 0.0
+  in
+  let valv name =
+    match metric name with Some m -> Obs.Metrics.value m | None -> 0.0
+  in
+  let pctl q =
+    match metric "serve.latency_ns" with
+    | Some m -> Obs.Metrics.percentile m q
+    | None -> 0.0
+  in
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int total)
+  in
+  let astats = Analysis.stats t.cache in
+  stats_body t
+  @ [
+      ("in-flight", string_of_int t.in_flight);
+      ("pool-busy", Printf.sprintf "%.0f" (lastv "serve.pool.busy"));
+      ("pool-idle", Printf.sprintf "%.0f" (lastv "serve.pool.idle"));
+      ("steals", Printf.sprintf "%.0f" (valv "compile.steal.count"));
+      ("deadline-exceeded", Printf.sprintf "%.0f" (valv "serve.deadline_exceeded"));
+      ("memo-hit-rate", rate t.memo_hits t.memo_misses);
+      ("analysis-hit-rate", rate astats.Analysis.hits astats.Analysis.misses);
+      ("latency-p50-ns", Printf.sprintf "%.0f" (pctl 0.5));
+      ("latency-p99-ns", Printf.sprintf "%.0f" (pctl 0.99));
+    ]
 
 let gauge_queue t =
   Obs.Metrics.set t.metrics "serve.queue_depth"
@@ -815,10 +909,19 @@ let process_batch t pool ~limit =
       (List.filter (fun i -> classes.(i) = `Compute) (List.init ni (fun i -> i)))
   in
   let results = Array.make ni None in
-  let compute i =
-    let _, region, name, cfg, rc, _ = items.(i) in
-    results.(i) <- Some (compute_miss t cfg rc name region)
+  (* Per-request child logger: the request id rides on every entry the
+     compile emits, from admission through pool worker to backend pass. *)
+  let req_log (req : request) =
+    if Obs.Log.enabled t.log then
+      Obs.Log.with_fields t.log [ ("req", Obs.Log.Str req.req_id) ]
+    else Obs.Log.null
   in
+  let compute i =
+    let req, region, name, cfg, rc, _ = items.(i) in
+    results.(i) <- Some (compute_miss t ~log:(req_log req) cfg rc name region)
+  in
+  t.in_flight <- Array.length todo;
+  Obs.Metrics.set t.metrics "serve.in_flight" (float_of_int t.in_flight);
   (match pool with
   | Some pool when Array.length todo > 1 ->
       let lanes = Support.Domain_pool.size pool + 1 in
@@ -838,6 +941,8 @@ let process_batch t pool ~limit =
       Obs.Metrics.set t.metrics "serve.pool.busy" 0.0;
       Obs.Metrics.set t.metrics "serve.pool.idle" (float_of_int lanes)
   | _ -> Array.iter compute todo);
+  t.in_flight <- 0;
+  Obs.Metrics.set t.metrics "serve.in_flight" 0.0;
   Array.iteri
     (fun i (req, region, name, cfg, rc, key) ->
       let reply =
@@ -845,11 +950,15 @@ let process_batch t pool ~limit =
         | `Compute -> (
             match results.(i) with
             | Some r -> miss_reply t req name key r
-            | None -> miss_reply t req name key (compute_miss t cfg rc name region))
+            | None ->
+                miss_reply t req name key
+                  (compute_miss t ~log:(req_log req) cfg rc name region))
         | `Hit | `Dup -> (
             match memo_find t key with
             | Some e -> hit_reply t req name e
-            | None -> miss_reply t req name key (compute_miss t cfg rc name region))
+            | None ->
+                miss_reply t req name key
+                  (compute_miss t ~log:(req_log req) cfg rc name region))
       in
       send t reply)
     items;
@@ -869,6 +978,13 @@ let drain t =
       persist t;
       t.state <- `Drained;
       Obs.Metrics.incr t.metrics "serve.drained";
+      if Obs.Log.enabled t.log then
+        Obs.Log.info t.log "serve.drain"
+          [
+            ("served", Obs.Log.Int t.served);
+            ("rejected", Obs.Log.Int t.rejected);
+            ("shed", Obs.Log.Int t.shed);
+          ];
       send t (Drained { served = t.served; rejected = t.rejected; tally = t.tally })
 
 let handle t ?(client = "anon") payload =
@@ -890,6 +1006,13 @@ let handle t ?(client = "anon") payload =
          compile work is refused *)
       | Ping id -> send t (Pong { png_id = id })
       | Stats id -> send t (Stats_reply { sts_id = id; body = stats_body t })
+      | Metrics_dump id ->
+          let body =
+            if Obs.Metrics.enabled t.metrics then Obs.Metrics.to_prometheus t.metrics
+            else "# metrics disabled\n"
+          in
+          send t (Metrics_reply { met_id = id; body })
+      | Watch id -> send t (Watch_reply { wat_id = id; body = watch_body t })
       | Shutdown _ ->
           (* the Drained reply acknowledges the shutdown *)
           drain t
@@ -903,6 +1026,13 @@ let handle t ?(client = "anon") payload =
               else begin
                 Queue.push (req, region, name) t.queue;
                 Obs.Metrics.incr t.metrics "serve.admitted";
+                if Obs.Log.enabled t.log then
+                  Obs.Log.debug t.log "serve.admit"
+                    [
+                      ("req", Obs.Log.Str req.req_id);
+                      ("region", Obs.Log.Str name);
+                      ("queue_depth", Obs.Log.Int (Queue.length t.queue));
+                    ];
                 gauge_queue t
               end))
 

@@ -67,12 +67,17 @@ type config = {
   memo_capacity : int;  (** schedule-memo entries (LRU; 0 disables) *)
   state_dir : string option;  (** persistence directory; [None] = off *)
   frame_limit : int;  (** max accepted frame payload, bytes *)
+  quality_ledger : string option;
+      (** JSONL file that every computed miss appends a
+          {!Quality.record} to; [None] = off. Writes are append-only on
+          the reply path (never on a pool domain) and a failing write
+          counts [serve.quality.write_failed] instead of raising. *)
 }
 
 val default_config : Compile.config -> config
 (** Queue of 64, 4 in flight, shed at 75%, 2 retries from a 50µs base
-    backoff, slack 4.0, 512 memo entries, no persistence,
-    {!Support.Frame.default_limit}. *)
+    backoff, slack 4.0, 512 memo entries, no persistence, no quality
+    ledger, {!Support.Frame.default_limit}. *)
 
 (** {1 Protocol} *)
 
@@ -108,6 +113,11 @@ type command =
   | Compile of request
   | Ping of string  (** liveness probe (id) *)
   | Stats of string  (** service counters snapshot (id) *)
+  | Metrics_dump of string
+      (** Prometheus text exposition of the live registry (id) *)
+  | Watch of string
+      (** operational snapshot for dashboards: stats plus in-flight,
+          pool occupancy, hit rates and latency quantiles (id) *)
   | Shutdown of string  (** begin drain (id) *)
 
 val parse_request : string -> (command, string * proto_error) result
@@ -140,12 +150,17 @@ type reply =
   | Rejected of { rej_id : string; error : proto_error }
   | Pong of { png_id : string }
   | Stats_reply of { sts_id : string; body : (string * string) list }
+  | Metrics_reply of { met_id : string; body : string }
+      (** [body] is {!Obs.Metrics.to_prometheus} of the live registry *)
+  | Watch_reply of { wat_id : string; body : (string * string) list }
   | Drained of { served : int; rejected : int; tally : Robust.tally }
 
 val render_reply : reply -> string
 (** One line, [key=value] tokens, first token the reply kind ([ok],
-    [err], [pong], [stats], [bye]); an [err] reply's [msg=] is last and
-    runs to end of line. *)
+    [err], [pong], [stats], [watch], [bye]); an [err] reply's [msg=] is
+    last and runs to end of line. The one multi-line exception is
+    [metrics]: a [metrics id=…] header line followed by the Prometheus
+    text exposition verbatim. *)
 
 (** {1 Budget arithmetic} (exposed for tests) *)
 
@@ -164,6 +179,7 @@ type t
 
 val create :
   ?metrics:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
   ?pool:Support.Domain_pool.t ->
   ?on_reply:(reply -> unit) ->
   config ->
@@ -172,6 +188,15 @@ val create :
     regions and memo entries are reloaded (failures count
     [serve.persist.load_failed] and start cold). [on_reply] receives
     every reply, in order; default ignores them.
+
+    [log] (default disabled) receives the service's structured event
+    stream: [serve.start], [serve.admit] (debug), [serve.shed] /
+    [serve.reject] (warn), [serve.drain], plus every compile-layer
+    entry. Each computed miss runs under a child logger that stamps the
+    request id on its entries ({!Obs.Log.with_fields}), so one request
+    is grep-able from admission through pool worker to backend pass;
+    the shared ring is mutex-protected, so pooled batches may log
+    concurrently.
 
     With a [pool], each {!process} batch runs its distinct memo misses
     in parallel on the pool's domains (the pool persists across batches
@@ -217,6 +242,12 @@ val persist : t -> unit
 val state : t -> [ `Serving | `Draining | `Drained ]
 val queue_depth : t -> int
 
+val in_flight : t -> int
+(** Distinct memo misses computing in the current {!process} batch
+    (0 between batches — the pump is single-threaded, so a concurrent
+    reader only sees a nonzero value through {!watch_body} taken by a
+    control command that interleaves with a batch). *)
+
 val shed_point : t -> int
 (** Queue depth at which shedding starts. *)
 
@@ -240,3 +271,10 @@ val memo_stats : t -> int * int * int
 val stats_body : t -> (string * string) list
 (** The [op=stats] reply body: state, queue depth, counters, tally,
     cache traffic, persistence provenance. *)
+
+val watch_body : t -> (string * string) list
+(** The [op=watch] reply body: {!stats_body} plus in-flight, pool
+    busy/idle, steal count, deadline hits, memo/analysis hit rates and
+    p50/p99 simulated latency from the [serve.latency_ns] histogram's
+    bucket ladder. Metric-derived fields read 0 (and rates ["-"]) when
+    the registry is disabled. *)

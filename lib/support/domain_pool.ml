@@ -34,6 +34,21 @@ type t = {
   mutable busy : bool;
 }
 
+(* Lifecycle observer: support sits below the observability layer in
+   the dependency order, so the pool cannot log directly. A layer above
+   (bin, via Obs.Log) installs a callback; the default is no callback
+   and costs one atomic load per event. Events fire outside the pool's
+   locks where possible — [Spawned] necessarily fires while the
+   spawning lock is held, so observers must not call back into the
+   pool. *)
+type event = Spawned of int | Acquired of int | Released of int
+
+let observer : (event -> unit) option Atomic.t = Atomic.make None
+let set_observer f = Atomic.set observer f
+
+let notify e =
+  match Atomic.get observer with Some f -> (try f e with _ -> ()) | None -> ()
+
 (* Helpers default to the hardware: [recommended_domain_count - 1] plus
    the calling domain saturates the cores. Never more — OCaml's minor
    collections stop the world across every running domain, so
@@ -90,7 +105,8 @@ let ensure_spawned t k =
   for i = t.spawned to min k t.size - 1 do
     let h = t.helpers.(i) in
     h.domain <- Some (Domain.spawn (fun () -> helper_loop h));
-    t.spawned <- i + 1
+    t.spawned <- i + 1;
+    notify (Spawned i)
   done
 
 let submit h f =
@@ -130,8 +146,11 @@ let run t ~workers f =
     done
   else begin
     let k = min workers (t.size + 1) in
+    notify (Acquired k);
     Fun.protect
-      ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.busy <- false))
+      ~finally:(fun () ->
+        Mutex.protect t.lock (fun () -> t.busy <- false);
+        notify (Released k))
       (fun () ->
         for w = 1 to k - 1 do
           submit t.helpers.(w - 1) (fun () -> f w)

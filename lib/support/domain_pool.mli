@@ -13,6 +13,19 @@
 
 type t
 
+(** Pool lifecycle events for the process-global observer: a helper
+    domain was spawned (by index), or a {!run} acquired / released the
+    pool with [k] total workers. *)
+type event = Spawned of int | Acquired of int | Released of int
+
+val set_observer : (event -> unit) option -> unit
+(** Install (or clear) the process-global lifecycle observer. Support
+    sits below the observability layer, so logging is injected from
+    above through this hook; the default [None] costs one atomic load
+    per event. The callback runs on whichever domain triggered the
+    event and must not call back into the pool ([Spawned] fires under
+    the pool's spawn lock); exceptions it raises are swallowed. *)
+
 val create : ?size:int -> unit -> t
 (** A pool of up to [size] helper domains (default
     [Domain.recommended_domain_count () - 1]: helpers plus the calling

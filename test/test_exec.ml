@@ -405,10 +405,28 @@ let test_trace_merge () =
            ~cache:(Pipeline.Analysis.create ())
            config suite));
   Alcotest.(check bool) "traced something" true (Obs.Trace.recorded t1 > 0);
-  Alcotest.(check int) "same number of events" (Obs.Trace.recorded t1)
-    (Obs.Trace.recorded t4);
+  (* compare the simulated timeline only: a parallel run additionally
+     lays down wall-clock worker tracks (>= wall_track_base) that a
+     sequential run has no workers to produce *)
+  let sim_events t =
+    List.filter (fun e -> e.Obs.Trace.e_track < Obs.Trace.wall_track_base)
+      (Obs.Trace.events t)
+  in
+  Alcotest.(check int) "same number of simulated events"
+    (List.length (sim_events t1))
+    (List.length (sim_events t4));
+  Alcotest.(check bool) "parallel run lays down wall-clock tracks" true
+    (List.exists (fun e -> e.Obs.Trace.e_track >= Obs.Trace.wall_track_base)
+       (Obs.Trace.events t4));
   let counts t =
-    List.sort compare (List.map (fun (n, _, c) -> (n, c)) (Obs.Trace.span_totals t))
+    let tally = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        if e.Obs.Trace.e_kind = `Span then
+          Hashtbl.replace tally e.Obs.Trace.e_name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally e.Obs.Trace.e_name)))
+      (sim_events t);
+    List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) tally [])
   in
   Alcotest.(check (list (pair string int))) "same span counts per name" (counts t1)
     (counts t4);
@@ -417,7 +435,10 @@ let test_trace_merge () =
       let r = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json t) in
       if not (Obs.Trace_check.ok r) then
         Alcotest.failf "trace fails lint: %s" (Obs.Trace_check.report_to_string r))
-    [ t1; t4 ]
+    [ t1; t4 ];
+  let r4 = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json t4) in
+  Alcotest.(check bool) "lint sees the wall-clock process" true
+    (r4.Obs.Trace_check.wall_tracks >= 1)
 
 let suite =
   [

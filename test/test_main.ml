@@ -15,5 +15,6 @@ let () =
       ("exec", Test_exec.suite);
       ("robust", Test_robust.suite);
       ("serve", Test_serve.suite);
+      ("quality", Test_quality.suite);
       ("obs", Test_obs.suite);
     ]

@@ -163,6 +163,223 @@ let test_metrics_export () =
   | exception Obs.Trace_check.Parse_error e -> Alcotest.failf "metrics JSON: %s" e);
   Alcotest.(check bool) "json has series" true (contains json "r0.best_cost")
 
+(* --- structured log ------------------------------------------------------- *)
+
+let test_log_ring () =
+  let l = Obs.Log.create ~capacity:16 ~level:Obs.Log.Info () in
+  Alcotest.(check bool) "enabled" true (Obs.Log.enabled l);
+  Alcotest.(check int) "capacity" 16 (Obs.Log.capacity l);
+  Obs.Log.debug l "below.level" [];
+  Alcotest.(check int) "debug filtered below Info" 0 (Obs.Log.recorded l);
+  for i = 0 to 39 do
+    Obs.Log.info l "tick" [ ("i", Obs.Log.Int i) ]
+  done;
+  Alcotest.(check int) "recorded counts every accepted entry" 40 (Obs.Log.recorded l);
+  Alcotest.(check int) "dropped = recorded - capacity" 24 (Obs.Log.dropped l);
+  let es = Obs.Log.entries l in
+  Alcotest.(check int) "ring keeps the last capacity entries" 16 (List.length es);
+  (match es with
+  | first :: _ ->
+      Alcotest.(check (list (pair string bool))) "oldest survivor is entry 24"
+        [ ("i", true) ]
+        (List.map (fun (k, f) -> (k, f = Obs.Log.Int 24)) first.Obs.Log.e_fields)
+  | [] -> Alcotest.fail "no entries");
+  let l2 = Obs.Log.create ~level:Obs.Log.Warn () in
+  Obs.Log.info l2 "quiet" [];
+  Obs.Log.warn l2 "loud" [];
+  Obs.Log.error l2 "louder" [];
+  Alcotest.(check (list string)) "level gate keeps warn and error"
+    [ "loud"; "louder" ]
+    (List.map (fun e -> e.Obs.Log.e_event) (Obs.Log.entries l2))
+
+let test_log_child_fields () =
+  let l = Obs.Log.create () in
+  let child = Obs.Log.with_fields l [ ("req", Obs.Log.Str "r1") ] in
+  let grandchild = Obs.Log.with_fields child [ ("worker", Obs.Log.Int 3) ] in
+  Obs.Log.info l "plain" [];
+  Obs.Log.info child "tagged" [ ("x", Obs.Log.Int 1) ];
+  Obs.Log.info grandchild "nested" [];
+  (* children share the parent's ring *)
+  Alcotest.(check int) "one shared ring" 3 (Obs.Log.recorded l);
+  let fields e = List.map fst e.Obs.Log.e_fields in
+  (match Obs.Log.entries l with
+  | [ plain; tagged; nested ] ->
+      Alcotest.(check (list string)) "plain entry unstamped" [] (fields plain);
+      Alcotest.(check (list string)) "child stamps bound fields first"
+        [ "req"; "x" ] (fields tagged);
+      Alcotest.(check (list string)) "children nest" [ "req"; "worker" ]
+        (fields nested)
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es));
+  (* on the disabled logger, with_fields is the identity: no allocation,
+     nothing ever recorded *)
+  let nullchild = Obs.Log.with_fields Obs.Log.null [ ("req", Obs.Log.Str "r") ] in
+  Alcotest.(check bool) "null child disabled" false (Obs.Log.enabled nullchild);
+  Obs.Log.error nullchild "boom" [];
+  Alcotest.(check int) "null child records nothing" 0 (Obs.Log.recorded nullchild)
+
+let test_log_jsonl () =
+  let l = Obs.Log.create () in
+  Obs.Log.info l "has \"quotes\" and \\slash"
+    [
+      ("s", Obs.Log.Str "line\nbreak");
+      ("i", Obs.Log.Int (-4));
+      ("f", Obs.Log.Float 2.5);
+      ("b", Obs.Log.Bool true);
+    ];
+  Obs.Log.warn l "second" [];
+  let lines =
+    String.split_on_char '\n' (Obs.Log.to_jsonl l)
+    |> List.filter (fun s -> s <> "")
+  in
+  Alcotest.(check int) "one line per entry" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Trace_check.parse_json line with
+      | Obs.Trace_check.Obj fields ->
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k fields) then
+                Alcotest.failf "entry lacks envelope key %s: %s" k line)
+            [ "ts"; "lvl"; "evt" ]
+      | _ -> Alcotest.failf "entry is not a JSON object: %s" line
+      | exception Obs.Trace_check.Parse_error e ->
+          Alcotest.failf "entry is not valid JSON (%s): %s" e line)
+    lines;
+  (match Obs.Trace_check.parse_json (List.hd lines) with
+  | Obs.Trace_check.Obj fields ->
+      Alcotest.(check bool) "escaped event round-trips" true
+        (List.assoc "evt" fields = Obs.Trace_check.Str "has \"quotes\" and \\slash");
+      Alcotest.(check bool) "escaped field round-trips" true
+        (List.assoc "s" fields = Obs.Trace_check.Str "line\nbreak");
+      Alcotest.(check bool) "bool field" true
+        (List.assoc "b" fields = Obs.Trace_check.Bool true)
+  | _ -> Alcotest.fail "not an object")
+
+(* --- prometheus exposition ------------------------------------------------- *)
+
+let test_prometheus () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add m "serve.requests" 7;
+  Obs.Metrics.set m "serve.queue_depth" 3.0;
+  List.iter (Obs.Metrics.observe m "serve.latency_ns") [ 1.0; 5.0; 17.0; 1e9 ];
+  Obs.Metrics.push m "r0.best_cost" 31.0;
+  (* client names carry arbitrary bytes; the label value must escape *)
+  Obs.Metrics.incr m "serve.client.we\"ird\\conn.requests";
+  Obs.Metrics.incr m "serve.client.we\"ird\\conn.requests";
+  let text = Obs.Metrics.to_prometheus m in
+  Alcotest.(check bool) "counter family" true
+    (contains text "# TYPE gpuaco_serve_requests counter"
+    && contains text "gpuaco_serve_requests 7");
+  Alcotest.(check bool) "gauge family" true
+    (contains text "# TYPE gpuaco_serve_queue_depth gauge"
+    && contains text "gpuaco_serve_queue_depth 3");
+  Alcotest.(check bool) "histogram sum and count" true
+    (contains text "gpuaco_serve_latency_ns_count 4"
+    && contains text "gpuaco_serve_latency_ns_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "client label escaped" true
+    (contains text "gpuaco_serve_client_requests{client=\"we\\\"ird\\\\conn\"} 2");
+  Alcotest.(check bool) "series omitted" false (contains text "best_cost");
+  (* the bucket ladder invariant behind those lines: cumulative counts
+     are monotone non-decreasing and end at count, final bound +Inf *)
+  let h = Option.get (Obs.Metrics.get m "serve.latency_ns") in
+  let buckets = Obs.Metrics.buckets h in
+  Alcotest.(check bool) "ladder non-empty" true (Array.length buckets > 0);
+  let last_bound, last_cum = buckets.(Array.length buckets - 1) in
+  Alcotest.(check bool) "final bound is +Inf" true (last_bound = infinity);
+  Alcotest.(check int) "cumulative ends at count" (Obs.Metrics.count h) last_cum;
+  let prev = ref 0 in
+  Array.iter
+    (fun (_, c) ->
+      if c < !prev then Alcotest.fail "cumulative counts decreased";
+      prev := c)
+    buckets;
+  (* quantile estimates come off the same ladder, clamped into [min,max] *)
+  Alcotest.(check bool) "p0 clamps to min" true (Obs.Metrics.percentile h 0.0 >= 1.0);
+  Alcotest.(check bool) "p100 clamps to max" true
+    (Obs.Metrics.percentile h 1.0 <= 1e9);
+  Alcotest.(check bool) "median within range" true
+    (let p = Obs.Metrics.percentile h 0.5 in
+     p >= 1.0 && p <= 1e9)
+
+let test_merge_commutative () =
+  (* two shards observing the same histogram with different tails must
+     merge to the same registry whichever joins first *)
+  let shard seed =
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.add m "jobs" (seed * 3);
+    Obs.Metrics.set m "depth" (float_of_int seed);
+    List.iter
+      (Obs.Metrics.observe m "lat")
+      (if seed = 1 then [ 2.0; 70.0; 4100.0 ] else [ 9.0; 300.0 ]);
+    Obs.Metrics.push m "curve" (float_of_int (100 - seed));
+    m
+  in
+  let joined order =
+    let into = Obs.Metrics.create () in
+    (* pre-register the names so first-touch order cannot differ *)
+    Obs.Metrics.add into "jobs" 0;
+    Obs.Metrics.set into "depth" 0.0;
+    List.iter (fun s -> Obs.Metrics.merge_into (shard s) ~into) order;
+    into
+  in
+  let ab = joined [ 1; 2 ] and ba = joined [ 2; 1 ] in
+  let h m = Option.get (Obs.Metrics.get m "lat") in
+  Alcotest.(check int) "count independent of join order" (Obs.Metrics.count (h ab))
+    (Obs.Metrics.count (h ba));
+  Alcotest.(check (float 0.0)) "sum independent of join order"
+    (Obs.Metrics.sum (h ab)) (Obs.Metrics.sum (h ba));
+  Alcotest.(check (float 0.0)) "last independent of join order"
+    (Obs.Metrics.last (h ab)) (Obs.Metrics.last (h ba));
+  Alcotest.(check bool) "bucket ladders identical" true
+    (Obs.Metrics.buckets (h ab) = Obs.Metrics.buckets (h ba));
+  Alcotest.(check (float 0.0)) "counters add" 9.0
+    (Obs.Metrics.value (Option.get (Obs.Metrics.get ab "jobs")));
+  (* quantiles read off the merged ladder agree too (gauges are
+     deliberately latest-join-wins, so only the histogram family is
+     held to commutativity) *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%.0f independent of join order" (q *. 100.0))
+        (Obs.Metrics.percentile (h ab) q)
+        (Obs.Metrics.percentile (h ba) q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+(* --- wall-clock tracks ----------------------------------------------------- *)
+
+let test_wall_tracks () =
+  let t = Obs.Trace.create ~wall_origin:1000.0 () in
+  Obs.Trace.name_track t 0 "driver";
+  Obs.Trace.name_track t Obs.Trace.wall_track_base "worker 0 (wall)";
+  Obs.Trace.span t ~track:0 ~name:"region" ~ts:0.0 ~dur:50.0;
+  Obs.Trace.span t ~track:Obs.Trace.wall_track_base ~name:"job" ~ts:10.0 ~dur:5.0;
+  Obs.Trace.instant t ~track:Obs.Trace.wall_track_base ~name:"steal" ~ts:12.0;
+  let r = Obs.Trace_check.lint_string (Obs.Trace.to_chrome_json t) in
+  if not (Obs.Trace_check.ok r) then
+    Alcotest.failf "wall-clock trace fails lint:\n%s" (Obs.Trace_check.report_to_string r);
+  Alcotest.(check int) "two tracks" 2 r.Obs.Trace_check.tracks;
+  Alcotest.(check int) "one wall track under its own pid" 1 r.Obs.Trace_check.wall_tracks;
+  (* append_range carries only the simulated timeline, shifted *)
+  let sim = Obs.Trace.create ~wall_origin:1000.0 () in
+  Obs.Trace.append_range t ~into:sim ~first:0 ~last:(Obs.Trace.recorded t) ~dt:100.0;
+  (match Obs.Trace.events sim with
+  | [ e ] ->
+      Alcotest.(check string) "simulated span carried" "region" e.Obs.Trace.e_name;
+      Alcotest.(check (float 0.0)) "timestamp shifted" 100.0 e.Obs.Trace.e_ts
+  | es -> Alcotest.failf "append_range carried %d events, expected 1" (List.length es));
+  (* append_wall carries only the wall events, unshifted *)
+  let wall = Obs.Trace.create ~wall_origin:1000.0 () in
+  Obs.Trace.append_wall t ~into:wall;
+  (match Obs.Trace.events wall with
+  | [ s; i ] ->
+      Alcotest.(check string) "wall span carried" "job" s.Obs.Trace.e_name;
+      Alcotest.(check (float 0.0)) "wall timestamp unshifted" 10.0 s.Obs.Trace.e_ts;
+      Alcotest.(check string) "wall instant carried" "steal" i.Obs.Trace.e_name
+  | es -> Alcotest.failf "append_wall carried %d events, expected 2" (List.length es));
+  (* the wall clock on a disabled recorder never reads the system clock *)
+  Alcotest.(check (float 0.0)) "null wall_now pinned" 0.0
+    (Obs.Trace.wall_now Obs.Trace.null)
+
 (* --- the no-perturbation contract ----------------------------------------- *)
 
 let compile_cfg ?fault_rate ?fault_seed ?compile_budget_ms () =
@@ -229,7 +446,10 @@ let tracing_is_inert =
           let off = Pipeline.Compile.run_region (cfg ()) ~name:"r" region in
           let trace = Obs.Trace.create ~capacity:256 () (* force ring wrap too *) in
           let metrics = Obs.Metrics.create () in
-          let on = Pipeline.Compile.run_region ~trace ~metrics (cfg ()) ~name:"r" region in
+          let log = Obs.Log.create ~capacity:64 () in
+          let on =
+            Pipeline.Compile.run_region ~trace ~metrics ~log (cfg ()) ~name:"r" region
+          in
           if region_signature off <> region_signature on then
             Alcotest.failf
               "recorders perturbed the compile (fault_rate=%s budget=%s)"
@@ -255,6 +475,26 @@ let tracing_is_inert =
         [ (None, None); (Some 0.2, Some 2.0); (Some 1.0, None); (None, Some 0.01) ];
       true)
 
+(* The disabled-path contract, stated on report digests: a compile run
+   with the null recorders explicitly passed must be byte-identical —
+   same digest — to one where the hooks were never supplied at all.
+   This is what lets production leave the instrumentation parameters in
+   place and toggle observability by value. *)
+let null_recorders_are_absent =
+  QCheck.Test.make ~count:10 ~name:"null log/trace digest-identical to absent"
+    (QCheck.pair (Tu.arb_region ~max_size:30 ()) QCheck.small_int)
+    (fun (region, seed) ->
+      let cfg () = compile_cfg ~fault_rate:0.3 ~fault_seed:(seed + 3) () in
+      let absent = Pipeline.Compile.run_region (cfg ()) ~name:"r" region in
+      let nulls =
+        Pipeline.Compile.run_region ~trace:Obs.Trace.null ~metrics:Obs.Metrics.null
+          ~log:Obs.Log.null (cfg ()) ~name:"r" region
+      in
+      Alcotest.(check string) "digest identical"
+        (Pipeline.Report_digest.digest_region absent)
+        (Pipeline.Report_digest.digest_region nulls);
+      true)
+
 let suite =
   [
     ("trace ring wrap", `Quick, test_ring_wrap);
@@ -265,5 +505,11 @@ let suite =
     ("lint rejects malformed", `Quick, test_lint_rejects_malformed);
     ("metrics kinds", `Quick, test_metrics_kinds);
     ("metrics export", `Quick, test_metrics_export);
+    ("log ring and level gate", `Quick, test_log_ring);
+    ("log child field stamping", `Quick, test_log_child_fields);
+    ("log JSONL escaping round-trips", `Quick, test_log_jsonl);
+    ("prometheus exposition", `Quick, test_prometheus);
+    ("metrics merge is commutative", `Quick, test_merge_commutative);
+    ("wall-clock tracks", `Quick, test_wall_tracks);
   ]
-  @ Tu.qtests [ tracing_is_inert ]
+  @ Tu.qtests [ tracing_is_inert; null_recorders_are_absent ]

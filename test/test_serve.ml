@@ -159,6 +159,12 @@ let test_parse_commands () =
   (match Pipeline.Serve.parse_request "op=shutdown id=z" with
   | Ok (Pipeline.Serve.Shutdown "z") -> ()
   | _ -> Alcotest.fail "shutdown");
+  (match Pipeline.Serve.parse_request "op=metrics id=m1" with
+  | Ok (Pipeline.Serve.Metrics_dump "m1") -> ()
+  | _ -> Alcotest.fail "metrics");
+  (match Pipeline.Serve.parse_request "op=watch" with
+  | Ok (Pipeline.Serve.Watch "-") -> ()
+  | _ -> Alcotest.fail "watch defaults its id to -");
   match
     Pipeline.Serve.parse_request
       "op=compile id=c1 shape=transform size=24 seed=3 fault-rate=0.25 budget-ms=2 \
@@ -444,6 +450,129 @@ let test_persistence_corruption_starts_cold () =
           | _ -> Alcotest.fail "corrupt state must mean a cold compile")
       | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs))
 
+(* --- observability verbs and the quality ledger --------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_and_watch_verbs () =
+  let metrics = Obs.Metrics.create () in
+  let srv, replies = mk ~metrics (serve_cfg (compile_cfg ())) in
+  Pipeline.Serve.handle srv (spec_req ~id:"c1" "transform" 20 5);
+  ignore (Pipeline.Serve.process srv);
+  Pipeline.Serve.handle srv "op=metrics id=m1";
+  Pipeline.Serve.handle srv "op=watch id=w1";
+  let metrics_replies, watch_replies =
+    List.fold_left
+      (fun (ms, ws) -> function
+        | Pipeline.Serve.Metrics_reply _ as r -> (r :: ms, ws)
+        | Pipeline.Serve.Watch_reply _ as r -> (ms, r :: ws)
+        | _ -> (ms, ws))
+      ([], []) (replies ())
+  in
+  (match metrics_replies with
+  | [ Pipeline.Serve.Metrics_reply { met_id; body } as r ] ->
+      Alcotest.(check string) "metrics id echoed" "m1" met_id;
+      Alcotest.(check bool) "body is the prometheus exposition" true
+        (contains body "# TYPE gpuaco_serve_requests counter");
+      let rendered = Pipeline.Serve.render_reply r in
+      Alcotest.(check bool) "render is the multi-line exception" true
+        (String.length rendered > String.length "metrics id=m1\n"
+        && String.sub rendered 0 14 = "metrics id=m1\n")
+  | rs -> Alcotest.failf "expected 1 metrics reply, got %d" (List.length rs));
+  (match watch_replies with
+  | [ Pipeline.Serve.Watch_reply { wat_id; body } as r ] ->
+      Alcotest.(check string) "watch id echoed" "w1" wat_id;
+      List.iter
+        (fun key ->
+          if not (List.mem_assoc key body) then
+            Alcotest.failf "watch body lacks %s" key)
+        [
+          "state"; "in-flight"; "memo-hit-rate"; "analysis-hit-rate";
+          "latency-p50-ns"; "latency-p99-ns"; "deadline-exceeded"; "steals";
+        ];
+      Alcotest.(check string) "in-flight is 0 between batches" "0"
+        (List.assoc "in-flight" body);
+      (* one computed miss fed the latency histogram, so the quantiles
+         are live numbers, not placeholders *)
+      Alcotest.(check bool) "p50 positive" true
+        (float_of_string (List.assoc "latency-p50-ns" body) > 0.0);
+      let rendered = Pipeline.Serve.render_reply r in
+      Alcotest.(check bool) "watch renders one line" true
+        (String.sub rendered 0 12 = "watch id=w1 "
+        && not (String.contains rendered '\n'))
+  | rs -> Alcotest.failf "expected 1 watch reply, got %d" (List.length rs));
+  (* a registry-less service still answers, with the disabled marker *)
+  let srv2, replies2 = mk (serve_cfg (compile_cfg ())) in
+  Pipeline.Serve.handle srv2 "op=metrics id=m2";
+  match
+    List.filter_map
+      (function Pipeline.Serve.Metrics_reply { body; _ } -> Some body | _ -> None)
+      (replies2 ())
+  with
+  | [ body ] ->
+      Alcotest.(check string) "disabled registry" "# metrics disabled\n" body
+  | rs -> Alcotest.failf "expected 1 metrics reply, got %d" (List.length rs)
+
+let test_quality_ledger_appends () =
+  let file = tmp_name "ledger" in
+  let cfg =
+    { (serve_cfg (compile_cfg ())) with Pipeline.Serve.quality_ledger = Some file }
+  in
+  let metrics = Obs.Metrics.create () in
+  let srv, replies = mk ~metrics cfg in
+  Pipeline.Serve.handle srv (spec_req ~id:"a" "transform" 20 5);
+  Pipeline.Serve.handle srv (spec_req ~id:"b" "scan" 16 2);
+  (* a memo duplicate replays the reply without recomputing — it must
+     not append a second ledger record for the same compile *)
+  Pipeline.Serve.handle srv (spec_req ~id:"c" "transform" 20 5);
+  ignore (Pipeline.Serve.process srv);
+  Alcotest.(check int) "three compile replies" 3 (List.length (compiled (replies ())));
+  let records = Pipeline.Quality.load ~file in
+  Alcotest.(check int) "one record per computed miss" 2 (List.length records);
+  Alcotest.(check int) "writes counted" 2
+    (counter metrics "serve.quality.recorded");
+  List.iter
+    (fun (r : Pipeline.Quality.record) ->
+      Alcotest.(check bool) "length at or above the lower bound" true (r.Pipeline.Quality.q_gap >= 0);
+      Alcotest.(check bool) "iterations ran" true (r.Pipeline.Quality.q_iterations > 0);
+      Alcotest.(check bool) "best reached within the run" true
+        (r.Pipeline.Quality.q_iters_to_best <= r.Pipeline.Quality.q_iterations))
+    records;
+  Sys.remove file
+
+let test_serve_log_threads_request_ids () =
+  let log = Obs.Log.create () in
+  let replies = ref [] in
+  let srv =
+    Pipeline.Serve.create ~log
+      ~on_reply:(fun r -> replies := r :: !replies)
+      (serve_cfg (compile_cfg ()))
+  in
+  Pipeline.Serve.handle srv (spec_req ~id:"rq7" "transform" 20 5);
+  ignore (Pipeline.Serve.process srv);
+  Pipeline.Serve.drain srv;
+  let events = List.map (fun e -> e.Obs.Log.e_event) (Obs.Log.entries log) in
+  List.iter
+    (fun ev ->
+      if not (List.mem ev events) then
+        Alcotest.failf "log lacks a %s entry (got: %s)" ev (String.concat ", " events))
+    [ "serve.start"; "serve.admit"; "serve.drain" ];
+  (* the compile-layer entries of the miss carry the request id stamped
+     by the child logger *)
+  let stamped =
+    List.filter
+      (fun e ->
+        List.exists
+          (fun (k, v) -> k = "req" && v = Obs.Log.Str "rq7")
+          e.Obs.Log.e_fields)
+      (Obs.Log.entries log)
+  in
+  Alcotest.(check bool) "request id threads through the compile" true
+    (List.length stamped >= 1)
+
 (* --- property: serving changes nothing ------------------------------------ *)
 
 (* At fault rate zero a served reply is byte-identical — same report
@@ -496,5 +625,10 @@ let suite =
       test_persistence_roundtrip;
     Alcotest.test_case "corrupt/skewed state starts cold" `Quick
       test_persistence_corruption_starts_cold;
+    Alcotest.test_case "metrics and watch verbs" `Quick test_metrics_and_watch_verbs;
+    Alcotest.test_case "quality ledger appends per computed miss" `Quick
+      test_quality_ledger_appends;
+    Alcotest.test_case "log threads request ids through the compile" `Quick
+      test_serve_log_threads_request_ids;
   ]
   @ Tu.qtests [ prop_zero_fault_serve_is_direct ]

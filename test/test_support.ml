@@ -200,6 +200,47 @@ let test_perfcount_stop_without_start () =
   Support.Perfcount.stop c;
   Alcotest.(check (float 1e-9)) "second stop adds nothing" t (Support.Perfcount.total c)
 
+let test_pool_observer () =
+  (* the process-global observer sees the pool's lifecycle: lazy spawns
+     first, then one acquire/release pair per run, with the worker
+     count. The callback runs on whichever domain fires the event, so
+     collection is mutex-guarded. *)
+  let events = ref [] in
+  let lock = Mutex.create () in
+  Support.Domain_pool.set_observer
+    (Some
+       (fun e ->
+         Mutex.lock lock;
+         events := e :: !events;
+         Mutex.unlock lock));
+  let pool = Support.Domain_pool.create ~size:2 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Support.Domain_pool.set_observer None;
+      Support.Domain_pool.shutdown pool)
+    (fun () ->
+      Support.Domain_pool.run pool ~workers:3 (fun _ -> ());
+      Support.Domain_pool.run pool ~workers:3 (fun _ -> ());
+      let seen = List.rev !events in
+      let count p = List.length (List.filter p seen) in
+      Alcotest.(check int) "helpers spawned once, lazily" 2
+        (count (function Support.Domain_pool.Spawned _ -> true | _ -> false));
+      Alcotest.(check int) "one acquire per run" 2
+        (count (function Support.Domain_pool.Acquired 3 -> true | _ -> false));
+      Alcotest.(check int) "one release per run" 2
+        (count (function Support.Domain_pool.Released 3 -> true | _ -> false));
+      (* spawning precedes the first release (workers exist by the time
+         the run finishes) *)
+      (match seen with
+      | Support.Domain_pool.Acquired _ :: _ | Support.Domain_pool.Spawned _ :: _ -> ()
+      | _ -> Alcotest.fail "first event is neither acquire nor spawn");
+      (* a cleared observer costs nothing and sees nothing *)
+      Support.Domain_pool.set_observer None;
+      let before = List.length !events in
+      Support.Domain_pool.run pool ~workers:3 (fun _ -> ());
+      Alcotest.(check int) "cleared observer sees nothing" before
+        (List.length !events))
+
 let test_tablefmt () =
   let s =
     Support.Tablefmt.render ~title:"T" ~header:[ "a"; "b" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
@@ -230,6 +271,7 @@ let suite =
     Alcotest.test_case "perfcount span exception-safe" `Quick
       test_perfcount_span_exception_safe;
     Alcotest.test_case "perfcount stop is total" `Quick test_perfcount_stop_without_start;
+    Alcotest.test_case "domain pool lifecycle observer" `Quick test_pool_observer;
     Alcotest.test_case "tablefmt" `Quick test_tablefmt;
   ]
   @ Tu.qtests

@@ -153,6 +153,41 @@ let run () =
           if not ok then incr failures)
         [ "rows"; "scaling" ]);
 
+  (* BENCH_backends.json: the MMAS-vs-AS convergence fixture. The
+     committed file is always test-scale (see Tables.mmas_check_rows),
+     so re-measuring it here is cheap and — fixed seeds, sequential
+     colonies — deterministic; the series still get the deterministic
+     tolerance rather than exact equality so an intentional retune is a
+     one-file refresh, not a flag day. *)
+  (match parse_file "BENCH_backends.json" with
+  | exception Sys_error m ->
+      Printf.eprintf "bench check: BENCH_backends.json unreadable: %s\n" m;
+      incr failures
+  | exception Obs.Trace_check.Parse_error m ->
+      Printf.eprintf "bench check: BENCH_backends.json malformed: %s\n" m;
+      incr failures
+  | backends ->
+      let summary = obj_field backends "summary" in
+      let committed key = Option.bind summary (fun s -> num_field s key) in
+      let rows = Tables.mmas_check_rows () in
+      let s = Tables.summarize_mmas rows in
+      check_series "backends/mmas_total_length"
+        ~committed:(committed "mmas_total_length")
+        ~fresh:(float_of_int s.Tables.ms_mmas_total_length)
+        ~tolerance:det_tolerance;
+      let ratio mmas seq = if seq > 0.0 then mmas /. seq else 1.0 in
+      let committed_ratio =
+        match (committed "mmas_total_length", committed "seq_total_length") with
+        | Some m, Some q -> Some (ratio m q)
+        | _ -> None
+      in
+      check_series "backends/mmas_vs_seq_length_ratio" ~committed:committed_ratio
+        ~fresh:
+          (ratio
+             (float_of_int s.Tables.ms_mmas_total_length)
+             (float_of_int s.Tables.ms_seq_total_length))
+        ~tolerance:det_tolerance);
+
   (* The series table, committed vs fresh. *)
   print_endline "bench check: committed history vs fresh run";
   List.iter

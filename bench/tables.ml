@@ -297,12 +297,224 @@ let perf ctx =
        ]);
   print_newline ()
 
+(* --- MMAS vs AS convergence over hot regions ----------------------- *)
+
+(* Stagnation escape: a plateau of at least [limit] consecutive equal
+   best-so-far entries followed by a strict improvement — the signature
+   an MMAS restart leaves in the driver's convergence series (the
+   restart fires after [limit] stagnant iterations; the reseeded table
+   then finds something better). *)
+let escaped ~limit series =
+  let n = Array.length series in
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < n do
+    let j = ref (!i + 1) in
+    while !j < n && series.(!j) = series.(!i) do
+      incr j
+    done;
+    if !j < n && !j - !i >= limit && series.(!j) < series.(!i) then found := true;
+    i := !j
+  done;
+  !found
+
+type mmas_row = {
+  mv_name : string;
+  mv_n : int;
+  mv_winner : string;
+  mv_seq_occ : int;
+  mv_mmas_occ : int;
+  mv_seq_len : int;
+  mv_mmas_len : int;
+  mv_restarts : int;
+  mv_escaped : bool;
+  mv_seq_p1 : int array;
+  mv_seq_p2 : int array;
+  mv_mmas_p1 : int array;
+  mv_mmas_p2 : int array;
+}
+
+let hot_regions (suite : Workload.Suite.t) =
+  List.map
+    (fun (k : Workload.Suite.kernel) ->
+      let i =
+        max 0 (min (List.length k.Workload.Suite.regions - 1) k.Workload.Suite.hot_index)
+      in
+      (k.Workload.Suite.kernel_name ^ "/hot", List.nth k.Workload.Suite.regions i))
+    suite.Workload.Suite.kernels
+
+let mmas_rows config suite =
+  let race_config =
+    {
+      config with
+      Pipeline.Compile.dispatch = Engine.Dispatch.Race [ "seq"; "mmas" ];
+      run_sequential = false;
+    }
+  in
+  List.filter_map
+    (fun (name, region) ->
+      (* Fresh metrics per region: in a seq,mmas race only the MMAS
+         policy meters restarts, so the counter attributes cleanly. *)
+      let metrics = Obs.Metrics.create () in
+      let r = Pipeline.Compile.run_region race_config ~metrics ~name region in
+      match
+        (Pipeline.Compile.find_run r "seq", Pipeline.Compile.find_run r "mmas")
+      with
+      | Some seq, Some mmas ->
+          let cost (run : Pipeline.Compile.backend_run) =
+            run.Pipeline.Compile.result.Engine.Types.cost
+          in
+          let series (run : Pipeline.Compile.backend_run) pass =
+            (pass run.Pipeline.Compile.result).Engine.Types.best_costs
+          in
+          let p1 (res : Engine.Types.result) = res.Engine.Types.pass1 in
+          let p2 (res : Engine.Types.result) = res.Engine.Types.pass2 in
+          let restarts =
+            match Obs.Metrics.get metrics "aco.mmas.restarts" with
+            | Some m -> int_of_float (Obs.Metrics.value m)
+            | None -> 0
+          in
+          let limit =
+            Aco.Pheromone_policy.mmas_stagnation_limit ~n:r.Pipeline.Compile.n
+          in
+          Some
+            {
+              mv_name = name;
+              mv_n = r.Pipeline.Compile.n;
+              mv_winner = r.Pipeline.Compile.product_backend;
+              mv_seq_occ = (cost seq).Sched.Cost.rp.Sched.Cost.occupancy;
+              mv_mmas_occ = (cost mmas).Sched.Cost.rp.Sched.Cost.occupancy;
+              mv_seq_len = (cost seq).Sched.Cost.length;
+              mv_mmas_len = (cost mmas).Sched.Cost.length;
+              mv_restarts = restarts;
+              mv_escaped =
+                restarts > 0
+                && (escaped ~limit (series mmas p1) || escaped ~limit (series mmas p2));
+              mv_seq_p1 = series seq p1;
+              mv_seq_p2 = series seq p2;
+              mv_mmas_p1 = series mmas p1;
+              mv_mmas_p2 = series mmas p2;
+            }
+      | _ -> None)
+    (hot_regions suite)
+
+type mmas_summary = {
+  ms_regions : int;
+  ms_mmas_wins : int;
+  ms_strict_len_wins : int;
+  ms_restarts : int;
+  ms_escapes : int;
+  ms_seq_total_length : int;
+  ms_mmas_total_length : int;
+}
+
+let summarize_mmas rows =
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    ms_regions = List.length rows;
+    ms_mmas_wins = sum (fun r -> if String.equal r.mv_winner "mmas" then 1 else 0);
+    ms_strict_len_wins =
+      sum (fun r ->
+          if
+            r.mv_mmas_occ > r.mv_seq_occ
+            || (r.mv_mmas_occ = r.mv_seq_occ && r.mv_mmas_len < r.mv_seq_len)
+          then 1
+          else 0);
+    ms_restarts = sum (fun r -> r.mv_restarts);
+    ms_escapes = sum (fun r -> if r.mv_escaped then 1 else 0);
+    ms_seq_total_length = sum (fun r -> r.mv_seq_len);
+    ms_mmas_total_length = sum (fun r -> r.mv_mmas_len);
+  }
+
+(* The deterministic fixture `bench check` diffs against the committed
+   BENCH_backends.json: always the test-scale suite, always the same
+   race, independent of the scale the tables above ran at. *)
+let mmas_check_config () =
+  let c = Pipeline.Compile.make_config ~gpu:Gpusim.Config.bench () in
+  { c with Pipeline.Compile.run_sequential = false }
+
+let mmas_check_rows () =
+  mmas_rows (mmas_check_config ()) (Workload.Suite.generate Workload.Suite.test_scale)
+
+let write_backends_json rows =
+  let file = "BENCH_backends.json" in
+  let s = summarize_mmas rows in
+  let oc = open_out file in
+  let buf = Buffer.create 4096 in
+  let series a =
+    "[" ^ String.concat ", " (List.map string_of_int (Array.to_list a)) ^ "]"
+  in
+  Buffer.add_string buf "{\n  \"scale\": \"test\",\n  \"race\": [\"seq\", \"mmas\"],\n";
+  Buffer.add_string buf "  \"regions\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"n\": %d, \"winner\": %S, \"seq_occ\": %d, \
+            \"mmas_occ\": %d, \"seq_len\": %d, \"mmas_len\": %d, \"restarts\": %d, \
+            \"escaped\": %b,\n\
+           \     \"seq_p1\": %s, \"mmas_p1\": %s,\n\
+           \     \"seq_p2\": %s, \"mmas_p2\": %s}%s\n"
+           r.mv_name r.mv_n r.mv_winner r.mv_seq_occ r.mv_mmas_occ r.mv_seq_len
+           r.mv_mmas_len r.mv_restarts r.mv_escaped (series r.mv_seq_p1)
+           (series r.mv_mmas_p1) (series r.mv_seq_p2) (series r.mv_mmas_p2)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n  \"summary\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"regions\": %d,\n" s.ms_regions);
+  Buffer.add_string buf (Printf.sprintf "    \"mmas_wins\": %d,\n" s.ms_mmas_wins);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"mmas_strict_len_wins\": %d,\n" s.ms_strict_len_wins);
+  Buffer.add_string buf (Printf.sprintf "    \"restarts\": %d,\n" s.ms_restarts);
+  Buffer.add_string buf (Printf.sprintf "    \"escapes\": %d,\n" s.ms_escapes);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"seq_total_length\": %d,\n" s.ms_seq_total_length);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"mmas_total_length\": %d\n" s.ms_mmas_total_length);
+  Buffer.add_string buf "  }\n}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "# wrote %s\n%!" file
+
+let mmas_convergence ctx =
+  let rows = mmas_rows ctx.config ctx.report.Pipeline.Compile.suite in
+  let s = summarize_mmas rows in
+  print_string
+    (T.render
+       ~title:
+         "BACKENDS — MMAS vs AS CONVERGENCE OVER HOT REGIONS (race seq,mmas; \
+          occupancy first, then length)"
+       ~header:
+         [ "Region"; "n"; "Winner"; "AS occ"; "MMAS occ"; "AS len"; "MMAS len";
+           "Restarts"; "Escaped" ]
+       (List.map
+          (fun r ->
+            [
+              r.mv_name;
+              T.int r.mv_n;
+              r.mv_winner;
+              T.int r.mv_seq_occ;
+              T.int r.mv_mmas_occ;
+              T.int r.mv_seq_len;
+              T.int r.mv_mmas_len;
+              T.int r.mv_restarts;
+              (if r.mv_escaped then "yes" else "no");
+            ])
+          rows));
+  Printf.printf
+    "  mmas: won %d/%d hot region(s) (%d strictly better), %d restart(s), %d \
+     stagnation escape(s)\n\n"
+    s.ms_mmas_wins s.ms_regions s.ms_strict_len_wins s.ms_restarts s.ms_escapes;
+  (* The committed regression fixture is always test-scale so `bench
+     check` can re-measure it cheaply and deterministically. *)
+  write_backends_json (mmas_check_rows ())
+
 let backends ctx =
   (* Race every product backend over each kernel's hot region and compare
      the schedules they ship: one compile per region with the race
      dispatch, so all backends start from the same setup and the best
      product wins the region (occupancy first, then length). *)
-  let names = [ "seq"; "par"; "weighted" ] in
+  let names = [ "seq"; "par"; "weighted"; "mmas"; "mmas-spill" ] in
   let race_config =
     {
       ctx.config with
@@ -362,7 +574,8 @@ let backends ctx =
          [ "Backend"; "Regions"; "Regions won"; "Total occupancy"; "Total length";
            "Degraded"; "Modeled time (ms)" ]
        (List.map row names));
-  print_newline ()
+  print_newline ();
+  mmas_convergence ctx
 
 let convergence ctx =
   (* Convergence telemetry of the product compile: per-pass best-cost

@@ -159,9 +159,9 @@ let convergence_arg =
 let backend_arg =
   let doc =
     "Scheduler backend(s) compiling the region: a registered backend name (seq, par, \
-     weighted), $(b,auto) (size-thresholded seq/par split, see \
-     $(b,--auto-threshold)), or a comma-separated list raced against each other with \
-     the best schedule shipping."
+     weighted, mmas, mmas-spill), $(b,auto) (size-thresholded seq/par split, see \
+     $(b,--auto-threshold)), or a comma-separated list (no duplicates) raced against \
+     each other with the best schedule shipping."
   in
   Arg.(value & opt string "par" & info [ "backend" ] ~docv:"B" ~doc)
 
@@ -337,7 +337,14 @@ let run_compile_suite config ~seed ~jobs ~cache_mode metrics metrics_out trace_o
 let run_compile shape size seed fault_rate fault_seed budget_ms max_retries backend
     auto_threshold jobs cache_mode suite trace_out metrics_out log_out quality_ledger
     convergence =
-  let dispatch = Engine.Dispatch.of_string ~auto_threshold backend in
+  match Engine.Dispatch.of_string ~auto_threshold backend with
+  | exception Engine.Dispatch.Duplicate_backend b ->
+      Printf.eprintf
+        "gpuaco compile: backend %S appears twice in the race list %S — racing a \
+         deterministic backend against itself only reproduces its own schedule\n"
+        b backend;
+      2
+  | dispatch ->
   let config =
     Pipeline.Compile.make_config
       ~fault_rate:(Float.max 0.0 (Float.min 1.0 fault_rate))

@@ -7,18 +7,19 @@
 
    The loop body is the byte-identity anchor of the engine refactor: it
    is the historical [Seq_aco.run_pass] verbatim (plus the
-   [allow_optional_stalls] parameter the weighted colony sets to false),
-   so RNG draws, work accounting and the measured minor-words window are
-   exactly those of the pre-engine driver. *)
-let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t -> int)
-    ~(artifact_of_ant : Ant.t -> a) ~allow_optional_stalls ~budget_work ~metrics ~pass_label
-    ~initial_cost ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination
-    : a * int * Engine.Types.pass_stats =
+   [allow_optional_stalls] parameter the weighted colony sets to false,
+   and the pheromone writes routed through [Pheromone_policy] — whose
+   [As] policy reproduces the historical calls exactly), so RNG draws,
+   work accounting and the measured minor-words window are exactly those
+   of the pre-engine driver. *)
+let run_pass (type a) ~params ~rng ~ants ~pheromone ~policy ~mode
+    ~(cost_of_ant : Ant.t -> int) ~(artifact_of_ant : Ant.t -> a) ~allow_optional_stalls
+    ~budget_work ~metrics ~pass_label ~initial_cost ~(initial_order : int array)
+    ~(initial_artifact : a) ~lb_cost ~termination : a * int * Engine.Types.pass_stats =
   let open Params in
-  Pheromone.reset pheromone ~initial:params.initial_pheromone;
   (* The initial (heuristic) schedule is the global best at the start:
-     bias the table toward it. *)
-  Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+     the policy resets the table and biases it toward that solution. *)
+  policy.Pheromone_policy.init pheromone ~initial_order ~initial_cost;
   (* Telemetry scratch sits before the minor-words snapshot so the
      reported allocation stays byte-identical with metering off. *)
   let metering = Obs.Metrics.enabled metrics in
@@ -70,13 +71,14 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
           end
         end)
       ants;
-    (* Table upkeep: full decay plus the winner deposit. *)
+    (* Table upkeep: the policy evaporates, deposits and (for MMAS)
+       clamps / restarts; the driver keeps ownership of the global best
+       and the termination counter. *)
     work := !work + (((n + 1) * n) / 8) + n;
-    Pheromone.decay pheromone params.decay;
     (match !iter_best with
     | Some (order, art) ->
-        Pheromone.deposit_path pheromone order
-          (params.deposit /. float_of_int (1 + !iter_best_cost));
+        policy.Pheromone_policy.update pheromone ~winner_order:order
+          ~winner_cost:!iter_best_cost;
         if !iter_best_cost < !best_cost then begin
           best_cost := !iter_best_cost;
           best := art;
@@ -84,7 +86,10 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~mode ~(cost_of_ant : Ant.t 
           no_improve := 0
         end
         else incr no_improve
-    | None -> incr no_improve);
+    | None ->
+        policy.Pheromone_policy.update pheromone
+          ~winner_order:Pheromone_policy.no_order ~winner_cost:max_int;
+        incr no_improve);
     bc_buf.(!bc_len) <- !best_cost;
     incr bc_len;
     if metering then begin

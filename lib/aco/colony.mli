@@ -7,6 +7,7 @@ val run_pass :
   rng:Support.Rng.t ->
   ants:Ant.t array ->
   pheromone:Pheromone.t ->
+  policy:Pheromone_policy.t ->
   mode:Ant.mode ->
   cost_of_ant:(Ant.t -> int) ->
   artifact_of_ant:(Ant.t -> 'a) ->
@@ -26,4 +27,9 @@ val run_pass :
     {!Engine.Types.no_pass}'s zeros. [budget_work] is a compile budget
     in abstract work units; a pass that exhausts it stops after the
     current iteration, keeps its best-so-far, and reports
-    [aborted_budget]. *)
+    [aborted_budget].
+
+    [policy] owns every pheromone write (see {!Pheromone_policy});
+    callers normally pass [Pheromone_policy.patience policy] as
+    [termination] so the loop allowance matches the policy's restart
+    schedule. *)

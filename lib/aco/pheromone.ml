@@ -51,6 +51,14 @@ let deposit_path t order amount =
 
 let reset t ~initial = Array.fill t.cells 0 (Array.length t.cells) initial
 
+let clamp t ~lo ~hi =
+  let cells = t.cells in
+  for i = 0 to Array.length cells - 1 do
+    let v = Array.unsafe_get cells i in
+    if v < lo then Array.unsafe_set cells i lo
+    else if v > hi then Array.unsafe_set cells i hi
+  done
+
 let total t = Array.fold_left ( +. ) 0.0 t.cells
 
 (* Mean normalized Shannon entropy of the rows: 1.0 is a uniform table

@@ -45,6 +45,10 @@ val deposit_path : t -> int array -> float -> unit
 
 val reset : t -> initial:float -> unit
 
+val clamp : t -> lo:float -> hi:float -> unit
+(** Clamp every entry into [[lo, hi]] — the MAX-MIN Ant System trail
+    bounds. Allocation-free. *)
+
 val total : t -> float
 (** Sum of all entries (diagnostics / tests). *)
 

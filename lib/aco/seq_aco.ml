@@ -38,9 +38,16 @@ type state = {
   ants : Ant.t array;
   arena : Support.Arena.t;
   pheromone : Pheromone.t;
+  policy : Pheromone_policy.t;
   termination : int;
   metrics : Obs.Metrics.t;
   rp_scalar_of_ant : Ant.t -> int;
+  pass2_cost_of_ant : Ant.t -> int;
+      (* schedule length, plus the priced spill traffic of the ant's
+         peaks under a spill objective *)
+  pass2_extra_of_initial : Sched.Schedule.t -> int;
+      (* same spill term for the pass-2 initial schedule, so initial and
+         ant costs stay comparable (always 0 under the cliff) *)
 }
 
 (* The sequential colony meters abstract work units, never wall time, so
@@ -52,91 +59,134 @@ let work_of_budget = function
   | Engine.Types.Time_ns _ ->
       invalid_arg "Seq_aco: nanosecond budgets require a time-model backend"
 
-module Backend_impl = struct
-  let name = "seq"
+let prepare ~policy_spec ~(objective : Sched.Objective.t option)
+    (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
+  let setup = rc.Engine.Region_ctx.setup in
+  let graph = setup.Setup.graph in
+  let occ = setup.Setup.occ in
+  let n = graph.Ddg.Graph.n in
+  let params = ctx.Engine.Backend.params in
+  let rng = Support.Rng.create ctx.Engine.Backend.seed in
+  (* The region context's analyses and one SoA arena back the whole
+     colony; nothing region-derived is recomputed here. *)
+  let shared = Ant.shared_of_region_ctx rc in
+  let ints, floats = Ant.arena_demand shared in
+  let lanes = params.Params.ants_per_iteration in
+  let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
+  let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
+  let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
+  let policy =
+    Pheromone_policy.make policy_spec ~params ~n ~metrics:ctx.Engine.Backend.metrics
+  in
+  let obj = match objective with Some o -> o | None -> Sched.Objective.Cliff in
+  let rp_scalar_of_ant ant =
+    let v, s = Ant.rp_peaks ant in
+    Sched.Objective.rp_scalar obj (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
+  in
+  let pass2_cost_of_ant, pass2_extra_of_initial =
+    match obj with
+    | Sched.Objective.Cliff -> (Ant.length, fun _ -> 0)
+    | Sched.Objective.Spill m ->
+        ( (fun ant ->
+            let v, s = Ant.rp_peaks ant in
+            Ant.length ant + Sched.Objective.spill_cycles obj ~vgpr:v ~sgpr:s),
+          fun schedule ->
+            let tracker = Sched.Rp_tracker.create graph in
+            Array.iter
+              (fun i -> Sched.Rp_tracker.schedule tracker i)
+              (Sched.Schedule.order schedule);
+            let ev, es =
+              Sched.Rp_tracker.peak_excess tracker ~target_vgpr:m.Sched.Objective.allow_vgpr
+                ~target_sgpr:m.Sched.Objective.allow_sgpr
+            in
+            (ev * m.Sched.Objective.vgpr_spill_cycles)
+            + (es * m.Sched.Objective.sgpr_spill_cycles) )
+  in
+  {
+    params;
+    rng;
+    ants;
+    arena;
+    pheromone;
+    policy;
+    termination = Pheromone_policy.patience policy;
+    metrics = ctx.Engine.Backend.metrics;
+    rp_scalar_of_ant;
+    pass2_cost_of_ant;
+    pass2_extra_of_initial;
+  }
 
-  let caps =
-    { Engine.Types.rp_pass = true; faults = false; trace = false; time_model = false }
+let run_order_pass st (req : Engine.Backend.order_request) =
+  let order, _, stats =
+    Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
+      ~policy:st.policy ~mode:Ant.Rp_pass ~cost_of_ant:st.rp_scalar_of_ant
+      ~artifact_of_ant:Ant.order ~allow_optional_stalls:true
+      ~budget_work:(work_of_budget req.Engine.Backend.o_budget)
+      ~metrics:st.metrics ~pass_label:req.Engine.Backend.o_label
+      ~initial_cost:req.Engine.Backend.o_initial_cost
+      ~initial_order:req.Engine.Backend.o_initial_order
+      ~initial_artifact:req.Engine.Backend.o_initial_order
+      ~lb_cost:req.Engine.Backend.o_lb_cost ~termination:st.termination
+  in
+  (order, stats)
 
-  type nonrec state = state
+let run_schedule_pass st (req : Engine.Backend.schedule_request) =
+  let schedule, _, stats =
+    Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
+      ~policy:st.policy
+      ~mode:
+        (Ant.Ilp_pass
+           {
+             target_vgpr = req.Engine.Backend.s_target_vgpr;
+             target_sgpr = req.Engine.Backend.s_target_sgpr;
+           })
+      ~cost_of_ant:st.pass2_cost_of_ant
+      ~artifact_of_ant:(fun ant ->
+        match Ant.schedule ant with
+        | Some s -> s
+        | None -> invalid_arg "Seq_aco: finished ant produced invalid schedule")
+      ~allow_optional_stalls:true
+      ~budget_work:(work_of_budget req.Engine.Backend.s_budget)
+      ~metrics:st.metrics ~pass_label:req.Engine.Backend.s_label
+      ~initial_cost:
+        (req.Engine.Backend.s_initial_length
+        + st.pass2_extra_of_initial req.Engine.Backend.s_initial)
+      ~initial_order:(Sched.Schedule.order req.Engine.Backend.s_initial)
+      ~initial_artifact:req.Engine.Backend.s_initial
+      ~lb_cost:req.Engine.Backend.s_length_lb ~termination:st.termination
+  in
+  (schedule, stats)
 
-  let prepare (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
-    let setup = rc.Engine.Region_ctx.setup in
-    let graph = setup.Setup.graph in
-    let occ = setup.Setup.occ in
-    let n = graph.Ddg.Graph.n in
-    let params = ctx.Engine.Backend.params in
-    let rng = Support.Rng.create ctx.Engine.Backend.seed in
-    (* The region context's analyses and one SoA arena back the whole
-       colony; nothing region-derived is recomputed here. *)
-    let shared = Ant.shared_of_region_ctx rc in
-    let ints, floats = Ant.arena_demand shared in
-    let lanes = params.Params.ants_per_iteration in
-    let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
-    let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
-    let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
-    let termination = Params.termination_condition n in
-    let rp_scalar_of_ant ant =
-      let v, s = Ant.rp_peaks ant in
-      Sched.Cost.rp_scalar (Sched.Cost.rp_of_peaks occ ~vgpr:v ~sgpr:s)
-    in
-    {
-      params;
-      rng;
-      ants;
-      arena;
-      pheromone;
-      termination;
-      metrics = ctx.Engine.Backend.metrics;
-      rp_scalar_of_ant;
-    }
+(* Two_pass runs teardown even on raise; returning the arena here lets
+   the next region job on this domain reuse the backing arrays. The
+   ants' slices are dead by now — results were extracted during the
+   passes. *)
+let teardown st = Support.Arena.give st.arena
 
-  let run_order_pass st (req : Engine.Backend.order_request) =
-    let order, _, stats =
-      Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
-        ~mode:Ant.Rp_pass ~cost_of_ant:st.rp_scalar_of_ant ~artifact_of_ant:Ant.order
-        ~allow_optional_stalls:true
-        ~budget_work:(work_of_budget req.Engine.Backend.o_budget)
-        ~metrics:st.metrics ~pass_label:req.Engine.Backend.o_label
-        ~initial_cost:req.Engine.Backend.o_initial_cost
-        ~initial_order:req.Engine.Backend.o_initial_order
-        ~initial_artifact:req.Engine.Backend.o_initial_order
-        ~lb_cost:req.Engine.Backend.o_lb_cost ~termination:st.termination
-    in
-    (order, stats)
+let make_backend ~name:backend_name ~policy:policy_spec ?objective () : Engine.Backend.t =
+  (module struct
+    let name = backend_name
 
-  let run_schedule_pass st (req : Engine.Backend.schedule_request) =
-    let schedule, _, stats =
-      Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
-        ~mode:
-          (Ant.Ilp_pass
-             {
-               target_vgpr = req.Engine.Backend.s_target_vgpr;
-               target_sgpr = req.Engine.Backend.s_target_sgpr;
-             })
-        ~cost_of_ant:Ant.length
-        ~artifact_of_ant:(fun ant ->
-          match Ant.schedule ant with
-          | Some s -> s
-          | None -> invalid_arg "Seq_aco: finished ant produced invalid schedule")
-        ~allow_optional_stalls:true
-        ~budget_work:(work_of_budget req.Engine.Backend.s_budget)
-        ~metrics:st.metrics ~pass_label:req.Engine.Backend.s_label
-        ~initial_cost:req.Engine.Backend.s_initial_length
-        ~initial_order:(Sched.Schedule.order req.Engine.Backend.s_initial)
-        ~initial_artifact:req.Engine.Backend.s_initial
-        ~lb_cost:req.Engine.Backend.s_length_lb ~termination:st.termination
-    in
-    (schedule, stats)
+    let caps =
+      { Engine.Types.rp_pass = true; faults = false; trace = false; time_model = false }
 
-  (* Two_pass runs teardown even on raise; returning the arena here lets
-     the next region job on this domain reuse the backing arrays. The
-     ants' slices are dead by now — results were extracted during the
-     passes. *)
-  let teardown st = Support.Arena.give st.arena
-end
+    let objective = objective
 
-let backend : Engine.Backend.t = (module Backend_impl)
+    type nonrec state = state
+
+    let prepare ctx rc = prepare ~policy_spec ~objective ctx rc
+    let run_order_pass = run_order_pass
+    let run_schedule_pass = run_schedule_pass
+    let teardown = teardown
+  end : Engine.Backend.S)
+
+let backend : Engine.Backend.t = make_backend ~name:"seq" ~policy:Pheromone_policy.As ()
+let mmas_backend : Engine.Backend.t = make_backend ~name:"mmas" ~policy:Pheromone_policy.Mmas ()
+
+let mmas_spill_backend spill_model : Engine.Backend.t =
+  make_backend ~name:"mmas-spill" ~policy:Pheromone_policy.Mmas
+    ~objective:(Sched.Objective.Spill spill_model) ()
+
 let register () = Engine.Registry.register backend
 
 let run_from_setup ?(params = Params.default) ?(seed = 1) ?(budget_work = max_int)

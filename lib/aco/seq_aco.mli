@@ -53,10 +53,34 @@ type result = Engine.Types.result = {
   pass2 : pass_stats;
 }
 
+val make_backend :
+  name:string ->
+  policy:Pheromone_policy.spec ->
+  ?objective:Sched.Objective.t ->
+  unit ->
+  Engine.Backend.t
+(** A CPU-colony backend with the given registry name, pheromone policy
+    and (optional) RP objective. {!backend}, {!mmas_backend} and
+    {!mmas_spill_backend} are the three instantiations the product
+    registers; the constructor is exposed so tests and experiments can
+    build others. Under a spill objective, pass 2 runs unconstrained
+    (the targets are {!Sched.Objective.no_target}) and its cost is
+    schedule length plus the priced spill traffic of each ant's peaks. *)
+
 val backend : Engine.Backend.t
-(** The ["seq"] backend: RP pass, no faults, no trace, no time model.
-    Its budget currency is [Work]; handing it a [Time_ns] budget raises
+(** The ["seq"] backend: RP pass, no faults, no trace, no time model,
+    vanilla Ant System pheromone, cliff objective. Its budget currency
+    is [Work]; handing it a [Time_ns] budget raises
     [Invalid_argument]. *)
+
+val mmas_backend : Engine.Backend.t
+(** ["mmas"]: the same colony under the MAX-MIN Ant System policy
+    (see {!Pheromone_policy}) and the cliff objective. *)
+
+val mmas_spill_backend : Sched.Objective.spill_model -> Engine.Backend.t
+(** ["mmas-spill"]: MMAS policy plus the spill-aware RP objective. The
+    spill model comes from the caller (the pipeline derives one from
+    its machine configuration via [Gpusim.Mem_model.spill_model]). *)
 
 val register : unit -> unit
 (** Install {!backend} in {!Engine.Registry} (idempotent). *)

@@ -16,10 +16,12 @@ let run ?(params = Params.default) ?(seed = 1) ?(rp_weight = 1) occ graph =
   let rng = Support.Rng.create seed in
   let ants = Array.init params.Params.ants_per_iteration (fun _ -> Ant.create graph params) in
   let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
-  let termination = Params.termination_condition n in
+  let policy = Pheromone_policy.make Pheromone_policy.As ~params ~n ~metrics:Obs.Metrics.null in
+  let termination = Pheromone_policy.patience policy in
   (* Unconstrained ants: a target at the register-file size never
      breaches, so no ant dies and no optional stall is inserted. *)
-  let mode = Ant.Ilp_pass { target_vgpr = 100000; target_sgpr = 100000 } in
+  let no_target = Sched.Objective.no_target in
+  let mode = Ant.Ilp_pass { target_vgpr = no_target; target_sgpr = no_target } in
   let amd = Sched.Amd_scheduler.run occ graph in
   let amd_cost = Sched.Cost.of_schedule occ amd in
   let cost_of schedule_len peaks = scalar occ ~rp_weight ~length:schedule_len ~peaks in
@@ -36,8 +38,8 @@ let run ?(params = Params.default) ?(seed = 1) ?(rp_weight = 1) occ graph =
          (let p = Sched.Rp_tracker.naive_peaks graph (Sched.Schedule.order amd) in
           (p Ir.Reg.Vgpr, p Ir.Reg.Sgpr)))
   in
-  Pheromone.deposit_path pheromone (Sched.Schedule.order amd)
-    (params.Params.deposit /. float_of_int (1 + !best_cost));
+  policy.Pheromone_policy.init pheromone ~initial_order:(Sched.Schedule.order amd)
+    ~initial_cost:!best_cost;
   let iterations = ref 0 in
   let no_improve = ref 0 in
   let work = ref 0 in
@@ -60,18 +62,20 @@ let run ?(params = Params.default) ?(seed = 1) ?(rp_weight = 1) occ graph =
         end)
       ants;
     work := !work + (((n + 1) * n) / 8) + n;
-    Pheromone.decay pheromone params.Params.decay;
     match !iter_best with
     | Some ant ->
-        Pheromone.deposit_path pheromone (Ant.order ant)
-          (params.Params.deposit /. float_of_int (1 + !iter_best_cost));
+        policy.Pheromone_policy.update pheromone ~winner_order:(Ant.order ant)
+          ~winner_cost:!iter_best_cost;
         if !iter_best_cost < !best_cost then begin
           best_cost := !iter_best_cost;
           (match Ant.schedule ant with Some s -> best := s | None -> ());
           no_improve := 0
         end
         else incr no_improve
-    | None -> incr no_improve
+    | None ->
+        policy.Pheromone_policy.update pheromone ~winner_order:Pheromone_policy.no_order
+          ~winner_cost:max_int;
+        incr no_improve
   done;
   {
     schedule = !best;
@@ -89,6 +93,7 @@ type state = {
   ants : Ant.t array;
   arena : Support.Arena.t;
   pheromone : Pheromone.t;
+  policy : Pheromone_policy.t;
   termination : int;
   metrics : Obs.Metrics.t;
   occ : Machine.Occupancy.t;
@@ -110,6 +115,12 @@ module Backend_impl = struct
   let caps =
     { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
 
+  (* Weighted-sum cost is an alternative cost formulation, not an RP
+     objective the two-pass engine can thread: the engine never runs an
+     RP pass for this backend, so the default (cliff) objective is
+     declared and the weighting happens inside [run_schedule_pass]. *)
+  let objective = None
+
   type nonrec state = state
 
   let prepare (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
@@ -129,13 +140,18 @@ module Backend_impl = struct
     let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
     let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
     let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
-    let termination = Params.termination_condition n in
+    let policy =
+      Pheromone_policy.make Pheromone_policy.As ~params ~n
+        ~metrics:ctx.Engine.Backend.metrics
+    in
+    let termination = Pheromone_policy.patience policy in
     {
       params;
       rng;
       ants;
       arena;
       pheromone;
+      policy;
       termination;
       metrics = ctx.Engine.Backend.metrics;
       occ = setup.Setup.occ;
@@ -173,7 +189,13 @@ module Backend_impl = struct
     in
     let schedule, _, stats =
       Colony.run_pass ~params:st.params ~rng:st.rng ~ants:st.ants ~pheromone:st.pheromone
-        ~mode:(Ant.Ilp_pass { target_vgpr = 100000; target_sgpr = 100000 })
+        ~policy:st.policy
+        ~mode:
+          (Ant.Ilp_pass
+             {
+               target_vgpr = Sched.Objective.no_target;
+               target_sgpr = Sched.Objective.no_target;
+             })
         ~cost_of_ant
         ~artifact_of_ant:(fun ant ->
           match Ant.schedule ant with

@@ -42,6 +42,7 @@ type schedule_request = {
 module type S = sig
   val name : string
   val caps : Types.caps
+  val objective : Sched.Objective.t option
 
   type state
 
@@ -55,3 +56,4 @@ type t = (module S)
 
 let name (module B : S) = B.name
 let caps (module B : S) = B.caps
+let objective (module B : S) = B.objective

@@ -52,6 +52,14 @@ module type S = sig
 
   val caps : Types.caps
 
+  val objective : Sched.Objective.t option
+  (** RP term of the two-pass objective this backend optimizes; [None]
+      means the engine default ({!Sched.Objective.Cliff}, the paper's
+      occupancy cliff). {!Two_pass} derives the pass-1 costs and the
+      pass-2 RP-target handoff from it, so a spill-aware backend races
+      fairly against cliff backends — each optimizes its own objective
+      and the pipeline compares the shipped schedules. *)
+
   type state
   (** Per-region working set (colony, arenas, pheromone table, RNG),
       built once and shared by both passes — RNG continuity across the
@@ -74,3 +82,4 @@ type t = (module S)
 
 val name : t -> string
 val caps : t -> Types.caps
+val objective : t -> Sched.Objective.t option

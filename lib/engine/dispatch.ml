@@ -13,6 +13,18 @@ let candidates policy ~n =
 
 let split_on_comma s = String.split_on_char ',' s |> List.map String.trim
 
+exception Duplicate_backend of string
+
+(* A duplicated name in a race list is always a user mistake — the second
+   run would burn a full compile to produce a byte-identical schedule —
+   so reject it with a typed error the CLI can render. *)
+let check_distinct bs =
+  ignore
+    (List.fold_left
+       (fun seen b ->
+         if List.mem b seen then raise (Duplicate_backend b) else b :: seen)
+       [] bs)
+
 let of_string ?(auto_threshold = 50) s =
   match String.trim s with
   | "" -> invalid_arg "Engine.Dispatch.of_string: empty backend spec"
@@ -21,7 +33,9 @@ let of_string ?(auto_threshold = 50) s =
       match List.filter (fun b -> b <> "") (split_on_comma s) with
       | [] -> invalid_arg "Engine.Dispatch.of_string: empty backend race"
       | [ b ] -> Fixed b
-      | bs -> Race bs)
+      | bs ->
+          check_distinct bs;
+          Race bs)
   | s -> Fixed s
 
 let to_string = function

@@ -22,11 +22,16 @@ val candidates : policy -> n:int -> string list
 val backend_names : policy -> string list
 (** Every backend the policy can name (for upfront validation). *)
 
+exception Duplicate_backend of string
+(** A race list named the same backend twice — racing a deterministic
+    backend against itself can only reproduce its own schedule. *)
+
 val of_string : ?auto_threshold:int -> string -> policy
 (** Parse a CLI spec: a backend name is {!Fixed}, ["auto"] is
     {!Size_threshold} with seq below [auto_threshold] (default 50) and
     par above, and a comma-separated list is {!Race}. Does not check
     the names against the registry.
-    @raise Invalid_argument on an empty spec. *)
+    @raise Invalid_argument on an empty spec.
+    @raise Duplicate_backend when a race list repeats a name. *)
 
 val to_string : policy -> string

@@ -15,6 +15,12 @@ let run (backend : Backend.t) (ctx : Backend.ctx) (rc : Region_ctx.t) : Types.re
   let graph = setup.Setup.graph in
   let state = B.prepare ctx rc in
   Fun.protect ~finally:(fun () -> B.teardown state) @@ fun () ->
+  (* The RP term of the objective is the backend's choice; the default
+     ([None]) is the paper's occupancy cliff, under which every formula
+     below is byte-identical to the historical drivers. *)
+  let objective =
+    match B.objective with Some o -> o | None -> Sched.Objective.Cliff
+  in
   (* Pass 1: minimize RP, latencies ignored. Skipped when the initial
      order already meets the RP bound, or when the backend has no RP
      pass (single-pass cost formulations go straight to pass 2). *)
@@ -24,14 +30,14 @@ let run (backend : Backend.t) (ctx : Backend.ctx) (rc : Region_ctx.t) : Types.re
         {
           Backend.o_label = ctx.Backend.label ^ "pass1";
           o_budget = ctx.Backend.budget;
-          o_initial_cost = Sched.Cost.rp_scalar setup.Setup.pass1_initial_rp;
+          o_initial_cost = Sched.Objective.rp_scalar objective setup.Setup.pass1_initial_rp;
           o_initial_order = setup.Setup.pass1_initial_order;
-          o_lb_cost = Sched.Cost.rp_scalar setup.Setup.rp_lb;
+          o_lb_cost = Sched.Objective.rp_scalar objective setup.Setup.rp_lb;
         }
     else (setup.Setup.pass1_initial_order, Types.no_pass)
   in
   let rp_target = Setup.rp_of_order occ graph best_order in
-  let target_vgpr, target_sgpr = Setup.targets_of_rp rp_target in
+  let target_vgpr, target_sgpr = Sched.Objective.breach_targets objective rp_target in
   (* Pass 2: minimize length under the pass-1 RP target, from the padded
      pass-1 winner, on whatever budget pass 1 left unspent. *)
   let initial_schedule = Setup.pass2_initial setup ~best_pass1_order:best_order in

@@ -35,3 +35,31 @@ let setup_time_ns (config : Config.t) ~n ~ready_ub =
 let teardown_time_ns (config : Config.t) ~n =
   let calls = if config.opts.Config.batched_alloc then 2.0 else 8.0 in
   (float_of_int (2 * n) *. config.copy_ns_per_word) +. (calls *. config.alloc_call_ns)
+
+(* Spill pricing for the spill-aware RP objective (RegDem,
+   arXiv 1907.02894), derived from the same machine description the
+   simulator runs on. Modeling choices:
+   - the target occupancy is 80% of the target's wave limit — high
+     enough that pressure matters, low enough that the allowances are
+     not degenerate;
+   - a spilled VGPR costs a store + reload round trip, so two memory
+     transactions amortized over a wavefront, expressed in GPU op
+     cycles ([2 * mem_transaction_ns / gpu_ns_per_op], at least 1);
+   - SGPR spills go through scalar memory, which the model prices at
+     half the vector cost (again at least 1). *)
+let spill_model (config : Config.t) : Sched.Objective.spill_model =
+  let occ = Machine.Occupancy.create config.target in
+  let target_occupancy = max 1 (Machine.Occupancy.max_waves occ * 8 / 10) in
+  let allow cls =
+    Machine.Occupancy.max_pressure_for occ cls ~occupancy:target_occupancy
+  in
+  let round_trip = 2.0 *. config.mem_transaction_ns /. config.gpu_ns_per_op in
+  let vgpr_spill_cycles = max 1 (int_of_float (ceil round_trip)) in
+  let sgpr_spill_cycles = max 1 (vgpr_spill_cycles / 2) in
+  {
+    Sched.Objective.target_occupancy;
+    allow_vgpr = allow Ir.Reg.Vgpr;
+    allow_sgpr = allow Ir.Reg.Sgpr;
+    vgpr_spill_cycles;
+    sgpr_spill_cycles;
+  }

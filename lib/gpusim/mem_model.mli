@@ -38,3 +38,10 @@ val setup_time_ns : Config.t -> n:int -> ready_ub:int -> float
 
 val teardown_time_ns : Config.t -> n:int -> float
 (** Device-to-host copy of the winning schedule + frees. *)
+
+val spill_model : Config.t -> Sched.Objective.spill_model
+(** Spill pricing for {!Sched.Objective.Spill}, derived from the machine
+    configuration: allowances are the per-class pressure limits at 80%
+    of the target's wave limit, a spilled VGPR charges a store+reload
+    round trip in GPU op cycles, and SGPR spills cost half that (scalar
+    memory path). *)

@@ -74,16 +74,14 @@ let make_wavefronts ?shared config graph params =
      its best-so-far artifact;
    - the pass aborts once its accumulated simulated time crosses
      [budget_ns], again keeping the best-so-far artifact. *)
-let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~mode
-    ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a)
+let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~policy
+    ~mode ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a)
     ~(validate_artifact : a -> bool) ~faults ~budget_ns ~iteration_deadline_ns ~max_retries
     ~trace ~metrics ~pass_label ~obs_cursor ~simd_cursor
     ~initial_cost ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination
     ~n ~ready_ub =
   let open Aco.Params in
-  Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
-  Aco.Pheromone.deposit_path pheromone initial_order
-    (params.deposit /. float_of_int (1 + initial_cost));
+  policy.Aco.Pheromone_policy.init pheromone ~initial_order ~initial_cost;
   let lanes = config.target.Machine.Target.wavefront_size in
   let threads = Config.threads config in
   let faults_before = Faults.counts faults in
@@ -231,9 +229,8 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
           (* Validation guard: a winner that does not reconstruct into a
              valid schedule is quarantined — the iteration failed. *)
           if validate_artifact artifact then begin
-            Aco.Pheromone.decay pheromone params.decay;
-            Aco.Pheromone.deposit_path pheromone (Aco.Ant.order ant)
-              (params.deposit /. float_of_int (1 + winner_cost));
+            policy.Aco.Pheromone_policy.update pheromone
+              ~winner_order:(Aco.Ant.order ant) ~winner_cost;
             (* An equal-cost winner still becomes the emitted artifact — the
                ACO build ships the schedule the ants constructed — but only a
                strict improvement resets the termination counter. *)
@@ -254,11 +251,13 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
     in
     if accepted then consecutive_failures := 0
     else if !iter_faulted then begin
-      (* Guard-and-retry: the table still decays (simulated time passed),
-         then the iteration is re-run from a reseeded stream with
-         exponential backoff charged to simulated time; [max_retries]
-         consecutive failures degrade the pass to its best-so-far. *)
-      Aco.Pheromone.decay pheromone params.decay;
+      (* Guard-and-retry: the table still evaporates (simulated time
+         passed) but the failed iteration deposits nothing and advances
+         no stagnation bookkeeping, then the iteration is re-run from a
+         reseeded stream with exponential backoff charged to simulated
+         time; [max_retries] consecutive failures degrade the pass to
+         its best-so-far. *)
+      policy.Aco.Pheromone_policy.evaporate pheromone;
       if !consecutive_failures < max_retries then begin
         incr retries;
         incr consecutive_failures;
@@ -287,7 +286,10 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       end
     end
     else begin
-      Aco.Pheromone.decay pheromone params.decay;
+      (* A clean iteration with no surviving winner: same table upkeep
+         as the sequential colony's winner-less branch. *)
+      policy.Aco.Pheromone_policy.update pheromone
+        ~winner_order:Aco.Pheromone_policy.no_order ~winner_cost:max_int;
       incr no_improve
     end;
     bc_buf.(!bc_len) <- !best_cost;
@@ -355,6 +357,7 @@ type state = {
   rng : Support.Rng.t;
   wavefronts : Wavefront.t array;
   pheromone : Aco.Pheromone.t;
+  policy : Aco.Pheromone_policy.t;
   faults : Faults.t;
   iteration_deadline_ns : float;
   max_retries : int;
@@ -381,6 +384,11 @@ module Backend_impl = struct
   let name = "par"
 
   let caps = { Engine.Types.rp_pass = true; faults = true; trace = true; time_model = true }
+
+  (* The GPU model races under the paper's own rules: vanilla Ant System
+     pheromone (threaded as the [As] policy below) and the cliff
+     objective. *)
+  let objective = None
 
   type nonrec state = state
 
@@ -452,7 +460,8 @@ module Backend_impl = struct
         wavefronts
     end;
     let pheromone = Aco.Pheromone.create ~n ~initial:params.Aco.Params.initial_pheromone in
-    let termination = Aco.Params.termination_condition n in
+    let policy = Aco.Pheromone_policy.make Aco.Pheromone_policy.As ~params ~n ~metrics in
+    let termination = Aco.Pheromone_policy.patience policy in
     let ready_ub = Aco.Ant.shared_ready_ub shared in
     let rp_scalar_of_ant ant =
       let v, s = Aco.Ant.rp_peaks ant in
@@ -464,6 +473,7 @@ module Backend_impl = struct
       rng;
       wavefronts;
       pheromone;
+      policy;
       faults;
       iteration_deadline_ns;
       max_retries;
@@ -481,7 +491,8 @@ module Backend_impl = struct
   let run_order_pass st (req : Engine.Backend.order_request) =
     let order, _, stats =
       run_pass ~params:st.params ~config:st.config ~rng:st.rng ~wavefronts:st.wavefronts
-        ~pheromone:st.pheromone ~mode:Aco.Ant.Rp_pass ~cost_of_ant:st.rp_scalar_of_ant
+        ~pheromone:st.pheromone ~policy:st.policy ~mode:Aco.Ant.Rp_pass
+        ~cost_of_ant:st.rp_scalar_of_ant
         ~artifact_of_ant:Aco.Ant.order
         ~validate_artifact:(fun order ->
           Result.is_ok (Sched.Schedule.of_order st.graph order))
@@ -501,7 +512,7 @@ module Backend_impl = struct
   let run_schedule_pass st (req : Engine.Backend.schedule_request) =
     let schedule, _, stats =
       run_pass ~params:st.params ~config:st.config ~rng:st.rng ~wavefronts:st.wavefronts
-        ~pheromone:st.pheromone
+        ~pheromone:st.pheromone ~policy:st.policy
         ~mode:
           (Aco.Ant.Ilp_pass
              {

@@ -12,11 +12,16 @@ type config = {
 
 (* The product backends ship with the pipeline; anything else (bench
    probes, test stubs) registers itself before compiling. Idempotent, so
-   calling it once per region is free. *)
+   calling it once per region is free. The spill-aware MMAS variant
+   prices excess pressure with the bench machine's memory model — the
+   same configuration the GPU-model backend simulates. *)
 let ensure_backends () =
   Aco.Seq_aco.register ();
   Gpusim.Par_aco.register ();
-  Aco.Weighted_aco.register ()
+  Aco.Weighted_aco.register ();
+  Engine.Registry.register Aco.Seq_aco.mmas_backend;
+  Engine.Registry.register
+    (Aco.Seq_aco.mmas_spill_backend (Gpusim.Mem_model.spill_model Gpusim.Config.bench))
 
 let make_config ?(gpu = Gpusim.Config.bench) ?(filters = Filters.default)
     ?(robust = Robust.default) ?fault_rate ?fault_seed ?compile_budget_ms ?max_retries
@@ -169,7 +174,13 @@ let run_backend ?(trace = Obs.Trace.null) ?(metrics = Obs.Metrics.null) config ~
   let ctx =
     {
       Engine.Backend.params = config.params;
-      seed = (if String.equal bname "seq" then config.seq_seed else config.par_seed);
+      seed =
+        (* The CPU two-pass colonies (seq and the MMAS variants) share
+           the sequential seed so policy comparisons start from the same
+           stream; everything else keeps the parallel seed. *)
+        (match bname with
+        | "seq" | "mmas" | "mmas-spill" -> config.seq_seed
+        | _ -> config.par_seed);
       budget;
       trace = (if caps.Engine.Types.trace then trace else Obs.Trace.null);
       metrics;

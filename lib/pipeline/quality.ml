@@ -240,8 +240,28 @@ let summarize records =
     s_improved = improved;
   }
 
+let summarize_by_backend records =
+  let names = List.sort_uniq String.compare (List.map (fun q -> q.q_backend) records) in
+  List.map
+    (fun b -> (b, summarize (List.filter (fun q -> String.equal q.q_backend b) records)))
+    names
+
 let pct part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+(* Gap distribution buckets: at-bound, near (1-2 cycles), moderate
+   (3-5), far (6+). Coarse on purpose — the split is for spotting a
+   backend that ships systematically worse tails, not for plotting. *)
+let gap_buckets records =
+  let buckets = [| 0; 0; 0; 0 |] in
+  List.iter
+    (fun q ->
+      let k =
+        if q.q_gap <= 0 then 0 else if q.q_gap <= 2 then 1 else if q.q_gap <= 5 then 2 else 3
+      in
+      buckets.(k) <- buckets.(k) + 1)
+    records;
+  buckets
 
 let render_summary ?(top = 5) records =
   let s = summarize records in
@@ -275,6 +295,23 @@ let render_summary ?(top = 5) records =
           line "    %-28s n=%-4d gap=%-5d occ %d/%d  %s via %s" q.q_region q.q_n
             q.q_gap q.q_occupancy q.q_occ_target q.q_rung q.q_backend)
         worst
+    end;
+    (* Per-backend split: only worth printing when the corpus actually
+       mixes backends (a race or an auto policy). *)
+    let by_backend = summarize_by_backend records in
+    if List.length by_backend > 1 then begin
+      line "  per backend:";
+      List.iter
+        (fun (b, bs) ->
+          let rs = List.filter (fun q -> String.equal q.q_backend b) records in
+          let bk = gap_buckets rs in
+          line
+            "    %-10s %5d region(s)  gap[0]=%d [1-2]=%d [3-5]=%d [6+]=%d  occ met \
+             %.0f%%  mean gap %.1f"
+            b bs.s_count bk.(0) bk.(1) bk.(2) bk.(3)
+            (pct bs.s_occ_met bs.s_count)
+            bs.s_mean_gap)
+        by_backend
     end
   end;
   Buffer.contents buf

@@ -71,6 +71,12 @@ type summary = {
 
 val summarize : record list -> summary
 
+val summarize_by_backend : record list -> (string * summary) list
+(** One summary per product backend appearing in the corpus, sorted by
+    backend name — how a race's wins are distributed. *)
+
 val render_summary : ?top:int -> record list -> string
 (** Human-readable corpus summary, with the [top] (default 5) worst
-    regions by gap. *)
+    regions by gap. When the corpus mixes backends (a race or auto
+    policy), a per-backend section splits the gap distribution and
+    occupancy hit rate. *)

@@ -1,0 +1,49 @@
+(** The pluggable register-pressure term of the two-pass objective.
+
+    {!Cliff} is the paper's objective: {!Cost.rp_scalar} (occupancy
+    dominates, APRP breaks ties) in pass 1 and the pass-1 APRP peaks as
+    hard per-class ceilings in pass 2. {!Spill} prices excess pressure
+    instead of forbidding it (RegDem, arXiv 1907.02894): at a fixed
+    target occupancy, every register above a class's allowance is
+    assumed spilled and charges a modeled round-trip memory cost; pass 2
+    then runs unconstrained, because the spill term already paid for the
+    pressure. Backends declare their objective via
+    [Engine.Backend.S.objective]; [Gpusim.Mem_model.spill_model] derives
+    a {!spill_model} from a machine configuration. *)
+
+type spill_model = {
+  target_occupancy : int;
+      (** Waves/SIMD the model prices pressure against (the occupancy
+          the compiler is told to hit, not the one a schedule happens to
+          achieve). *)
+  allow_vgpr : int;
+      (** Per-class register allowance at [target_occupancy]
+          ([Machine.Occupancy.max_pressure_for]); APRP above it counts
+          as spilled. *)
+  allow_sgpr : int;
+  vgpr_spill_cycles : int;  (** Modeled cycles per spilled register. *)
+  sgpr_spill_cycles : int;
+}
+
+type t = Cliff | Spill of spill_model
+
+val to_string : t -> string
+
+val no_target : int
+(** Pass-2 pressure target meaning "unconstrained" — far above any
+    register-file size. *)
+
+val rp_scalar : t -> Cost.rp -> int
+(** Pass-1 cost of an RP measurement. {!Cliff} is exactly
+    {!Cost.rp_scalar}; {!Spill} is APRP sum plus the priced spill
+    traffic of the per-class excess over the allowances. Smaller is
+    better for both. *)
+
+val breach_targets : t -> Cost.rp -> int * int
+(** [(target_vgpr, target_sgpr)] pass 2 must respect, given the best
+    pass-1 RP. {!Cliff} hands down the APRP peaks; {!Spill} returns
+    [(no_target, no_target)]. *)
+
+val spill_cycles : t -> vgpr:int -> sgpr:int -> int
+(** Priced spill traffic of raw class peaks (0 under {!Cliff}) —
+    diagnostics and report attribution. *)

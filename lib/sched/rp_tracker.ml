@@ -166,6 +166,9 @@ let schedule t i =
 let current t cls = t.buf.(t.cur_base + rank cls)
 let peak t cls = t.buf.(t.peak_base + rank cls)
 
+let peak_excess t ~target_vgpr ~target_sgpr =
+  (max 0 (t.buf.(t.peak_base) - target_vgpr), max 0 (t.buf.(t.peak_base + 1) - target_sgpr))
+
 (* One-pass, allocation-free analysis of scheduling [i]: per class, the
    live ranges it would close and open. Duplicate uses of one register in
    the same instruction are counted by multiplicity with a quadratic scan

@@ -46,6 +46,11 @@ val schedule : t -> int -> unit
 val current : t -> Ir.Reg.cls -> int
 val peak : t -> Ir.Reg.cls -> int
 
+val peak_excess : t -> target_vgpr:int -> target_sgpr:int -> int * int
+(** Per-class peak pressure above the given targets (clamped at 0) —
+    the raw-register excess a spill-aware objective prices
+    (see {!Objective}). *)
+
 val peak_if_scheduled : t -> int -> Ir.Reg.cls -> int
 (** Peak pressure the class would have right after scheduling the
     instruction, without mutating the tracker (used by greedy tie-breaks

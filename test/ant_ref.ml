@@ -248,3 +248,97 @@ let rp_peaks t =
 let length t = t.n_slots
 let optional_stalls t = t.n_optional
 let work t = t.work
+
+(* ------------------------------------------------------------------ *)
+(* Frozen colony pass: the pre-policy [Seq_aco.run_pass] loop kept
+   verbatim (inline [Pheromone.reset]/[deposit_path]/[decay] calls in
+   the historical order) as the differential oracle for
+   [Aco.Colony.run_pass] driven by the [As] pheromone policy. It runs
+   the production [Aco.Ant] — the construction substrate is shared on
+   purpose; what this pins down is the driver loop's RNG draw order,
+   work accounting, pheromone arithmetic and minor-words window. *)
+
+let colony_run_pass (type a) ~params ~rng ~ants ~pheromone ~mode
+    ~(cost_of_ant : Aco.Ant.t -> int) ~(artifact_of_ant : Aco.Ant.t -> a)
+    ~allow_optional_stalls ~budget_work ~metrics ~pass_label ~initial_cost
+    ~(initial_order : int array) ~(initial_artifact : a) ~lb_cost ~termination :
+    a * int * Engine.Types.pass_stats =
+  let open Aco.Params in
+  Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
+  Aco.Pheromone.deposit_path pheromone initial_order
+    (params.deposit /. float_of_int (1 + initial_cost));
+  let metering = Obs.Metrics.enabled metrics in
+  let m_best = if metering then pass_label ^ ".best_cost" else "" in
+  let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
+  let bc_buf = Array.make (1 + params.max_iterations) initial_cost in
+  let bc_len = ref 1 in
+  let start_ant ant ~rng mode =
+    Aco.Ant.start ant ~rng ~heuristic:params.heuristic ~allow_optional_stalls mode
+  in
+  let minor_before = Support.Perfcount.minor_words () in
+  let best_cost = ref initial_cost in
+  let best = ref initial_artifact in
+  let improved = ref false in
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  let work = ref 0 in
+  let ants_total = ref 0 in
+  let n = Aco.Pheromone.size pheromone in
+  while
+    !best_cost > lb_cost && !no_improve < termination && !iterations < params.max_iterations
+    && !work < budget_work
+  do
+    incr iterations;
+    let iter_best_cost = ref max_int in
+    let iter_best = ref None in
+    Array.iter
+      (fun ant ->
+        start_ant ant ~rng:(Support.Rng.split rng) mode;
+        Aco.Ant.run_to_completion ant ~pheromone;
+        ants_total := !ants_total + 1;
+        work := !work + Aco.Ant.work ant;
+        if Aco.Ant.status ant = Aco.Ant.Finished then begin
+          let c = cost_of_ant ant in
+          if c < !iter_best_cost then begin
+            iter_best_cost := c;
+            iter_best := Some (Aco.Ant.order ant, artifact_of_ant ant)
+          end
+        end)
+      ants;
+    work := !work + (((n + 1) * n) / 8) + n;
+    Aco.Pheromone.decay pheromone params.decay;
+    (match !iter_best with
+    | Some (order, art) ->
+        Aco.Pheromone.deposit_path pheromone order
+          (params.deposit /. float_of_int (1 + !iter_best_cost));
+        if !iter_best_cost < !best_cost then begin
+          best_cost := !iter_best_cost;
+          best := art;
+          improved := true;
+          no_improve := 0
+        end
+        else incr no_improve
+    | None -> incr no_improve);
+    bc_buf.(!bc_len) <- !best_cost;
+    incr bc_len;
+    if metering then begin
+      Obs.Metrics.push metrics m_best (float_of_int !best_cost);
+      Obs.Metrics.push metrics m_entropy (Aco.Pheromone.row_entropy pheromone)
+    end
+  done;
+  let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let best_costs = Array.sub bc_buf 0 !bc_len in
+  ( !best,
+    !best_cost,
+    {
+      Engine.Types.no_pass with
+      Engine.Types.invoked = true;
+      iterations = !iterations;
+      ants_simulated = !ants_total;
+      work = !work;
+      improved = !improved;
+      hit_lower_bound = !best_cost <= lb_cost;
+      aborted_budget = budget_work < max_int && !work >= budget_work;
+      best_costs;
+      minor_words = minor_delta;
+    } )

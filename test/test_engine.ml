@@ -49,6 +49,12 @@ let test_dispatch () =
   (match of_string "" with
   | _ -> Alcotest.fail "empty spec accepted"
   | exception Invalid_argument _ -> ());
+  (match of_string "seq,par,seq" with
+  | _ -> Alcotest.fail "duplicate race entry accepted"
+  | exception Duplicate_backend "seq" -> ());
+  (match of_string "mmas, mmas" with
+  | _ -> Alcotest.fail "duplicate race entry accepted after trimming"
+  | exception Duplicate_backend "mmas" -> ());
   Alcotest.(check (list string)) "backend_names dedups" [ "par"; "seq" ]
     (backend_names (Race [ "seq"; "par"; "seq" ]))
 
@@ -80,6 +86,7 @@ let prepare_count = ref 0
 module Counting_backend = struct
   let name = "counting"
   let caps = { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
+  let objective = None
 
   type state = unit
 

@@ -9,6 +9,7 @@ let () =
       ("aco", Test_aco.suite);
       ("gpusim", Test_gpusim.suite);
       ("engine", Test_engine.suite);
+      ("policy", Test_policy.suite);
       ("arena", Test_arena.suite);
       ("workload", Test_workload.suite);
       ("pipeline", Test_pipeline.suite);

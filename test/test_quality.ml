@@ -127,6 +127,35 @@ let test_summary () =
   Alcotest.(check int) "empty count" 0 empty.Pipeline.Quality.s_count;
   ignore (Pipeline.Quality.render_summary [])
 
+let test_summary_by_backend () =
+  let records =
+    List.map sample_record [ 0; 1; 2 ]
+    @ List.map
+        (fun i -> { (sample_record i) with Pipeline.Quality.q_backend = "mmas" })
+        [ 3; 4 ]
+  in
+  let by_backend = Pipeline.Quality.summarize_by_backend records in
+  Alcotest.(check (list string))
+    "one summary per backend, sorted" [ "mmas"; "par" ] (List.map fst by_backend);
+  let counts = List.map (fun (_, s) -> s.Pipeline.Quality.s_count) by_backend in
+  Alcotest.(check (list int)) "records split by backend" [ 2; 3 ] counts;
+  let text = Pipeline.Quality.render_summary records in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mixed corpus renders the per-backend split" true
+    (contains "per backend:" && contains "mmas" && contains "par");
+  (* a single-backend corpus keeps the flat rendering *)
+  let flat = Pipeline.Quality.render_summary (List.map sample_record [ 0; 1 ]) in
+  let flat_contains needle =
+    let nh = String.length flat and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub flat i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no split for one backend" false (flat_contains "per backend:")
+
 let suite =
   [
     Alcotest.test_case "iters_to_best" `Quick test_iters_to_best;
@@ -136,4 +165,5 @@ let suite =
     Alcotest.test_case "ledger load skips torn lines" `Quick
       test_ledger_load_skips_torn_lines;
     Alcotest.test_case "corpus summary" `Quick test_summary;
+    Alcotest.test_case "per-backend summary split" `Quick test_summary_by_backend;
   ]

@@ -400,6 +400,12 @@ let run_compile shape size seed fault_rate fault_seed budget_ms max_retries back
     (p1.Engine.Types.selections + p2.Engine.Types.selections);
   Printf.printf "perf: %.0f minor words allocated (%.1f per ant step)\n" words
     (if steps = 0 then 0.0 else words /. float_of_int steps);
+  let scored = p1.Engine.Types.scored_candidates + p2.Engine.Types.scored_candidates
+  and pruned = p1.Engine.Types.pruned_candidates + p2.Engine.Types.pruned_candidates in
+  Printf.printf "perf: %d candidates scored, %d pruned by lower bounds (%.1f%%)\n" scored
+    pruned
+    (if scored + pruned = 0 then 0.0
+     else 100.0 *. float_of_int pruned /. float_of_int (scored + pruned));
   if convergence then
     print_string
       (Pipeline.Report.render_convergence (Pipeline.Report.convergence_rows_of_region r));

@@ -1,3 +1,5 @@
+module A1 = Bigarray.Array1
+
 type mode = Rp_pass | Ilp_pass of { target_vgpr : int; target_sgpr : int }
 
 type status = Active | Finished | Dead
@@ -52,20 +54,26 @@ type t = {
   rp : Sched.Rp_tracker.t;
   ctx : Sched.Heuristic.ctx;
   cand : int array;  (* scratch: candidate slice, ready order *)
-  vals : float array;  (* scratch: eta then tau^a * eta^b per candidate *)
-  (* Roulette-wheel accumulators, carved from the colony arena's float
-     bank: stores into a float array are unboxed, so the summation loop
-     never allocates (a local [ref] may or may not be unboxed depending
-     on the compiler). Per-ant, like [Rp_tracker]'s effects scratch, so
-     colonies on different domains never share them. *)
-  fbuf : float array;
-  facc_base : int;
-  (* eta^beta per instruction for the construction-state-independent
-     heuristics (critical path and source order depend only on the
-     region), precomputed at [create] so the selection loop is a table
-     lookup; the LUC heuristic stays dynamic. *)
-  eta_pow_cp : float array;
-  eta_pow_so : float array;
+  (* The unboxed data plane: one [Support.Fmat] per ant (or four rows of
+     a pooled colony matrix), addressed by flat row bases. Row 0 is the
+     selection scratch — tau^a * eta^b per candidate in columns
+     [0..ub-1], the roulette total in column [ub] and the wheel
+     accumulator in column [ub+1] (Fmat cells keep float sums unboxed,
+     where a local [ref] may not be). Rows 1 and 2 hold eta^beta per
+     instruction for the construction-state-independent heuristics
+     (critical path and source order depend only on the region),
+     precomputed at [create] so the selection loop is a raw table load;
+     row 3 is scratch for the dynamic LUC heuristic's eta. *)
+  fm : Support.Fmat.t;
+  fd : Support.Fmat.mat;
+      (* [fm]'s raw backing store: the selection loops read and write
+         through the concrete bigarray type so the accesses compile to
+         unboxed float64 loads/stores even without cross-module
+         inlining ([-opaque] dev builds) *)
+  score_base : int;
+  eta_cp_base : int;
+  eta_so_base : int;
+  luc_base : int;
   mutable rng : Support.Rng.t;
   mutable heuristic : Sched.Heuristic.kind;
   mutable allow_optional : bool;
@@ -91,17 +99,27 @@ let arena_demand shared =
     (2 * Sched.Ready_list.int_demand shared.s_graph)
     + Sched.Rp_tracker.int_demand shared.s_layout
   in
-  (ints, 2 (* roulette-wheel accumulators *))
+  (ints, 0 (* float state moved wholesale to the Fmat data plane *))
 
-let pow_fast x e =
+(* Rows/columns of one ant's slice of the score matrix: the four rows
+   documented on [t], wide enough for both the n-entry eta tables and
+   the ub+2-entry selection scratch. *)
+let fmat_rows = 4
+
+let fmat_demand shared =
+  (fmat_rows, max shared.s_graph.Ddg.Graph.n (max 1 shared.s_ready_ub + 2))
+
+let[@inline] pow_fast x e =
   (* The defaults (alpha = 1, beta = 2) are on the hot path; [Float.pow]
-     costs more than the rest of the selection arithmetic combined. *)
+     costs more than the rest of the selection arithmetic combined.
+     Inlined so the result never crosses a call boundary — a non-inlined
+     float return is a minor-heap box per candidate in closure mode. *)
   if e = 1.0 then x
   else if e = 2.0 then x *. x
   else if e = 0.0 then 1.0
   else x ** e
 
-let create ?shared ?arena graph params =
+let create ?shared ?arena ?fmat graph params =
   let shared =
     match shared with
     | Some s ->
@@ -126,11 +144,31 @@ let create ?shared ?arena graph params =
   in
   let n = graph.Ddg.Graph.n in
   let ub = max 1 shared.s_ready_ub in
-  let facc_base = Support.Arena.alloc_floats arena 2 in
+  let rows, cols = fmat_demand shared in
+  let fm, row0 =
+    match fmat with
+    | Some (fm, row0) ->
+        if
+          row0 < 0
+          || row0 + rows > Support.Fmat.rows fm
+          || Support.Fmat.cols fm < cols
+        then invalid_arg "Ant.create: score matrix slice too small";
+        (fm, row0)
+    | None -> (Support.Fmat.create ~rows ~cols, 0)
+  in
   let rp = Sched.Rp_tracker.create_in arena shared.s_layout in
   let ctx = Sched.Heuristic.make_ctx ~cp:shared.s_cp graph rp in
   let beta = params.Params.beta in
-  let eta_pow kind = Array.init n (fun i -> pow_fast (Sched.Heuristic.eta kind ctx i) beta) in
+  let eta_cp_base = Support.Fmat.row_base fm (row0 + 1) in
+  let eta_so_base = Support.Fmat.row_base fm (row0 + 2) in
+  let fd = fm.Support.Fmat.data in
+  let fill_eta_pow base kind =
+    for i = 0 to n - 1 do
+      A1.unsafe_set fd (base + i) (pow_fast (Sched.Heuristic.eta kind ctx i) beta)
+    done
+  in
+  fill_eta_pow eta_cp_base Sched.Heuristic.Critical_path;
+  fill_eta_pow eta_so_base Sched.Heuristic.Source_order;
   {
     graph;
     params;
@@ -139,11 +177,12 @@ let create ?shared ?arena graph params =
     rp;
     ctx;
     cand = Array.make ub 0;
-    vals = Array.make ub 0.0;
-    fbuf = Support.Arena.floats arena;
-    facc_base;
-    eta_pow_cp = eta_pow Sched.Heuristic.Critical_path;
-    eta_pow_so = eta_pow Sched.Heuristic.Source_order;
+    fm;
+    fd;
+    score_base = Support.Fmat.row_base fm row0;
+    eta_cp_base;
+    eta_so_base;
+    luc_base = Support.Fmat.row_base fm (row0 + 3);
     rng = Support.Rng.create 0;
     heuristic = params.Params.heuristic;
     allow_optional = true;
@@ -195,64 +234,75 @@ let effective_heuristic t =
    tau^alpha * eta^beta), otherwise explore (roulette wheel over the same
    values). *)
 
-(* Selection over the candidate slice [t.cand.(0 .. m-1)]: fill
-   [t.vals] with eta, combine with the pheromone row of [t.last], then
-   exploit (argmax, first maximum wins) or explore (roulette wheel). The
-   float-operation order matches the seed's list folds exactly, so the
-   constructed schedules are byte-identical. *)
+(* Selection over the candidate slice [t.cand.(0 .. m-1)]: fill the
+   score row with tau^a * eta^b, then exploit (argmax, first maximum
+   wins) or explore (roulette wheel). Every float lives in the Fmat —
+   raw unboxed loads and stores throughout, no boxing, no allocation.
+   The float-operation order matches the seed's list folds exactly, so
+   the constructed schedules are byte-identical. *)
 let select_slice t ~pheromone ~explored m =
   if m = 0 then invalid_arg "Ant.select: empty candidate list"
   else if m = 1 then t.cand.(0)
   else begin
     let heuristic = effective_heuristic t in
-    let cells = Pheromone.cells pheromone in
+    let ph = (Pheromone.mat pheromone).Support.Fmat.data in
     let base = Pheromone.row_base pheromone ~src:t.last in
     let alpha = t.params.Params.alpha in
+    let fd = t.fd in
+    let sb = t.score_base in
     (* tau^alpha * eta^beta per candidate. For the static heuristics
-       eta^beta comes from the [create]-time tables (bit-identical to
-       recomputing: eta depends only on the instruction); LUC's eta
-       depends on the live set and is recomputed each step. *)
+       eta^beta comes from the [create]-time table rows (bit-identical
+       to recomputing: eta depends only on the instruction); LUC's eta
+       depends on the live set and is recomputed each step into the
+       scratch row. *)
     (match heuristic with
     | Sched.Heuristic.Critical_path ->
-        let tab = t.eta_pow_cp in
+        let tb = t.eta_cp_base in
         for k = 0 to m - 1 do
           let i = Array.unsafe_get t.cand k in
-          let tau = Pheromone.row_get cells ~base ~dst:i in
-          Array.unsafe_set t.vals k (pow_fast tau alpha *. Array.unsafe_get tab i)
+          let tau = A1.unsafe_get ph (base + i) in
+          A1.unsafe_set fd (sb + k) (pow_fast tau alpha *. A1.unsafe_get fd (tb + i))
         done
     | Sched.Heuristic.Source_order ->
-        let tab = t.eta_pow_so in
+        let tb = t.eta_so_base in
         for k = 0 to m - 1 do
           let i = Array.unsafe_get t.cand k in
-          let tau = Pheromone.row_get cells ~base ~dst:i in
-          Array.unsafe_set t.vals k (pow_fast tau alpha *. Array.unsafe_get tab i)
+          let tau = A1.unsafe_get ph (base + i) in
+          A1.unsafe_set fd (sb + k) (pow_fast tau alpha *. A1.unsafe_get fd (tb + i))
         done
     | Sched.Heuristic.Last_use_count ->
         let beta = t.params.Params.beta in
-        Sched.Heuristic.fill_eta heuristic t.ctx ~cand:t.cand ~n:m ~out:t.vals;
+        Sched.Heuristic.fill_eta_mat heuristic t.ctx ~cand:t.cand ~n:m ~mat:t.fm
+          ~base:t.luc_base;
         for k = 0 to m - 1 do
-          let tau = Pheromone.row_get cells ~base ~dst:t.cand.(k) in
-          t.vals.(k) <- pow_fast tau alpha *. pow_fast t.vals.(k) beta
+          let tau = A1.unsafe_get ph (base + Array.unsafe_get t.cand k) in
+          A1.unsafe_set fd (sb + k)
+            (pow_fast tau alpha *. pow_fast (A1.unsafe_get fd (t.luc_base + k)) beta)
         done);
     if explored then begin
-      let fbuf = t.fbuf and fb = t.facc_base in
-      fbuf.(fb) <- 0.0;
+      (* Wheel accumulators live in the score row past the candidate
+         cells ([ub] and [ub+1]): Fmat stores keep the running sums
+         unboxed where a local float [ref] may not be. *)
+      let tot = sb + Array.length t.cand in
+      let acc = tot + 1 in
+      A1.unsafe_set fd tot 0.0;
       for k = 0 to m - 1 do
-        fbuf.(fb) <- fbuf.(fb) +. t.vals.(k)
+        A1.unsafe_set fd tot (A1.unsafe_get fd tot +. A1.unsafe_get fd (sb + k))
       done;
-      let total = fbuf.(fb) in
+      let total = A1.unsafe_get fd tot in
       let u = Support.Rng.float t.rng in
       if total > 0.0 then begin
-        (* Roulette wheel; like the seed's fold, the last candidate wins
-           by default without a comparison (guarding against the
-           accumulated sum falling short of [target] through rounding). *)
+        (* Roulette wheel with early exit; like the seed's fold, the last
+           candidate wins by default without a comparison (guarding
+           against the accumulated sum falling short of [target] through
+           rounding). *)
         let target = u *. total in
-        fbuf.(fb + 1) <- 0.0;
+        A1.unsafe_set fd acc 0.0;
         let chosen = ref (m - 1) in
         let k = ref 0 in
         while !chosen = m - 1 && !k < m - 1 do
-          fbuf.(fb + 1) <- fbuf.(fb + 1) +. t.vals.(!k);
-          if fbuf.(fb + 1) >= target then chosen := !k else incr k
+          A1.unsafe_set fd acc (A1.unsafe_get fd acc +. A1.unsafe_get fd (sb + !k));
+          if A1.unsafe_get fd acc >= target then chosen := !k else incr k
         done;
         t.cand.(!chosen)
       end
@@ -266,7 +316,7 @@ let select_slice t ~pheromone ~explored m =
     else begin
       let bk = ref 0 in
       for k = 1 to m - 1 do
-        if t.vals.(k) > t.vals.(!bk) then bk := k
+        if A1.unsafe_get fd (sb + k) > A1.unsafe_get fd (sb + !bk) then bk := k
       done;
       t.cand.(!bk)
     end
@@ -320,9 +370,7 @@ let step_hot t ~pheromone ~force_explore ~ready_limit =
     | Rp_pass when ready_limit >= 1 && ready_limit < rn -> ready_limit
     | Rp_pass | Ilp_pass _ -> rn
   in
-  for k = 0 to m - 1 do
-    t.cand.(k) <- Sched.Ready_list.ready rl k
-  done;
+  Sched.Ready_list.blit_ready rl t.cand m;
   (* The exploration coin is drawn before the mode dispatch (even for a
      mandatory stall) so the RNG stream is independent of the decision —
      part of the construction's byte-identity contract. *)
@@ -345,26 +393,44 @@ let step_hot t ~pheromone ~force_explore ~ready_limit =
         finish_step t ~rank:2 ~instr:(-1) ~explored ~scanned:0 ~succs:0
       end
       else begin
+        (* [Stall_policy.classify_slice]'s decision ladder, inlined as
+           straight-line integer code: the variant result it returned
+           was the hot loop's last per-step allocation. Filter, coin
+           and ordering are identical — the single optional-stall coin
+           is drawn under exactly the same conditions, so the RNG
+           stream position matches the historical ladder bit for bit. *)
         let has_semi_ready = Sched.Ready_list.has_semi_ready rl in
-        match
-          Stall_policy.classify_slice ~rng:t.rng ~allow_optional:t.allow_optional
-            ~base_probability:t.params.Params.stall_base_probability ~rp:t.rp ~target_vgpr
-            ~target_sgpr ~cand:t.cand ~n_cand:m ~has_semi_ready
-            ~optional_stalls_so_far:t.n_optional
-        with
-        | Stall_policy.Fits fitting ->
-            let i = select_slice t ~pheromone ~explored fitting in
-            emit_instr t rl i;
-            finish_step t
-              ~rank:(if explored then 1 else 0)
-              ~instr:i ~explored ~scanned:m ~succs:(Ddg.Graph.num_succs t.graph i)
-        | Stall_policy.Stall ->
+        let fitting =
+          Sched.Rp_tracker.filter_fits_prefix t.rp ~cand:t.cand ~n_cand:m ~target_vgpr
+            ~target_sgpr
+        in
+        if fitting = 0 then
+          if t.allow_optional && has_semi_ready then begin
             emit_stall t rl;
             t.n_optional <- t.n_optional + 1;
             finish_step t ~rank:3 ~instr:(-1) ~explored ~scanned:m ~succs:0
-        | Stall_policy.Breach ->
+          end
+          else begin
             t.status <- Dead;
             finish_step t ~rank:4 ~instr:(-1) ~explored ~scanned:m ~succs:0
+          end
+        else if
+          t.allow_optional && has_semi_ready && fitting < m
+          && Support.Rng.bool t.rng
+               (t.params.Params.stall_base_probability
+               *. (0.5 ** float_of_int t.n_optional))
+        then begin
+          emit_stall t rl;
+          t.n_optional <- t.n_optional + 1;
+          finish_step t ~rank:3 ~instr:(-1) ~explored ~scanned:m ~succs:0
+        end
+        else begin
+          let i = select_slice t ~pheromone ~explored fitting in
+          emit_instr t rl i;
+          finish_step t
+            ~rank:(if explored then 1 else 0)
+            ~instr:i ~explored ~scanned:m ~succs:(Ddg.Graph.num_succs t.graph i)
+        end
       end
 
 let last_rank t = t.last_rank
@@ -437,3 +503,11 @@ let rp_peaks t =
 let length t = t.n_slots
 let optional_stalls t = t.n_optional
 let work t = t.work
+
+(* Candidate pruning is a property of the ant's RP tracker; the ant only
+   forwards the switch and the meters so drivers never reach into the
+   tracker directly. *)
+let set_prune t flag = Sched.Rp_tracker.set_prune t.rp flag
+let prune_enabled t = Sched.Rp_tracker.prune_enabled t.rp
+let scored_candidates t = Sched.Rp_tracker.scored_candidates t.rp
+let pruned_candidates t = Sched.Rp_tracker.pruned_candidates t.rp

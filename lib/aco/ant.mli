@@ -57,16 +57,33 @@ val shared_ready_ub : shared -> int
 
 val arena_demand : shared -> int * int
 (** [(ints, floats)] one ant's arena state needs; a colony arena is
-    sized as lanes times this (exact pre-sizing, no growth). *)
+    sized as lanes times this (exact pre-sizing, no growth). All float
+    state lives in the score matrix ({!fmat_demand}) since the unboxed
+    data-plane refactor, so the float demand is 0. *)
+
+val fmat_demand : shared -> int * int
+(** [(rows, cols)] of one ant's slice of the unboxed score matrix
+    ({!Support.Fmat}): the selection scratch row (scores, roulette
+    total, wheel accumulator), two precomputed eta^beta table rows and
+    the LUC eta scratch row. A colony matrix is sized as
+    [lanes * rows] by [cols] and carved per ant via [?fmat]. *)
 
 type t
 
-val create : ?shared:shared -> ?arena:Support.Arena.t -> Ddg.Graph.t -> Params.t -> t
+val create :
+  ?shared:shared ->
+  ?arena:Support.Arena.t ->
+  ?fmat:Support.Fmat.t * int ->
+  Ddg.Graph.t ->
+  Params.t ->
+  t
 (** Without [shared], the region analyses are computed privately (and
     the scratch bound falls back to [n]). Without [arena], a private
-    exactly-sized arena backs this ant alone. Raises [Invalid_argument]
-    when [shared] belongs to a different graph or the arena is too
-    small. *)
+    exactly-sized arena backs this ant alone. [?fmat] is [(matrix,
+    first_row)]: the ant's {!fmat_demand} rows of a pooled colony score
+    matrix; without it a private matrix is created. Raises
+    [Invalid_argument] when [shared] belongs to a different graph, the
+    arena is too small, or the matrix slice is out of range. *)
 
 val start :
   t ->
@@ -136,3 +153,21 @@ val work : t -> int
 (** Abstract work units accumulated since [start] (ready-list scans +
     successor updates + per-step constant) — the currency of the CPU and
     GPU time models. *)
+
+val set_prune : t -> bool -> unit
+(** Arm lower-bound candidate pruning in the ant's RP tracker
+    ({!Sched.Rp_tracker.set_prune}): pass-2 candidates that provably
+    cannot fit the RP target skip the per-register fit scan. Sound-only
+    — schedules and RNG streams are unchanged; only work and the meters
+    below move. Off by default. *)
+
+val prune_enabled : t -> bool
+
+val scored_candidates : t -> int
+(** Cumulative fit-evaluated candidate count
+    ({!Sched.Rp_tracker.scored_candidates}); not reset by {!start} —
+    drivers snapshot it around a pass. *)
+
+val pruned_candidates : t -> int
+(** Cumulative pruned candidate count
+    ({!Sched.Rp_tracker.pruned_candidates}). *)

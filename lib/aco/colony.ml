@@ -37,6 +37,18 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~policy ~mode
   let start_ant ant ~rng mode =
     Ant.start ant ~rng ~heuristic:params.heuristic ~allow_optional_stalls mode
   in
+  (* Candidate meters are cumulative on each ant's tracker; the pass
+     reports deltas. Both sums sit outside the minor-words window. *)
+  let sum_meters () =
+    let scored = ref 0 and pruned = ref 0 in
+    for k = 0 to Array.length ants - 1 do
+      let ant = Array.unsafe_get ants k in
+      scored := !scored + Ant.scored_candidates ant;
+      pruned := !pruned + Ant.pruned_candidates ant
+    done;
+    (!scored, !pruned)
+  in
+  let scored_before, pruned_before = sum_meters () in
   let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
@@ -100,6 +112,7 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~policy ~mode
   (* [minor_delta] first: the series copy must stay outside the measured
      window so the stat is byte-identical with metering off. *)
   let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let scored_after, pruned_after = sum_meters () in
   let best_costs = Array.sub bc_buf 0 !bc_len in
   ( !best,
     !best_cost,
@@ -114,4 +127,6 @@ let run_pass (type a) ~params ~rng ~ants ~pheromone ~policy ~mode
       aborted_budget = budget_work < max_int && !work >= budget_work;
       best_costs;
       minor_words = minor_delta;
+      scored_candidates = scored_after - scored_before;
+      pruned_candidates = pruned_after - pruned_before;
     } )

@@ -1,65 +1,128 @@
-type t = { n : int; cells : float array }
+(* The pheromone table, stored as an unboxed [Support.Fmat]: rows are
+   the (n+1) sources (row 0 is the virtual start node), columns the n
+   destinations, and the row stride is cache-line aligned so one
+   selection step streams a single row. All arithmetic below runs over
+   the matrix in row-major order of the *real* columns, which is exactly
+   the iteration order of the historical flat [(n+1)*n] float array —
+   every sum and every update sequence produces bit-identical doubles. *)
+
+module A1 = Bigarray.Array1
+
+(* All loops below go through [A1.unsafe_get]/[A1.unsafe_set] on the
+   matrix's raw [Support.Fmat.mat] (projected from the private record)
+   rather than [Fmat.get]/[Fmat.set]: the bigarray primitives specialize
+   on the concrete element type at the call site, so the accesses stay
+   unboxed even under [-opaque] builds where cross-module [@inline] is
+   off. Indices and iteration order are unchanged. *)
+
+type t = { n : int; mat : Support.Fmat.t }
 
 let create ~n ~initial =
   if n <= 0 then invalid_arg "Pheromone.create";
-  { n; cells = Array.make ((n + 1) * n) initial }
+  let mat = Support.Fmat.create ~rows:(n + 1) ~cols:n in
+  Support.Fmat.fill mat initial;
+  { n; mat }
 
 let size t = t.n
 
-let index t src dst =
-  if dst < 0 || dst >= t.n || src < -1 || src >= t.n then invalid_arg "Pheromone: out of range";
-  ((src + 1) * t.n) + dst
+let check t src dst =
+  if dst < 0 || dst >= t.n || src < -1 || src >= t.n then invalid_arg "Pheromone: out of range"
 
-let get t ~src ~dst = t.cells.(index t src dst)
+let get t ~src ~dst =
+  check t src dst;
+  A1.unsafe_get t.mat.Support.Fmat.data (Support.Fmat.row_base t.mat (src + 1) + dst)
 
 (* Hot-path row accessors: the selection loop reads one row (fixed [src],
    many [dst]) per step, so the range check runs once at row selection
-   and the per-candidate read is a single indexed load. [dst] values are
+   and the per-candidate read is a single unboxed load. [dst] values are
    instruction ids supplied by the ready list, which are in range by
    construction; the checked [get] remains for everything else. *)
 let row_base t ~src =
   if src < -1 || src >= t.n then invalid_arg "Pheromone: out of range";
-  (src + 1) * t.n
+  Support.Fmat.row_base t.mat (src + 1)
 
-let cells t = t.cells
+let mat t = t.mat
 
-let[@inline] row_get cells ~base ~dst = Array.unsafe_get cells (base + dst)
+let[@inline] row_get mat ~base ~dst =
+  A1.unsafe_get mat.Support.Fmat.data (base + dst)
+
+(* Snapshot of the real [(n+1) x n] cells in the historical flat layout;
+   diagnostics and tests only (the hot path reads {!mat} directly). *)
+let cells t =
+  let n = t.n in
+  let mat = t.mat in
+  let d = mat.Support.Fmat.data in
+  Array.init ((n + 1) * n) (fun k ->
+      A1.unsafe_get d (Support.Fmat.row_base mat (k / n) + (k mod n)))
 
 let decay t retention =
-  for i = 0 to Array.length t.cells - 1 do
-    t.cells.(i) <- t.cells.(i) *. retention
+  let d = t.mat.Support.Fmat.data in
+  let stride = t.mat.Support.Fmat.stride in
+  for row = 0 to t.n do
+    let base = row * stride in
+    for dst = 0 to t.n - 1 do
+      A1.unsafe_set d (base + dst) (A1.unsafe_get d (base + dst) *. retention)
+    done
   done
 
 let deposit t ~src ~dst amount =
-  let i = index t src dst in
-  t.cells.(i) <- t.cells.(i) +. amount
+  check t src dst;
+  let d = t.mat.Support.Fmat.data in
+  let i = Support.Fmat.row_base t.mat (src + 1) + dst in
+  A1.unsafe_set d i (A1.unsafe_get d i +. amount)
 
 let deposit_path t order amount =
   (* Validate once: every entry of [order] addresses column [order.(k)]
      of the row after its predecessor; one range sweep replaces a checked
      [index] per link. *)
   let n = t.n in
-  Array.iter (fun i -> if i < 0 || i >= n then invalid_arg "Pheromone: out of range") order;
-  let cells = t.cells in
+  for k = 0 to Array.length order - 1 do
+    let i = Array.unsafe_get order k in
+    if i < 0 || i >= n then invalid_arg "Pheromone: out of range"
+  done;
+  let d = t.mat.Support.Fmat.data in
+  let stride = t.mat.Support.Fmat.stride in
   let prev = ref (-1) in
-  Array.iter
-    (fun i ->
-      let idx = ((!prev + 1) * n) + i in
-      cells.(idx) <- cells.(idx) +. amount;
-      prev := i)
-    order
-
-let reset t ~initial = Array.fill t.cells 0 (Array.length t.cells) initial
-
-let clamp t ~lo ~hi =
-  let cells = t.cells in
-  for i = 0 to Array.length cells - 1 do
-    let v = Array.unsafe_get cells i in
-    if v < lo then Array.unsafe_set cells i lo
-    else if v > hi then Array.unsafe_set cells i hi
+  for k = 0 to Array.length order - 1 do
+    let i = Array.unsafe_get order k in
+    let idx = ((!prev + 1) * stride) + i in
+    A1.unsafe_set d idx (A1.unsafe_get d idx +. amount);
+    prev := i
   done
 
-let total t = Array.fold_left ( +. ) 0.0 t.cells
+let deposit_path_scaled t order ~deposit ~cost =
+  (* The division lives here, in the callee, so the scaled amount never
+     crosses a call boundary: it stays an unboxed double from the divide
+     through the last add. Passing the quotient as an argument instead
+     would box one float per deposit — the last allocation the colony
+     loops used to make. *)
+  deposit_path t order (deposit /. float_of_int (1 + cost))
+
+let reset t ~initial = Support.Fmat.fill t.mat initial
+
+let clamp t ~lo ~hi =
+  let d = t.mat.Support.Fmat.data in
+  let stride = t.mat.Support.Fmat.stride in
+  for row = 0 to t.n do
+    let base = row * stride in
+    for dst = 0 to t.n - 1 do
+      let v = A1.unsafe_get d (base + dst) in
+      if v < lo then A1.unsafe_set d (base + dst) lo
+      else if v > hi then A1.unsafe_set d (base + dst) hi
+    done
+  done
+
+let total t =
+  let d = t.mat.Support.Fmat.data in
+  let stride = t.mat.Support.Fmat.stride in
+  let acc = ref 0.0 in
+  for row = 0 to t.n do
+    let base = row * stride in
+    for dst = 0 to t.n - 1 do
+      acc := !acc +. A1.unsafe_get d (base + dst)
+    done
+  done;
+  !acc
 
 (* Mean normalized Shannon entropy of the rows: 1.0 is a uniform table
    (pure exploration), 0.0 a table whose rows each concentrate on one
@@ -68,19 +131,20 @@ let row_entropy t =
   let n = t.n in
   if n <= 1 then 0.0
   else begin
-    let cells = t.cells in
+    let d = t.mat.Support.Fmat.data in
+    let stride = t.mat.Support.Fmat.stride in
     let log_n = log (float_of_int n) in
     let acc = ref 0.0 in
     for src = -1 to n - 1 do
-      let base = (src + 1) * n in
+      let base = (src + 1) * stride in
       let sum = ref 0.0 in
       for dst = 0 to n - 1 do
-        sum := !sum +. cells.(base + dst)
+        sum := !sum +. A1.unsafe_get d (base + dst)
       done;
       if !sum > 0.0 then begin
         let h = ref 0.0 in
         for dst = 0 to n - 1 do
-          let p = cells.(base + dst) /. !sum in
+          let p = A1.unsafe_get d (base + dst) /. !sum in
           if p > 0.0 then h := !h -. (p *. log p)
         done;
         acc := !acc +. (!h /. log_n)

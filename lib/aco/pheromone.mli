@@ -4,7 +4,13 @@
     "schedule [j] right after [i]"; the extra row is the virtual start
     node for the first selection. At the end of each iteration the whole
     table decays and the links of the iteration winner receive a deposit
-    (Section IV-A). *)
+    (Section IV-A).
+
+    Storage is an unboxed {!Support.Fmat} — one cache-line-aligned row
+    per source — so the selection loop reads raw doubles with no boxing
+    and no bounds checks. All bulk operations iterate the real cells in
+    the same row-major order as the historical flat array, so sums and
+    update sequences are bit-identical to it. *)
 
 type t
 
@@ -18,20 +24,24 @@ val get : t -> src:int -> dst:int -> float
     cold paths use this. *)
 
 val row_base : t -> src:int -> int
-(** Base offset of row [src] into {!cells}, with the range check done
+(** Flat base index of row [src] into {!mat}, with the range check done
     once here instead of per lookup ([src = -1] addresses the virtual
     start row). The selection loop reads one row per step, so it hoists
     this out of its candidate scan. *)
 
-val cells : t -> float array
-(** The backing row-major [(n+1) x n] matrix; read entry [dst] of a row
-    with {!row_get}. *)
+val mat : t -> Support.Fmat.t
+(** The backing matrix; read entry [dst] of a row with {!row_get}. *)
 
-val row_get : float array -> base:int -> dst:int -> float
-(** [row_get cells ~base ~dst] with [base] from {!row_base} is
+val row_get : Support.Fmat.t -> base:int -> dst:int -> float
+(** [row_get mat ~base ~dst] with [base] from {!row_base} is
     [get t ~src ~dst]. Unchecked: [dst] must be a valid instruction id
     ([0 <= dst < size t]), which holds for ready-list entries by
     construction. *)
+
+val cells : t -> float array
+(** Snapshot of the table as the historical flat row-major [(n+1)*n]
+    array (entry [((src+1)*n)+dst]). Allocates a fresh copy on every
+    call — diagnostics and tests only. *)
 
 val decay : t -> float -> unit
 (** Multiply every entry by the retention factor. *)
@@ -42,6 +52,12 @@ val deposit : t -> src:int -> dst:int -> float -> unit
 val deposit_path : t -> int array -> float -> unit
 (** Deposit along consecutive links of an instruction order, including
     the virtual start link. *)
+
+val deposit_path_scaled : t -> int array -> deposit:float -> cost:int -> unit
+(** [deposit_path t order (deposit /. float_of_int (1 + cost))], with
+    the division done inside the callee so the scaled amount never
+    crosses a call boundary as a boxed float. The colony deposit paths
+    use this; it is arithmetically identical to the explicit form. *)
 
 val reset : t -> initial:float -> unit
 

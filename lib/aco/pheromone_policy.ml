@@ -67,14 +67,12 @@ let make_as ~(params : Params.t) ~n =
     init =
       (fun pheromone ~initial_order ~initial_cost ->
         Pheromone.reset pheromone ~initial;
-        Pheromone.deposit_path pheromone initial_order
-          (deposit /. float_of_int (1 + initial_cost)));
+        Pheromone.deposit_path_scaled pheromone initial_order ~deposit ~cost:initial_cost);
     update =
       (fun pheromone ~winner_order ~winner_cost ->
         Pheromone.decay pheromone decay;
         if winner_cost < max_int then
-          Pheromone.deposit_path pheromone winner_order
-            (deposit /. float_of_int (1 + winner_cost)));
+          Pheromone.deposit_path_scaled pheromone winner_order ~deposit ~cost:winner_cost);
     evaporate = (fun pheromone -> Pheromone.decay pheromone decay);
     patience = Params.termination_condition n;
     restarts = (fun () -> 0);
@@ -120,8 +118,7 @@ let make_mmas ~(params : Params.t) ~n ~metrics =
     init =
       (fun pheromone ~initial_order ~initial_cost ->
         Pheromone.reset pheromone ~initial;
-        Pheromone.deposit_path pheromone initial_order
-          (deposit /. float_of_int (1 + initial_cost));
+        Pheromone.deposit_path_scaled pheromone initial_order ~deposit ~cost:initial_cost;
         anchor initial_order initial_cost;
         counters.(2) <- 0;
         Pheromone.clamp pheromone ~lo:bounds.(0) ~hi:bounds.(1));
@@ -133,8 +130,7 @@ let make_mmas ~(params : Params.t) ~n ~metrics =
         (* Best-so-far-only deposit: the iteration winner influences the
            trail only by becoming the anchor. *)
         if counters.(0) < max_int then
-          Pheromone.deposit_path pheromone best_order
-            (deposit /. float_of_int (1 + counters.(0)));
+          Pheromone.deposit_path_scaled pheromone best_order ~deposit ~cost:counters.(0);
         Pheromone.clamp pheromone ~lo:bounds.(0) ~hi:bounds.(1);
         if counters.(1) >= stagnation_limit && counters.(2) < mmas_max_restarts
         then begin

@@ -16,6 +16,8 @@ type pass_stats = Engine.Types.pass_stats = {
   retries : int;
   aborted_budget : bool;
   aborted_faults : bool;
+  scored_candidates : int;
+  pruned_candidates : int;
   fault_counts : Engine.Types.fault_counts;
 }
 
@@ -37,6 +39,7 @@ type state = {
   rng : Support.Rng.t;
   ants : Ant.t array;
   arena : Support.Arena.t;
+  fmat : Support.Fmat.t;
   pheromone : Pheromone.t;
   policy : Pheromone_policy.t;
   termination : int;
@@ -59,7 +62,7 @@ let work_of_budget = function
   | Engine.Types.Time_ns _ ->
       invalid_arg "Seq_aco: nanosecond budgets require a time-model backend"
 
-let prepare ~policy_spec ~(objective : Sched.Objective.t option)
+let prepare ~policy_spec ~(objective : Sched.Objective.t option) ~prune
     (ctx : Engine.Backend.ctx) (rc : Engine.Region_ctx.t) =
   let setup = rc.Engine.Region_ctx.setup in
   let graph = setup.Setup.graph in
@@ -71,9 +74,18 @@ let prepare ~policy_spec ~(objective : Sched.Objective.t option)
      colony; nothing region-derived is recomputed here. *)
   let shared = Ant.shared_of_region_ctx rc in
   let ints, floats = Ant.arena_demand shared in
+  let fmat_rows, fmat_cols = Ant.fmat_demand shared in
   let lanes = params.Params.ants_per_iteration in
   let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
-  let ants = Array.init lanes (fun _ -> Ant.create ~shared ~arena graph params) in
+  let fmat = Support.Fmat.take ~rows:(lanes * fmat_rows) ~cols:fmat_cols in
+  let ants =
+    Array.init lanes (fun lane ->
+        let ant =
+          Ant.create ~shared ~arena ~fmat:(fmat, lane * fmat_rows) graph params
+        in
+        if prune then Ant.set_prune ant true;
+        ant)
+  in
   let pheromone = Pheromone.create ~n ~initial:params.Params.initial_pheromone in
   let policy =
     Pheromone_policy.make policy_spec ~params ~n ~metrics:ctx.Engine.Backend.metrics
@@ -107,6 +119,7 @@ let prepare ~policy_spec ~(objective : Sched.Objective.t option)
     rng;
     ants;
     arena;
+    fmat;
     pheromone;
     policy;
     termination = Pheromone_policy.patience policy;
@@ -161,26 +174,36 @@ let run_schedule_pass st (req : Engine.Backend.schedule_request) =
    the next region job on this domain reuse the backing arrays. The
    ants' slices are dead by now — results were extracted during the
    passes. *)
-let teardown st = Support.Arena.give st.arena
+let teardown st =
+  Support.Arena.give st.arena;
+  Support.Fmat.give st.fmat
 
-let make_backend ~name:backend_name ~policy:policy_spec ?objective () : Engine.Backend.t =
+let make_backend ~name:backend_name ~policy:policy_spec ?objective ?(prune = false) () :
+    Engine.Backend.t =
   (module struct
     let name = backend_name
 
     let caps =
-      { Engine.Types.rp_pass = true; faults = false; trace = false; time_model = false }
+      { Engine.Types.rp_pass = true; faults = false; trace = false; time_model = false; prune }
 
     let objective = objective
 
     type nonrec state = state
 
-    let prepare ctx rc = prepare ~policy_spec ~objective ctx rc
+    let prepare ctx rc = prepare ~policy_spec ~objective ~prune ctx rc
     let run_order_pass = run_order_pass
     let run_schedule_pass = run_schedule_pass
     let teardown = teardown
   end : Engine.Backend.S)
 
 let backend : Engine.Backend.t = make_backend ~name:"seq" ~policy:Pheromone_policy.As ()
+
+(* Same colony, pruning armed: min-register lower bounds skip candidates
+   that provably cannot fit the pass-2 RP target. Sound-only — identical
+   schedules and RNG streams to "seq"; only work and the candidate
+   meters differ (asserted by the prune-gate bench). *)
+let prune_backend : Engine.Backend.t =
+  make_backend ~name:"seq-prune" ~policy:Pheromone_policy.As ~prune:true ()
 let mmas_backend : Engine.Backend.t = make_backend ~name:"mmas" ~policy:Pheromone_policy.Mmas ()
 
 let mmas_spill_backend spill_model : Engine.Backend.t =

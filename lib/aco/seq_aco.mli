@@ -33,6 +33,12 @@ type pass_stats = Engine.Types.pass_stats = {
   aborted_budget : bool;
       (** the pass exhausted its work budget and kept its best-so-far *)
   aborted_faults : bool;  (** always false *)
+  scored_candidates : int;
+      (** pass-2 candidates whose RP fit was evaluated (tracker-meter
+          delta across the pass); 0 in pass 1 *)
+  pruned_candidates : int;
+      (** candidates dismissed by the min-register lower bounds; nonzero
+          only for the pruning backend *)
   fault_counts : Engine.Types.fault_counts;  (** always zero *)
 }
 (** The engine's unified statistics record (see {!Engine.Types}); the
@@ -57,21 +63,29 @@ val make_backend :
   name:string ->
   policy:Pheromone_policy.spec ->
   ?objective:Sched.Objective.t ->
+  ?prune:bool ->
   unit ->
   Engine.Backend.t
-(** A CPU-colony backend with the given registry name, pheromone policy
-    and (optional) RP objective. {!backend}, {!mmas_backend} and
-    {!mmas_spill_backend} are the three instantiations the product
-    registers; the constructor is exposed so tests and experiments can
-    build others. Under a spill objective, pass 2 runs unconstrained
-    (the targets are {!Sched.Objective.no_target}) and its cost is
-    schedule length plus the priced spill traffic of each ant's peaks. *)
+(** A CPU-colony backend with the given registry name, pheromone policy,
+    (optional) RP objective and (optional, default off) lower-bound
+    candidate pruning. {!backend}, {!prune_backend}, {!mmas_backend} and
+    {!mmas_spill_backend} are the instantiations the product registers;
+    the constructor is exposed so tests and experiments can build
+    others. Under a spill objective, pass 2 runs unconstrained (the
+    targets are {!Sched.Objective.no_target}) and its cost is schedule
+    length plus the priced spill traffic of each ant's peaks. *)
 
 val backend : Engine.Backend.t
 (** The ["seq"] backend: RP pass, no faults, no trace, no time model,
     vanilla Ant System pheromone, cliff objective. Its budget currency
     is [Work]; handing it a [Time_ns] budget raises
     [Invalid_argument]. *)
+
+val prune_backend : Engine.Backend.t
+(** ["seq-prune"]: {!backend} with min-register candidate pruning armed
+    ({!Ant.set_prune}). Sound-only, so its schedules and RNG streams are
+    byte-identical to ["seq"]'s; it reports nonzero [pruned_candidates]
+    and fewer [scored_candidates]. *)
 
 val mmas_backend : Engine.Backend.t
 (** ["mmas"]: the same colony under the MAX-MIN Ant System policy

@@ -113,7 +113,13 @@ module Backend_impl = struct
   (* No RP pass: the weighted formulation folds RP into the single
      objective, so the engine goes straight to the schedule pass. *)
   let caps =
-    { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
+    {
+      Engine.Types.rp_pass = false;
+      faults = false;
+      trace = false;
+      time_model = false;
+      prune = false;
+    }
 
   (* Weighted-sum cost is an alternative cost formulation, not an RP
      objective the two-pass engine can thread: the engine never runs an

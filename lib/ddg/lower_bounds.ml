@@ -15,3 +15,78 @@ let register_pressure (g : Graph.t) cls =
       0 (region : Ir.Region.t).instrs
   in
   max live_in (max live_out max_defs)
+
+(* Per-instruction min-register lower bound in the style of Chen et al.
+   (arXiv 2303.06855): how many registers of the class are live at the
+   point instruction [i] is issued, in *every* valid schedule. A register
+   [r] is unavoidably live there iff
+
+   - it is certainly born by then: [r] is live-in, or some definer of [r]
+     is an ancestor of [i] in the DDG (ancestors precede [i] in any
+     schedule) or [i] itself; and
+   - it certainly has not died yet: [r] is live-out (never dies), or is
+     defined by [i] (a def is counted at its own issue point even if it
+     dies immediately), or some use of [r] is a strict descendant of [i]
+     (descendants follow [i], so the use count cannot have reached zero).
+
+   Both conditions are schedule-independent, so the bound is a pure
+   region analysis; it is exactly a lower bound on the quantity
+   [Sched.Rp_tracker.fits_within] compares against the RP target, which
+   is what makes candidate pruning on it sound. *)
+let min_reg_lb closure (g : Graph.t) cls =
+  let region = g.region in
+  let instrs = (region : Ir.Region.t).instrs in
+  let n = g.n in
+  (* definer / user instruction ids per register of the class *)
+  let definers : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  let users : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  let push tbl r i =
+    if Ir.Reg.cls_equal (r : Ir.Reg.t).cls cls then
+      Hashtbl.replace tbl r (i :: Option.value (Hashtbl.find_opt tbl r) ~default:[])
+  in
+  Array.iter
+    (fun (ins : Ir.Instr.t) ->
+      List.iter (fun r -> push definers r ins.id) ins.defs;
+      List.iter (fun r -> push users r ins.id) ins.uses)
+    instrs;
+  let regs : Ir.Reg.t list =
+    let seen = Hashtbl.create 64 in
+    let add acc r =
+      if Ir.Reg.cls_equal (r : Ir.Reg.t).cls cls && not (Hashtbl.mem seen r) then begin
+        Hashtbl.add seen r ();
+        r :: acc
+      end
+      else acc
+    in
+    let acc = List.fold_left add [] (Ir.Region.live_in region) in
+    let acc = List.fold_left add acc (region : Ir.Region.t).live_out in
+    Array.fold_left
+      (fun acc (ins : Ir.Instr.t) -> List.fold_left add (List.fold_left add acc ins.defs) ins.uses)
+      acc instrs
+  in
+  let live_in_set = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace live_in_set r ()) (Ir.Region.live_in region);
+  let lb = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let count = ref 0 in
+    List.iter
+      (fun r ->
+        let defs = Option.value (Hashtbl.find_opt definers r) ~default:[] in
+        let born =
+          Hashtbl.mem live_in_set r
+          || List.exists (fun d -> d = i || Closure.reaches closure d i) defs
+        in
+        if born then begin
+          let held =
+            Ir.Region.is_live_out region r
+            || List.exists (fun d -> d = i) defs
+            || List.exists
+                 (fun u -> Closure.reaches closure i u)
+                 (Option.value (Hashtbl.find_opt users r) ~default:[])
+          in
+          if held then incr count
+        end)
+      regs;
+    lb.(i) <- !count
+  done;
+  lb

@@ -18,3 +18,16 @@ val register_pressure : Graph.t -> Ir.Reg.cls -> int
     Def set combined with the registers that must be live across that
     instruction because it is their only producer path... reduced to the
     simple sound form [max |defs_i|]. *)
+
+val min_reg_lb : Closure.t -> Graph.t -> Ir.Reg.cls -> int array
+(** Per-instruction min-register lower bound (Chen et al., arXiv
+    2303.06855): entry [i] is a sound lower bound on how many registers
+    of the class are live at the point instruction [i] is issued, in
+    every valid schedule. A register is counted iff it is certainly born
+    by then (live-in, or a definer among [i]'s DDG ancestors or [i]
+    itself) and certainly not yet dead (live-out, defined by [i], or
+    used by a strict descendant of [i]). If the bound already exceeds
+    the RP target, scheduling [i] breaches the target in any schedule —
+    the soundness contract behind candidate pruning
+    ({!Sched.Rp_tracker}). Takes a precomputed {!Closure.t}; never
+    computes one itself. *)

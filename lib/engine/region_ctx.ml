@@ -69,7 +69,10 @@ let of_setup ?fingerprint (setup : Setup.t) =
     closure;
     critpath = Ddg.Critpath.compute graph;
     ready_ub = Ddg.Closure.ready_list_upper_bound closure;
-    rp_layout = Sched.Rp_tracker.layout_of_graph graph;
+    (* [~closure] arms the layout's min-register lower-bound tables, so
+       any pruning-capable backend fed from this context prunes for
+       real; without it the tables are zero and pruning is a no-op. *)
+    rp_layout = Sched.Rp_tracker.layout_of_graph ~closure graph;
     cp_schedule;
     cp_cost = Sched.Cost.of_schedule setup.Setup.occ cp_schedule;
     fingerprint =

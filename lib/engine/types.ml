@@ -37,6 +37,8 @@ type pass_stats = {
   retries : int;
   aborted_budget : bool;
   aborted_faults : bool;
+  scored_candidates : int;
+  pruned_candidates : int;
   fault_counts : fault_counts;
 }
 
@@ -59,6 +61,8 @@ let no_pass =
     retries = 0;
     aborted_budget = false;
     aborted_faults = false;
+    scored_candidates = 0;
+    pruned_candidates = 0;
     fault_counts = fault_counts_zero;
   }
 
@@ -85,4 +89,4 @@ let budget_minus budget (stats : pass_stats) =
   | Work w -> Work (max 0 (w - stats.work))
   | Time_ns t -> Time_ns (Float.max 0.0 (t -. stats.time_ns))
 
-type caps = { rp_pass : bool; faults : bool; trace : bool; time_model : bool }
+type caps = { rp_pass : bool; faults : bool; trace : bool; time_model : bool; prune : bool }

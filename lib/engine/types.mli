@@ -49,6 +49,13 @@ type pass_stats = {
   aborted_faults : bool;
       (** consecutive failures exhausted the retry allowance and the pass
           degraded to its best-so-far *)
+  scored_candidates : int;
+      (** pass-2 candidates whose RP fit was actually evaluated
+          ({!Sched.Rp_tracker.scored_candidates} delta across the pass);
+          0 for backends/passes that never filter *)
+  pruned_candidates : int;
+      (** candidates dismissed by the min-register lower bounds before
+          any fit evaluation; nonzero only under {!caps.prune} *)
   fault_counts : fault_counts;  (** faults injected during this pass *)
 }
 
@@ -84,6 +91,7 @@ type caps = {
   faults : bool;  (** models fault injection and retries *)
   trace : bool;  (** emits flight-recorder spans *)
   time_model : bool;  (** meters simulated time; budgets are [Time_ns] *)
+  prune : bool;  (** arms sound lower-bound candidate pruning in pass 2 *)
 }
 (** Capability flags the pipeline uses to pick budget currencies,
     recorder hookup and reporting columns per backend. *)

@@ -16,6 +16,8 @@ type pass_stats = Engine.Types.pass_stats = {
   retries : int;
   aborted_budget : bool;
   aborted_faults : bool;
+  scored_candidates : int;
+  pruned_candidates : int;
   fault_counts : Faults.counts;
 }
 
@@ -107,6 +109,18 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       ~dur:setup_ns;
     obs_cursor.(0) <- pass_t0 +. config.launch_overhead_ns +. setup_ns
   end;
+  (* Candidate meters are cumulative on the ants' trackers; the pass
+     reports deltas, summed outside the minor-words window. *)
+  let sum_meters () =
+    let scored = ref 0 and pruned = ref 0 in
+    for w = 0 to Array.length wavefronts - 1 do
+      let wf = Array.unsafe_get wavefronts w in
+      scored := !scored + Wavefront.scored_candidates wf;
+      pruned := !pruned + Wavefront.pruned_candidates wf
+    done;
+    (!scored, !pruned)
+  in
+  let scored_before, pruned_before = sum_meters () in
   let minor_before = Support.Perfcount.minor_words () in
   let best_cost = ref initial_cost in
   let best = ref initial_artifact in
@@ -314,6 +328,7 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
      reported delta byte-identical with tracing off. *)
   let fault_counts = Faults.sub (Faults.counts faults) faults_before in
   let minor_delta = Support.Perfcount.minor_words () -. minor_before in
+  let scored_after, pruned_after = sum_meters () in
   let best_costs = Array.sub bc_buf 0 !bc_len in
   if tracing then begin
     let teardown = Mem_model.teardown_time_ns config ~n in
@@ -348,6 +363,8 @@ let run_pass (type a) ~params ~(config : Config.t) ~rng ~wavefronts ~pheromone ~
       retries = !retries;
       aborted_budget = !aborted_budget;
       aborted_faults = !aborted_faults;
+      scored_candidates = scored_after - scored_before;
+      pruned_candidates = pruned_after - pruned_before;
       fault_counts;
     } )
 
@@ -383,7 +400,14 @@ let ns_of_budget = function
 module Backend_impl = struct
   let name = "par"
 
-  let caps = { Engine.Types.rp_pass = true; faults = true; trace = true; time_model = true }
+  let caps =
+    {
+      Engine.Types.rp_pass = true;
+      faults = true;
+      trace = true;
+      time_model = true;
+      prune = false;
+    }
 
   (* The GPU model races under the paper's own rules: vanilla Ant System
      pheromone (threaded as the [As] policy below) and the cliff

@@ -38,6 +38,12 @@ type pass_stats = Engine.Types.pass_stats = {
   aborted_faults : bool;
       (** consecutive failures exhausted the retry allowance and the pass
           degraded to its best-so-far *)
+  scored_candidates : int;
+      (** pass-2 candidates whose RP fit was evaluated across all
+          wavefronts (tracker-meter delta across the pass) *)
+  pruned_candidates : int;
+      (** candidates dismissed by the min-register lower bounds; nonzero
+          only under a pruning-capable configuration *)
   fault_counts : Faults.counts;  (** faults injected during this pass *)
 }
 (** The engine's unified statistics record (see {!Engine.Types}); this

@@ -5,6 +5,7 @@ type t = {
   heuristic : Sched.Heuristic.kind;
   allow_optional : bool;
   arena : Support.Arena.t;
+  fmat : Support.Fmat.t;
   arena_words : int;
   fault_at : int array;  (* per-lane injected fault step, -1 = none *)
   maxima : int array;  (* per-path-rank max op cost of one lockstep step *)
@@ -31,14 +32,19 @@ let create ?shared config graph params ~heuristic ~allow_optional_stalls =
   let lanes = config.Config.target.Machine.Target.wavefront_size in
   let shared = match shared with Some s -> s | None -> Aco.Ant.prepare_shared graph in
   let ints, floats = Aco.Ant.arena_demand shared in
+  let fmat_rows, fmat_cols = Aco.Ant.fmat_demand shared in
   let arena = Support.Arena.take ~ints:(lanes * ints) ~floats:(lanes * floats) in
+  let fmat = Support.Fmat.take ~rows:(lanes * fmat_rows) ~cols:fmat_cols in
   {
     config;
-    ants = Array.init lanes (fun _ -> Aco.Ant.create ~shared ~arena graph params);
+    ants =
+      Array.init lanes (fun lane ->
+          Aco.Ant.create ~shared ~arena ~fmat:(fmat, lane * fmat_rows) graph params);
     params;
     heuristic;
     allow_optional = allow_optional_stalls;
     arena;
+    fmat;
     arena_words = Support.Arena.words arena;
     fault_at = Array.make lanes (-1);
     maxima = Array.make 5 0;
@@ -59,7 +65,18 @@ let arena_words t = t.arena_words
 (* Returns the arena to the domain-local pool. The wavefront must not run
    again afterwards — the par_aco backend retires at teardown, after the
    best schedule has been copied out of the lanes. *)
-let retire t = Support.Arena.give t.arena
+let retire t =
+  Support.Arena.give t.arena;
+  Support.Fmat.give t.fmat
+
+(* Candidate meters, summed over the lanes. Cumulative (the trackers are
+   never reset); drivers snapshot deltas around a pass, outside their
+   minor-words windows. *)
+let scored_candidates t =
+  Array.fold_left (fun acc a -> acc + Aco.Ant.scored_candidates a) 0 t.ants
+
+let pruned_candidates t =
+  Array.fold_left (fun acc a -> acc + Aco.Ant.pruned_candidates a) 0 t.ants
 
 let set_obs t ~trace ~metrics ~track ~obs_cursor ~simd_cursor ~simd =
   t.trace <- trace;

@@ -30,10 +30,19 @@ val arena_words : t -> int
 (** Size of this wavefront's colony arena in words. *)
 
 val retire : t -> unit
-(** Return the colony arena to the domain-local pool
-    ({!Support.Arena.give}). The wavefront must not run again after
-    retirement; drivers call this once at backend teardown, after the
-    best schedule has been copied out of the lanes. *)
+(** Return the colony arena and score matrix to their domain-local pools
+    ({!Support.Arena.give}, {!Support.Fmat.give}). The wavefront must
+    not run again after retirement; drivers call this once at backend
+    teardown, after the best schedule has been copied out of the
+    lanes. *)
+
+val scored_candidates : t -> int
+(** Cumulative fit-evaluated pass-2 candidates, summed over the lanes
+    ({!Aco.Ant.scored_candidates}); drivers snapshot deltas around a
+    pass. *)
+
+val pruned_candidates : t -> int
+(** Cumulative lower-bound-pruned candidates, summed over the lanes. *)
 
 val set_obs :
   t ->

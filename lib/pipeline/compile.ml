@@ -19,6 +19,7 @@ let ensure_backends () =
   Aco.Seq_aco.register ();
   Gpusim.Par_aco.register ();
   Aco.Weighted_aco.register ();
+  Engine.Registry.register Aco.Seq_aco.prune_backend;
   Engine.Registry.register Aco.Seq_aco.mmas_backend;
   Engine.Registry.register
     (Aco.Seq_aco.mmas_spill_backend (Gpusim.Mem_model.spill_model Gpusim.Config.bench))

@@ -333,6 +333,8 @@ type perf_row = {
   p_lockstep_steps : int;
   p_ant_steps : int;
   p_selections : int;
+  p_scored_candidates : int;
+  p_pruned_candidates : int;
   p_minor_words : float;
   p_words_per_ant_step : float;
 }
@@ -363,6 +365,10 @@ let perf_row_of regions cat =
       add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.lockstep_steps);
     p_ant_steps = steps;
     p_selections = add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.selections);
+    p_scored_candidates =
+      add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.scored_candidates);
+    p_pruned_candidates =
+      add (fun (p : Gpusim.Par_aco.pass_stats) -> p.Gpusim.Par_aco.pruned_candidates);
     p_minor_words = words;
     p_words_per_ant_step = (if steps = 0 then 0.0 else words /. float_of_int steps);
   }

@@ -88,6 +88,8 @@ let pass b (p : Engine.Types.pass_stats) =
   int b p.Engine.Types.retries;
   bool b p.Engine.Types.aborted_budget;
   bool b p.Engine.Types.aborted_faults;
+  int b p.Engine.Types.scored_candidates;
+  int b p.Engine.Types.pruned_candidates;
   faults b p.Engine.Types.fault_counts
 
 let degradation b (d : Robust.degradation) = str b (Robust.degradation_label d)
@@ -98,6 +100,7 @@ let run b (r : Compile.backend_run) =
   bool b r.Compile.caps.Engine.Types.faults;
   bool b r.Compile.caps.Engine.Types.trace;
   bool b r.Compile.caps.Engine.Types.time_model;
+  bool b r.Compile.caps.Engine.Types.prune;
   let res = r.Compile.result in
   slots b res.Engine.Types.schedule;
   cost b res.Engine.Types.cost;

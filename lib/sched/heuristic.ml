@@ -25,11 +25,18 @@ let score kind ctx i =
       (float_of_int net *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
   | Source_order -> float_of_int (ctx.graph.Ddg.Graph.n - i)
 
+(* [Float.max 0.0 v] for the shifted scores below: every operand comes
+   from [float_of_int], so NaN and -0.0 never arise and the branch is
+   value-identical — but it inlines (same module), where the stdlib
+   call would box its arguments and result in builds without
+   cross-module inlining. *)
+let[@inline] pos v = if v > 0.0 then v else 0.0
+
 let eta kind ctx i =
   (* Scores can be negative (LUC); shift into a strictly positive range
      with a floor so no candidate gets probability zero. *)
   let s = score kind ctx i in
-  1.0 +. Float.max 0.0 (s +. 4096.0) /. 512.0
+  1.0 +. (pos (s +. 4096.0) /. 512.0)
 
 (* Same transform, applied to a whole candidate slice into a caller
    scratch buffer. The kind dispatch happens once outside the loop; each
@@ -41,7 +48,7 @@ let fill_eta kind ctx ~cand ~n ~out =
   | Critical_path ->
       for k = 0 to n - 1 do
         let s = float_of_int (Ddg.Critpath.backward ctx.cp cand.(k)) in
-        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+        out.(k) <- 1.0 +. (pos (s +. 4096.0) /. 512.0)
       done
   | Last_use_count ->
       for k = 0 to n - 1 do
@@ -50,13 +57,48 @@ let fill_eta kind ctx ~cand ~n ~out =
         let s =
           (float_of_int net *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
         in
-        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+        out.(k) <- 1.0 +. (pos (s +. 4096.0) /. 512.0)
       done
   | Source_order ->
       let n_instrs = ctx.graph.Ddg.Graph.n in
       for k = 0 to n - 1 do
         let s = float_of_int (n_instrs - cand.(k)) in
-        out.(k) <- 1.0 +. (Float.max 0.0 (s +. 4096.0) /. 512.0)
+        out.(k) <- 1.0 +. (pos (s +. 4096.0) /. 512.0)
+      done
+
+(* [fill_eta] for the unboxed data plane: identical expressions, stores
+   into a [Support.Fmat] row slice (raw float64 stores, no boxing) at
+   flat offset [base]. The LUC row of the ant's score matrix is filled
+   through this. *)
+let fill_eta_mat kind ctx ~cand ~n ~mat ~base =
+  (* Raw float64 stores through the matrix's concrete bigarray: the
+     primitive specializes on the static type at this call site, so the
+     stores stay unboxed even when cross-module inlining is off
+     ([-opaque] dev builds). *)
+  let d = mat.Support.Fmat.data in
+  match kind with
+  | Critical_path ->
+      for k = 0 to n - 1 do
+        let s = float_of_int (Ddg.Critpath.backward ctx.cp cand.(k)) in
+        Bigarray.Array1.unsafe_set d (base + k)
+          (1.0 +. (pos (s +. 4096.0) /. 512.0))
+      done
+  | Last_use_count ->
+      for k = 0 to n - 1 do
+        let i = cand.(k) in
+        let net = Rp_tracker.closes_minus_opens ctx.rp i in
+        let s =
+          (float_of_int net *. 1024.0) +. float_of_int (Ddg.Critpath.backward ctx.cp i)
+        in
+        Bigarray.Array1.unsafe_set d (base + k)
+          (1.0 +. (pos (s +. 4096.0) /. 512.0))
+      done
+  | Source_order ->
+      let n_instrs = ctx.graph.Ddg.Graph.n in
+      for k = 0 to n - 1 do
+        let s = float_of_int (n_instrs - cand.(k)) in
+        Bigarray.Array1.unsafe_set d (base + k)
+          (1.0 +. (pos (s +. 4096.0) /. 512.0))
       done
 
 let best kind ctx = function

@@ -36,6 +36,12 @@ val fill_eta : kind -> ctx -> cand:int array -> n:int -> out:float array -> unit
     calls but with the kind dispatch hoisted out of the loop and no
     allocation — the ACO selection hot path over a candidate slice. *)
 
+val fill_eta_mat :
+  kind -> ctx -> cand:int array -> n:int -> mat:Support.Fmat.t -> base:int -> unit
+(** {!fill_eta} into a {!Support.Fmat} slice: stores
+    [eta kind ctx cand.(k)] at flat index [base + k] with raw unboxed
+    float64 stores. Bit-identical values to {!fill_eta}. *)
+
 val best : kind -> ctx -> int list -> int
 (** Highest-scoring instruction of a non-empty candidate list (ties to
     the lower instruction id, matching the deterministic baseline). *)

@@ -84,6 +84,11 @@ let current_cycle t = t.cycle
 let ready_count t = t.ready_n
 let ready t k = t.buf.(t.ready_base + k)
 
+(* Candidate-list view for the ant hot loop: one [Array.blit] of the
+   compact ready prefix instead of a per-candidate [ready] call. The
+   caller bounds [m] by [ready_count] (or its ready-limit truncation). *)
+let blit_ready t cand m = Array.blit t.buf t.ready_base cand 0 m
+
 let ready_list t =
   let rec loop k acc = if k < 0 then acc else loop (k - 1) (t.buf.(t.ready_base + k) :: acc) in
   loop (t.ready_n - 1) []
@@ -148,16 +153,21 @@ let schedule t i =
   let buf = t.buf in
   buf.(t.sched_cycle + i) <- t.cycle;
   t.scheduled_n <- t.scheduled_n + 1;
-  Array.iter
-    (fun (j, lat) ->
-      buf.(t.unsched_preds + j) <- buf.(t.unsched_preds + j) - 1;
-      let lat = if t.latency_aware then max lat 1 else 1 in
-      if t.cycle + lat > buf.(t.earliest + j) then buf.(t.earliest + j) <- t.cycle + lat;
-      if buf.(t.unsched_preds + j) = 0 then
-        (* Queue with its ready cycle; [promote] moves it across once the
-           current cycle reaches that point. *)
-        insert_pending t buf.(t.earliest + j) j)
-    t.graph.Ddg.Graph.succs.(i);
+  (* Counted loop, not [Array.iter]: the closure would capture [t] and
+     allocate once per scheduled instruction — this is the single
+     hottest successor walk in the system. Destructuring the edge tuple
+     reads its fields in place; no allocation. *)
+  let succs = t.graph.Ddg.Graph.succs.(i) in
+  for k = 0 to Array.length succs - 1 do
+    let j, lat = Array.unsafe_get succs k in
+    buf.(t.unsched_preds + j) <- buf.(t.unsched_preds + j) - 1;
+    let lat = if t.latency_aware then max lat 1 else 1 in
+    if t.cycle + lat > buf.(t.earliest + j) then buf.(t.earliest + j) <- t.cycle + lat;
+    if buf.(t.unsched_preds + j) = 0 then
+      (* Queue with its ready cycle; [promote] moves it across once the
+         current cycle reaches that point. *)
+      insert_pending t buf.(t.earliest + j) j
+  done;
   t.cycle <- t.cycle + 1;
   promote t
 

@@ -32,6 +32,13 @@ val ready : t -> int -> int
 (** [ready t k] is the [k]-th ready instruction, [0 <= k < ready_count].
     Order is unspecified but deterministic. *)
 
+val blit_ready : t -> int array -> int -> unit
+(** [blit_ready t cand m] copies the first [m] ready instructions — in
+    {!ready} order — into [cand.(0..m-1)] with a single blit: the
+    candidate-list view the ant hot loop scores from. [m] must be at
+    most [ready_count t] and [cand] at least [m] long (unchecked beyond
+    the blit's own bounds). *)
+
 val ready_list : t -> int list
 
 val semi_ready : t -> (int * int) list

@@ -18,6 +18,17 @@ type layout = {
      fits check a sound fast path that skips the per-register scan *)
   defs_v : int array;
   defs_s : int array;
+  (* candidate-pruning tables (sound lower bounds; see
+     [filter_fits_prefix]): [min_delta_*.(i)] bounds from below the
+     current-pressure change of scheduling [i] at any point
+     (single-definer non-live-in opens minus distinct non-live-out-use
+     closes); [min_lb_*.(i)] is the static Chen-style bound from
+     [Ddg.Lower_bounds.min_reg_lb] — zero when the layout was built
+     without a closure, which only weakens pruning, never unsounds it. *)
+  min_delta_v : int array;
+  min_delta_s : int array;
+  min_lb_v : int array;
+  min_lb_s : int array;
   total_uses : int array;
   live_out : bool array;
   live_in : bool array;
@@ -32,11 +43,18 @@ type t = {
   cur_base : int;  (* current pressure, 2 entries (class rank) *)
   peak_base : int;  (* peak pressure, 2 entries *)
   eff_base : int;  (* effects scratch, 4 entries (see [compute_effects]) *)
+  (* Candidate pruning: off by default so the tracker is byte-identical
+     to the historical one; a backend flips it on as a declared
+     capability. The counters are cumulative across [reset]s (they meter
+     work, not schedule state); drivers snapshot them around a pass. *)
+  mutable prune : bool;
+  mutable scored : int;
+  mutable pruned : int;
 }
 
 let rank = function Ir.Reg.Vgpr -> 0 | Ir.Reg.Sgpr -> 1
 
-let layout_of_graph (graph : Ddg.Graph.t) =
+let layout_of_graph ?closure (graph : Ddg.Graph.t) =
   let region = graph.region in
   let instrs = (region : Ir.Region.t).instrs in
   let index = Hashtbl.create 64 in
@@ -77,7 +95,70 @@ let layout_of_graph (graph : Ddg.Graph.t) =
         | Ir.Reg.Sgpr -> defs_s.(i) <- defs_s.(i) + 1)
       def_ids.(i)
   done;
-  { graph; cls; use_ids; def_ids; defs_v; defs_s; total_uses; live_out; live_in; nregs }
+  (* Pruning tables. [min_delta]: a def that is not live-in and has a
+     single definer can never be live before its definer issues, so it
+     opens unconditionally; a use can close at most once, and only if it
+     is not live-out. Hence (certain opens - potential closes) lower
+     bounds the current-pressure delta of [compute_effects] in any
+     tracker state, and [cur + min_delta > target] implies the candidate
+     cannot pass [fits_within]. *)
+  let def_count = Array.make nregs 0 in
+  Array.iter (Array.iter (fun di -> def_count.(di) <- def_count.(di) + 1)) def_ids;
+  let min_delta_v = Array.make n 0 and min_delta_s = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let opens_v = ref 0 and opens_s = ref 0 in
+    Array.iter
+      (fun di ->
+        if (not live_in.(di)) && def_count.(di) = 1 then
+          match cls.(di) with
+          | Ir.Reg.Vgpr -> incr opens_v
+          | Ir.Reg.Sgpr -> incr opens_s)
+      def_ids.(i);
+    let closes_v = ref 0 and closes_s = ref 0 in
+    let uses = use_ids.(i) in
+    for k = 0 to Array.length uses - 1 do
+      let ui = uses.(k) in
+      (* distinct uses only: count the first occurrence *)
+      let first = ref true in
+      for j = 0 to k - 1 do
+        if uses.(j) = ui then first := false
+      done;
+      if !first && not live_out.(ui) then
+        match cls.(ui) with
+        | Ir.Reg.Vgpr -> incr closes_v
+        | Ir.Reg.Sgpr -> incr closes_s
+    done;
+    min_delta_v.(i) <- !opens_v - !closes_v;
+    min_delta_s.(i) <- !opens_s - !closes_s
+  done;
+  let min_lb_v, min_lb_s =
+    (* The static Chen-style bound needs the transitive closure; when
+       the caller has none (stand-alone trackers), all-zero tables keep
+       the prune test trivially true-negative. Never computed here: the
+       engine's "one closure per region" accounting must not see extra
+       [Ddg.Closure.compute] calls. *)
+    match closure with
+    | Some c ->
+        ( Ddg.Lower_bounds.min_reg_lb c graph Ir.Reg.Vgpr,
+          Ddg.Lower_bounds.min_reg_lb c graph Ir.Reg.Sgpr )
+    | None -> (Array.make n 0, Array.make n 0)
+  in
+  {
+    graph;
+    cls;
+    use_ids;
+    def_ids;
+    defs_v;
+    defs_s;
+    min_delta_v;
+    min_delta_s;
+    min_lb_v;
+    min_lb_s;
+    total_uses;
+    live_out;
+    live_in;
+    nregs;
+  }
 
 let int_demand layout = (2 * layout.nregs) + 8
 
@@ -109,6 +190,9 @@ let create_in arena layout =
       cur_base = base + (2 * layout.nregs);
       peak_base = base + (2 * layout.nregs) + 2;
       eff_base = base + (2 * layout.nregs) + 4;
+      prune = false;
+      scored = 0;
+      pruned = 0;
     }
   in
   reset t;
@@ -126,42 +210,46 @@ let copy t =
      a shared arena. *)
   { t with buf }
 
+(* Plain counted loops, not [Array.iter]: an iterated closure capturing
+   [t] is a fresh minor-heap block per call, and [schedule] runs once per
+   emitted instruction in the ant hot loop. The loop bodies are verbatim
+   the old closure bodies. *)
 let schedule t i =
   let l = t.layout in
   let buf = t.buf in
   let uses = l.use_ids.(i) and defs = l.def_ids.(i) in
-  Array.iter
-    (fun ui ->
-      buf.(t.rem_base + ui) <- buf.(t.rem_base + ui) - 1;
-      if buf.(t.rem_base + ui) = 0 && (not l.live_out.(ui)) && buf.(t.live_base + ui) = 1
-      then begin
-        buf.(t.live_base + ui) <- 0;
-        let c = rank l.cls.(ui) in
-        buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
-      end)
-    uses;
-  Array.iter
-    (fun di ->
-      if buf.(t.live_base + di) = 0 then begin
-        buf.(t.live_base + di) <- 1;
-        let c = rank l.cls.(di) in
-        buf.(t.cur_base + c) <- buf.(t.cur_base + c) + 1
-      end)
-    defs;
+  for k = 0 to Array.length uses - 1 do
+    let ui = Array.unsafe_get uses k in
+    buf.(t.rem_base + ui) <- buf.(t.rem_base + ui) - 1;
+    if buf.(t.rem_base + ui) = 0 && (not l.live_out.(ui)) && buf.(t.live_base + ui) = 1
+    then begin
+      buf.(t.live_base + ui) <- 0;
+      let c = rank l.cls.(ui) in
+      buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
+    end
+  done;
+  for k = 0 to Array.length defs - 1 do
+    let di = Array.unsafe_get defs k in
+    if buf.(t.live_base + di) = 0 then begin
+      buf.(t.live_base + di) <- 1;
+      let c = rank l.cls.(di) in
+      buf.(t.cur_base + c) <- buf.(t.cur_base + c) + 1
+    end
+  done;
   if buf.(t.cur_base) > buf.(t.peak_base) then buf.(t.peak_base) <- buf.(t.cur_base);
   if buf.(t.cur_base + 1) > buf.(t.peak_base + 1) then
     buf.(t.peak_base + 1) <- buf.(t.cur_base + 1);
   (* A def with no remaining uses and not live-out dies immediately after
      being counted at this instruction's point. *)
-  Array.iter
-    (fun di ->
-      if buf.(t.rem_base + di) = 0 && (not l.live_out.(di)) && buf.(t.live_base + di) = 1
-      then begin
-        buf.(t.live_base + di) <- 0;
-        let c = rank l.cls.(di) in
-        buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
-      end)
-    defs
+  for k = 0 to Array.length defs - 1 do
+    let di = Array.unsafe_get defs k in
+    if buf.(t.rem_base + di) = 0 && (not l.live_out.(di)) && buf.(t.live_base + di) = 1
+    then begin
+      buf.(t.live_base + di) <- 0;
+      let c = rank l.cls.(di) in
+      buf.(t.cur_base + c) <- buf.(t.cur_base + c) - 1
+    end
+  done
 
 let current t cls = t.buf.(t.cur_base + rank cls)
 let peak t cls = t.buf.(t.peak_base + rank cls)
@@ -247,7 +335,27 @@ let fits_within t i ~target_vgpr ~target_sgpr =
 (* Stable in-place filter: compact the candidates of [cand.(0..n_cand-1)]
    that fit the targets into the prefix, preserving order, and return
    their count. Equivalent to testing [fits_within] on each candidate,
-   with the pressure loads hoisted out of the loop. *)
+   with the pressure loads hoisted out of the loop.
+
+   Shape notes for the hot loop:
+   - Mask-and-select compaction: the candidate is stored at the write
+     cursor unconditionally and the cursor advances by a computed 0/1
+     bit. Positions below the cursor are already-kept candidates and the
+     cursor never passes the read index, so the blind store can only
+     touch consumed or duplicate cells — no taken/not-taken branch on
+     the common path.
+   - The in-range tests fold into sign bits: [a <= b] for the small
+     pressure integers here is the sign of [b - a], and two tests OR
+     into one word whose sign is extracted with [asr 62] (any negative
+     63-bit int has that bit set).
+   - Pruning, when armed: a candidate that misses the defs-bound fast
+     path is first tested against the layout's sound lower bounds
+     ([min_lb]: static Chen bound on unavoidable pressure at its issue
+     point; [cur + min_delta]: certain opens minus potential closes).
+     Either bound exceeding a target proves [fits_within] false, so the
+     quadratic [compute_effects] scan is skipped and the candidate is
+     dropped — same prefix, same count, strictly less work. [scored]
+     and [pruned] meter exactly that. *)
 let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
   let l = t.layout in
   let buf = t.buf in
@@ -258,23 +366,52 @@ let filter_fits_prefix t ~cand ~n_cand ~target_vgpr ~target_sgpr =
     (* the peak already exceeds a target: nothing can fit *)
   else begin
     let m = ref 0 in
+    let scored = ref 0 in
+    let pruned = ref 0 in
+    let prune = t.prune in
     for k = 0 to n_cand - 1 do
       let i = Array.unsafe_get cand k in
-      let fits =
-        (cv + Array.unsafe_get l.defs_v i <= target_vgpr
-        && cs + Array.unsafe_get l.defs_s i <= target_sgpr)
-        ||
-        (compute_effects t i;
-         cv - buf.(e) + buf.(e + 1) <= target_vgpr
-         && cs - buf.(e + 2) + buf.(e + 3) <= target_sgpr)
+      let fast =
+        (target_vgpr - cv - Array.unsafe_get l.defs_v i)
+        lor (target_sgpr - cs - Array.unsafe_get l.defs_s i)
       in
-      if fits then begin
-        Array.unsafe_set cand !m i;
-        incr m
-      end
+      let bit =
+        if fast >= 0 then begin
+          incr scored;
+          1
+        end
+        else if
+          prune
+          && (Array.unsafe_get l.min_lb_v i > target_vgpr
+             || Array.unsafe_get l.min_lb_s i > target_sgpr
+             || cv + Array.unsafe_get l.min_delta_v i > target_vgpr
+             || cs + Array.unsafe_get l.min_delta_s i > target_sgpr)
+        then begin
+          incr pruned;
+          0
+        end
+        else begin
+          incr scored;
+          compute_effects t i;
+          let d =
+            (target_vgpr - cv + buf.(e) - buf.(e + 1))
+            lor (target_sgpr - cs + buf.(e + 2) - buf.(e + 3))
+          in
+          1 + (d asr 62)
+        end
+      in
+      Array.unsafe_set cand !m i;
+      m := !m + bit
     done;
+    t.scored <- t.scored + !scored;
+    t.pruned <- t.pruned + !pruned;
     !m
   end
+
+let set_prune t flag = t.prune <- flag
+let prune_enabled t = t.prune
+let scored_candidates t = t.scored
+let pruned_candidates t = t.pruned
 
 let closes_count t i =
   compute_effects t i;

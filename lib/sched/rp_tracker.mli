@@ -16,7 +16,15 @@ type layout
     liveness. Shared by every ant scheduling the same region, so the
     interning hash pass runs once per colony instead of once per lane. *)
 
-val layout_of_graph : Ddg.Graph.t -> layout
+val layout_of_graph : ?closure:Ddg.Closure.t -> Ddg.Graph.t -> layout
+(** Build the layout, including the sound candidate-pruning tables: the
+    min-delta bounds (certain opens minus potential closes per
+    instruction and class) are always computed from the region alone;
+    the static Chen-style per-instruction minimum-pressure bounds
+    ({!Ddg.Lower_bounds.min_reg_lb}) additionally need the transitive
+    closure and are all-zero — trivially sound, never pruning — when
+    [closure] is absent. A closure is never computed here, so the
+    engine's analysis-count accounting is unaffected. *)
 
 val int_demand : layout -> int
 (** Arena ints one tracker's mutable state needs (for exact
@@ -70,7 +78,31 @@ val filter_fits_prefix :
   t -> cand:int array -> n_cand:int -> target_vgpr:int -> target_sgpr:int -> int
 (** Stable in-place filter of [cand.(0..n_cand-1)]: compacts the
     candidates for which {!fits_within} holds into the prefix (ready
-    order preserved) and returns their count. *)
+    order preserved) and returns their count. Branchless mask-and-select
+    compaction on the hot path. With pruning armed ({!set_prune}),
+    candidates whose layout lower bounds already prove they cannot fit
+    skip the per-register effects scan; the returned prefix and count
+    are identical either way — pruning only removes provably-dead
+    work. *)
+
+val set_prune : t -> bool -> unit
+(** Arm or disarm lower-bound candidate pruning in
+    {!filter_fits_prefix}. Off by default; prefix contents and counts
+    are unaffected either way (soundness), only the evaluation work and
+    the {!scored_candidates}/{!pruned_candidates} meters change. *)
+
+val prune_enabled : t -> bool
+
+val scored_candidates : t -> int
+(** Cumulative count of candidates whose fit decision was actually
+    evaluated (fast defs-bound or full effects scan) in
+    {!filter_fits_prefix} since the tracker was created. Not cleared by
+    {!reset}: it meters work, not schedule state — drivers snapshot it
+    around a pass. *)
+
+val pruned_candidates : t -> int
+(** Cumulative count of candidates dismissed by the lower-bound prune
+    before any fit evaluation. Zero unless {!set_prune} armed it. *)
 
 val closes_count : t -> int -> int
 (** Number of live ranges (any class) the instruction would close — the

@@ -265,8 +265,8 @@ let colony_run_pass (type a) ~params ~rng ~ants ~pheromone ~mode
     a * int * Engine.Types.pass_stats =
   let open Aco.Params in
   Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
-  Aco.Pheromone.deposit_path pheromone initial_order
-    (params.deposit /. float_of_int (1 + initial_cost));
+  Aco.Pheromone.deposit_path_scaled pheromone initial_order ~deposit:params.deposit
+    ~cost:initial_cost;
   let metering = Obs.Metrics.enabled metrics in
   let m_best = if metering then pass_label ^ ".best_cost" else "" in
   let m_entropy = if metering then pass_label ^ ".pheromone_entropy" else "" in
@@ -309,8 +309,8 @@ let colony_run_pass (type a) ~params ~rng ~ants ~pheromone ~mode
     Aco.Pheromone.decay pheromone params.decay;
     (match !iter_best with
     | Some (order, art) ->
-        Aco.Pheromone.deposit_path pheromone order
-          (params.deposit /. float_of_int (1 + !iter_best_cost));
+        Aco.Pheromone.deposit_path_scaled pheromone order ~deposit:params.deposit
+          ~cost:!iter_best_cost;
         if !iter_best_cost < !best_cost then begin
           best_cost := !iter_best_cost;
           best := art;

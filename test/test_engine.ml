@@ -85,7 +85,14 @@ let prepare_count = ref 0
 
 module Counting_backend = struct
   let name = "counting"
-  let caps = { Engine.Types.rp_pass = false; faults = false; trace = false; time_model = false }
+  let caps =
+    {
+      Engine.Types.rp_pass = false;
+      faults = false;
+      trace = false;
+      time_model = false;
+      prune = false;
+    }
   let objective = None
 
   type state = unit

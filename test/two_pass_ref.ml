@@ -55,7 +55,7 @@ module Seq_ref = struct
     Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
     (* The initial (heuristic) schedule is the global best at the start:
        bias the table toward it. *)
-    Aco.Pheromone.deposit_path pheromone initial_order (params.deposit /. float_of_int (1 + initial_cost));
+    Aco.Pheromone.deposit_path_scaled pheromone initial_order ~deposit:params.deposit ~cost:initial_cost;
     (* Telemetry scratch sits before the minor-words snapshot so the
        reported allocation stays byte-identical with metering off. *)
     let metering = Obs.Metrics.enabled metrics in
@@ -105,8 +105,8 @@ module Seq_ref = struct
       Aco.Pheromone.decay pheromone params.decay;
       (match !iter_best with
       | Some (order, art) ->
-          Aco.Pheromone.deposit_path pheromone order
-            (params.deposit /. float_of_int (1 + !iter_best_cost));
+          Aco.Pheromone.deposit_path_scaled pheromone order ~deposit:params.deposit
+            ~cost:!iter_best_cost;
           if !iter_best_cost < !best_cost then begin
             best_cost := !iter_best_cost;
             best := art;
@@ -306,8 +306,8 @@ module Par_ref = struct
       ~n ~ready_ub =
     let open Aco.Params in
     Aco.Pheromone.reset pheromone ~initial:params.initial_pheromone;
-    Aco.Pheromone.deposit_path pheromone initial_order
-      (params.deposit /. float_of_int (1 + initial_cost));
+    Aco.Pheromone.deposit_path_scaled pheromone initial_order ~deposit:params.deposit
+      ~cost:initial_cost;
     let lanes = config.Gpusim.Config.target.Machine.Target.wavefront_size in
     let threads = Gpusim.Config.threads config in
     let faults_before = Gpusim.Faults.counts faults in
@@ -456,8 +456,8 @@ module Par_ref = struct
                valid schedule is quarantined — the iteration failed. *)
             if validate_artifact artifact then begin
               Aco.Pheromone.decay pheromone params.decay;
-              Aco.Pheromone.deposit_path pheromone (Aco.Ant.order ant)
-                (params.deposit /. float_of_int (1 + winner_cost));
+              Aco.Pheromone.deposit_path_scaled pheromone (Aco.Ant.order ant)
+                ~deposit:params.deposit ~cost:winner_cost;
               (* An equal-cost winner still becomes the emitted artifact — the
                  ACO build ships the schedule the ants constructed — but only a
                  strict improvement resets the termination counter. *)
